@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark reproduces one experiment id from DESIGN.md section 4
+(E1-E14).  Measured series beyond the timed statistic are recorded in
+``benchmark.extra_info`` so they appear in ``--benchmark-json`` output,
+and printed for eyeballing against EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import GroupService, HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.core.types import ObjectType
+from repro.runtime.clock import ManualClock
+
+LOGIN_RDL = "def LoggedOn(u, h)  u: userid  h: string\nLoggedOn(u, h) <- "
+
+
+class BenchWorld:
+    """A Login + generic-service world for the core benchmarks."""
+
+    def __init__(self):
+        self.clock = ManualClock()
+        self.registry = ServiceRegistry()
+        self.linkage = LocalLinkage()
+        self.login = OasisService(
+            "Login", registry=self.registry, linkage=self.linkage, clock=self.clock
+        )
+        self.login.export_type(ObjectType("Login.userid"), "userid")
+        self.login.add_rolefile("main", LOGIN_RDL)
+        self.host = HostOS("bench-host")
+
+    def user(self, name):
+        domain = self.host.create_domain()
+        cert = self.login.enter_role(domain.client_id, "LoggedOn", (name, "bench-host"))
+        return domain.client_id, cert
+
+
+@pytest.fixture
+def bench_world():
+    return BenchWorld()
+
+
+def record(benchmark, **series):
+    """Attach a measured series to the benchmark output and print it."""
+    for key, value in series.items():
+        benchmark.extra_info[key] = value
+    line = ", ".join(f"{k}={v}" for k, v in series.items())
+    print(f"\n  [{benchmark.name}] {line}")

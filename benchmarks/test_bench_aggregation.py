@@ -1,0 +1,118 @@
+"""E12 (fig 6.6): the two-section priority queue.
+
+Interleave delayed event streams; the fixed section grows exactly with
+horizon knowledge, aggregates are emitted "at the earliest possible
+moment", and throughput is measured for queue maintenance and the
+aggregation-language interpreter.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.events.aggregation.functions import Count, First
+from repro.events.aggregation.language import parse_aggregation
+from repro.events.aggregation.queue import TwoSectionQueue
+
+
+def make_delayed_stream(n, seed=7, max_delay=5.0):
+    """(arrival_order) list of (true_timestamp, payload); arrival is
+    timestamp + random delay, so arrival order != timestamp order."""
+    rng = random.Random(seed)
+    items = [(float(i), {"i": i}) for i in range(n)]
+    arrivals = sorted(items, key=lambda item: item[0] + rng.uniform(0, max_delay))
+    return arrivals
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_e12_queue_throughput(benchmark, n):
+    stream = make_delayed_stream(n)
+
+    def run():
+        queue = TwoSectionQueue()
+        fixed = 0
+        horizon = -1.0
+        for i, (timestamp, payload) in enumerate(stream):
+            queue.insert(timestamp, payload)
+            if i % 50 == 49:
+                horizon = max(horizon, timestamp - 5.0)
+                fixed += len(queue.fix_up_to(horizon))
+        fixed += len(queue.fix_up_to(float("inf")))
+        return fixed
+
+    total_fixed = benchmark(run)
+    assert total_fixed == n
+    record(benchmark, events=n)
+
+
+def test_e12_fixed_prefix_growth(benchmark):
+    """The fixed boundary tracks the horizon; items above it stay
+    variable (the fig 6.6 picture)."""
+    stream = make_delayed_stream(1_000)
+
+    def run():
+        queue = TwoSectionQueue()
+        snapshots = []
+        for i, (timestamp, payload) in enumerate(stream):
+            queue.insert(timestamp, payload)
+            if i % 100 == 99:
+                queue.fix_up_to(timestamp - 5.0)
+                snapshots.append((len(queue.fixed_items()), len(queue.variable_items())))
+        return snapshots
+
+    snapshots = benchmark(run)
+    fixed_sizes = [fixed for fixed, _ in snapshots]
+    assert fixed_sizes == sorted(fixed_sizes)   # monotone growth
+    record(benchmark, growth=fixed_sizes[:5] + ["..."] + fixed_sizes[-2:])
+
+
+def test_e12_first_emitted_at_earliest_possible_moment(benchmark):
+    """First(A|B) cannot fire on receipt of A alone (section 6.9.1); it
+    fires the instant the horizon proves nothing earlier can arrive."""
+
+    def run():
+        first = First()
+        first.offer(10.0, {"which": "A"})
+        premature = len(first.signals)
+        first.advance(6.0)                   # horizon still below 7
+        still_waiting = len(first.signals)
+        first.offer(7.0, {"which": "B"})     # the delayed earlier event
+        first.advance(10.0)
+        return premature, still_waiting, first.signals[0][0]
+
+    premature, waiting, first_time = benchmark(run)
+    assert (premature, waiting) == (0, 0)
+    assert first_time == 7.0
+    record(benchmark, first_occurrence_time=first_time)
+
+
+@pytest.mark.parametrize("n", [1_000])
+def test_e12_aggregation_language_throughput(benchmark, n):
+    """The section 6.10 interpreter summing deposits over a stream."""
+    stream = make_delayed_stream(n)
+
+    def run():
+        agg = parse_aggregation("""
+        {
+            int total = 0;
+            int count = 0;
+            expr: Deposit(i)
+            event: total = total + new.i; count = count + 1;
+            term: signal(total, count);
+        }
+        """)
+        horizon = -1.0
+        for i, (timestamp, payload) in enumerate(stream):
+            agg.offer(timestamp, payload)
+            if i % 50 == 49:
+                horizon = max(horizon, timestamp - 5.0)
+                agg.advance(horizon)
+        agg.advance(float("inf"))
+        agg.terminate()
+        return agg.signals[-1]
+
+    total, count = benchmark(run)
+    assert count == n
+    assert total == sum(range(n))
+    record(benchmark, events=n, total=total)

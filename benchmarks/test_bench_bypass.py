@@ -1,0 +1,91 @@
+"""E8 (fig 5.8, section 5.6): bypassing custode stacks.
+
+Unmodified operations served by the bottom custode with a validation
+callback to the top beat the full stack traversal — "never less
+efficient than a straightforward call down the stack, and in the
+majority of cases, where caching of credential checks has taken place,
+considerably more efficient".  Experience suggests such operations "make
+up a large percentage of the total", so we also measure a read-heavy
+mixed workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import BenchWorld, record
+from repro.mssa.acl import Acl
+from repro.mssa.byte_segment import ByteSegmentCustode
+from repro.mssa.bypass import BypassRoute
+from repro.mssa.flat_file import FlatFileCustode
+from repro.mssa.vac import IndexedFlatFileCustode
+
+
+def build_stack(world):
+    def custode_login(custode):
+        return world.login.enter_role(
+            custode.identity, "LoggedOn",
+            (f"custode:{custode.name}", custode.identity.host),
+        )
+
+    bsc = ByteSegmentCustode("bsc-b", registry=world.registry,
+                             linkage=world.linkage, clock=world.clock)
+    ffc = FlatFileCustode("ffc-b", registry=world.registry,
+                          linkage=world.linkage, clock=world.clock)
+    ffc.wire_below(bsc, custode_login(ffc))
+    ifc = IndexedFlatFileCustode("ifc-b", registry=world.registry,
+                                 linkage=world.linkage, clock=world.clock)
+    ifc.wire_below(ffc, custode_login(ifc))
+    acl = ifc.create_acl(Acl.parse("dm=+rwadl", alphabet="rwadl"))
+    fid = ifc.create(acl)
+    client, login_cert = world.user("dm")
+    cert = ifc.enter_use_acl(client, acl, login_cert)
+    ifc.write_record(cert, fid, "k", b"payload")
+    return ifc, fid, cert
+
+
+def test_e8_read_through_full_stack(benchmark, bench_world):
+    ifc, fid, cert = build_stack(bench_world)
+    data = benchmark(ifc.read, cert, fid)
+    assert data == b"payload"
+    record(benchmark, path="ifc->ffc->bsc")
+
+
+def test_e8_read_bypassed(benchmark, bench_world):
+    ifc, fid, cert = build_stack(bench_world)
+    route = BypassRoute.resolve(ifc, "read")
+    data = benchmark(route.read, cert, fid)
+    assert data == b"payload"
+    record(benchmark, path=f"client->{route.bottom.name} (+callback)")
+
+
+def test_e8_mixed_workload(benchmark, bench_world):
+    """90% reads / 10% keyed lookups: bypass the reads, hit the VAC only
+    for the specialised operation."""
+    ifc, fid, cert = build_stack(bench_world)
+    route = BypassRoute.resolve(ifc, "read")
+
+    def mixed(bypass):
+        for i in range(100):
+            if i % 10 == 0:
+                ifc.lookup(cert, fid, "k")
+            elif bypass:
+                route.read(cert, fid)
+            else:
+                ifc.read(cert, fid)
+
+    benchmark(mixed, True)
+    record(benchmark, mode="bypassed", vac_ops=ifc.ops)
+
+
+def test_e8_mixed_workload_no_bypass(benchmark, bench_world):
+    ifc, fid, cert = build_stack(bench_world)
+    route = BypassRoute.resolve(ifc, "read")
+
+    def mixed():
+        for i in range(100):
+            if i % 10 == 0:
+                ifc.lookup(cert, fid, "k")
+            else:
+                ifc.read(cert, fid)
+
+    benchmark(mixed)
+    record(benchmark, mode="full-stack", vac_ops=ifc.ops)

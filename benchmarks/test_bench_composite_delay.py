@@ -1,0 +1,84 @@
+"""E9 (fig 6.4): the effect of delay on composite event detection.
+
+The paper's scenario: Roger and Giles meet in room T14 (delayed sensor),
+then in room T15.  An independent-evaluation detector signals the T15
+meeting as soon as its events arrive; a global-view detector blocks on
+Δ-worst and detects the first meeting first.  We sweep the slow sensor's
+delay and report each detector's latency for the *fast* room's meeting.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.events.broker import EventBroker
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.model import Event
+from repro.runtime.clock import SimClock
+from repro.runtime.simulator import Simulator
+
+DELAYS = [0.5, 2.0, 10.0]
+
+
+def run_scenario(mode, slow_delay):
+    sim = Simulator()
+    clock = SimClock(sim)
+    t14 = EventBroker("T14", clock=clock, simulator=sim)
+    t15 = EventBroker("T15", clock=clock, simulator=sim)
+    detector = CompositeEventDetector(clock=clock, mode=mode)
+    detector.connect(t14, delay=slow_delay)
+    detector.connect(t15, delay=0.01)
+    detected = {}
+    for room in ("T14", "T15"):
+        detector.watch(
+            f'Seen("roger", "{room}"); Seen("giles", "{room}")',
+            callback=lambda t, env, room=room: detected.setdefault(room, sim.now),
+        )
+    sim.schedule(1.0, lambda: t14.signal(Event("Seen", ("roger", "T14"))))
+    sim.schedule(2.0, lambda: t14.signal(Event("Seen", ("giles", "T14"))))
+    sim.schedule(3.0, lambda: t15.signal(Event("Seen", ("roger", "T15"))))
+    sim.schedule(4.0, lambda: t15.signal(Event("Seen", ("giles", "T15"))))
+
+    def beat():
+        t14.heartbeat()
+        t15.heartbeat()
+        sim.schedule(0.25, beat)
+
+    sim.schedule(0.1, beat)
+    sim.run_until(4.0 + 3 * slow_delay + 5.0)
+    return detected
+
+
+@pytest.mark.parametrize("slow_delay", DELAYS)
+def test_e9_independent_detector_latency(benchmark, slow_delay):
+    detected = benchmark(run_scenario, "independent", slow_delay)
+    fast_latency = detected["T15"] - 4.0    # event completed at t=4
+    slow_latency = detected["T14"] - 2.0
+    record(benchmark, slow_sensor_delay=slow_delay,
+           fast_room_latency=round(fast_latency, 3),
+           slow_room_latency=round(slow_latency, 3))
+    # the fast room's detection is independent of the slow sensor's delay
+    assert fast_latency < 0.5
+
+
+@pytest.mark.parametrize("slow_delay", DELAYS)
+def test_e9_global_view_detector_latency(benchmark, slow_delay):
+    detected = benchmark(run_scenario, "global-view", slow_delay)
+    fast_latency = detected["T15"] - 4.0
+    record(benchmark, slow_sensor_delay=slow_delay,
+           fast_room_latency=round(fast_latency, 3))
+    # the global-view detector inherits the slow sensor's delay
+    assert fast_latency >= slow_delay - 2.5
+
+
+@pytest.mark.parametrize("slow_delay", DELAYS)
+def test_e9_both_detect_the_same_set(benchmark, slow_delay):
+    """Fig 6.4: "both evaluations ultimately return the same results"."""
+
+    def run_both():
+        independent = run_scenario("independent", slow_delay)
+        global_view = run_scenario("global-view", slow_delay)
+        return set(independent), set(global_view)
+
+    ind, glob = benchmark(run_both)
+    assert ind == glob == {"T14", "T15"}
+    record(benchmark, slow_sensor_delay=slow_delay, detections="identical")

@@ -1,0 +1,101 @@
+"""E14 (chapter 7): the cost of secure event delivery.
+
+Per-notification filtering must be cheap: the fig 7.1 preprocessing
+compiles the site policy into a per-session filter at admission, leaving
+a template match (plus any residual predicate) per event.  We measure
+notification throughput with and without security, the admission cost,
+and the fan-out scaling over many sessions.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core import HostOS, OasisService
+from repro.events.broker import EventBroker
+from repro.events.model import Event, WILDCARD, template
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import parse_erdl
+
+POLICY = """
+allow Admin(u) : Seen(b, s)
+allow LoggedOn(u) : Seen(b, s) : owns(u, b)
+"""
+
+
+def make_world(n_users=100):
+    owners = {f"user{i}": f"badge{i}" for i in range(n_users)}
+    oasis = OasisService("Sec")
+    oasis.add_rolefile("main", """
+def Admin(u)  u: string
+def LoggedOn(u)  u: string
+Admin(u) <- : u == "root"
+LoggedOn(u) <-
+""")
+    policy = parse_erdl(POLICY, predicates={"owns": lambda u, b: owners.get(u) == b})
+    broker = SecureEventBroker("badges", oasis, policy)
+    host = HostOS("h")
+    return oasis, broker, host, owners
+
+
+def test_e14_insecure_notification_throughput(benchmark):
+    broker = EventBroker("plain")
+    got = []
+    session = broker.establish_session(lambda e, h: got.append(1) if e else None)
+    broker.register(session, template("Seen", WILDCARD, WILDCARD))
+    event = Event("Seen", ("badge0", "s1"), timestamp=1.0)
+    benchmark(broker.signal, event)
+    record(benchmark, security="none")
+
+
+def test_e14_secure_notification_throughput(benchmark):
+    oasis, broker, host, owners = make_world()
+    client = host.create_domain().client_id
+    cert = oasis.enter_role(client, "LoggedOn", ("user0",))
+    got = []
+    session = broker.establish_session(lambda e, h: got.append(1) if e else None, cert)
+    broker.register(session, template("Seen", WILDCARD, WILDCARD))
+    event = Event("Seen", ("badge0", "s1"), timestamp=1.0)
+    benchmark(broker.signal, event)
+    assert got   # the owner does receive their own badge
+    record(benchmark, security="erdl-filtered")
+
+
+def test_e14_admission_cost(benchmark):
+    """Session establishment pays validation + policy specialisation
+    once (fig 7.1 stage 2)."""
+    oasis, broker, host, owners = make_world()
+    client = host.create_domain().client_id
+    cert = oasis.enter_role(client, "LoggedOn", ("user0",))
+
+    def admit():
+        session = broker.establish_session(lambda e, h: None, cert)
+        broker.close_session(session)
+
+    benchmark(admit)
+    record(benchmark, stage="admission")
+
+
+@pytest.mark.parametrize("n_sessions", [10, 100, 1000])
+def test_e14_fanout_with_per_session_filters(benchmark, n_sessions):
+    """One sighting, n sessions: exactly one session (the owner) is
+    notified; the others are suppressed by their compiled filters."""
+    oasis, broker, host, owners = make_world(n_users=n_sessions)
+    delivered = []
+    for i in range(n_sessions):
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", (f"user{i}",))
+        session = broker.establish_session(
+            lambda e, h: delivered.append(1) if e else None, cert
+        )
+        broker.register(session, template("Seen", WILDCARD, WILDCARD))
+    event = Event("Seen", ("badge0", "s1"), timestamp=1.0)
+
+    def signal():
+        delivered.clear()
+        broker.signal(event)
+        return len(delivered)
+
+    reached = benchmark(signal)
+    assert reached == 1
+    record(benchmark, sessions=n_sessions, notified=reached,
+           suppressed=n_sessions - reached)

@@ -1,0 +1,105 @@
+"""E11 (section 6.8.3): the heartbeat rate trade-off.
+
+"If a rapid heartbeat is chosen, then there is a relatively high
+computation and network cost, but a low delay when evaluating A - B.
+Alternatively, a slow heartbeat can be used that is computationally
+inexpensive but that leads to longer expected delays."  We sweep the
+period and measure both sides, plus the {delay = d} budget that trades
+certainty for latency.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.events.broker import EventBroker
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.model import Event
+from repro.runtime.clock import SimClock
+from repro.runtime.simulator import Simulator
+
+PERIODS = [0.1, 0.5, 2.0]
+
+
+def run_without(period, horizon_duration=60.0):
+    """One A event at t=10; measure when 'A - B' signals and how many
+    heartbeat messages the source sent."""
+    sim = Simulator()
+    clock = SimClock(sim)
+    broker = EventBroker("src", clock=clock, simulator=sim)
+    detector = CompositeEventDetector(clock=clock)
+    detector.connect(broker)
+    signalled = []
+    detector.watch("A - B", callback=lambda t, env: signalled.append(sim.now))
+
+    def beat():
+        broker.heartbeat()
+        sim.schedule(period, beat)
+
+    sim.schedule(period, beat)
+    sim.schedule(10.0, lambda: broker.signal(Event("A", ())))
+    sim.run_until(horizon_duration)
+    return signalled[0] - 10.0 if signalled else None, broker.stats.heartbeats
+
+
+@pytest.mark.parametrize("period", PERIODS)
+def test_e11_heartbeat_rate_vs_detection_delay(benchmark, period):
+    latency, heartbeats = benchmark(run_without, period)
+    assert latency is not None
+    record(benchmark, period=period,
+           without_latency=round(latency, 3),
+           heartbeats_per_minute=heartbeats)
+    # expected delay ~ half the heartbeat interval, bounded by one period
+    assert latency <= period + 1e-6
+
+
+def test_e11_delay_budget_skips_the_wait(benchmark):
+    """With {delay = d}, ¬B is assumed after d seconds of local time even
+    with an infinitely slow heartbeat — the probabilistic trade."""
+
+    def run():
+        sim = Simulator()
+        clock = SimClock(sim)
+        broker = EventBroker("src", clock=clock, simulator=sim)
+        detector = CompositeEventDetector(clock=clock)
+        detector.connect(broker)
+        signalled = []
+        detector.watch("A - B {delay = 0.5}",
+                       callback=lambda t, env: signalled.append(sim.now))
+        sim.schedule(10.0, lambda: broker.signal(Event("A", ())))
+        # no heartbeats at all; tick the detector clock instead
+        for i in range(1, 200):
+            sim.schedule(i * 0.1, detector.tick)
+        sim.run_until(20.0)
+        return signalled[0] - 10.0 if signalled else None
+
+    latency = benchmark(run)
+    assert latency is not None
+    record(benchmark, delay_budget=0.5, latency=round(latency, 3))
+    assert latency <= 0.7
+
+
+def test_e11_delay_budget_can_be_wrong(benchmark):
+    """The cost of the trade: a B delayed past the budget produces a
+    false signal (the 'certainty of correctness' axis)."""
+
+    def run():
+        sim = Simulator()
+        clock = SimClock(sim)
+        fast = EventBroker("fast", clock=clock, simulator=sim)
+        slow = EventBroker("slow", clock=clock, simulator=sim)
+        detector = CompositeEventDetector(clock=clock)
+        detector.connect(fast, delay=0.01)
+        detector.connect(slow, delay=5.0)      # B arrives very late
+        false_signals = []
+        detector.watch("A - B {delay = 0.5}",
+                       callback=lambda t, env: false_signals.append(t))
+        sim.schedule(9.0, lambda: slow.signal(Event("B", ())))   # B first!
+        sim.schedule(10.0, lambda: fast.signal(Event("A", ())))
+        for i in range(1, 300):
+            sim.schedule(i * 0.1, detector.tick)
+        sim.run_until(30.0)
+        return len(false_signals)
+
+    false_count = benchmark(run)
+    record(benchmark, false_signals=false_count)
+    assert false_count == 1   # the suppressed occurrence fired anyway

@@ -1,0 +1,118 @@
+"""E13 (section 6.8.1): pre-registration vs early registration.
+
+The badge lookup-then-watch pattern: a client wants sightings of one
+user's badge, but must look the badge up first.  Three strategies:
+
+* **early**: register Seen(*, *) before the lookup — correct, but the
+  client is notified of every irrelevant sighting;
+* **late**: register Seen(b, *) after the lookup — cheap, but sightings
+  in the registration window are lost;
+* **pre-registration + retrospective registration** (the paper's
+  design): correct *and* cheap — buffered at the source, shared.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.events.broker import EventBroker
+from repro.events.model import Event, Var, WILDCARD, template
+from repro.runtime.clock import ManualClock
+
+N_BADGES = 200
+SIGHTINGS = 500
+
+
+def make_world():
+    clock = ManualClock(1.0)
+    broker = EventBroker("master", clock=clock, retention=1_000.0)
+    return clock, broker
+
+
+def pump_sightings(clock, broker, n=SIGHTINGS):
+    for i in range(n):
+        clock.advance(0.01)
+        broker.signal(Event("Seen", (f"badge{i % N_BADGES}", f"room{i % 7}")))
+
+
+def test_e13_early_registration_notification_volume(benchmark):
+    """Registering the wild-card template floods the client."""
+
+    def run():
+        clock, broker = make_world()
+        got = []
+        session = broker.establish_session(lambda e, h: got.append(e) if e else None)
+        broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        clock.advance(1.0)      # ... the lookup takes this long ...
+        pump_sightings(clock, broker)
+        relevant = sum(1 for e in got if e.args[0] == "badge0")
+        return len(got), relevant
+
+    total, relevant = benchmark(run)
+    record(benchmark, strategy="early", notifications=total, relevant=relevant)
+    assert total == SIGHTINGS           # everything was delivered
+    assert relevant < total / 10
+
+
+def test_e13_late_registration_loses_events(benchmark):
+    """Register after the lookup completes: the window's events are gone."""
+
+    def run():
+        clock, broker = make_world()
+        got = []
+        session = broker.establish_session(lambda e, h: got.append(e) if e else None)
+        # sightings happen during the lookup window
+        pump_sightings(clock, broker, n=100)
+        broker.register(session, template("Seen", "badge0", WILDCARD))
+        pump_sightings(clock, broker, n=SIGHTINGS - 100)
+        missed = 100 // N_BADGES + (1 if 0 < 100 % N_BADGES else 0)
+        return len(got), missed
+
+    received, missed = benchmark(run)
+    record(benchmark, strategy="late", notifications=received, lost=missed)
+    assert missed > 0
+
+
+def test_e13_preregistration_correct_and_cheap(benchmark):
+    """Pre-register wide, narrow on lookup, retrospectively register:
+    nothing lost, nothing irrelevant."""
+
+    def run():
+        clock, broker = make_world()
+        got = []
+        session = broker.establish_session(lambda e, h: got.append(e) if e else None)
+        pre = broker.preregister(session, template("Seen", Var("b"), WILDCARD))
+        lookup_started = clock.now()
+        pump_sightings(clock, broker, n=100)   # during the lookup
+        # the lookup completes: the badge is badge0; narrow and register
+        # back to the lookup start time
+        broker.narrow(pre, template("Seen", "badge0", WILDCARD))
+        broker.retro_register(pre, since=lookup_started)
+        pump_sightings(clock, broker, n=SIGHTINGS - 100)
+        relevant = sum(1 for e in got if e.args[0] == "badge0")
+        return len(got), relevant
+
+    total, relevant = benchmark(run)
+    record(benchmark, strategy="preregistration", notifications=total,
+           relevant=relevant)
+    assert total == relevant            # nothing irrelevant delivered
+    assert relevant == SIGHTINGS // N_BADGES + (1 if SIGHTINGS % N_BADGES else 0) \
+        or relevant == len([i for i in range(SIGHTINGS) if i % N_BADGES == 0])
+
+
+def test_e13_buffering_shared_between_clients(benchmark):
+    """The buffer lives at the source: k pre-registered clients add no
+    per-client buffering cost (section 6.8.1)."""
+
+    def run():
+        clock, broker = make_world()
+        sessions = []
+        for i in range(50):
+            session = broker.establish_session(lambda e, h: None)
+            broker.preregister(session, template("Seen", f"badge{i}", WILDCARD))
+            sessions.append(session)
+        pump_sightings(clock, broker)
+        return broker.buffered()
+
+    buffered = benchmark(run)
+    record(benchmark, clients=50, events_buffered_at_source=buffered)
+    assert buffered == SIGHTINGS        # one copy, however many clients

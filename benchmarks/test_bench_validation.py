@@ -1,0 +1,72 @@
+"""E5 (section 4.2): signature checks are cacheable.
+
+"Once the check has been performed, the integrity of the certificate may
+be cached, and recomputation avoided."  We measure cold (first) vs hot
+(cached) validation, and the cost of longer signatures (the per-service
+security/efficiency trade-off of section 4.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import BenchWorld, record
+from repro.core import OasisService
+
+
+def test_e5_validation_hot_cache(benchmark, bench_world):
+    client, cert = bench_world.user("dm")
+    bench_world.login.validate(cert)   # prime the cache
+
+    benchmark(bench_world.login.validate, cert)
+    hits = bench_world.login.stats.signature_cache_hits
+    record(benchmark, cache="hot", cache_hits=hits)
+    assert hits > 0
+
+
+def test_e5_validation_cold_cache(benchmark, bench_world):
+    client, cert = bench_world.user("dm")
+    login = bench_world.login
+
+    def cold_validate():
+        login._signature_cache.clear()
+        return login.validate(cert)
+
+    benchmark(cold_validate)
+    record(benchmark, cache="cold")
+
+
+@pytest.mark.parametrize("sig_len", [4, 16, 32])
+def test_e5_signature_length_tradeoff(benchmark, sig_len):
+    """Section 4.2: a service may use cheap short signatures or long
+    expensive ones."""
+    from repro.core import HostOS
+
+    service = OasisService("S", signature_length=sig_len)
+    service.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+    client = HostOS("h").create_domain().client_id
+    cert = service.enter_role(client, "Anon", (1,))
+
+    def cold_validate():
+        service._signature_cache.clear()
+        return service.validate(cert)
+
+    benchmark(cold_validate)
+    record(benchmark, signature_bytes=sig_len)
+
+
+def test_e5_validation_failure_classification(benchmark, bench_world):
+    """Fraud detection (wrong client) costs no more than success."""
+    import dataclasses
+    from repro.errors import FraudError
+
+    client, cert = bench_world.user("dm")
+    other, _ = bench_world.user("eve")
+
+    def validate_fraud():
+        try:
+            bench_world.login.validate(cert, claimed_client=other)
+        except FraudError:
+            return True
+        return False
+
+    assert benchmark(validate_fraud)
+    record(benchmark, outcome="fraud-detected")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Interworking with non-Oasis mechanisms (section 4.12), both ways.
+
+1. A legacy organisational-role system (Manager / ProjectLeader) is
+   wrapped by an adapter that issues equivalent Oasis roles; retracting
+   an assignment in the legacy system revokes the Oasis certificates —
+   and everything built on them.
+2. An NFS-style file server is amended to accept Oasis certificates:
+   it extracts the user name and applies its own Unix-style export ACLs
+   ("Oasis manages names, not access rights").
+
+Run:  python examples/legacy_interworking.py
+"""
+
+from repro import HostOS, LocalLinkage, OasisService, ObjectType, ServiceRegistry
+from repro.errors import AccessDenied, RevokedError
+from repro.services.legacy import (
+    LegacyRoleSystem,
+    NfsStyleServer,
+    OrganisationalRoleAdapter,
+)
+
+
+def main() -> None:
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+    host = HostOS("hq")
+
+    # ---- direction 1: legacy roles -> Oasis roles --------------------------
+    print("--- organisational-role adapter ---")
+    hr_system = LegacyRoleSystem()                 # the closed legacy system
+    hr_system.assign("alice", "Manager")
+    adapter = OrganisationalRoleAdapter(
+        "OrgRoles", hr_system, registry=registry, linkage=linkage
+    )
+
+    # an Oasis service grants approval powers to (adapted) managers
+    approvals = OasisService("Approvals", registry=registry, linkage=linkage)
+    approvals.add_rolefile("main", "Approver(u) <- OrgRoles.Manager(u)*\n")
+
+    alice = host.create_domain().client_id
+    manager = adapter.enter_legacy_role(alice, "alice", "Manager")
+    approver = approvals.enter_role(alice, "Approver", credentials=(manager,))
+    print(f"alice is {manager} and therefore {approver}")
+
+    hr_system.retract("alice", "Manager")          # HR fires alice
+    try:
+        approvals.validate(approver)
+    except RevokedError:
+        print("HR retracts the legacy role -> the Oasis approval power is revoked")
+
+    # ---- direction 2: Oasis certificates at a legacy server ---------------------
+    print("\n--- NFS-style server accepting Oasis certificates ---")
+    login = OasisService("Login", registry=registry, linkage=linkage)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile(
+        "main", "def LoggedOn(u, h)  u: userid  h: string\nLoggedOn(u, h) <- "
+    )
+    nfs = NfsStyleServer("nfs", login,
+                         user_groups=lambda u: {"staff"} if u == "dm" else set())
+    nfs.export("/export/thesis", "rjh21=rw staff=r other=-", b"chapter 1")
+
+    rjh = host.create_domain().client_id
+    rjh_login = login.enter_role(rjh, "LoggedOn", ("rjh21", "hq"))
+    print(f"owner read:  {nfs.read(rjh_login, '/export/thesis', client=rjh)!r}")
+
+    dm = host.create_domain().client_id
+    dm_login = login.enter_role(dm, "LoggedOn", ("dm", "hq"))
+    print(f"staff read:  {nfs.read(dm_login, '/export/thesis')!r}")
+    try:
+        nfs.write(dm_login, "/export/thesis", b"edit")
+    except AccessDenied:
+        print("staff write: denied by the server's own Unix ACL")
+
+    login.exit_role(rjh_login)
+    try:
+        nfs.read(rjh_login, "/export/thesis")
+    except RevokedError:
+        print("after logout: the legacy server sees the Oasis revocation too")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The open meeting (sections 3.4.2 / 3.3.2) on the full auth stack.
+
+Password service -> multi-level login -> meeting service: staff join
+directly, any member may invite an outsider (recursive delegation), and
+the Chair may eject anyone — including members they did not elect — via
+role-based revocation, with hire/fire/re-hire semantics.
+
+Run:  python examples/open_meeting.py
+"""
+
+from repro import HostOS, LocalLinkage, ServiceRegistry
+from repro.errors import EntryDenied, RevokedError
+from repro.services import LoginService, MeetingService, PasswordService
+
+
+def main() -> None:
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+    pw = PasswordService(registry=registry, linkage=linkage)
+    login = LoginService(registry=registry, linkage=linkage)
+    login.add_secure_host("console")
+
+    for user, secret in [("jmb", "chair-pw"), ("dm", "staff-pw"), ("visitor", "guest-pw")]:
+        pw.set_password(user, secret)
+
+    meeting = MeetingService(
+        "OperaWeekly",
+        chair_user="jmb",
+        staff={pw.parsename("userid", "jmb"), pw.parsename("userid", "dm")},
+        registry=registry,
+        linkage=linkage,
+    )
+    print(f"meeting rolefile:\n{meeting.rolefile()}\n")
+
+    console = HostOS("console")
+
+    def log_on(user, secret):
+        domain = console.create_domain()
+        passwd = pw.authenticate(domain.client_id, user, secret)
+        return login.login(domain.client_id, passwd)
+
+    jmb_login = log_on("jmb", "chair-pw")
+    dm_login = log_on("dm", "staff-pw")
+    visitor_login = log_on("visitor", "guest-pw")
+    print(f"jmb login level: {login.level_of(jmb_login)} (secure console)")
+
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    dm_member = meeting.join(dm_login.client, dm_login)
+    print("jmb chairs; dm joins as staff")
+
+    # visitors cannot join directly...
+    try:
+        meeting.join(visitor_login.client, visitor_login)
+    except EntryDenied:
+        print("visitor cannot join directly (not staff)")
+
+    # ...but any member may invite them (recursive delegation)
+    invitation, _ = meeting.invite(dm_member)
+    visitor_member = meeting.accept_invitation(
+        visitor_login.client, invitation, visitor_login
+    )
+    print("dm invites the visitor - accepted")
+
+    # the Chair ejects the visitor (role-based revocation: the Chair did
+    # not elect them, yet may revoke by role parameters alone)
+    visitor_uid = pw.parsename("userid", "visitor")
+    meeting.eject(chair, visitor_uid)
+    try:
+        meeting.validate(visitor_member)
+    except RevokedError as err:
+        print(f"ejected: {err}")
+    try:
+        meeting.accept_invitation(visitor_login.client, invitation, visitor_login)
+    except EntryDenied as err:
+        print(f"and barred from re-entry: {err}")
+
+    # hire / fire / re-hire: the Chair relents
+    meeting.readmit(chair, visitor_uid)
+    visitor_member = meeting.accept_invitation(
+        visitor_login.client, invitation, visitor_login
+    )
+    meeting.validate(visitor_member)
+    print("readmitted after the Chair relents")
+
+    # logging out cascades through password -> login -> meeting
+    login.logout(dm_login)
+    try:
+        meeting.validate(dm_member)
+    except RevokedError:
+        print("dm logs out; meeting membership gone (cross-service cascade)")
+
+    members = meeting.audit.current_members()
+    print(f"\ncurrent members by audit: "
+          f"{sorted(str(k) for k, v in members.items() if v)}")
+
+
+if __name__ == "__main__":
+    main()

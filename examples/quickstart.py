@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: roles, certificates, delegation and cascading revocation.
+
+Reproduces the running example of chapters 2-4: a Login service issues
+``LoggedOn`` certificates; a Conference service defines a ``Chair`` and
+elects ``Member``s; revocation cascades between the services through
+credential records.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GroupService,
+    HostOS,
+    LocalLinkage,
+    OasisService,
+    ObjectType,
+    RevokedError,
+    ServiceRegistry,
+)
+
+
+def main() -> None:
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+
+    # -- the Login service: names clients with LoggedOn(user, host) ----------
+    login = OasisService("Login", registry=registry, linkage=linkage)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+""")
+    uid = lambda name: login.parsename("userid", name)
+
+    # -- the Conference service: policy in RDL --------------------------------
+    groups = GroupService()
+    groups.create_group("staff", {uid("jmb"), uid("dm")})
+    conf = OasisService("Conf", registry=registry, linkage=linkage, groups=groups)
+    conf.add_rolefile("main", """
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+""")
+    print("Conference rolefile:")
+    print(conf.rolefile())
+    print()
+
+    # -- two users log on ---------------------------------------------------------
+    host = HostOS("ely")
+    jmb = host.create_domain()
+    dm = host.create_domain()
+    jmb_login = login.enter_role(jmb.client_id, "LoggedOn", ("jmb", "ely"))
+    dm_login = login.enter_role(dm.client_id, "LoggedOn", ("dm", "ely"))
+    print(f"jmb logged on: {jmb_login}")
+    print(f"dm  logged on: {dm_login}")
+
+    # -- jmb becomes Chair using the foreign credential ----------------------------
+    chair = conf.enter_role(jmb.client_id, "Chair", credentials=(jmb_login,))
+    print(f"jmb chairs:    {chair}")
+
+    # -- the Chair elects dm a Member -----------------------------------------------
+    delegation, revocation = conf.delegate(chair, "Member")
+    member = conf.enter_delegated_role(dm.client_id, delegation, credentials=(dm_login,))
+    print(f"dm is elected: {member}")
+    conf.validate(member, claimed_client=dm.client_id, required_role="Member")
+    print("membership certificate validates\n")
+
+    # -- revocation, three ways -------------------------------------------------------
+
+    # 1. group change: dm leaves staff -> the starred (u in staff)* rule fails
+    groups.remove_member("staff", uid("dm"))
+    try:
+        conf.validate(member)
+    except RevokedError as err:
+        print(f"1. group change revokes:        {err}")
+    groups.add_member("staff", uid("dm"))
+    member = conf.enter_delegated_role(dm.client_id, delegation, credentials=(dm_login,))
+
+    # 2. the delegator changes their mind -> revocation certificate
+    conf.revoke(revocation)
+    try:
+        conf.validate(member)
+    except RevokedError as err:
+        print(f"2. revocation cert revokes:     {err}")
+    delegation, revocation = conf.delegate(chair, "Member")
+    member = conf.enter_delegated_role(dm.client_id, delegation, credentials=(dm_login,))
+
+    # 3. dm logs out -> the cascade crosses from Login to Conf (fig 4.8)
+    login.exit_role(dm_login)
+    try:
+        conf.validate(member)
+    except RevokedError as err:
+        print(f"3. cross-service logout revokes: {err}")
+
+    print()
+    print(f"Login audit entries: {len(login.audit)}")
+    print(f"Conf  audit entries: {len(conf.audit)}")
+    print(f"Conf credential records created: {conf.credentials.records_created}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The squash (racket ball) scoreboard (section 6.6, Gehani's example).
+
+Detects the end of a point from base events (serve, hit, floor, wall,
+front) using the composite event language, then collapses the multiple
+simultaneously-true end conditions into one signal per point with the
+``Once`` aggregation function (section 6.9's motivating requirement).
+
+Run:  python examples/squash_scoreboard.py
+"""
+
+from repro import Event, ManualClock
+from repro.events.aggregation.functions import Once, attach
+from repro.events.composite.detector import CompositeEventDetector
+
+END_OF_POINT = """
+$serve(s); (((floor | wall | hit(i)) - front)
+  | ($front; ((floor; floor) | front) - hit(i))
+  | ($hit(i); (floor | hit(j)) - front)
+  | (hit(s) - hit(i) {i != s})
+  | ($hit(i); hit(i) - hit(j) {j != i}))
+""".strip().replace("\n", " ")
+
+# a rally: (event, args, time)
+GAME = [
+    # point 1: player 1 serves, good rally, then double bounce at t=6
+    ("serve", (1,), 1.0),
+    ("front", (), 1.5),
+    ("hit", (2,), 2.0),
+    ("front", (), 2.5),
+    ("hit", (1,), 3.0),
+    ("front", (), 3.5),
+    ("hit", (2,), 4.0),
+    ("front", (), 4.5),
+    ("floor", (), 5.0),
+    ("floor", (), 6.0),          # double bounce: end of point
+    # point 2: player 2 serves into the floor (fault) at t=11
+    ("serve", (2,), 10.0),
+    ("floor", (), 11.0),         # fails to hit the front wall first
+    # point 3: player 1 serves, player 2 returns, player 2 hits twice
+    ("serve", (1,), 20.0),
+    ("front", (), 20.5),
+    ("hit", (2,), 21.0),
+    ("front", (), 21.5),
+    ("hit", (2,), 22.0),         # fails to alternate: end of point
+]
+
+
+def main() -> None:
+    clock = ManualClock()
+    detector = CompositeEventDetector(clock=clock)
+    raw_signals = []
+    watch = detector.watch(
+        END_OF_POINT, callback=lambda t, env: raw_signals.append(t)
+    )
+    # one scoreboard signal per point, however many conditions fired
+    scoreboard = attach(Once(window=3.0), watch, tracker=detector.horizons)
+    points = []
+    scoreboard.on_signal = lambda t, env: points.append(t)
+
+    for name, args, t in GAME:
+        clock.set(t)
+        detector.post(Event(name, args, timestamp=t, source="court"))
+        detector.update_horizon("court", t)
+    detector.update_horizon("court", 100.0)
+
+    print(f"end-of-point conditions fired at: {sorted(set(raw_signals))}")
+    print(f"scoreboard points (deduplicated): {points}")
+    assert len(points) == 3, "three points were played"
+    print("three points detected - scoreboard correct")
+
+
+if __name__ == "__main__":
+    main()

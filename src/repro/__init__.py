@@ -1,0 +1,112 @@
+"""OASIS — An Open Architecture for Secure Interworking Services.
+
+A from-scratch Python reproduction of Richard Hayton's OASIS architecture
+(ICDCS 1997 / Cambridge PhD dissertation, 1996): role-based secure
+interworking built on a role-definition language (RDL), signed role
+membership certificates, and credential records for rapid selective
+revocation — together with its two major case studies, the MSSA
+distributed storage architecture and the distributed event architecture
+with composite event detection and the active badge system.
+
+Quick start::
+
+    from repro import OasisService, ServiceRegistry, LocalLinkage, HostOS
+
+    registry, linkage = ServiceRegistry(), LocalLinkage()
+    login = OasisService("Login", registry=registry, linkage=linkage)
+    login.add_rolefile("main", '''
+    def LoggedOn(u, h)  u: string  h: string
+    LoggedOn(u, h) <-
+    ''')
+    client = HostOS("ws1").create_domain().client_id
+    cert = login.enter_role(client, "LoggedOn", ("dm", "ws1"))
+    login.validate(cert)
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from repro.core.certificates import (
+    DelegationCertificate,
+    RevocationCertificate,
+    RoleMembershipCertificate,
+    RoleTemplate,
+)
+from repro.core.credentials import CredentialRecordTable, RecordOp, RecordState
+from repro.core.engine import Membership, RoleEntryEngine
+from repro.core.groups import GroupService
+from repro.core.identifiers import ClientId, HostOS, ProtectionDomain, VCI
+from repro.core.linkage import LocalLinkage, SimLinkage
+from repro.core.rdl import parse_rolefile
+from repro.core.registry import ServiceRegistry
+from repro.core.service import OasisService
+from repro.core.types import ObjectRef, ObjectType, SetType
+from repro.errors import (
+    AccessDenied,
+    DelegationError,
+    EntryDenied,
+    FraudError,
+    MisuseError,
+    OasisError,
+    RevokedError,
+)
+from repro.events.broker import EventBroker
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.composite.parser import parse_expression
+from repro.events.composite.semantics import evaluate as evaluate_composite
+from repro.events.model import Event, EventType, Template, Var, WILDCARD
+from repro.runtime.clock import DriftingClock, ManualClock, SimClock
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "OasisService",
+    "ServiceRegistry",
+    "GroupService",
+    "RoleEntryEngine",
+    "Membership",
+    "parse_rolefile",
+    "ClientId",
+    "HostOS",
+    "ProtectionDomain",
+    "VCI",
+    "RoleMembershipCertificate",
+    "DelegationCertificate",
+    "RevocationCertificate",
+    "RoleTemplate",
+    "CredentialRecordTable",
+    "RecordState",
+    "RecordOp",
+    "LocalLinkage",
+    "SimLinkage",
+    "ObjectRef",
+    "ObjectType",
+    "SetType",
+    # events
+    "EventBroker",
+    "Event",
+    "EventType",
+    "Template",
+    "Var",
+    "WILDCARD",
+    "CompositeEventDetector",
+    "parse_expression",
+    "evaluate_composite",
+    # runtime
+    "Simulator",
+    "Network",
+    "ManualClock",
+    "SimClock",
+    "DriftingClock",
+    # errors
+    "OasisError",
+    "EntryDenied",
+    "FraudError",
+    "MisuseError",
+    "RevokedError",
+    "DelegationError",
+    "AccessDenied",
+]

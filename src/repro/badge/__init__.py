@@ -1,0 +1,24 @@
+"""The global active badge system (section 6.3).
+
+Each *site* runs a :class:`~repro.badge.master.Master` (interfaces with
+sensors, signals ``Seen(badge, sensor)`` events), a
+:class:`~repro.badge.sighting_cache.SightingCache` (signals
+``NewBadge``), and a :class:`~repro.badge.namer.Namer` — an active
+database mapping badges/sensors to users/rooms that signals its own
+updates as events and supports the atomic ``DBRegister`` operation of
+section 6.3.3.  Sites cooperate through the inter-site protocol of
+fig 6.2 (:mod:`repro.badge.intersite`): a badge's home site always knows
+its location and signals ``MovedSite(badge, oldsite, newsite)``.
+
+Physical badges and sensors are simulated by
+:mod:`repro.badge.hardware` (substitution: no IR hardware available; the
+event streams have the same shape).
+"""
+
+from repro.badge.hardware import Badge, BadgeWorld, Sensor
+from repro.badge.master import Master
+from repro.badge.namer import Namer
+from repro.badge.sighting_cache import SightingCache
+from repro.badge.site import Site
+
+__all__ = ["Badge", "Sensor", "BadgeWorld", "Master", "Namer", "SightingCache", "Site"]

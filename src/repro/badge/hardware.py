@@ -1,0 +1,115 @@
+"""Simulated badges and sensors.
+
+An active badge periodically broadcasts its identity over IR; the sensor
+in its current room picks the broadcast up and reports a sighting.  Each
+badge carries a small memory holding a "pointer to home" — its home site
+— which a sensor may interrogate (section 6.3.1).
+
+The simulation: rooms belong to sites, each room has one sensor, and
+badges are moved between rooms by test scripts.  A movement produces an
+immediate sighting; badges also re-broadcast every ``beacon_period``
+seconds while stationary (like the hardware's periodic beacon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runtime.simulator import Simulator
+
+SightingHandler = Callable[[str, str], None]  # (badge_id, sensor_id)
+
+
+@dataclass(frozen=True)
+class Badge:
+    """A physical badge: globally unique id plus the pointer to home."""
+
+    id: str
+    home_site: str
+
+
+@dataclass
+class Sensor:
+    id: str
+    room: str
+    site: str
+
+
+class BadgeWorld:
+    """The physical world: rooms, sensors, badges and their movements."""
+
+    def __init__(self, simulator: Optional[Simulator] = None, beacon_period: float = 0.0):
+        self.simulator = simulator
+        self.beacon_period = beacon_period
+        self._sensors_by_room: dict[str, Sensor] = {}
+        self._sites: dict[str, SightingHandler] = {}
+        self._badges: dict[str, Badge] = {}
+        self._location: dict[str, Optional[str]] = {}   # badge -> room
+        self.sightings = 0
+
+    # -- setup ------------------------------------------------------------------
+
+    def add_room(self, room: str, site: str, sensor_id: Optional[str] = None) -> Sensor:
+        sensor = Sensor(sensor_id or f"sensor-{room}", room, site)
+        self._sensors_by_room[room] = sensor
+        return sensor
+
+    def attach_site(self, site: str, handler: SightingHandler) -> None:
+        """The site's Master registers to receive raw sightings."""
+        self._sites[site] = handler
+
+    def add_badge(self, badge: Badge) -> None:
+        self._badges[badge.id] = badge
+        self._location[badge.id] = None
+
+    def badge(self, badge_id: str) -> Badge:
+        return self._badges[badge_id]
+
+    def interrogate_home(self, badge_id: str) -> str:
+        """A sensor reads the badge's pointer-to-home memory."""
+        return self._badges[badge_id].home_site
+
+    # -- movement ----------------------------------------------------------------
+
+    def move(self, badge_id: str, room: str) -> None:
+        """Move a badge into a room; its broadcast is picked up at once."""
+        if badge_id not in self._badges:
+            raise KeyError(f"unknown badge {badge_id!r}")
+        if room not in self._sensors_by_room:
+            raise KeyError(f"no sensor in room {room!r}")
+        self._location[badge_id] = room
+        self._broadcast(badge_id)
+        if self.simulator is not None and self.beacon_period > 0:
+            self.simulator.schedule(self.beacon_period, self._beacon, badge_id, room)
+
+    def move_at(self, time: float, badge_id: str, room: str) -> None:
+        """Schedule a movement on the simulator."""
+        if self.simulator is None:
+            raise RuntimeError("move_at requires a simulator")
+        self.simulator.schedule_at(time, self.move, badge_id, room)
+
+    def remove(self, badge_id: str) -> None:
+        """The badge leaves every room (goes home in a drawer)."""
+        self._location[badge_id] = None
+
+    def location(self, badge_id: str) -> Optional[str]:
+        return self._location.get(badge_id)
+
+    # -- broadcasting -----------------------------------------------------------------
+
+    def _broadcast(self, badge_id: str) -> None:
+        room = self._location.get(badge_id)
+        if room is None:
+            return
+        sensor = self._sensors_by_room[room]
+        handler = self._sites.get(sensor.site)
+        if handler is not None:
+            self.sightings += 1
+            handler(badge_id, sensor.id)
+
+    def _beacon(self, badge_id: str, room: str) -> None:
+        if self._location.get(badge_id) == room:
+            self._broadcast(badge_id)
+            assert self.simulator is not None
+            self.simulator.schedule(self.beacon_period, self._beacon, badge_id, room)

@@ -1,0 +1,63 @@
+"""The inter-site badge protocol (section 6.3.1, fig 6.2).
+
+There is no central database of badges: each site maintains information
+about its own badges.  When a previously unknown badge is sighted, the
+sighting site interrogates the badge's pointer-to-home memory and
+informs the home site, which:
+
+* records the badge's new location ("the home site of each badge always
+  knows of its location");
+* returns naming information (the owning user) so the visited site can
+  name the badge locally;
+* signals ``MovedSite(badge, oldsite, newsite)`` — used by remote
+  servers to delete naming information that is no longer required, and
+  available to monitoring applications;
+* tells the *previous* site the badge has left, so it deletes its copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import OasisError
+from repro.events.model import EventType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.badge.site import Site
+
+MOVED_SITE = EventType("MovedSite", ("badge", "oldsite", "newsite"))
+
+
+@dataclass(frozen=True)
+class NamingInfo:
+    """What a home site discloses about a badge to a visited site.
+
+    ``user`` may be None if the home site declines to publish the owner
+    (each site decides "the degree to which it publishes badge
+    movements")."""
+
+    badge: str
+    home_site: str
+    user: Optional[str]
+
+
+class SiteDirectory:
+    """The (static, well-known) directory of badge sites."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, "Site"] = {}
+
+    def register(self, site: "Site") -> None:
+        if site.name in self._sites:
+            raise OasisError(f"site {site.name!r} already registered")
+        self._sites[site.name] = site
+
+    def lookup(self, name: str) -> "Site":
+        site = self._sites.get(name)
+        if site is None:
+            raise OasisError(f"unknown site {name!r}")
+        return site
+
+    def names(self) -> list[str]:
+        return sorted(self._sites)

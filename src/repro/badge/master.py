@@ -1,0 +1,53 @@
+"""The Master: sensor interfacing and sighting events (section 6.3.2).
+
+"Monitoring is performed by a process called the Master.  This
+interfaces with the sensors, and signals badge sightings directly as
+events of the form Seen(badge, sensor)."
+
+The Master is deliberately dumb: no naming, no caching — those are the
+Namer's and Sighting Cache's jobs.  Its broker buffers recent sightings,
+which is what makes pre-registration cheap: "the Master buffers recent
+sighting information for all badges ... pre-registration incurs no
+additional per-client overhead" (section 6.8.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.broker import EventBroker
+from repro.events.model import Event, EventType
+from repro.runtime.clock import Clock
+from repro.runtime.simulator import Simulator
+
+SEEN = EventType("Seen", ("badge", "sensor"))
+
+
+class Master:
+    """Signals ``Seen(badge, sensor)`` for every sensor report."""
+
+    def __init__(
+        self,
+        site: str,
+        clock: Optional[Clock] = None,
+        simulator: Optional[Simulator] = None,
+        retention: float = 120.0,
+        **broker_kwargs,
+    ):
+        self.site = site
+        self.broker = EventBroker(
+            f"{site}.master",
+            clock=clock,
+            simulator=simulator,
+            retention=retention,
+            **broker_kwargs,
+        )
+        self.sightings = 0
+
+    def sighting(self, badge_id: str, sensor_id: str) -> None:
+        """Raw sensor report: signal the Seen event."""
+        self.sightings += 1
+        self.broker.signal(SEEN.make(badge_id, sensor_id))
+
+    def heartbeat(self) -> None:
+        self.broker.heartbeat()

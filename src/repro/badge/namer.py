@@ -1,0 +1,135 @@
+"""The Namer: an active database (sections 6.3.2-6.3.3).
+
+"The namer is primarily an active database.  It stores a number of
+simple relations, and in addition signals events when the database
+changes."  Relations used by the badge system:
+
+* ``OwnsBadge(user, badge)`` — who carries which badge;
+* ``SensorRoom(sensor, room)`` — where each sensor is;
+* ``BadgeSite(badge, site)`` — naming info for visiting badges.
+
+Updates signal events of the relation's name.  The race between a lookup
+and a subsequent registration is closed by the atomic ``DBRegister``
+operation: it returns all existing matching tuples *as events* and
+registers interest in future matching inserts in one step.  "This
+feature is deceptively powerful" — composite expressions treat database
+contents and future changes uniformly (the Trapped example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import EventError
+from repro.events.broker import EventBroker, Registration, Session
+from repro.events.model import Event, Template
+from repro.runtime.clock import Clock
+from repro.runtime.simulator import Simulator
+
+
+class Namer:
+    """An active database with DBRegister."""
+
+    RELATIONS = ("OwnsBadge", "SensorRoom", "BadgeSite")
+
+    def __init__(
+        self,
+        site: str,
+        clock: Optional[Clock] = None,
+        simulator: Optional[Simulator] = None,
+        relations: Optional[tuple[str, ...]] = None,
+        **broker_kwargs,
+    ):
+        self.site = site
+        self.broker = EventBroker(
+            f"{site}.namer", clock=clock, simulator=simulator, **broker_kwargs
+        )
+        self._relations: dict[str, set[tuple]] = {
+            name: set() for name in (relations or self.RELATIONS)
+        }
+        self.lookups = 0
+
+    # -- updates (each signals an event) -------------------------------------
+
+    def insert(self, relation: str, row: tuple) -> bool:
+        """Insert a tuple; signals an event named after the relation."""
+        table = self._table(relation)
+        if row in table:
+            return False
+        table.add(row)
+        self.broker.signal(Event(relation, row))
+        return True
+
+    def delete(self, relation: str, row: tuple) -> bool:
+        """Delete a tuple; signals a ``<Relation>Deleted`` event."""
+        table = self._table(relation)
+        if row not in table:
+            return False
+        table.remove(row)
+        self.broker.signal(Event(f"{relation}Deleted", row))
+        return True
+
+    def replace(self, relation: str, match_prefix: tuple, row: tuple) -> None:
+        """Delete rows whose prefix matches, then insert ``row`` — e.g.
+        changing the badge associated with a user when the batteries are
+        flat (section 6.3.3)."""
+        for existing in list(self._table(relation)):
+            if existing[: len(match_prefix)] == match_prefix:
+                self.delete(relation, existing)
+        self.insert(relation, row)
+
+    # -- queries -----------------------------------------------------------------
+
+    def select(self, relation: str, pattern: Optional[tuple] = None) -> list[tuple]:
+        """Plain lookup; pattern entries of None are wild cards."""
+        self.lookups += 1
+        rows = self._table(relation)
+        if pattern is None:
+            return sorted(rows)
+        return sorted(
+            row
+            for row in rows
+            if len(row) == len(pattern)
+            and all(p is None or p == v for p, v in zip(pattern, row))
+        )
+
+    def db_register(
+        self, session: Session, template: Template
+    ) -> tuple[list[Event], Registration]:
+        """Atomic lookup + register (section 6.3.3).
+
+        Returns all existing tuples matching the template, delivered as
+        events through the session as well, and a live registration for
+        future matching inserts.  No insert can fall between the two."""
+        if template.name not in self._relations:
+            raise EventError(f"no relation {template.name!r}")
+        registration = self.broker.register(session, template)
+        replay: list[Event] = []
+        for row in sorted(self._table(template.name)):
+            event = Event(template.name, row, timestamp=self.broker.clock.now(),
+                          source=self.broker.name)
+            if template.match(event) is not None:
+                replay.append(event)
+                session.notify(event, self.broker.horizon())
+        return replay, registration
+
+    # -- convenience for the badge system -------------------------------------------
+
+    def badge_of(self, user: str) -> Optional[str]:
+        rows = self.select("OwnsBadge", (user, None))
+        return rows[0][1] if rows else None
+
+    def user_of(self, badge: str) -> Optional[str]:
+        rows = [r for r in self._table("OwnsBadge") if r[1] == badge]
+        self.lookups += 1
+        return rows[0][0] if rows else None
+
+    def room_of(self, sensor: str) -> Optional[str]:
+        rows = self.select("SensorRoom", (sensor, None))
+        return rows[0][1] if rows else None
+
+    def _table(self, relation: str) -> set[tuple]:
+        table = self._relations.get(relation)
+        if table is None:
+            raise EventError(f"no relation {relation!r}")
+        return table

@@ -1,0 +1,61 @@
+"""The Sighting Cache (section 6.3.2, fig 6.3).
+
+"The namer must be informed of the arrival of badges from other sites.
+As the Master does not support this function directly, an intermediate
+service called the 'Sighting Cache' maintains a list of current badges,
+and signals when a new one is seen."
+
+It also remembers each badge's most recent sensor, supporting the
+"where is badge b right now" query without bothering the Master.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.broker import EventBroker
+from repro.events.model import Event, EventType, Var, template
+from repro.badge.master import Master
+
+NEW_BADGE = EventType("NewBadge", ("badge",))
+BADGE_GONE = EventType("BadgeGone", ("badge",))
+
+
+class SightingCache:
+    """Tracks badges currently present at the site."""
+
+    def __init__(self, master: Master, **broker_kwargs):
+        self.master = master
+        self.broker = EventBroker(
+            f"{master.site}.sightings",
+            clock=master.broker.clock,
+            simulator=master.broker.simulator,
+            **broker_kwargs,
+        )
+        self._last_sensor: dict[str, str] = {}
+        session = master.broker.establish_session(self._on_seen)
+        master.broker.register(session, template("Seen", Var("b"), Var("s")))
+
+    def _on_seen(self, event: Optional[Event], horizon: float) -> None:
+        if event is None:
+            return
+        badge_id, sensor_id = event.args
+        is_new = badge_id not in self._last_sensor
+        self._last_sensor[badge_id] = sensor_id
+        if is_new:
+            self.broker.signal(NEW_BADGE.make(badge_id))
+
+    # -- queries ------------------------------------------------------------------
+
+    def current_badges(self) -> set[str]:
+        return set(self._last_sensor)
+
+    def last_sensor(self, badge_id: str) -> Optional[str]:
+        return self._last_sensor.get(badge_id)
+
+    def forget(self, badge_id: str) -> None:
+        """The badge has left the site (seen elsewhere, fig 6.2): drop it
+        and signal BadgeGone so monitoring state can be cleaned up."""
+        if badge_id in self._last_sensor:
+            del self._last_sensor[badge_id]
+            self.broker.signal(BADGE_GONE.make(badge_id))

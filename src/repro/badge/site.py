@@ -1,0 +1,121 @@
+"""A badge site: Master + Sighting Cache + Namer + inter-site protocol.
+
+Wiring per fig 6.3: sensors report to the Master, which signals
+``Seen`` events; the Sighting Cache watches them and signals ``NewBadge``
+for unknown badges; the site reacts to ``NewBadge`` by running the
+inter-site protocol of fig 6.2 when the badge is foreign.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.badge.hardware import BadgeWorld
+from repro.badge.intersite import MOVED_SITE, NamingInfo, SiteDirectory
+from repro.badge.master import Master
+from repro.badge.namer import Namer
+from repro.badge.sighting_cache import SightingCache
+from repro.events.broker import EventBroker
+from repro.events.model import Event, Var, template
+from repro.runtime.clock import Clock
+from repro.runtime.simulator import Simulator
+
+
+class Site:
+    """One organisation's badge installation."""
+
+    def __init__(
+        self,
+        name: str,
+        directory: SiteDirectory,
+        clock: Optional[Clock] = None,
+        simulator: Optional[Simulator] = None,
+        publish_owners: bool = True,
+    ):
+        self.name = name
+        self.directory = directory
+        self.publish_owners = publish_owners
+        self.master = Master(name, clock=clock, simulator=simulator)
+        self.cache = SightingCache(self.master)
+        self.namer = Namer(name, clock=clock, simulator=simulator)
+        # site-level events: MovedSite
+        self.broker = EventBroker(f"{name}.site", clock=self.master.broker.clock,
+                                  simulator=simulator)
+        self._home_badges: dict[str, str] = {}      # badge -> user
+        self._locations: dict[str, str] = {}        # home badge -> current site
+        self._world: Optional[BadgeWorld] = None
+        directory.register(self)
+        session = self.cache.broker.establish_session(self._on_new_badge)
+        self.cache.broker.register(session, template("NewBadge", Var("b")))
+
+    # -- setup --------------------------------------------------------------------
+
+    def attach_hardware(self, world: BadgeWorld) -> None:
+        self._world = world
+        world.attach_site(self.name, self.master.sighting)
+
+    def register_home_badge(self, badge_id: str, user: str) -> None:
+        """Issue a badge to a user of this site."""
+        self._home_badges[badge_id] = user
+        self._locations[badge_id] = self.name
+        self.namer.insert("OwnsBadge", (user, badge_id))
+
+    def add_sensor(self, sensor_id: str, room: str) -> None:
+        self.namer.insert("SensorRoom", (sensor_id, room))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def location_of(self, badge_id: str) -> Optional[str]:
+        """Only meaningful at the badge's home site (fig 6.2: the home
+        site always knows)."""
+        return self._locations.get(badge_id)
+
+    def knows_badge(self, badge_id: str) -> bool:
+        return self.namer.user_of(badge_id) is not None
+
+    # -- the inter-site protocol -----------------------------------------------------
+
+    def _on_new_badge(self, event: Optional[Event], horizon: float) -> None:
+        if event is None:
+            return
+        badge_id = event.args[0]
+        if self._world is None:
+            return
+        home_name = self._world.interrogate_home(badge_id)
+        if home_name == self.name:
+            self.badge_seen_at(badge_id, self.name)
+            return
+        home = self.directory.lookup(home_name)
+        info = home.badge_seen_at(badge_id, self.name)
+        self.namer.insert("BadgeSite", (badge_id, home_name))
+        if info.user is not None:
+            self.namer.insert("OwnsBadge", (info.user, badge_id))
+
+    def badge_seen_at(self, badge_id: str, site_name: str) -> NamingInfo:
+        """Called (remotely) on the *home* site: record the new location,
+        signal MovedSite, and clean up the previous site."""
+        old = self._locations.get(badge_id, self.name)
+        if old != site_name:
+            self._locations[badge_id] = site_name
+            self.broker.signal(MOVED_SITE.make(badge_id, old, site_name))
+            if old != self.name:
+                self.directory.lookup(old).badge_left(badge_id)
+        user = self._home_badges.get(badge_id) if self.publish_owners else None
+        return NamingInfo(badge=badge_id, home_site=self.name, user=user)
+
+    def badge_left(self, badge_id: str) -> None:
+        """The badge was seen elsewhere: delete unnecessary information
+        (fig 6.2 step b)."""
+        self.cache.forget(badge_id)
+        if badge_id not in self._home_badges:
+            for row in self.namer.select("BadgeSite"):
+                if row[0] == badge_id:
+                    self.namer.delete("BadgeSite", row)
+            for row in self.namer.select("OwnsBadge"):
+                if row[1] == badge_id:
+                    self.namer.delete("OwnsBadge", row)
+
+    def heartbeat(self) -> None:
+        self.master.heartbeat()
+        self.namer.broker.heartbeat()
+        self.broker.heartbeat()

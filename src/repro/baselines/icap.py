@@ -1,0 +1,61 @@
+"""I-Cap-style store-revoked validation (section 4.5, approach two).
+
+"The second approach is to store state about all invalid or revoked
+capabilities, and consult this database on each access.  If revocation
+is rare ... this is a reasonable approach" — but the revoked set grows
+without bound ("together with an (undefined) long term collection
+scheme"), and when revocation is common "there are likely to be more
+revoked capabilities than valid ones".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import FraudError, RevokedError
+
+
+@dataclass(frozen=True)
+class ICapability:
+    id: int
+    holder: str
+    rights: frozenset
+    signature: bytes
+
+
+class ICapScheme:
+    def __init__(self, secret: bytes = b"icap-secret"):
+        self._secret = secret
+        self._revoked: set[int] = set()
+        self._ids = itertools.count(1)
+        self.signature_checks = 0
+        self.revocation_lookups = 0
+
+    def issue(self, holder: str, rights: frozenset) -> ICapability:
+        cap_id = next(self._ids)
+        unsigned = ICapability(cap_id, holder, rights, b"")
+        return ICapability(cap_id, holder, rights, self._sign(unsigned))
+
+    def validate(self, cap: ICapability) -> frozenset:
+        self.signature_checks += 1
+        if not hmac.compare_digest(self._sign(cap), cap.signature):
+            raise FraudError("capability signature check failed")
+        self.revocation_lookups += 1
+        if cap.id in self._revoked:
+            raise RevokedError("capability has been revoked")
+        return cap.rights
+
+    def revoke(self, cap: ICapability) -> None:
+        """State accumulates forever (no collection scheme is defined)."""
+        self._revoked.add(cap.id)
+
+    @property
+    def revoked_state_size(self) -> int:
+        return len(self._revoked)
+
+    def _sign(self, cap: ICapability) -> bytes:
+        text = f"{cap.id}|{cap.holder}|{sorted(cap.rights)}".encode()
+        return hmac.new(self._secret, text, hashlib.sha256).digest()[:16]

@@ -1,0 +1,34 @@
+"""The OASIS core: the paper's primary contribution.
+
+Two-level naming (:mod:`repro.core.identifiers`), the RDL role-definition
+language (:mod:`repro.core.rdl`), certificates and signatures
+(:mod:`repro.core.certificates`, :mod:`repro.core.secrets`), credential
+records (:mod:`repro.core.credentials`), the role-entry engine
+(:mod:`repro.core.engine`) and the service shell tying them together
+(:mod:`repro.core.service`).
+"""
+
+from repro.core.certificates import (
+    DelegationCertificate,
+    RevocationCertificate,
+    RoleMembershipCertificate,
+)
+from repro.core.credentials import CredentialRecordTable, RecordState
+from repro.core.groups import GroupService
+from repro.core.identifiers import ClientId, HostOS, ProtectionDomain
+from repro.core.registry import ServiceRegistry
+from repro.core.service import OasisService
+
+__all__ = [
+    "ClientId",
+    "HostOS",
+    "ProtectionDomain",
+    "RoleMembershipCertificate",
+    "DelegationCertificate",
+    "RevocationCertificate",
+    "CredentialRecordTable",
+    "RecordState",
+    "GroupService",
+    "ServiceRegistry",
+    "OasisService",
+]

@@ -1,0 +1,94 @@
+"""Auditing hooks (section 4.13).
+
+Every interaction between a client and a service — role entry, election,
+revocation, validation failure — happens with the service's knowledge and
+consent, so the service can answer "who currently has access and why".
+Validation failures are recorded with the fraud / misuse / revocation
+classification of section 4.2 so miscreant users and suspect applications
+can be identified.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class AuditKind(enum.Enum):
+    ROLE_ENTERED = "role-entered"
+    ROLE_EXITED = "role-exited"
+    DELEGATION_ISSUED = "delegation-issued"
+    DELEGATION_ACCEPTED = "delegation-accepted"
+    REVOCATION = "revocation"
+    ROLE_REVOKED = "role-revoked"
+    VALIDATION_OK = "validation-ok"
+    FAIL_FRAUD = "fail-fraud"
+    FAIL_MISUSE = "fail-misuse"
+    FAIL_REVOKED = "fail-revoked"
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    time: float
+    kind: AuditKind
+    client: Optional[str]
+    detail: str
+    data: tuple = ()
+
+
+class AuditLog:
+    """An append-only, queryable log of security-relevant events."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self._entries: list[AuditEntry] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: AuditKind,
+        client: Optional[str],
+        detail: str,
+        data: tuple = (),
+    ) -> None:
+        if len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self._entries.append(AuditEntry(time, kind, client, detail, data))
+
+    def entries(self, kind: Optional[AuditKind] = None) -> list[AuditEntry]:
+        if kind is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.kind is kind]
+
+    def failures(self) -> list[AuditEntry]:
+        bad = {AuditKind.FAIL_FRAUD, AuditKind.FAIL_MISUSE, AuditKind.FAIL_REVOKED}
+        return [e for e in self._entries if e.kind in bad]
+
+    def fraud_by_client(self) -> dict[str, int]:
+        """Tally fraudulent attempts per client (section 4.2: identify
+        miscreant users)."""
+        counts: dict[str, int] = {}
+        for entry in self._entries:
+            if entry.kind is AuditKind.FAIL_FRAUD and entry.client:
+                counts[entry.client] = counts.get(entry.client, 0) + 1
+        return counts
+
+    def current_members(self) -> dict[tuple[str, tuple], list[str]]:
+        """Roles currently held, per (role, args) -> clients, computed by
+        replaying entry/exit/revocation entries."""
+        holders: dict[tuple[str, tuple], list[str]] = {}
+        for entry in self._entries:
+            key_data = entry.data
+            if entry.kind is AuditKind.ROLE_ENTERED and entry.client and key_data:
+                holders.setdefault((key_data[0], tuple(key_data[1:])), []).append(entry.client)
+            elif entry.kind in (AuditKind.ROLE_EXITED, AuditKind.ROLE_REVOKED) and key_data:
+                key = (key_data[0], tuple(key_data[1:]))
+                if entry.client and key in holders and entry.client in holders[key]:
+                    holders[key].remove(entry.client)
+        return {k: v for k, v in holders.items() if v}
+
+    def __len__(self) -> int:
+        return len(self._entries)

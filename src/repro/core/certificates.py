@@ -1,0 +1,211 @@
+"""Certificate formats (sections 4.3-4.4, figs 4.2 and 4.3).
+
+Three kinds of signed statement are issued by an Oasis service:
+
+* :class:`RoleMembershipCertificate` (RMC) — a process-specific capability
+  entitling a client to act under the authority of one or more roles.
+  May be *compound* (a set of roles entered with one request, e.g. Chair
+  and Member); roles are carried both as names and as a bitmask whose
+  mapping is fixed service configuration.
+* :class:`DelegationCertificate` — created at the delegator's request;
+  passed to the candidate, who accepts by using it as a credential when
+  entering the named role.  Candidates are identified *by roles they
+  hold*, not by low-level identifiers, so delegation can outlive client
+  identifiers and cannot be redirected to an imposter.
+* :class:`RevocationCertificate` — returned to the delegator as a side
+  effect; holds two CRRs: one proving the delegator is still a member of
+  the delegating role, and one naming the credential record to invalidate.
+
+All certificates carry the signing-secret index and signature; the text
+signed is the deterministic encoding produced by ``signed_text()``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.identifiers import ClientId, VCI
+
+
+def _encode_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _encode_client(client: Optional[ClientId]) -> bytes:
+    if client is None:
+        return b"\x00"
+    return b"\x01" + _encode_str(client.host) + struct.pack(">qq", client.id, client.boot_time)
+
+
+@dataclass(frozen=True)
+class RoleTemplate:
+    """A role pattern used to identify delegation candidates (section 4.4).
+
+    ``args`` entries of None are wild cards; anything else must match the
+    candidate certificate's argument exactly (compared in marshalled form
+    upstream; here values are already unmarshalled).
+    """
+
+    service: str
+    role: str
+    args: tuple = ()
+
+    def matches(self, service: str, roles: frozenset[str], args: tuple) -> bool:
+        if service != self.service or self.role not in roles:
+            return False
+        if len(self.args) > len(args):
+            return False
+        return all(
+            want is None or want == got for want, got in zip(self.args, args)
+        )
+
+    def encode(self) -> bytes:
+        parts = [_encode_str(self.service), _encode_str(self.role), struct.pack(">I", len(self.args))]
+        for value in self.args:
+            parts.append(_encode_str("*" if value is None else repr(value)))
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class RoleMembershipCertificate:
+    """Format of fig 4.2: Roles | Args | CRR | Signature, plus context."""
+
+    issuer: str                     # instance of the issuing service
+    rolefile_id: str                # scope (section 2.10)
+    roles: frozenset[str]           # compound certificates carry a set
+    role_bits: int                  # fixed mapping from service config
+    args: tuple                     # unmarshalled argument values
+    args_wire: bytes                # host-independent marshalled arguments
+    client: ClientId                # bound client identifier
+    crr: int                        # credential record reference (8 bytes)
+    issued_at: float
+    expires_at: Optional[float]
+    vci: Optional[VCI] = None       # task binding (section 2.8.1)
+    secret_index: int = 0
+    signature: bytes = b""
+
+    def signed_text(self) -> bytes:
+        """Deterministic bytes covered by the signature (fig 4.1: the
+        certificate text, client id and rolefile are all bound in)."""
+        parts = [
+            b"RMC1",
+            _encode_str(self.issuer),
+            _encode_str(self.rolefile_id),
+            struct.pack(">I", self.role_bits),
+        ]
+        for name in sorted(self.roles):
+            parts.append(_encode_str(name))
+        parts.append(self.args_wire)
+        parts.append(_encode_client(self.client))
+        parts.append(struct.pack(">Q", self.crr))
+        parts.append(struct.pack(">d", self.issued_at))
+        parts.append(struct.pack(">d", -1.0 if self.expires_at is None else self.expires_at))
+        if self.vci is None:
+            parts.append(b"\x00")
+        else:
+            parts.append(b"\x01" + _encode_str(self.vci.host)
+                         + struct.pack(">q", self.vci.number))
+        return b"".join(parts)
+
+    def with_signature(self, secret_index: int, signature: bytes) -> "RoleMembershipCertificate":
+        return replace(self, secret_index=secret_index, signature=signature)
+
+    def names_role(self, role: str) -> bool:
+        return role in self.roles
+
+    def __str__(self) -> str:
+        roles = "+".join(sorted(self.roles))
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.issuer}.{roles}({args}) for {self.client}"
+
+
+@dataclass(frozen=True)
+class DelegationCertificate:
+    """Format of fig 4.3 (left): what a candidate presents to enter a role."""
+
+    issuer: str
+    rolefile_id: str
+    role: str                        # role the candidate may enter
+    role_args: tuple                 # fixed arguments chosen by delegator ( () = any )
+    required_roles: tuple[RoleTemplate, ...]   # candidate must hold all of these
+    delegation_crr: int              # record representing 'not revoked'
+    elector_crr: int                 # record backing the delegator's own role
+    elector_role: str                # role held by the delegator
+    expires_at: Optional[float]      # safety time limit (section 4.4)
+    revoke_on_exit: bool             # revoke if the delegator exits their role
+    elector_args: tuple = ()         # the delegator's role arguments
+    issued_at: float = 0.0
+    secret_index: int = 0
+    signature: bytes = b""
+
+    def signed_text(self) -> bytes:
+        parts = [
+            b"DLG1",
+            _encode_str(self.issuer),
+            _encode_str(self.rolefile_id),
+            _encode_str(self.role),
+            struct.pack(">I", len(self.role_args)),
+        ]
+        for value in self.role_args:
+            parts.append(_encode_str(repr(value)))
+        parts.append(struct.pack(">I", len(self.required_roles)))
+        for template in self.required_roles:
+            parts.append(template.encode())
+        parts.append(struct.pack(">QQ", self.delegation_crr, self.elector_crr))
+        parts.append(_encode_str(self.elector_role))
+        parts.append(struct.pack(">I", len(self.elector_args)))
+        for value in self.elector_args:
+            parts.append(_encode_str(repr(value)))
+        parts.append(struct.pack(">d", -1.0 if self.expires_at is None else self.expires_at))
+        parts.append(b"\x01" if self.revoke_on_exit else b"\x00")
+        parts.append(struct.pack(">d", self.issued_at))
+        return b"".join(parts)
+
+    def with_signature(self, secret_index: int, signature: bytes) -> "DelegationCertificate":
+        return replace(self, secret_index=secret_index, signature=signature)
+
+
+@dataclass(frozen=True)
+class RevocationCertificate:
+    """Format of fig 4.3 (right): the delegator's handle for revoking.
+
+    ``elector_crr`` must still be TRUE for the revocation to be honoured
+    (the revoker must still hold the delegating role); ``target_crr`` is
+    the credential record to invalidate.
+    """
+
+    issuer: str
+    rolefile_id: str
+    elector_crr: int
+    target_crr: int
+    secret_index: int = 0
+    signature: bytes = b""
+
+    def signed_text(self) -> bytes:
+        return (
+            b"RVK1"
+            + _encode_str(self.issuer)
+            + _encode_str(self.rolefile_id)
+            + struct.pack(">QQ", self.elector_crr, self.target_crr)
+        )
+
+    def with_signature(self, secret_index: int, signature: bytes) -> "RevocationCertificate":
+        return replace(self, secret_index=secret_index, signature=signature)
+
+
+def role_bitmask(role_order: list[str], roles: frozenset[str]) -> int:
+    """Compute the bitmask for a compound certificate.
+
+    ``role_order`` is fixed configuration supplied when a service is
+    initialised; the mapping must not change during the service lifetime
+    (section 4.3)."""
+    bits = 0
+    for name in roles:
+        try:
+            bits |= 1 << role_order.index(name)
+        except ValueError:
+            raise KeyError(f"role {name!r} has no configured bit") from None
+    return bits

@@ -1,0 +1,482 @@
+"""Credential records (sections 4.6-4.9, fig 4.7).
+
+A credential record is a small record in a server representing that
+server's *current belief* about some fact ("Fred is logged on", "dm is in
+group staff", "delegation #7 has not been revoked").  Records form a
+directed acyclic graph in which a child's value is a boolean function of
+its parents' values, so a single record can be consulted to confirm an
+arbitrary number of facts — this is what makes validation O(1) regardless
+of delegation depth, unlike capability chaining (fig 4.4 vs 4.5).
+
+Implementation points taken from the paper:
+
+* records live in a table; ``(table index, magic)`` forms an identifier
+  unique over the life of the service, packed into a 64-bit *credential
+  record reference* (CRR) that is embedded in certificates;
+* children are stored as forward links; instead of back-pointers, each
+  record keeps counters of how many parents are effectively true / false /
+  unknown, which is all that is needed to compute its own state;
+* a **Permanent** flag marks records whose state can never change again
+  (e.g. after revocation); permanent records are redundant and garbage
+  collected by a periodic sweep;
+* operators AND, OR, NAND, NOR combine parent values; negation is a
+  distinguished parent->child edge attribute;
+* *external records* are local surrogates for records in another service,
+  kept coherent by ``Modified(CRR, newstate)`` event notification and
+  marked **Unknown** when a heartbeat from that service is missed
+  (fail closed — section 4.9/4.10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import OasisError
+
+
+class RecordState(enum.Enum):
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+
+class RecordOp(enum.Enum):
+    SOURCE = "source"   # no parents; state set explicitly
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+
+
+_MAGIC_BITS = 24
+_MAGIC_MASK = (1 << _MAGIC_BITS) - 1
+
+
+def pack_ref(index: int, magic: int) -> int:
+    """Pack (table index, magic) into the 64-bit CRR wire form."""
+    return (index << _MAGIC_BITS) | (magic & _MAGIC_MASK)
+
+
+def unpack_ref(ref: int) -> tuple[int, int]:
+    return ref >> _MAGIC_BITS, ref & _MAGIC_MASK
+
+
+@dataclass
+class CredentialRecord:
+    """One row of the credential record table (format of fig 4.7)."""
+
+    index: int
+    magic: int
+    op: RecordOp
+    state: RecordState = RecordState.TRUE
+    permanent: bool = False
+    direct_use: bool = False         # a certificate embeds this CRR
+    auto_revoke: bool = False        # revoke when a parent role is exited
+    # children: (child_index, negate_edge)
+    children: list[tuple[int, bool]] = field(default_factory=list)
+    n_parents: int = 0
+    n_true: int = 0                  # effective (after edge negation)
+    n_false: int = 0
+    n_unknown: int = 0
+    n_perm_true: int = 0
+    n_perm_false: int = 0
+    # external-surrogate bookkeeping (section 4.9.1)
+    external_service: Optional[str] = None
+    external_ref: Optional[int] = None
+    # remote services that asked to be notified of changes (Notify flag)
+    subscribers: set[str] = field(default_factory=set)
+
+    @property
+    def ref(self) -> int:
+        return pack_ref(self.index, self.magic)
+
+    @property
+    def is_external(self) -> bool:
+        return self.external_service is not None
+
+    @property
+    def interesting(self) -> bool:
+        """A record is *interesting* if a certificate embeds it, a child
+        depends on it, or a remote service subscribes to it."""
+        return self.direct_use or bool(self.children) or bool(self.subscribers)
+
+    def compute_state(self) -> RecordState:
+        """State implied by the parent counters and the operator."""
+        if self.op is RecordOp.SOURCE:
+            return self.state
+        if self.op in (RecordOp.AND, RecordOp.NAND):
+            if self.n_false > 0:
+                base = RecordState.FALSE
+            elif self.n_unknown > 0:
+                base = RecordState.UNKNOWN
+            else:
+                base = RecordState.TRUE
+            negate = self.op is RecordOp.NAND
+        else:  # OR / NOR
+            if self.n_true > 0:
+                base = RecordState.TRUE
+            elif self.n_unknown > 0:
+                base = RecordState.UNKNOWN
+            else:
+                base = RecordState.FALSE
+            negate = self.op is RecordOp.NOR
+        if negate and base is not RecordState.UNKNOWN:
+            base = RecordState.FALSE if base is RecordState.TRUE else RecordState.TRUE
+        return base
+
+    def compute_permanent(self) -> bool:
+        """Whether the state can never change again.
+
+        Gates are auto-permanent only in the FALSE direction: a gate whose
+        computed state is TRUE can always still be *forced* false by
+        explicit revocation, so marking it permanent-true would wrongly
+        freeze its children against the cascade.  (FALSE is absorbing:
+        ``revoke`` on a permanently-false record is a no-op.)"""
+        if self.op is RecordOp.SOURCE:
+            return self.permanent
+        if self.compute_state() is not RecordState.FALSE:
+            return False
+        if self.op is RecordOp.AND:
+            return self.n_perm_false > 0
+        if self.op is RecordOp.NAND:
+            return self.n_perm_true == self.n_parents
+        if self.op is RecordOp.OR:
+            return self.n_perm_false == self.n_parents
+        return self.n_perm_true > 0  # NOR
+
+
+ChangeCallback = Callable[[CredentialRecord, RecordState, RecordState], None]
+
+
+class CredentialRecordTable:
+    """The per-service credential record store, with change propagation.
+
+    ``on_change`` callbacks (and per-record watches) fire *after* a
+    record's state has settled, in topological (cascade) order, so a
+    service can revoke certificates and emit Modified events to remote
+    subscribers.
+    """
+
+    def __init__(self, service_name: str = "") -> None:
+        self.service_name = service_name
+        self._rows: list[Optional[CredentialRecord]] = []
+        self._free: list[int] = []
+        self._magic: list[int] = []
+        self._watches: dict[int, list[ChangeCallback]] = {}
+        self._global_watch: list[ChangeCallback] = []
+        # (external_service -> set of local indices of its surrogates)
+        self._externals_by_service: dict[str, set[int]] = {}
+        self.records_created = 0
+        self.records_deleted = 0
+        self.propagations = 0
+
+    # -- creation -------------------------------------------------------------
+
+    def create_source(
+        self,
+        state: RecordState = RecordState.TRUE,
+        permanent: bool = False,
+        direct_use: bool = False,
+        auto_revoke: bool = False,
+    ) -> CredentialRecord:
+        """Create a record representing a simple fact."""
+        record = self._alloc(RecordOp.SOURCE)
+        record.state = state
+        record.permanent = permanent
+        record.direct_use = direct_use
+        record.auto_revoke = auto_revoke
+        return record
+
+    def create_gate(
+        self,
+        op: RecordOp,
+        parents: Iterable[tuple[int, bool]],
+        direct_use: bool = False,
+        auto_revoke: bool = False,
+    ) -> CredentialRecord:
+        """Create a record computing ``op`` over ``(parent_ref, negate)`` edges.
+
+        Missing (already-deleted) parents are treated as permanently false
+        facts, which is the fail-closed reading the paper requires.
+        """
+        parent_list = list(parents)
+        if op is RecordOp.SOURCE:
+            raise OasisError("use create_source for source records")
+        record = self._alloc(op)
+        record.direct_use = direct_use
+        record.auto_revoke = auto_revoke
+        for parent_ref, negate in parent_list:
+            parent = self.get(parent_ref)
+            record.n_parents += 1
+            if parent is None:
+                effective = RecordState.FALSE
+                perm = True
+            else:
+                parent.children.append((record.index, negate))
+                effective = _effective(parent.state, negate)
+                perm = parent.permanent
+            _count(record, effective, +1)
+            if perm:
+                if effective is RecordState.TRUE:
+                    record.n_perm_true += 1
+                elif effective is RecordState.FALSE:
+                    record.n_perm_false += 1
+        record.state = record.compute_state()
+        record.permanent = record.compute_permanent()
+        return record
+
+    def create_and(self, parent_refs: Iterable[int], **kwargs) -> CredentialRecord:
+        """Convenience: conjunction over positive edges (fig 4.6)."""
+        return self.create_gate(RecordOp.AND, [(r, False) for r in parent_refs], **kwargs)
+
+    def create_external(self, service: str, remote_ref: int) -> CredentialRecord:
+        """Create (or reuse) the local surrogate for a remote record.
+
+        The caller is responsible for registering interest in
+        ``Modified(remote_ref, *)`` with the remote service and feeding
+        updates in via :meth:`update_external`.
+        """
+        for index in self._externals_by_service.get(service, ()):
+            row = self._rows[index]
+            if row is not None and row.external_ref == remote_ref:
+                return row
+        record = self._alloc(RecordOp.SOURCE)
+        record.external_service = service
+        record.external_ref = remote_ref
+        record.state = RecordState.TRUE
+        self._externals_by_service.setdefault(service, set()).add(record.index)
+        return record
+
+    def _alloc(self, op: RecordOp) -> CredentialRecord:
+        self.records_created += 1
+        if self._free:
+            index = self._free.pop()
+            self._magic[index] += 1
+            record = CredentialRecord(index=index, magic=self._magic[index], op=op)
+            self._rows[index] = record
+        else:
+            index = len(self._rows)
+            self._magic.append(0)
+            record = CredentialRecord(index=index, magic=0, op=op)
+            self._rows.append(record)
+        return record
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, ref: int) -> Optional[CredentialRecord]:
+        """Resolve a CRR; stale magic (deleted/reused row) returns None."""
+        index, magic = unpack_ref(ref)
+        if not 0 <= index < len(self._rows):
+            return None
+        row = self._rows[index]
+        if row is None or row.magic != magic:
+            return None
+        return row
+
+    def state_of(self, ref: int) -> RecordState:
+        """State backing a certificate: a missing record reads as FALSE
+        (a deleted record always represented a permanently-false fact)."""
+        record = self.get(ref)
+        return record.state if record is not None else RecordState.FALSE
+
+    def live_count(self) -> int:
+        return sum(1 for row in self._rows if row is not None)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def set_state(self, ref: int, state: RecordState, permanent: bool = False) -> None:
+        """Set a source record's state (group change, external update...)."""
+        record = self.get(ref)
+        if record is None:
+            return
+        if record.op is not RecordOp.SOURCE:
+            raise OasisError("only source records may be set directly")
+        self._apply(record, state, permanent)
+
+    def revoke(self, ref: int) -> bool:
+        """Force a record permanently FALSE (explicit revocation).
+
+        Works on gates as well as sources: revoking a conjunction record
+        kills every certificate that embeds it, per fig 4.5.  Returns False
+        if the record no longer exists.
+        """
+        record = self.get(ref)
+        if record is None:
+            return False
+        self._force(record, RecordState.FALSE, permanent=True)
+        return True
+
+    def update_external(self, service: str, remote_ref: int, state: RecordState) -> None:
+        """Apply a Modified(CRR, newstate) notification from ``service``."""
+        for index in self._externals_by_service.get(service, ()):
+            row = self._rows[index]
+            if row is not None and row.external_ref == remote_ref:
+                self._apply(row, state, permanent=False)
+
+    def mark_service_unknown(self, service: str) -> int:
+        """Heartbeat from ``service`` missed: all its surrogates -> UNKNOWN."""
+        changed = 0
+        for index in list(self._externals_by_service.get(service, ())):
+            row = self._rows[index]
+            if row is not None and row.state is not RecordState.UNKNOWN and not row.permanent:
+                self._apply(row, RecordState.UNKNOWN, permanent=False)
+                changed += 1
+        return changed
+
+    def externals_of(self, service: str) -> list[CredentialRecord]:
+        out = []
+        for index in self._externals_by_service.get(service, ()):
+            row = self._rows[index]
+            if row is not None:
+                out.append(row)
+        return out
+
+    # -- watches / subscriptions -------------------------------------------------
+
+    def watch(self, ref: int, callback: ChangeCallback) -> None:
+        index, _ = unpack_ref(ref)
+        self._watches.setdefault(index, []).append(callback)
+
+    def watch_all(self, callback: ChangeCallback) -> None:
+        self._global_watch.append(callback)
+
+    def subscribe(self, ref: int, subscriber: str) -> bool:
+        """A remote service asks to be notified of changes (Notify flag)."""
+        record = self.get(ref)
+        if record is None:
+            return False
+        record.subscribers.add(subscriber)
+        return True
+
+    def unsubscribe(self, ref: int, subscriber: str) -> None:
+        record = self.get(ref)
+        if record is not None:
+            record.subscribers.discard(subscriber)
+
+    # -- propagation ---------------------------------------------------------------
+
+    def _apply(self, record: CredentialRecord, state: RecordState, permanent: bool) -> None:
+        if record.permanent:
+            return
+        old = record.state
+        record.permanent = permanent or record.permanent
+        if state is old:
+            if permanent:
+                self._propagate_permanence(record)
+            return
+        record.state = state
+        self._after_change(record, old)
+
+    def _force(self, record: CredentialRecord, state: RecordState, permanent: bool) -> None:
+        """Like _apply but works on gates (used for explicit revocation)."""
+        if record.permanent and record.state is state:
+            return
+        old = record.state
+        record.state = state
+        record.permanent = permanent
+        if old is not state:
+            self._after_change(record, old)
+        elif permanent:
+            self._propagate_permanence(record)
+
+    def _after_change(self, record: CredentialRecord, old: RecordState) -> None:
+        self.propagations += 1
+        # update children counters and recurse
+        for child_index, negate in list(record.children):
+            child = self._rows[child_index]
+            if child is None:
+                continue
+            _count(child, _effective(old, negate), -1)
+            _count(child, _effective(record.state, negate), +1)
+            if record.permanent:
+                if _effective(record.state, negate) is RecordState.TRUE:
+                    child.n_perm_true += 1
+                elif _effective(record.state, negate) is RecordState.FALSE:
+                    child.n_perm_false += 1
+            if not child.permanent:
+                new_state = child.compute_state()
+                new_perm = child.compute_permanent()
+                if new_state is not child.state:
+                    child_old = child.state
+                    child.state = new_state
+                    child.permanent = new_perm
+                    self._after_change(child, child_old)
+                elif new_perm and not child.permanent:
+                    child.permanent = True
+                    self._propagate_permanence(child)
+        self._fire(record, old)
+
+    def _propagate_permanence(self, record: CredentialRecord) -> None:
+        for child_index, negate in list(record.children):
+            child = self._rows[child_index]
+            if child is None or child.permanent:
+                continue
+            if _effective(record.state, negate) is RecordState.TRUE:
+                child.n_perm_true += 1
+            elif _effective(record.state, negate) is RecordState.FALSE:
+                child.n_perm_false += 1
+            if child.compute_permanent():
+                child.permanent = True
+                self._propagate_permanence(child)
+
+    def _fire(self, record: CredentialRecord, old: RecordState) -> None:
+        for callback in self._watches.get(record.index, []):
+            callback(record, old, record.state)
+        for callback in self._global_watch:
+            callback(record, old, record.state)
+
+    # -- garbage collection (section 4.8) -------------------------------------------
+
+    def sweep(self) -> int:
+        """Periodic sweep: unlink edges from permanent parents, then delete
+        permanent or uninteresting records whose absence cannot change any
+        validation outcome.  Returns the number of records deleted."""
+        # 1. unlink parent->child edges where the parent is permanent:
+        #    the child's permanence counters already account for them.
+        for row in self._rows:
+            if row is not None and row.permanent and row.children:
+                row.children.clear()
+        # 2. delete candidates.  A permanently-FALSE record may always go
+        #    (a missing record reads as FALSE); a permanently-TRUE record
+        #    may only go once nothing refers to it.
+        deleted = 0
+        for index, row in enumerate(self._rows):
+            if row is None:
+                continue
+            if not row.permanent:
+                continue
+            if row.subscribers or row.children:
+                continue
+            if row.state is RecordState.TRUE and row.direct_use:
+                continue
+            self._delete(index)
+            deleted += 1
+        return deleted
+
+    def _delete(self, index: int) -> None:
+        row = self._rows[index]
+        if row is None:
+            return
+        if row.external_service is not None:
+            self._externals_by_service.get(row.external_service, set()).discard(index)
+        self._rows[index] = None
+        self._free.append(index)
+        self._watches.pop(index, None)
+        self.records_deleted += 1
+
+
+def _effective(state: RecordState, negate: bool) -> RecordState:
+    if not negate or state is RecordState.UNKNOWN:
+        return state
+    return RecordState.FALSE if state is RecordState.TRUE else RecordState.TRUE
+
+
+def _count(record: CredentialRecord, state: RecordState, delta: int) -> None:
+    if state is RecordState.TRUE:
+        record.n_true += delta
+    elif state is RecordState.FALSE:
+        record.n_false += delta
+    else:
+        record.n_unknown += delta

@@ -1,0 +1,436 @@
+"""The role-entry engine: applying RDL statements to a request.
+
+Implements the precedence algorithm of section 3.2.2 / fig 3.2:
+
+    For each request, a list of role memberships is created, initially
+    containing the roles the requesting client already holds.  Each
+    statement in the rolefile is applied in turn, and if a membership
+    results, it is appended to the tail of the list.  When applying each
+    statement, any of the memberships in the list may be used as a
+    credential, and the first suitable one found will be used.
+    Ultimately, all but the requested membership is discarded.
+
+Intermediate roles are therefore entered automatically — "without the
+need to modify each client application" — and only the final membership
+is certified.
+
+The engine also computes the *dependency set* of the resulting membership:
+one entry per membership rule (starred condition), per section 4.7.  The
+service converts these into credential-record parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.certificates import DelegationCertificate, RoleMembershipCertificate
+from repro.core.rdl.ast import (
+    EntryStatement,
+    FuncCall,
+    Literal,
+    RoleRef,
+    Rolefile,
+    Term,
+    Variable,
+)
+from repro.core.rdl.constraints import (
+    ConstraintContext,
+    FuncDep,
+    GroupDep,
+    UnboundVariable,
+    eval_constraint,
+    eval_term,
+)
+from repro.core.rdl.typecheck import coerce_literal
+from repro.core.types import RdlType
+from repro.errors import EntryDenied, RDLError
+
+
+# ------------------------------------------------------------- dependencies
+
+
+@dataclass(frozen=True)
+class CertDep:
+    """Validity of a certificate (or intermediate membership) must persist.
+    ``service`` identifies the issuer; ``crr`` the backing record."""
+
+    service: str
+    crr: int
+
+
+@dataclass(frozen=True)
+class DelegationDep:
+    """The delegation must not be revoked (the ``<|*`` star)."""
+
+    crr: int
+
+
+@dataclass(frozen=True)
+class RevokerDep:
+    """Role-based revocation (``|>``): the service must create a
+    revocation record for this role instance and index it by the revoker
+    role (fig 4.9)."""
+
+    role: str
+    args: tuple
+    revoker_role: str
+
+
+Dep = Any  # CertDep | DelegationDep | RevokerDep | GroupDep | FuncDep
+
+
+@dataclass
+class Membership:
+    """A role membership held during evaluation.
+
+    The initial entries wrap supplied (already validated) certificates;
+    entries appended by statement application are intermediate or final
+    memberships of the local service."""
+
+    service: str
+    roles: frozenset[str]
+    args: tuple
+    deps: tuple = ()
+    cert: Optional[RoleMembershipCertificate] = None
+
+    @classmethod
+    def from_certificate(cls, cert: RoleMembershipCertificate) -> "Membership":
+        return cls(
+            service=cert.issuer,
+            roles=cert.roles,
+            args=cert.args,
+            deps=(CertDep(cert.issuer, cert.crr),),
+            cert=cert,
+        )
+
+    def __str__(self) -> str:
+        roles = "+".join(sorted(self.roles))
+        return f"{self.service}.{roles}{self.args!r}"
+
+
+@dataclass
+class EntryResult:
+    """Outcome of evaluating a role-entry request."""
+
+    membership: Membership
+    statement: EntryStatement
+    all_memberships: list[Membership]
+    applied: list[EntryStatement]
+
+
+# signature lookup: (service or None for local, role) -> arg types or None
+SignatureLookup = Callable[[Optional[str], str], Optional[list[RdlType]]]
+
+
+class RoleEntryEngine:
+    """Evaluates role-entry requests against one rolefile."""
+
+    def __init__(
+        self,
+        rolefile: Rolefile,
+        service_name: str,
+        signatures: SignatureLookup,
+        group_lookup: Optional[Callable[[Any, str], bool]] = None,
+        functions: Optional[dict[str, Callable[..., Any]]] = None,
+        watchable: Optional[dict[str, Callable[..., tuple[Any, Any]]]] = None,
+        object_parser: Optional[Callable[[str, str], Any]] = None,
+    ):
+        self.rolefile = rolefile
+        self.service_name = service_name
+        self.signatures = signatures
+        self.group_lookup = group_lookup
+        self.functions = functions or {}
+        self.watchable = watchable or {}
+        self.object_parser = object_parser
+
+    # -- public -----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        requested_role: str,
+        requested_args: Optional[tuple] = None,
+        credentials: Optional[list[Membership]] = None,
+        delegation: Optional[DelegationCertificate] = None,
+    ) -> EntryResult:
+        """Apply every statement in order and return the first membership
+        matching the request, or raise :class:`EntryDenied`."""
+        if requested_args is not None:
+            requested_args = self._coerce_request(requested_role, requested_args)
+        memberships: list[Membership] = list(credentials or [])
+        applied: list[EntryStatement] = []
+        for stmt in self.rolefile.statements:
+            produced = self._try_apply(
+                stmt, memberships, requested_role, requested_args, delegation
+            )
+            if produced is not None:
+                memberships.append(produced)
+                applied.append(stmt)
+        for membership in memberships:
+            if membership.service != self.service_name:
+                continue
+            if requested_role not in membership.roles:
+                continue
+            if requested_args is not None and not _args_match(requested_args, membership.args):
+                continue
+            return EntryResult(membership, _statement_of(applied, membership, self.rolefile),
+                               memberships, applied)
+        raise EntryDenied(
+            f"no statement grants {requested_role!r} "
+            f"{'' if requested_args is None else requested_args} "
+            f"to the supplied credentials"
+        )
+
+    def _coerce_request(self, role: str, args: tuple) -> tuple:
+        """Coerce request argument literals to the role's signature types
+        (e.g. a userid string becomes the service's ObjectRef)."""
+        sig = self.signatures(None, role)
+        if sig is None:
+            return args
+        coerced = []
+        for i, value in enumerate(args):
+            if value is not None and i < len(sig):
+                value = coerce_literal(value, sig[i])
+            coerced.append(value)
+        return tuple(coerced)
+
+    # -- statement application ---------------------------------------------------
+
+    def _try_apply(
+        self,
+        stmt: EntryStatement,
+        memberships: list[Membership],
+        requested_role: str,
+        requested_args: Optional[tuple],
+        delegation: Optional[DelegationCertificate],
+    ) -> Optional[Membership]:
+        env: dict[str, Any] = {}
+        deps: list[Dep] = []
+
+        # Pre-bind head variables from the request so statements such as
+        # ``Login(0, u) <-`` (no conditions) can be satisfied, and so an
+        # explicit parameter request selects the right rule.
+        if stmt.head.name == requested_role and requested_args is not None:
+            if not self._prebind_head(stmt.head, requested_args, env):
+                return None
+
+        # Election-form statements only apply when a matching delegation
+        # certificate is supplied (section 3.2.2, election form).
+        if stmt.is_election:
+            if delegation is None:
+                return None
+            if not self._delegation_matches(stmt, delegation, memberships, env, deps):
+                return None
+
+        # Match candidate conditions against held memberships.  Matching
+        # proceeds in list order ("the first suitable one found will be
+        # used") but backtracks when a later condition or the constraint
+        # cannot be satisfied — required for quorum policies such as the
+        # golf club's two-distinct-recommenders rule (sec 3.4.5, e1 != e2).
+        solution = self._solve_conditions(stmt, memberships, env)
+        if solution is None:
+            return None
+        env, condition_deps = solution
+        deps.extend(condition_deps)
+
+        # Head arguments must now all be bound
+        head_args = []
+        head_sig = self.signatures(None, stmt.head.name)
+        for i, term in enumerate(stmt.head.args):
+            try:
+                value = self._term_value(term, env)
+            except UnboundVariable:
+                return None
+            if head_sig is not None and i < len(head_sig):
+                value = coerce_literal(value, head_sig[i])
+            head_args.append(value)
+
+        if stmt.revoker is not None:
+            deps.append(RevokerDep(stmt.head.name, tuple(head_args), stmt.revoker.name))
+
+        return Membership(
+            service=self.service_name,
+            roles=frozenset([stmt.head.name]),
+            args=tuple(head_args),
+            deps=tuple(deps),
+        )
+
+    def _prebind_head(self, head: RoleRef, requested_args: tuple, env: dict) -> bool:
+        if len(requested_args) != len(head.args):
+            return False
+        sig = self.signatures(None, head.name)
+        for i, (term, wanted) in enumerate(zip(head.args, requested_args)):
+            if wanted is None:
+                continue
+            if sig is not None and i < len(sig):
+                wanted = coerce_literal(wanted, sig[i])
+            if isinstance(term, Literal):
+                value = term.value
+                if sig is not None and i < len(sig):
+                    value = coerce_literal(value, sig[i])
+                if value != wanted:
+                    return False
+            elif isinstance(term, Variable):
+                if term.name in env and env[term.name] != wanted:
+                    return False
+                env[term.name] = wanted
+        return True
+
+    def _delegation_matches(
+        self,
+        stmt: EntryStatement,
+        delegation: DelegationCertificate,
+        memberships: list[Membership],
+        env: dict,
+        deps: list[Dep],
+    ) -> bool:
+        assert stmt.elector is not None
+        if delegation.role != stmt.head.name:
+            return False
+        if delegation.elector_role != stmt.elector.name:
+            return False
+        # the delegator may fix head arguments in the certificate
+        if delegation.role_args:
+            if not self._prebind_head(stmt.head, delegation.role_args, env):
+                return False
+        # unify the elector reference's arguments with the delegator's;
+        # an argument-less elector reference matches any instance
+        if stmt.elector.args:
+            elector_sig = self.signatures(stmt.elector.service, stmt.elector.name)
+            if not _unify_args(stmt.elector.args, delegation.elector_args, env, elector_sig):
+                return False
+        # the delegator's extra "required roles" must be held by the candidate
+        for template in delegation.required_roles:
+            if not any(
+                template.matches(m.service, m.roles, m.args) for m in memberships
+            ):
+                return False
+        if stmt.delegation_starred:
+            deps.append(DelegationDep(delegation.delegation_crr))
+        if stmt.elector.starred:
+            deps.append(CertDep(self.service_name, delegation.elector_crr))
+        return True
+
+    def _solve_conditions(
+        self,
+        stmt: EntryStatement,
+        memberships: list[Membership],
+        env: dict,
+    ) -> Optional[tuple[dict, list[Dep]]]:
+        """Depth-first search over condition matches: each condition tries
+        memberships in list order; on failure of a later condition or the
+        constraint, earlier choices are revisited."""
+        conditions = stmt.conditions
+
+        def check_constraint(bound_env: dict) -> Optional[tuple[dict, list[Dep]]]:
+            if stmt.constraint is None:
+                return bound_env, []
+            ctx = ConstraintContext(
+                env=bound_env,
+                group_lookup=self.group_lookup,
+                functions=self.functions,
+                watchable=self.watchable,
+                object_parser=self.object_parser,
+            )
+            try:
+                if not eval_constraint(stmt.constraint, ctx):
+                    return None
+            except UnboundVariable:
+                return None
+            return ctx.env, list(ctx.deps)
+
+        def search(index: int, bound_env: dict, deps: list[Dep]) -> Optional[tuple[dict, list[Dep]]]:
+            if index == len(conditions):
+                result = check_constraint(dict(bound_env))
+                if result is None:
+                    return None
+                final_env, constraint_deps = result
+                return final_env, deps + constraint_deps
+            ref = conditions[index]
+            target_service = ref.service or self.service_name
+            sig = self.signatures(ref.service, ref.name)
+            for membership in memberships:
+                if membership.service != target_service:
+                    continue
+                if ref.name not in membership.roles:
+                    continue
+                if len(ref.args) != len(membership.args):
+                    continue
+                trial = dict(bound_env)
+                if not _unify_args(ref.args, membership.args, trial, sig):
+                    continue
+                next_deps = deps + (list(_validity_deps(membership)) if ref.starred else [])
+                result = search(index + 1, trial, next_deps)
+                if result is not None:
+                    return result
+            return None
+
+        return search(0, dict(env), [])
+
+    def _term_value(self, term: Term, env: dict) -> Any:
+        ctx = ConstraintContext(
+            env=env,
+            functions=self.functions,
+            watchable=self.watchable,
+            object_parser=self.object_parser,
+        )
+        return eval_term(term, ctx)
+
+
+def _unify_args(
+    terms: tuple[Term, ...],
+    values: tuple,
+    env: dict,
+    sig: Optional[list[RdlType]],
+) -> bool:
+    """Unify reference argument terms against concrete values, updating env."""
+    if len(terms) != len(values):
+        return False
+    for i, (term, value) in enumerate(zip(terms, values)):
+        if isinstance(term, Literal):
+            literal = term.value
+            if sig is not None and i < len(sig):
+                try:
+                    literal = coerce_literal(literal, sig[i])
+                except RDLError:
+                    return False
+            if literal != value:
+                return False
+        elif isinstance(term, Variable):
+            if term.name in env:
+                if env[term.name] != value:
+                    return False
+            else:
+                env[term.name] = value
+        elif isinstance(term, FuncCall):
+            return False  # function calls are not patterns
+    return True
+
+
+def _args_match(requested: tuple, actual: tuple) -> bool:
+    """Requested arguments match, with None as a wild card."""
+    if len(requested) != len(actual):
+        return False
+    return all(want is None or want == got for want, got in zip(requested, actual))
+
+
+def _validity_deps(membership: Membership) -> tuple:
+    """Dependencies asserting a matched membership stays valid.
+
+    For a certificate-backed membership this is its CRR; for an
+    intermediate membership it is the union of its own dependencies (no
+    certificate is ever issued for an intermediate role)."""
+    return membership.deps
+
+
+def _statement_of(
+    applied: list[EntryStatement], membership: Membership, rolefile: Rolefile
+) -> EntryStatement:
+    for stmt in applied:
+        if stmt.head.name in membership.roles:
+            return stmt
+    # the request was satisfied by an already-held membership
+    for stmt in rolefile.statements:
+        if stmt.head.name in membership.roles:
+            return stmt
+    raise EntryDenied("membership does not correspond to any statement")

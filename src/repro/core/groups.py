@@ -1,0 +1,100 @@
+"""Group membership with credential-record backing (section 4.8.1).
+
+Credential records for group membership have no ancestral dependencies,
+so the service does not materialise a record per possible membership.
+Instead a hash table of *interesting* credentials is kept, indexed by
+``(principal, group)`` — a credential is interesting once someone has
+asked to depend on it (it has child records or an external subscriber).
+
+When membership changes, the corresponding record (if any) flips, and the
+change cascades through the credential-record graph — this is how
+"dm was removed from group staff" revokes a conference membership two
+services away (section 3.2.3 example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from repro.core.credentials import CredentialRecordTable, CredentialRecord, RecordState
+
+
+def _key(principal: Any) -> Hashable:
+    """Principals may be ObjectRefs, strings, ints... make them hashable."""
+    try:
+        hash(principal)
+        return principal
+    except TypeError:
+        return repr(principal)
+
+
+class GroupService:
+    """A membership database whose facts are watchable credentials.
+
+    Can be embedded in an Oasis service (sharing its credential table) or
+    stood up as a separate service reached through external records.
+    """
+
+    def __init__(self, name: str = "Groups", table: Optional[CredentialRecordTable] = None):
+        self.name = name
+        self.credentials = table if table is not None else CredentialRecordTable(name)
+        self._members: dict[str, set[Hashable]] = {}
+        # interesting credentials: (principal, group) -> record index ref
+        self._interesting: dict[tuple[Hashable, str], int] = {}
+        self.lookups = 0
+
+    # -- administration ----------------------------------------------------------
+
+    def create_group(self, group: str, members: Optional[set] = None) -> None:
+        self._members.setdefault(group, set())
+        for member in members or set():
+            self.add_member(group, member)
+
+    def groups(self) -> list[str]:
+        return sorted(self._members)
+
+    def members(self, group: str) -> set:
+        return set(self._members.get(group, set()))
+
+    def add_member(self, group: str, principal: Any) -> None:
+        key = _key(principal)
+        self._members.setdefault(group, set()).add(key)
+        ref = self._interesting.get((key, group))
+        if ref is not None:
+            self.credentials.set_state(ref, RecordState.TRUE)
+
+    def remove_member(self, group: str, principal: Any) -> None:
+        key = _key(principal)
+        self._members.setdefault(group, set()).discard(key)
+        ref = self._interesting.get((key, group))
+        if ref is not None:
+            self.credentials.set_state(ref, RecordState.FALSE)
+
+    # -- queries -------------------------------------------------------------------
+
+    def is_member(self, principal: Any, group: str) -> bool:
+        self.lookups += 1
+        return _key(principal) in self._members.get(group, set())
+
+    def membership_record(self, principal: Any, group: str) -> CredentialRecord:
+        """Return the credential record for this membership, creating it
+        on first interest (lazy materialisation, section 4.8.1).
+
+        The returned record is TRUE/FALSE according to current membership
+        and will track future changes."""
+        key = _key(principal)
+        ref = self._interesting.get((key, group))
+        if ref is not None:
+            record = self.credentials.get(ref)
+            if record is not None:
+                return record
+        state = RecordState.TRUE if self.is_member(principal, group) else RecordState.FALSE
+        record = self.credentials.create_source(state=state)
+        self._interesting[(key, group)] = record.ref
+        return record
+
+    def interesting_count(self) -> int:
+        """How many membership credentials have been materialised."""
+        return sum(
+            1 for ref in self._interesting.values() if self.credentials.get(ref) is not None
+        )

@@ -1,0 +1,143 @@
+"""Low-level client naming (sections 2.7-2.8).
+
+A client identifier is the tuple ``(host, id, boot_time)``: *host* is the
+machine the client executes on, *id* is chosen by that machine's operating
+system, and *boot_time* keeps identifiers unique for all time.
+
+Hosts supporting multiple protection domains provide *virtual client
+identifiers* (VCIs, section 2.8.1): names a domain uses when performing a
+particular task.  Credentials are bound to a VCI, and a domain may only use
+a VCI that it owns or that was explicitly delegated to it — so a parent can
+pass selected credentials to a child by passing selected VCIs, and a child
+cannot use credentials "stolen" from its parent's other VCIs.
+
+:class:`HostOS` simulates the per-host operating-system support.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import OasisError
+
+
+@dataclass(frozen=True, order=True)
+class ClientId:
+    """The unique low-level identifier of an Oasis client."""
+
+    host: str
+    id: int
+    boot_time: int
+
+    def __str__(self) -> str:
+        return f"{self.host}/{self.id}@{self.boot_time}"
+
+
+@dataclass(frozen=True)
+class VCI:
+    """A virtual client identifier, meaningless outside its host."""
+
+    host: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"vci:{self.host}/{self.number}"
+
+
+class ProtectionDomain:
+    """The smallest unit of naming for an Oasis client (a process).
+
+    Domains hold a set of VCIs they may use.  Creating a sub-domain with a
+    subset of VCIs implements the credential hand-off of section 2.8.1.
+    """
+
+    def __init__(self, host: "HostOS", client_id: ClientId):
+        self._host = host
+        self.client_id = client_id
+        self._vcis: set[VCI] = set()
+        self.alive = True
+
+    @property
+    def vcis(self) -> frozenset[VCI]:
+        return frozenset(self._vcis)
+
+    def may_use(self, vci: VCI) -> bool:
+        """True if this domain is entitled to name itself with ``vci``."""
+        return self.alive and vci in self._vcis
+
+    def new_vci(self) -> VCI:
+        """Create a fresh VCI owned by this domain."""
+        if not self.alive:
+            raise OasisError("domain has exited")
+        vci = self._host._allocate_vci()
+        self._vcis.add(vci)
+        return vci
+
+    def delegate_vci(self, vci: VCI, to: "ProtectionDomain") -> None:
+        """Explicitly allow another domain on the same host to use ``vci``."""
+        if not self.may_use(vci):
+            raise OasisError(f"domain does not hold {vci}")
+        if to._host is not self._host:
+            raise OasisError("VCIs are meaningless outside their host")
+        to._vcis.add(vci)
+
+    def fork(self, pass_vcis: Optional[set[VCI]] = None) -> "ProtectionDomain":
+        """Create a child domain, passing on only the selected VCIs.
+
+        This is the login-process pattern from the paper: create a VCI per
+        user task, acquire credentials against it, then fork a process that
+        receives only the relevant VCI.
+        """
+        if not self.alive:
+            raise OasisError("domain has exited")
+        child = self._host.create_domain()
+        for vci in pass_vcis or set():
+            self.delegate_vci(vci, child)
+        return child
+
+    def exit(self) -> None:
+        """The process terminates; its VCIs become unusable by it."""
+        self.alive = False
+        self._vcis.clear()
+
+
+class HostOS:
+    """Simulated per-host OS support for client identifiers and VCIs.
+
+    ``boot()`` increments the boot time, invalidating identifiers from the
+    previous incarnation (they can never be re-issued because ``boot_time``
+    is part of the identifier).
+    """
+
+    def __init__(self, name: str, boot_time: int = 1):
+        self.name = name
+        self.boot_time = boot_time
+        self._next_id = itertools.count(1)
+        self._next_vci = itertools.count(1)
+        self._domains: list[ProtectionDomain] = []
+
+    def create_domain(self) -> ProtectionDomain:
+        """Spawn a new protection domain (process) on this host."""
+        client_id = ClientId(self.name, next(self._next_id), self.boot_time)
+        domain = ProtectionDomain(self, client_id)
+        self._domains.append(domain)
+        return domain
+
+    def boot(self) -> None:
+        """Reboot: all existing domains die; new ids get a new boot_time."""
+        for domain in self._domains:
+            domain.exit()
+        self._domains.clear()
+        self.boot_time += 1
+        self._next_id = itertools.count(1)
+        self._next_vci = itertools.count(1)
+
+    def _allocate_vci(self) -> VCI:
+        return VCI(self.name, next(self._next_vci))
+
+    def authenticate(self, domain: ProtectionDomain, claimed: ClientId) -> bool:
+        """The host-level authentication check: is ``claimed`` really the
+        identifier of ``domain``?  (Section 4.2, condition 1.)"""
+        return domain.alive and domain.client_id == claimed

@@ -1,0 +1,184 @@
+"""Cross-service credential coherence (sections 4.9-4.10).
+
+When a certificate issued by one service is used as a credential at
+another, the consuming service creates a local *external record* and
+registers interest in ``Modified(CRR, newstate)`` events at the issuer.
+The linkage layer routes those events.
+
+Two implementations:
+
+* :class:`LocalLinkage` — synchronous, in-process delivery.  Used by unit
+  tests and single-machine deployments; semantically the zero-delay limit.
+* :class:`SimLinkage` — delivery over the simulated network, with per-link
+  delay and optional heartbeat monitoring.  A missed heartbeat marks every
+  surrogate of the silent service Unknown (fail closed), exactly as
+  section 4.10 prescribes; on reconnection the true states are re-read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.credentials import RecordState
+from repro.errors import OasisError
+from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender
+from repro.runtime.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.service import OasisService
+
+
+class Linkage:
+    """Interface between a service's credential table and the world."""
+
+    def attach(self, service: "OasisService") -> None:
+        raise NotImplementedError
+
+    def subscribe(self, subscriber: "OasisService", issuer_name: str, remote_ref: int) -> RecordState:
+        """Register interest in a remote record; returns its current state."""
+        raise NotImplementedError
+
+    def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
+        """Deliver a Modified(CRR, newstate) event to each subscriber."""
+        raise NotImplementedError
+
+
+class LocalLinkage(Linkage):
+    """Immediate, reliable delivery between co-located services."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, "OasisService"] = {}
+        self.notifications = 0
+
+    def attach(self, service: "OasisService") -> None:
+        self._services[service.name] = service
+
+    def subscribe(self, subscriber: "OasisService", issuer_name: str, remote_ref: int) -> RecordState:
+        issuer = self._services.get(issuer_name)
+        if issuer is None:
+            raise OasisError(f"no linked service {issuer_name!r}")
+        if not issuer.credentials.subscribe(remote_ref, subscriber.name):
+            return RecordState.FALSE
+        return issuer.credentials.state_of(remote_ref)
+
+    def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
+        for name in subscribers:
+            target = self._services.get(name)
+            if target is not None:
+                self.notifications += 1
+                target.credentials.update_external(issuer.name, ref, state)
+
+
+class SimLinkage(Linkage):
+    """Delivery over the simulated network.
+
+    Each attached service gets a network node ``oasis:<name>``.  Modified
+    events travel as network messages and arrive after link delay; optional
+    heartbeat pairs (created with :meth:`monitor`) drive Unknown marking.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._services: dict[str, "OasisService"] = {}
+        self._monitors: dict[tuple[str, str], HeartbeatMonitor] = {}
+        self._senders: dict[tuple[str, str], HeartbeatSender] = {}
+        self.notifications = 0
+
+    @staticmethod
+    def address_of(name: str) -> str:
+        return f"oasis:{name}"
+
+    def attach(self, service: "OasisService") -> None:
+        self._services[service.name] = service
+        self.network.add_node(self.address_of(service.name), self._make_handler(service))
+
+    def _make_handler(self, service: "OasisService"):
+        def handler(message):
+            if message.kind == "modified":
+                body = message.payload
+                self.notifications += 1
+                service.credentials.update_external(body["issuer"], body["ref"], RecordState(body["state"]))
+            elif message.kind == "subscribe":
+                body = message.payload
+                service.credentials.subscribe(body["ref"], body["subscriber"])
+                state = service.credentials.state_of(body["ref"])
+                self.network.send(
+                    self.address_of(service.name),
+                    message.source,
+                    "modified",
+                    {"issuer": service.name, "ref": body["ref"], "state": state.value},
+                )
+            elif message.kind in ("heartbeat", "heartbeat-payload"):
+                monitor = self._monitors.get((message.source, self.address_of(service.name)))
+                if monitor is not None:
+                    monitor.handle_message(message.kind, message.payload)
+            elif message.kind == "heartbeat-ack":
+                sender = self._senders.get((self.address_of(service.name), message.source))
+                if sender is not None:
+                    sender.handle_ack(message.payload["ack"])
+            elif message.kind == "heartbeat-nack":
+                sender = self._senders.get((self.address_of(service.name), message.source))
+                if sender is not None:
+                    sender.handle_nack(message.payload["missing"])
+
+        return handler
+
+    def subscribe(self, subscriber: "OasisService", issuer_name: str, remote_ref: int) -> RecordState:
+        # Subscription is asynchronous on the real network; the surrogate
+        # starts Unknown and is resolved by the issuer's state reply.
+        self.network.send(
+            self.address_of(subscriber.name),
+            self.address_of(issuer_name),
+            "subscribe",
+            {"ref": remote_ref, "subscriber": subscriber.name},
+        )
+        return RecordState.UNKNOWN
+
+    def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
+        for name in subscribers:
+            if name not in self._services:
+                continue
+            self.notifications += 1
+            self.network.send(
+                self.address_of(issuer.name),
+                self.address_of(name),
+                "modified",
+                {"issuer": issuer.name, "ref": ref, "state": state.value},
+            )
+
+    def monitor(
+        self,
+        issuer: "OasisService",
+        subscriber: "OasisService",
+        period: float,
+        grace: float = 2.0,
+    ) -> tuple[HeartbeatSender, HeartbeatMonitor]:
+        """Create a heartbeat pair so ``subscriber`` detects ``issuer``
+        silence and fails closed, then re-reads state on restore."""
+        issuer_addr = self.address_of(issuer.name)
+        subscriber_addr = self.address_of(subscriber.name)
+
+        def on_suspect():
+            subscriber.credentials.mark_service_unknown(issuer.name)
+
+        def on_restore():
+            # re-read every surrogate's true state from the issuer
+            for record in subscriber.credentials.externals_of(issuer.name):
+                assert record.external_ref is not None
+                state = issuer.credentials.state_of(record.external_ref)
+                subscriber.credentials.update_external(issuer.name, record.external_ref, state)
+
+        sender = HeartbeatSender(self.network, issuer_addr, subscriber_addr, period)
+        monitor = HeartbeatMonitor(
+            self.network,
+            subscriber_addr,
+            issuer_addr,
+            period,
+            grace=grace,
+            on_suspect=on_suspect,
+            on_restore=on_restore,
+        )
+        self._senders[(issuer_addr, subscriber_addr)] = sender
+        self._monitors[(issuer_addr, subscriber_addr)] = monitor
+        sender.start()
+        return sender, monitor

@@ -1,0 +1,69 @@
+"""RDL — the Role Definition Language of chapter 3.
+
+Concrete syntax (ASCII rendering of the dissertation's notation):
+
+.. code-block:: text
+
+    # comments run to end of line
+    import Login.userid                  # import an object type
+
+    def Member(u)  u: userid             # role declaration (often inferable)
+
+    Chair     <- Login.LoggedOn("jmb", h)
+    Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+    Member(p) <- Person(p) |> Chair      # role-based revocation (sec 3.3.2)
+
+Mapping to the dissertation's symbols:
+
+=============  ==========  ===========================================
+Dissertation   Here        Meaning
+=============  ==========  ===========================================
+``<-``         ``<-``      role entry ("is granted on")
+``/\\``        ``&``       conjunction of candidate credentials
+``<|``         ``<|``      election by a third party
+``<|*``        ``<|*``     ... whose continued consent is a membership
+                           rule (revoking the delegation revokes entry)
+``|>``         ``|>``      role-based revocation right (section 3.3.2)
+``*``          ``*``       marks an entry condition as a membership rule
+=============  ==========  ===========================================
+
+Variables are bare identifiers; literals are quoted strings, integers or
+``{rwx}`` set literals.  Constraints follow the ``:`` and support
+comparisons, ``in`` group tests, boolean connectives, server-specific
+functions (section 3.3.1) and ``=`` bindings such as
+``r = unixacl("...", u)`` (section 3.3.3).
+"""
+
+from repro.core.rdl.ast import (
+    Comparison,
+    EntryStatement,
+    FuncCall,
+    GroupTest,
+    ImportStmt,
+    Literal,
+    LogicOp,
+    NotOp,
+    RoleDecl,
+    RoleRef,
+    Rolefile,
+    Variable,
+)
+from repro.core.rdl.parser import parse_rolefile
+from repro.core.rdl.typecheck import TypeChecker
+
+__all__ = [
+    "parse_rolefile",
+    "Rolefile",
+    "EntryStatement",
+    "RoleRef",
+    "RoleDecl",
+    "ImportStmt",
+    "Variable",
+    "Literal",
+    "FuncCall",
+    "Comparison",
+    "GroupTest",
+    "LogicOp",
+    "NotOp",
+    "TypeChecker",
+]

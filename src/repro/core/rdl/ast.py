@@ -1,0 +1,272 @@
+"""Abstract syntax for RDL rolefiles (chapter 3).
+
+Each role entry statement is, per section 3.2.2, an axiom in a proof
+system: the right-hand side conditions are premises, the head is the
+conclusion, and starred premises are *membership rules* whose negation
+revokes the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+# ---------------------------------------------------------------- terms
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A role/constraint variable, bound during statement application."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A source literal: int, string or rights-set.
+
+    ``type_name`` is filled in by type checking when the literal must be
+    parsed as a service object type (e.g. a userid)."""
+
+    value: Any
+    type_name: Optional[str] = None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, frozenset):
+            return "{" + "".join(sorted(self.value)) + "}"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A (possibly server-specific) function applied to terms (sec 3.3.1)."""
+
+    name: str
+    args: tuple["Term", ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+Term = Union[Variable, Literal, FuncCall]
+
+
+# ------------------------------------------------------------ constraints
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where op is one of == != < <= > >= =.
+
+    ``=`` is binding-or-equality: if the left side is an unbound variable
+    it is bound to the right-hand value (used by the ACL embedding of
+    section 3.3.3: ``r = unixacl("...", u)``)."""
+
+    op: str
+    left: Term
+    right: Term
+    starred: bool = False
+
+    def __str__(self) -> str:
+        star = "*" if self.starred else ""
+        return f"{self.left} {self.op} {self.right}{star}"
+
+
+@dataclass(frozen=True)
+class GroupTest:
+    """``term in group`` — membership of a named group (sec 3.2.3).
+
+    Starred group tests become membership rules backed by the group
+    service's credential records."""
+
+    term: Term
+    group: str
+    starred: bool = False
+
+    def __str__(self) -> str:
+        star = "*" if self.starred else ""
+        return f"{self.term} in {self.group}{star}"
+
+
+@dataclass(frozen=True)
+class BoolFunc:
+    """A function call used directly as a boolean constraint."""
+
+    call: FuncCall
+    starred: bool = False
+
+    def __str__(self) -> str:
+        return str(self.call) + ("*" if self.starred else "")
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "Constraint"
+    starred: bool = False
+
+    def __str__(self) -> str:
+        return f"not {self.operand}" + ("*" if self.starred else "")
+
+
+@dataclass(frozen=True)
+class LogicOp:
+    """``and`` / ``or`` over sub-constraints."""
+
+    op: str                      # "and" | "or"
+    operands: tuple["Constraint", ...]
+    starred: bool = False
+
+    def __str__(self) -> str:
+        inner = f" {self.op} ".join(f"({o})" for o in self.operands)
+        return inner + ("*" if self.starred else "")
+
+
+Constraint = Union[Comparison, GroupTest, BoolFunc, NotOp, LogicOp]
+
+
+# ------------------------------------------------------------- statements
+
+
+@dataclass(frozen=True)
+class RoleRef:
+    """A reference to a role: ``[Service.]Name(arg, ...)`` with optional
+    ``*`` marking it a membership rule.
+
+    ``service`` of None means a role of the defining service itself."""
+
+    service: Optional[str]
+    name: str
+    args: tuple[Term, ...] = ()
+    starred: bool = False
+
+    def __str__(self) -> str:
+        prefix = f"{self.service}." if self.service else ""
+        args = ", ".join(map(str, self.args))
+        star = "*" if self.starred else ""
+        return f"{prefix}{self.name}({args}){star}"
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.service}.{self.name}" if self.service else self.name
+
+
+@dataclass(frozen=True)
+class EntryStatement:
+    """One role entry statement (standard or election form, sec 3.2.2,
+    optionally with the role-based revocation clause of sec 3.3.2)."""
+
+    head: RoleRef
+    conditions: tuple[RoleRef, ...] = ()
+    elector: Optional[RoleRef] = None
+    delegation_starred: bool = False     # the '*' on <| itself
+    revoker: Optional[RoleRef] = None
+    constraint: Optional[Constraint] = None
+    line: int = 0
+
+    @property
+    def is_election(self) -> bool:
+        return self.elector is not None
+
+    def __str__(self) -> str:
+        parts = [str(self.head), "<-"]
+        if self.conditions:
+            parts.append(" & ".join(map(str, self.conditions)))
+        if self.elector is not None:
+            parts.append("<|*" if self.delegation_starred else "<|")
+            parts.append(str(self.elector))
+        if self.revoker is not None:
+            parts.append("|>")
+            parts.append(str(self.revoker))
+        if self.constraint is not None:
+            parts.append(":")
+            parts.append(str(self.constraint))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class RoleDecl:
+    """``def Name(a, b)  a: integer  b: Login.userid``"""
+
+    name: str
+    params: tuple[str, ...]
+    types: tuple[tuple[str, str], ...] = ()   # (param, type-name) pairs
+
+    def __str__(self) -> str:
+        typed = "  ".join(f"{p}: {t}" for p, t in self.types)
+        return f"def {self.name}({', '.join(self.params)})  {typed}".rstrip()
+
+
+@dataclass(frozen=True)
+class ImportStmt:
+    """``import Service.typename``"""
+
+    service: str
+    type_name: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.service}.{self.type_name}"
+
+    def __str__(self) -> str:
+        return f"import {self.qualified}"
+
+
+@dataclass
+class Rolefile:
+    """A parsed rolefile: the unit of policy scope (section 2.10)."""
+
+    imports: list[ImportStmt] = field(default_factory=list)
+    decls: list[RoleDecl] = field(default_factory=list)
+    statements: list[EntryStatement] = field(default_factory=list)
+
+    def roles_defined(self) -> list[str]:
+        """Role names with at least one entry statement, in order."""
+        seen: list[str] = []
+        for stmt in self.statements:
+            if stmt.head.name not in seen:
+                seen.append(stmt.head.name)
+        return seen
+
+    def statements_for(self, role: str) -> list[EntryStatement]:
+        return [s for s in self.statements if s.head.name == role]
+
+    def __str__(self) -> str:
+        lines = [str(i) for i in self.imports]
+        lines += [str(d) for d in self.decls]
+        lines += [str(s) for s in self.statements]
+        return "\n".join(lines)
+
+
+def walk_terms(constraint: Constraint):
+    """Yield every term in a constraint tree (for type inference)."""
+    if isinstance(constraint, Comparison):
+        yield constraint.left
+        yield constraint.right
+    elif isinstance(constraint, GroupTest):
+        yield constraint.term
+    elif isinstance(constraint, BoolFunc):
+        yield constraint.call
+    elif isinstance(constraint, NotOp):
+        yield from walk_terms(constraint.operand)
+    elif isinstance(constraint, LogicOp):
+        for operand in constraint.operands:
+            yield from walk_terms(operand)
+
+
+def constraint_variables(constraint: Constraint) -> set[str]:
+    """All variable names appearing in a constraint."""
+    names: set[str] = set()
+
+    def visit_term(term: Term) -> None:
+        if isinstance(term, Variable):
+            names.add(term.name)
+        elif isinstance(term, FuncCall):
+            for arg in term.args:
+                visit_term(arg)
+
+    for term in walk_terms(constraint):
+        visit_term(term)
+    return names

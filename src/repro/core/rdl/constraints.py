@@ -1,0 +1,219 @@
+"""Constraint expression evaluation (section 3.2.4, fig 3.3).
+
+A constraint is evaluated at role entry in an *environment* binding the
+statement's variables.  Starred subexpressions become membership rules:
+group tests and watchable server functions inside them yield *dependency
+specifications* which the service later converts into credential-record
+parents (section 4.7), so that a later change (e.g. ``dm`` removed from
+group ``staff``) revokes the membership.
+
+The ``=`` operator is binding-or-equality: with an unbound variable on the
+left it binds (``r = unixacl("...", u)``); otherwise it tests equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.rdl.ast import (
+    BoolFunc,
+    Comparison,
+    Constraint,
+    FuncCall,
+    GroupTest,
+    Literal,
+    LogicOp,
+    NotOp,
+    Term,
+    Variable,
+)
+from repro.errors import RDLError
+
+
+class UnboundVariable(RDLError):
+    """A term referenced a variable with no binding; the enclosing
+    statement simply does not apply."""
+
+
+@dataclass(frozen=True)
+class GroupDep:
+    """Membership rule: ``principal`` must remain (not) a member of
+    ``group``.  ``negate`` True encodes a ``not (x in g)*`` condition."""
+
+    principal: Any
+    group: str
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class FuncDep:
+    """Membership rule from a watchable server function (section 3.3.1).
+    ``token`` is an opaque handle the service resolves to a credential
+    record."""
+
+    function: str
+    token: Any
+    negate: bool = False
+
+
+# group_lookup(principal, group) -> bool
+GroupLookup = Callable[[Any, str], bool]
+
+
+@dataclass
+class ConstraintContext:
+    """Everything needed to evaluate a constraint.
+
+    ``functions`` maps names to plain callables; ``watchable`` maps names
+    to callables returning ``(value, token)`` where the token identifies a
+    credential the service can watch (attribute-based access control).
+    ``object_parser(type_name, text)`` parses a string literal as an
+    object type, so ``u == "jmb"`` works when ``u`` is a userid."""
+
+    env: dict[str, Any] = field(default_factory=dict)
+    group_lookup: Optional[GroupLookup] = None
+    functions: dict[str, Callable[..., Any]] = field(default_factory=dict)
+    watchable: dict[str, Callable[..., tuple[Any, Any]]] = field(default_factory=dict)
+    object_parser: Optional[Callable[[str, str], Any]] = None
+    deps: list[Any] = field(default_factory=list)
+
+    def lookup_group(self, principal: Any, group: str) -> bool:
+        if self.group_lookup is None:
+            raise RDLError(f"no group service available for 'in {group}' test")
+        return self.group_lookup(principal, group)
+
+    def values_equal(self, a: Any, b: Any) -> bool:
+        """Equality with string->object coercion: comparing an ObjectRef
+        against a source string parses the string as that object type."""
+        from repro.core.types import ObjectRef
+
+        if isinstance(a, ObjectRef) and isinstance(b, str):
+            b = self._parse(a.type_name, b)
+        elif isinstance(b, ObjectRef) and isinstance(a, str):
+            a = self._parse(b.type_name, a)
+        return a == b
+
+    def _parse(self, type_name: str, text: str) -> Any:
+        from repro.core.types import ObjectRef
+
+        if self.object_parser is not None:
+            try:
+                return self.object_parser(type_name, text)
+            except Exception:
+                pass
+        return ObjectRef(type_name, text.encode("utf-8"))
+
+
+def eval_term(term: Term, ctx: ConstraintContext, starred: bool = False) -> Any:
+    """Evaluate a term to a value; may record FuncDeps for watchables."""
+    if isinstance(term, Literal):
+        return term.value
+    if isinstance(term, Variable):
+        if term.name not in ctx.env:
+            raise UnboundVariable(term.name)
+        return ctx.env[term.name]
+    if isinstance(term, FuncCall):
+        args = [eval_term(a, ctx, starred) for a in term.args]
+        if starred and term.name in ctx.watchable:
+            value, token = ctx.watchable[term.name](*args)
+            ctx.deps.append(FuncDep(term.name, token))
+            return value
+        fn = ctx.functions.get(term.name) or ctx.watchable.get(term.name)
+        if fn is None:
+            raise RDLError(f"unknown function {term.name!r} in constraint")
+        result = fn(*args)
+        # watchable functions always return (value, token); discard token
+        if term.name in ctx.watchable and isinstance(result, tuple) and len(result) == 2:
+            return result[0]
+        return result
+    raise RDLError(f"cannot evaluate term {term!r}")
+
+
+def eval_constraint(
+    constraint: Constraint,
+    ctx: ConstraintContext,
+    star_context: bool = False,
+    negated: bool = False,
+) -> bool:
+    """Evaluate a constraint, recording membership-rule dependencies.
+
+    ``star_context`` is True inside a starred subexpression; ``negated``
+    tracks enclosing ``not`` so recorded group dependencies carry the
+    right polarity.
+    """
+    if isinstance(constraint, Comparison):
+        return _eval_comparison(constraint, ctx, star_context)
+    if isinstance(constraint, GroupTest):
+        live = star_context or constraint.starred
+        principal = eval_term(constraint.term, ctx, starred=live)
+        member = ctx.lookup_group(principal, constraint.group)
+        if live:
+            ctx.deps.append(GroupDep(principal, constraint.group, negate=negated))
+        return member
+    if isinstance(constraint, BoolFunc):
+        live = star_context or constraint.starred
+        return bool(eval_term(constraint.call, ctx, starred=live))
+    if isinstance(constraint, NotOp):
+        inner = eval_constraint(
+            constraint.operand,
+            ctx,
+            star_context=star_context or constraint.starred,
+            negated=not negated,
+        )
+        return not inner
+    if isinstance(constraint, LogicOp):
+        live = star_context or constraint.starred
+        if constraint.op == "and":
+            result = True
+            for operand in constraint.operands:
+                if not eval_constraint(operand, ctx, star_context=live, negated=negated):
+                    result = False
+                    break
+            return result
+        # 'or': short-circuit; only the succeeding branch's dependencies are
+        # frozen into the membership rule ("substituting in the value of all
+        # the other subexpressions at the time of role entry")
+        for operand in constraint.operands:
+            mark = len(ctx.deps)
+            try:
+                if eval_constraint(operand, ctx, star_context=live, negated=negated):
+                    return True
+            except UnboundVariable:
+                pass
+            del ctx.deps[mark:]
+        return False
+    raise RDLError(f"cannot evaluate constraint {constraint!r}")
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _eval_comparison(comparison: Comparison, ctx: ConstraintContext, star_context: bool) -> bool:
+    live = star_context or comparison.starred
+    if comparison.op == "=":
+        right = eval_term(comparison.right, ctx, starred=live)
+        left = comparison.left
+        if isinstance(left, Variable) and left.name not in ctx.env:
+            ctx.env[left.name] = right
+            return True
+        return ctx.values_equal(eval_term(left, ctx, starred=live), right)
+    left_value = eval_term(comparison.left, ctx, starred=live)
+    right_value = eval_term(comparison.right, ctx, starred=live)
+    if comparison.op == "==":
+        return ctx.values_equal(left_value, right_value)
+    if comparison.op == "!=":
+        return not ctx.values_equal(left_value, right_value)
+    op = _COMPARATORS[comparison.op]
+    if comparison.op in ("<", "<=", ">", ">="):
+        # sets compare by inclusion; mixed-type ordering is a policy error
+        if isinstance(left_value, frozenset) != isinstance(right_value, frozenset):
+            raise RDLError(
+                f"cannot order {left_value!r} against {right_value!r}"
+            )
+    return op(left_value, right_value)

@@ -1,0 +1,136 @@
+"""Tokeniser for RDL source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import RDLSyntaxError
+
+KEYWORDS = {"import", "def", "in", "and", "or", "not"}
+
+# multi-character symbols, longest first
+_SYMBOLS = [
+    "<|*", "|>*", "/\\", "<-", "<|", "|>", "==", "!=", "<=", ">=",
+    "(", ")", ",", ".", ":", "*", "&", "=", "<", ">",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # IDENT, INT, STRING, SET, NEWLINE, EOF, or the symbol/keyword itself
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert RDL source into a token list ending with EOF.
+
+    Statements are line-oriented; NEWLINE tokens are suppressed inside
+    parentheses so long statements can wrap.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    depth = 0
+    n = len(source)
+
+    def err(message: str) -> RDLSyntaxError:
+        return RDLSyntaxError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "\n":
+            if depth == 0 and tokens and tokens[-1].kind not in ("NEWLINE",):
+                tokens.append(Token("NEWLINE", "\n", line, column))
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            start_col = column
+            i += 1
+            column += 1
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise err("unterminated string literal")
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    i += 2
+                    column += 2
+                else:
+                    chars.append(source[i])
+                    i += 1
+                    column += 1
+            if i >= n:
+                raise err("unterminated string literal")
+            i += 1
+            column += 1
+            tokens.append(Token("STRING", "".join(chars), line, start_col))
+            continue
+        if ch == "{":
+            start_col = column
+            j = i + 1
+            while j < n and source[j] not in "}\n":
+                j += 1
+            if j >= n or source[j] != "}":
+                raise err("unterminated set literal")
+            content = source[i + 1 : j].strip()
+            if not all(c.isalnum() or c == "_" for c in content):
+                raise err(f"bad set literal {{{content}}}")
+            tokens.append(Token("SET", content, line, start_col))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            start_col = column
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("INT", source[i:j], line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            start_col = column
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = word if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, start_col))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                canonical = "&" if symbol == "/\\" else symbol
+                tokens.append(Token(canonical, symbol, line, column))
+                if symbol == "(":
+                    depth += 1
+                elif symbol == ")":
+                    depth = max(0, depth - 1)
+                i += len(symbol)
+                column += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise err(f"unexpected character {ch!r}")
+    if tokens and tokens[-1].kind != "NEWLINE":
+        tokens.append(Token("NEWLINE", "\n", line, column))
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,266 @@
+"""Recursive-descent parser for RDL (grammar of section 3.2, fig 3.3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rdl.ast import (
+    BoolFunc,
+    Comparison,
+    Constraint,
+    EntryStatement,
+    FuncCall,
+    GroupTest,
+    ImportStmt,
+    Literal,
+    LogicOp,
+    NotOp,
+    RoleDecl,
+    RoleRef,
+    Rolefile,
+    Term,
+    Variable,
+)
+from repro.core.rdl.lexer import Token, tokenize
+from repro.errors import RDLSyntaxError
+
+_RELOPS = {"==", "!=", "<", "<=", ">", ">=", "="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        if self._cur.kind != kind:
+            raise self._err(f"expected {kind!r}, found {self._cur.text!r}")
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._cur.kind == kind:
+            return self._advance()
+        return None
+
+    def _err(self, message: str) -> RDLSyntaxError:
+        return RDLSyntaxError(message, self._cur.line, self._cur.column)
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> Rolefile:
+        rolefile = Rolefile()
+        while self._cur.kind != "EOF":
+            if self._accept("NEWLINE"):
+                continue
+            if self._cur.kind == "import":
+                rolefile.imports.append(self._import_stmt())
+            elif self._cur.kind == "def":
+                rolefile.decls.append(self._def_stmt())
+            else:
+                rolefile.statements.append(self._entry_stmt())
+            if self._cur.kind not in ("EOF",):
+                self._expect("NEWLINE")
+        return rolefile
+
+    def _import_stmt(self) -> ImportStmt:
+        self._expect("import")
+        service = self._expect("IDENT").text
+        self._expect(".")
+        type_name = self._expect("IDENT").text
+        return ImportStmt(service, type_name)
+
+    def _def_stmt(self) -> RoleDecl:
+        self._expect("def")
+        name = self._expect("IDENT").text
+        self._expect("(")
+        params: list[str] = []
+        if self._cur.kind != ")":
+            params.append(self._expect("IDENT").text)
+            while self._accept(","):
+                params.append(self._expect("IDENT").text)
+        self._expect(")")
+        types: list[tuple[str, str]] = []
+        while self._cur.kind == "IDENT" and self._peek().kind == ":":
+            param = self._advance().text
+            self._expect(":")
+            types.append((param, self._typeref()))
+        if len(params) != len(set(params)):
+            raise self._err(f"duplicate parameter in def {name}")
+        unknown = [p for p, _ in types if p not in params]
+        if unknown:
+            raise self._err(f"type given for unknown parameter {unknown[0]!r}")
+        return RoleDecl(name, tuple(params), tuple(types))
+
+    def _typeref(self) -> str:
+        if self._cur.kind == "SET":
+            return "{" + self._advance().text + "}"
+        name = self._expect("IDENT").text
+        if self._accept("."):
+            name += "." + self._expect("IDENT").text
+        return name
+
+    # -- entry statements ---------------------------------------------------
+
+    def _entry_stmt(self) -> EntryStatement:
+        line = self._cur.line
+        head = self._role_ref(allow_service=False)
+        if head.starred:
+            raise self._err("the head of an entry statement cannot be starred")
+        self._expect("<-")
+        conditions: list[RoleRef] = []
+        if self._cur.kind == "IDENT":
+            conditions.append(self._role_ref())
+            while self._accept("&"):
+                conditions.append(self._role_ref())
+        elector: Optional[RoleRef] = None
+        delegation_starred = False
+        if self._cur.kind in ("<|", "<|*"):
+            delegation_starred = self._advance().kind == "<|*"
+            elector = self._role_ref()
+        revoker: Optional[RoleRef] = None
+        if self._cur.kind in ("|>", "|>*"):
+            self._advance()
+            revoker = self._role_ref()
+        constraint: Optional[Constraint] = None
+        if self._accept(":"):
+            constraint = self._constraint()
+        return EntryStatement(
+            head=head,
+            conditions=tuple(conditions),
+            elector=elector,
+            delegation_starred=delegation_starred,
+            revoker=revoker,
+            constraint=constraint,
+            line=line,
+        )
+
+    def _role_ref(self, allow_service: bool = True) -> RoleRef:
+        name = self._expect("IDENT").text
+        service: Optional[str] = None
+        if allow_service and self._cur.kind == "." and self._peek().kind == "IDENT":
+            service = name
+            self._advance()
+            name = self._expect("IDENT").text
+        args: list[Term] = []
+        if self._accept("("):
+            if self._cur.kind != ")":
+                args.append(self._term())
+                while self._accept(","):
+                    args.append(self._term())
+            self._expect(")")
+        starred = self._accept("*") is not None
+        return RoleRef(service=service, name=name, args=tuple(args), starred=starred)
+
+    # -- constraints (fig 3.3) --------------------------------------------------
+
+    def _constraint(self) -> Constraint:
+        return self._or_expr()
+
+    def _or_expr(self) -> Constraint:
+        left = self._and_expr()
+        operands = [left]
+        while self._accept("or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return left
+        return LogicOp("or", tuple(operands))
+
+    def _and_expr(self) -> Constraint:
+        left = self._not_expr()
+        operands = [left]
+        while self._accept("and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return left
+        return LogicOp("and", tuple(operands))
+
+    def _not_expr(self) -> Constraint:
+        if self._accept("not"):
+            operand = self._not_expr()
+            starred = self._accept("*") is not None
+            return NotOp(operand, starred=starred)
+        return self._primary()
+
+    def _primary(self) -> Constraint:
+        if self._accept("("):
+            inner = self._or_expr()
+            self._expect(")")
+            if self._accept("*"):
+                inner = _star(inner)
+            return inner
+        term = self._term()
+        if self._cur.kind == "in":
+            self._advance()
+            group = self._expect("IDENT").text
+            starred = self._accept("*") is not None
+            return GroupTest(term, group, starred=starred)
+        if self._cur.kind in _RELOPS:
+            op = self._advance().kind
+            right = self._term()
+            starred = self._accept("*") is not None
+            return Comparison(op, term, right, starred=starred)
+        if isinstance(term, FuncCall):
+            starred = self._accept("*") is not None
+            return BoolFunc(term, starred=starred)
+        raise self._err(f"expected comparison, 'in' test or function call")
+
+    def _term(self) -> Term:
+        token = self._cur
+        if token.kind == "INT":
+            self._advance()
+            return Literal(int(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "SET":
+            self._advance()
+            return Literal(frozenset(token.text))
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if self._cur.kind == "(":
+                self._advance()
+                args: list[Term] = []
+                if self._cur.kind != ")":
+                    args.append(self._term())
+                    while self._accept(","):
+                        args.append(self._term())
+                self._expect(")")
+                return FuncCall(name, tuple(args))
+            return Variable(name)
+        raise self._err(f"expected a term, found {token.text!r}")
+
+
+def _star(constraint: Constraint) -> Constraint:
+    """Apply a postfix '*' to an already-built constraint node."""
+    if isinstance(constraint, Comparison):
+        return Comparison(constraint.op, constraint.left, constraint.right, starred=True)
+    if isinstance(constraint, GroupTest):
+        return GroupTest(constraint.term, constraint.group, starred=True)
+    if isinstance(constraint, BoolFunc):
+        return BoolFunc(constraint.call, starred=True)
+    if isinstance(constraint, NotOp):
+        return NotOp(constraint.operand, starred=True)
+    if isinstance(constraint, LogicOp):
+        return LogicOp(constraint.op, constraint.operands, starred=True)
+    raise TypeError(f"cannot star {constraint!r}")
+
+
+def parse_rolefile(source: str) -> Rolefile:
+    """Parse RDL source text into a :class:`Rolefile`."""
+    return _Parser(tokenize(source)).parse()

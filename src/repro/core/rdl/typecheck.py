@@ -1,0 +1,274 @@
+"""Type inference for RDL (section 3.2.1).
+
+Role arguments are strongly typed, but RDL "provides a comprehensive type
+inference scheme, and only argument types that cannot be inferred by
+examination of other statements need to be specified explicitly".
+
+The checker runs a simple fixpoint:
+
+* declared signatures (``def`` statements) and external role signatures
+  (obtained from the issuing service via the ``gettypes`` interface of
+  section 4.3, supplied here as a resolver callable) seed the environment;
+* each pass walks every statement, binding variable types from role
+  references with known signatures and literal occurrences, then derives
+  head signatures once every head argument's type is known;
+* iteration stops when no new information appears; any role that still
+  lacks a full signature is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.rdl.ast import (
+    EntryStatement,
+    FuncCall,
+    Literal,
+    RoleRef,
+    Rolefile,
+    Term,
+    Variable,
+    walk_terms,
+)
+from repro.core.types import INTEGER, STRING, ObjectRef, ObjectType, RdlType, SetType, TypeTable
+from repro.errors import RDLTypeError
+
+# resolver(service_name, role_name) -> list of RdlType, or None if unknown
+RoleResolver = Callable[[str, str], Optional[list[RdlType]]]
+
+
+def type_of_literal(value: Any) -> Optional[RdlType]:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return INTEGER
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, frozenset):
+        return None  # a set literal does not determine its alphabet
+    return None
+
+
+def coerce_literal(value: Any, target: RdlType) -> Any:
+    """Coerce a source literal to ``target``.
+
+    String literals in object-typed positions are parsed by the object
+    type's parse function (the "table of parse functions" consulted by the
+    RDL parser, section 3.2.1); set literals are validated against the
+    target alphabet.
+    """
+    if isinstance(target, ObjectType) and isinstance(value, str):
+        return target.parse_literal(value)
+    if isinstance(target, SetType) and isinstance(value, frozenset):
+        target.validate(value)
+        return value
+    target.validate(value)
+    return value
+
+
+class TypeChecker:
+    """Infers and records a signature (list of argument types) per role."""
+
+    def __init__(
+        self,
+        rolefile: Rolefile,
+        types: Optional[TypeTable] = None,
+        resolver: Optional[RoleResolver] = None,
+        function_types: Optional[dict[str, RdlType]] = None,
+    ):
+        self.rolefile = rolefile
+        self.types = types or TypeTable()
+        self.resolver = resolver or (lambda service, role: None)
+        self.function_types = function_types or {}
+        self.signatures: dict[str, list[Optional[RdlType]]] = {}
+        self._externals: dict[tuple[str, str], Optional[list[RdlType]]] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def check(self) -> dict[str, list[RdlType]]:
+        """Run inference; returns complete signatures or raises."""
+        self._seed_from_decls()
+        self._seed_arities()
+        changed = True
+        passes = 0
+        while changed:
+            passes += 1
+            if passes > 50:
+                raise RDLTypeError("type inference did not converge")
+            changed = False
+            for stmt in self.rolefile.statements:
+                changed |= self._infer_statement(stmt)
+        incomplete = {
+            role: sig
+            for role, sig in self.signatures.items()
+            if any(t is None for t in sig)
+        }
+        if incomplete:
+            missing = ", ".join(
+                f"{role} (arg {sig.index(None)})" for role, sig in incomplete.items()
+            )
+            raise RDLTypeError(
+                f"could not infer argument types for: {missing}; add a def statement"
+            )
+        return {role: list(sig) for role, sig in self.signatures.items()}  # type: ignore[misc]
+
+    def signature(self, role: str) -> list[RdlType]:
+        sig = self.signatures.get(role)
+        if sig is None or any(t is None for t in sig):
+            raise RDLTypeError(f"no signature for role {role!r}")
+        return list(sig)  # type: ignore[return-value]
+
+    # -- seeding ----------------------------------------------------------------
+
+    def _seed_from_decls(self) -> None:
+        for decl in self.rolefile.decls:
+            sig: list[Optional[RdlType]] = [None] * len(decl.params)
+            declared = dict(decl.types)
+            for i, param in enumerate(decl.params):
+                if param in declared:
+                    sig[i] = self.types.lookup(declared[param])
+            self.signatures[decl.name] = sig
+
+    def _seed_arities(self) -> None:
+        for stmt in self.rolefile.statements:
+            self._note_arity(stmt.head)
+            for ref in stmt.conditions:
+                if ref.service is None:
+                    self._note_arity(ref)
+            # elector/revoker references with no arguments match any role
+            # instance, so they do not constrain the role's arity
+            if (
+                stmt.elector is not None
+                and stmt.elector.service is None
+                and stmt.elector.args
+            ):
+                self._note_arity(stmt.elector)
+            if (
+                stmt.revoker is not None
+                and stmt.revoker.service is None
+                and stmt.revoker.args
+            ):
+                self._note_arity(stmt.revoker)
+
+    def _note_arity(self, ref: RoleRef) -> None:
+        sig = self.signatures.get(ref.name)
+        if sig is None:
+            self.signatures[ref.name] = [None] * len(ref.args)
+        elif len(sig) != len(ref.args):
+            raise RDLTypeError(
+                f"role {ref.name!r} used with {len(ref.args)} arguments but "
+                f"declared/used elsewhere with {len(sig)}"
+            )
+
+    # -- inference ---------------------------------------------------------------
+
+    def _external_signature(self, service: str, role: str) -> Optional[list[RdlType]]:
+        key = (service, role)
+        if key not in self._externals:
+            self._externals[key] = self.resolver(service, role)
+        return self._externals[key]
+
+    def _ref_signature(self, ref: RoleRef) -> Optional[list[Optional[RdlType]]]:
+        if ref.service is None:
+            return self.signatures.get(ref.name)
+        external = self._external_signature(ref.service, ref.name)
+        if external is None:
+            return None
+        if len(external) != len(ref.args):
+            raise RDLTypeError(
+                f"role {ref.qualified} takes {len(external)} arguments, "
+                f"reference has {len(ref.args)}"
+            )
+        return list(external)
+
+    def _infer_statement(self, stmt: EntryStatement) -> bool:
+        changed = False
+        var_types: dict[str, RdlType] = {}
+
+        refs = list(stmt.conditions)
+        if stmt.elector is not None and stmt.elector.args:
+            refs.append(stmt.elector)
+        if stmt.revoker is not None and stmt.revoker.args:
+            refs.append(stmt.revoker)
+
+        # 1. gather variable types from references with known signatures
+        for ref in refs + [stmt.head]:
+            sig = self._ref_signature(ref)
+            if sig is None:
+                continue
+            for term, rdl_type in zip(ref.args, sig):
+                if rdl_type is None:
+                    continue
+                if isinstance(term, Variable):
+                    previous = var_types.get(term.name)
+                    if previous is not None and previous != rdl_type:
+                        raise RDLTypeError(
+                            f"variable {term.name!r} used as both {previous.name} "
+                            f"and {rdl_type.name} in statement for {stmt.head.name!r}"
+                        )
+                    var_types[term.name] = rdl_type
+                elif isinstance(term, Literal):
+                    lit_type = type_of_literal(term.value)
+                    if (
+                        lit_type is not None
+                        and lit_type != rdl_type
+                        and not isinstance(rdl_type, ObjectType)
+                    ):
+                        raise RDLTypeError(
+                            f"literal {term} is {lit_type.name} where "
+                            f"{rdl_type.name} expected ({stmt.head.name!r})"
+                        )
+
+        # 2. gather from constraint comparisons against literals / functions
+        if stmt.constraint is not None:
+            self._infer_from_constraint(stmt.constraint, var_types)
+
+        # 3. push variable types back into local role signatures
+        for ref in refs + [stmt.head]:
+            if ref.service is not None:
+                continue
+            sig = self.signatures.get(ref.name)
+            if sig is None:
+                continue
+            for i, term in enumerate(ref.args):
+                if sig[i] is not None:
+                    continue
+                inferred: Optional[RdlType] = None
+                if isinstance(term, Variable):
+                    inferred = var_types.get(term.name)
+                elif isinstance(term, Literal):
+                    inferred = type_of_literal(term.value)
+                elif isinstance(term, FuncCall):
+                    inferred = self.function_types.get(term.name)
+                if inferred is not None:
+                    sig[i] = inferred
+                    changed = True
+        return changed
+
+    def _infer_from_constraint(self, constraint, var_types: dict[str, RdlType]) -> None:
+        from repro.core.rdl.ast import BoolFunc, Comparison, GroupTest, LogicOp, NotOp
+
+        if isinstance(constraint, Comparison):
+            self._infer_comparison(constraint, var_types)
+        elif isinstance(constraint, NotOp):
+            self._infer_from_constraint(constraint.operand, var_types)
+        elif isinstance(constraint, LogicOp):
+            for operand in constraint.operands:
+                self._infer_from_constraint(operand, var_types)
+        # GroupTest / BoolFunc give no argument-type information
+
+    def _infer_comparison(self, comparison, var_types: dict[str, RdlType]) -> None:
+        """A comparison binds a variable's type from the other side."""
+        for var_side, other_side in (
+            (comparison.left, comparison.right),
+            (comparison.right, comparison.left),
+        ):
+            if not isinstance(var_side, Variable):
+                continue
+            inferred: Optional[RdlType] = None
+            if isinstance(other_side, Literal):
+                inferred = type_of_literal(other_side.value)
+            elif isinstance(other_side, FuncCall):
+                inferred = self.function_types.get(other_side.name)
+            elif isinstance(other_side, Variable):
+                inferred = var_types.get(other_side.name)
+            if inferred is not None and var_side.name not in var_types:
+                var_types[var_side.name] = inferred

@@ -1,0 +1,48 @@
+"""Service registry / name server (section 2.10).
+
+Services offering to validate role membership certificates for use in
+other services "register a standard interface with a name server, thus
+allowing other services to (indirectly) validate certificates that they
+did not themselves issue".  The registry is that name server: it maps
+service names to the peer-facing interface each Oasis service exposes
+(``gettypes`` / ``parsename`` / ``validate_for_peer`` / ``subscribe``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import OasisError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.service import OasisService
+
+
+class ServiceRegistry:
+    """A flat name space of service instances."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, "OasisService"] = {}
+
+    def register(self, service: "OasisService") -> None:
+        if service.name in self._services:
+            raise OasisError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def unregister(self, name: str) -> None:
+        self._services.pop(name, None)
+
+    def lookup(self, name: str) -> "OasisService":
+        service = self._services.get(name)
+        if service is None:
+            raise OasisError(f"no service registered as {name!r}")
+        return service
+
+    def try_lookup(self, name: str) -> Optional["OasisService"]:
+        return self._services.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._services)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services

@@ -1,0 +1,309 @@
+"""The RDL type system and host-independent marshalling (sections 3.2.1, 4.3).
+
+Role arguments are strongly typed.  A type is one of:
+
+* ``Integer``
+* ``String``
+* a *set type* over a small alphabet of rights characters, written
+  ``{rwx}`` in RDL — marshalled to a bit-set so equality and subset tests
+  work on the wire format;
+* an *object type*, named and owned by a service, with a parse function
+  registered in a table so the RDL parser can interpret literals of the
+  type.  Object identifiers may only be compared for equality, and only in
+  marshalled form.
+
+Marshalling produces deterministic bytes so that certificate signatures
+(fig 4.1) are stable and other services can examine argument values.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import RDLTypeError
+
+
+class RdlType:
+    """Base class for RDL types."""
+
+    name: str = "?"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`RDLTypeError` if ``value`` is not of this type."""
+        raise NotImplementedError
+
+    def marshal(self, value: Any) -> bytes:
+        """Encode ``value`` into deterministic, host-independent bytes."""
+        raise NotImplementedError
+
+    def unmarshal(self, data: bytes) -> Any:
+        """Decode bytes produced by :meth:`marshal`."""
+        raise NotImplementedError
+
+    def parse_literal(self, text: str) -> Any:
+        """Parse an RDL source literal of this type."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class IntegerType(RdlType):
+    """64-bit signed integers."""
+
+    name = "integer"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RDLTypeError(f"expected integer, got {value!r}")
+        if not -(2**63) <= value < 2**63:
+            raise RDLTypeError(f"integer out of 64-bit range: {value}")
+
+    def marshal(self, value: Any) -> bytes:
+        self.validate(value)
+        return b"I" + struct.pack(">q", value)
+
+    def unmarshal(self, data: bytes) -> int:
+        if len(data) != 9 or data[0:1] != b"I":
+            raise RDLTypeError("malformed integer encoding")
+        return struct.unpack(">q", data[1:])[0]
+
+    def parse_literal(self, text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise RDLTypeError(f"bad integer literal {text!r}") from None
+
+
+class StringType(RdlType):
+    """UTF-8 strings."""
+
+    name = "string"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise RDLTypeError(f"expected string, got {value!r}")
+
+    def marshal(self, value: Any) -> bytes:
+        self.validate(value)
+        raw = value.encode("utf-8")
+        return b"S" + struct.pack(">I", len(raw)) + raw
+
+    def unmarshal(self, data: bytes) -> str:
+        if len(data) < 5 or data[0:1] != b"S":
+            raise RDLTypeError("malformed string encoding")
+        (length,) = struct.unpack(">I", data[1:5])
+        raw = data[5 : 5 + length]
+        if len(raw) != length:
+            raise RDLTypeError("truncated string encoding")
+        return raw.decode("utf-8")
+
+    def parse_literal(self, text: str) -> str:
+        return text
+
+
+class SetType(RdlType):
+    """A set over a fixed alphabet of single-character rights, e.g. {rwx}.
+
+    Values are Python frozensets of single-character strings.  Marshals to
+    a bit-set (section 4.3) permitting equality and subset tests in wire
+    form.
+    """
+
+    def __init__(self, alphabet: str):
+        if len(set(alphabet)) != len(alphabet):
+            raise RDLTypeError(f"duplicate characters in set alphabet {alphabet!r}")
+        if not alphabet or len(alphabet) > 32:
+            raise RDLTypeError("set alphabet must have 1-32 characters")
+        self.alphabet = alphabet
+        self.name = "{" + alphabet + "}"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (set, frozenset)):
+            raise RDLTypeError(f"expected a set, got {value!r}")
+        extra = set(value) - set(self.alphabet)
+        if extra:
+            raise RDLTypeError(f"characters {sorted(extra)} not in alphabet {self.alphabet!r}")
+
+    def to_bits(self, value: Any) -> int:
+        self.validate(value)
+        bits = 0
+        for i, ch in enumerate(self.alphabet):
+            if ch in value:
+                bits |= 1 << i
+        return bits
+
+    def from_bits(self, bits: int) -> frozenset:
+        return frozenset(ch for i, ch in enumerate(self.alphabet) if bits & (1 << i))
+
+    def marshal(self, value: Any) -> bytes:
+        return b"B" + struct.pack(">I", self.to_bits(value))
+
+    def unmarshal(self, data: bytes) -> frozenset:
+        if len(data) != 5 or data[0:1] != b"B":
+            raise RDLTypeError("malformed set encoding")
+        (bits,) = struct.unpack(">I", data[1:])
+        return self.from_bits(bits)
+
+    def parse_literal(self, text: str) -> frozenset:
+        value = frozenset(text)
+        self.validate(value)
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and other.alphabet == self.alphabet
+
+    def __hash__(self) -> int:
+        return hash(("SetType", self.alphabet))
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """An opaque object identifier value: a type name plus identity bytes."""
+
+    type_name: str
+    identity: bytes
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.type_name}:{self.identity.hex()})"
+
+
+class ObjectType(RdlType):
+    """A service-defined object identifier type (e.g. ``Login.userid``).
+
+    ``parser`` converts source-text literals to :class:`ObjectRef`;
+    services register theirs in a :class:`TypeTable` (the "table of parse
+    functions" of section 3.2.1).  Only equality comparison is admissible.
+    """
+
+    def __init__(self, name: str, parser: Optional[Callable[[str], ObjectRef]] = None):
+        self.name = name
+        self._parser = parser
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, ObjectRef):
+            raise RDLTypeError(f"expected ObjectRef for {self.name}, got {value!r}")
+        if value.type_name != self.name:
+            raise RDLTypeError(
+                f"object of type {value.type_name!r} where {self.name!r} expected"
+            )
+
+    def marshal(self, value: Any) -> bytes:
+        self.validate(value)
+        name_raw = self.name.encode("utf-8")
+        return (
+            b"O"
+            + struct.pack(">I", len(name_raw))
+            + name_raw
+            + struct.pack(">I", len(value.identity))
+            + value.identity
+        )
+
+    def unmarshal(self, data: bytes) -> ObjectRef:
+        if len(data) < 9 or data[0:1] != b"O":
+            raise RDLTypeError("malformed object encoding")
+        (name_len,) = struct.unpack(">I", data[1:5])
+        name = data[5 : 5 + name_len].decode("utf-8")
+        offset = 5 + name_len
+        (id_len,) = struct.unpack(">I", data[offset : offset + 4])
+        identity = data[offset + 4 : offset + 4 + id_len]
+        return ObjectRef(name, identity)
+
+    def parse_literal(self, text: str) -> ObjectRef:
+        if self._parser is None:
+            # default: identity is the utf-8 of the literal text
+            return ObjectRef(self.name, text.encode("utf-8"))
+        return self._parser(text)
+
+
+#: Shared singletons for the two scalar types.
+INTEGER = IntegerType()
+STRING = StringType()
+
+
+class TypeTable:
+    """Registry of object types available when parsing a rolefile.
+
+    ``import Login.userid`` makes the type ``Login.userid`` (and the short
+    name ``userid``) available.  Services register their exported types
+    here; the registry's ``gettypes``/``parsename`` interface (section 4.3)
+    is backed by it.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, RdlType] = {}
+
+    def register(self, rdl_type: RdlType, *aliases: str) -> RdlType:
+        self._types[rdl_type.name] = rdl_type
+        for alias in aliases:
+            self._types[alias] = rdl_type
+        return rdl_type
+
+    def lookup(self, name: str) -> RdlType:
+        if name == "integer":
+            return INTEGER
+        if name == "string":
+            return STRING
+        if name.startswith("{") and name.endswith("}"):
+            return SetType(name[1:-1])
+        rdl_type = self._types.get(name)
+        if rdl_type is None:
+            raise RDLTypeError(f"unknown type {name!r}")
+        return rdl_type
+
+    def has(self, name: str) -> bool:
+        try:
+            self.lookup(name)
+            return True
+        except RDLTypeError:
+            return False
+
+
+def marshal_args(types: list[RdlType], values: tuple) -> bytes:
+    """Marshal a tuple of role arguments into one deterministic byte string."""
+    if len(types) != len(values):
+        raise RDLTypeError(f"expected {len(types)} arguments, got {len(values)}")
+    parts = [struct.pack(">I", len(values))]
+    for rdl_type, value in zip(types, values):
+        encoded = rdl_type.marshal(value)
+        parts.append(struct.pack(">I", len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def unmarshal_args(types: list[RdlType], data: bytes) -> tuple:
+    """Inverse of :func:`marshal_args`."""
+    (count,) = struct.unpack(">I", data[:4])
+    if count != len(types):
+        raise RDLTypeError(f"expected {len(types)} arguments, wire has {count}")
+    values = []
+    offset = 4
+    for rdl_type in types:
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        offset += 4
+        values.append(rdl_type.unmarshal(data[offset : offset + length]))
+        offset += length
+    return tuple(values)
+
+
+def infer_type_of_value(value: Any) -> RdlType:
+    """Best-effort type for a Python value (used by generic marshalling)."""
+    if isinstance(value, bool):
+        raise RDLTypeError("booleans are not RDL values")
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, (set, frozenset)):
+        return SetType("".join(sorted(value)) or "r")
+    if isinstance(value, ObjectRef):
+        return ObjectType(value.type_name)
+    raise RDLTypeError(f"no RDL type for value {value!r}")

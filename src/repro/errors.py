@@ -1,0 +1,115 @@
+"""Exception hierarchy for the OASIS reproduction.
+
+The paper (section 4.2) distinguishes three classes of validation failure:
+fraud (forged/stolen/mis-attributed certificates), erroneous use (wrong
+service or insufficient rights) and revocation (the only failure a
+well-behaved client may trigger).  The exception hierarchy mirrors that
+classification so services can audit each class separately.
+"""
+
+from __future__ import annotations
+
+
+class OasisError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RDLError(OasisError):
+    """Base class for errors in role definition language processing."""
+
+
+class RDLSyntaxError(RDLError):
+    """The RDL source text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class RDLTypeError(RDLError):
+    """Role arguments or constraints are ill-typed, or inference failed."""
+
+
+class ValidationError(OasisError):
+    """A certificate failed validation.  Base for the three classes below."""
+
+
+class FraudError(ValidationError):
+    """Fraudulent use: forged, modified or stolen certificate, or a client
+    acting under an identifier other than its own (conditions 1-3 of
+    section 4.2)."""
+
+
+class MisuseError(ValidationError):
+    """Erroneous use: certificate from another service/context, or one
+    embodying insufficient rights (conditions 4-5 of section 4.2)."""
+
+
+class RevokedError(ValidationError):
+    """The certificate has been, or may have been, revoked (condition 6).
+
+    ``uncertain`` is True when the issuing service cannot currently rule out
+    revocation (e.g. a heartbeat was missed and the backing credential
+    record is in the Unknown state); the paper mandates failing closed in
+    that case (section 4.9)."""
+
+    def __init__(self, message: str, uncertain: bool = False):
+        self.uncertain = uncertain
+        super().__init__(message)
+
+
+class EntryDenied(OasisError):
+    """A role-entry request did not satisfy any entry statement."""
+
+
+class DelegationError(OasisError):
+    """A delegation or election request was invalid."""
+
+
+class EventError(OasisError):
+    """Base class for event-architecture errors."""
+
+
+class RegistrationError(EventError):
+    """An event registration request was malformed or rejected."""
+
+
+class CompositeSyntaxError(EventError):
+    """A composite event expression could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"at position {position}: {message}"
+        super().__init__(message)
+
+
+class AggregationError(EventError):
+    """An aggregation function is malformed or failed during evaluation."""
+
+
+class AccessDenied(OasisError):
+    """An operation was denied by access control (MSSA custodes, ERDL)."""
+
+
+class StorageError(OasisError):
+    """Base class for MSSA storage errors."""
+
+
+class NoSuchFileError(StorageError):
+    """A file identifier does not name a file on the addressed custode."""
+
+
+class PlacementError(StorageError):
+    """The ACL placement constraint of section 5.4.2 would be violated."""
+
+
+class NetworkError(OasisError):
+    """A simulated network operation failed (partition, unreachable node)."""
+
+
+class SimulationError(OasisError):
+    """The discrete-event simulator was used incorrectly."""

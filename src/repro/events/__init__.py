@@ -1,0 +1,26 @@
+"""The event architecture of chapter 6.
+
+Typed events and templates (:mod:`repro.events.model`), interface
+definitions combining RPC operations and events (:mod:`repro.events.idl`),
+the event broker with registration / pre-registration / retrospective
+registration (:mod:`repro.events.broker`), event-horizon tracking
+(:mod:`repro.events.horizon`), the composite event language and its
+push-down bead machine (:mod:`repro.events.composite`) and the
+aggregation layer (:mod:`repro.events.aggregation`).
+"""
+
+from repro.events.broker import EventBroker, Registration, Session
+from repro.events.horizon import HorizonTracker
+from repro.events.model import Event, EventType, Template, Var, WILDCARD
+
+__all__ = [
+    "Event",
+    "EventType",
+    "Template",
+    "Var",
+    "WILDCARD",
+    "EventBroker",
+    "Session",
+    "Registration",
+    "HorizonTracker",
+]

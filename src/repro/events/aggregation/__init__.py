@@ -1,0 +1,27 @@
+"""Aggregation of composite event streams (sections 6.9-6.11).
+
+* :mod:`repro.events.aggregation.queue` — the two-section priority queue
+  of fig 6.6: occurrences sit in timestamp order, and the *fixed* prefix
+  (into which no insertion can ever happen again) grows as the event
+  horizon advances;
+* :mod:`repro.events.aggregation.language` — the toy C-like language of
+  section 6.10 for specifying aggregation functions (``expr`` /
+  ``event:`` / ``var:`` / ``term:`` sections);
+* :mod:`repro.events.aggregation.functions` — the section 6.11 built-ins
+  (Count, Maximum, First/Once) as plain-Python aggregators.
+"""
+
+from repro.events.aggregation.functions import Count, First, Maximum, Once
+from repro.events.aggregation.language import AggregationFunction, parse_aggregation
+from repro.events.aggregation.queue import QueueItem, TwoSectionQueue
+
+__all__ = [
+    "TwoSectionQueue",
+    "QueueItem",
+    "AggregationFunction",
+    "parse_aggregation",
+    "Count",
+    "Maximum",
+    "First",
+    "Once",
+]

@@ -1,0 +1,143 @@
+"""Built-in aggregation functions (section 6.11).
+
+Plain-Python aggregators over the two-section queue, mirroring the
+paper's worked examples: Counting, Maximum, and First/Once — the last
+being exactly what the squash ``EndOfPoint`` expression needs to avoid
+multiple signals per point ("a mechanism to signal the first matching
+event that does not require additional infrastructure").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.events.aggregation.queue import QueueItem, TwoSectionQueue
+
+Emit = Callable[..., None]
+
+
+class _BaseAggregator:
+    """Common plumbing: offer/advance/terminate over a two-section queue."""
+
+    def __init__(self, on_signal: Optional[Emit] = None):
+        self.on_signal = on_signal
+        self.signals: list[tuple] = []
+        self.terminated = False
+        self.queue = TwoSectionQueue(on_fixed=self._fixed, on_boundary=self._boundary)
+
+    def offer(self, timestamp: float, env: Optional[dict] = None) -> None:
+        if not self.terminated:
+            self.queue.insert(timestamp, env or {})
+
+    def advance(self, horizon: float) -> None:
+        if not self.terminated:
+            self.queue.fix_up_to(horizon)
+
+    def terminate(self) -> None:
+        if not self.terminated:
+            self.terminated = True
+            self._term()
+
+    def _emit(self, *args: Any) -> None:
+        self.signals.append(args)
+        if self.on_signal is not None:
+            self.on_signal(*args)
+
+    # hooks
+    def _fixed(self, item: QueueItem) -> None:  # pragma: no cover - abstract
+        pass
+
+    def _boundary(self, horizon: float) -> None:
+        pass
+
+    def _term(self) -> None:
+        pass
+
+
+class Count(_BaseAggregator):
+    """Counts occurrences; signals the total on termination and,
+    optionally, a running count per fixed occurrence."""
+
+    def __init__(self, on_signal: Optional[Emit] = None, running: bool = False):
+        super().__init__(on_signal)
+        self.running = running
+        self.count = 0
+
+    def _fixed(self, item: QueueItem) -> None:
+        self.count += 1
+        if self.running:
+            self._emit(self.count)
+
+    def _term(self) -> None:
+        self._emit(self.count)
+
+
+class Maximum(_BaseAggregator):
+    """Tracks the maximum of a binding across occurrences."""
+
+    def __init__(self, key: str, on_signal: Optional[Emit] = None):
+        super().__init__(on_signal)
+        self.key = key
+        self.maximum: Optional[Any] = None
+
+    def _fixed(self, item: QueueItem) -> None:
+        value = item.payload.get(self.key)
+        if value is not None and (self.maximum is None or value > self.maximum):
+            self.maximum = value
+
+    def _term(self) -> None:
+        self._emit(self.maximum)
+
+
+class First(_BaseAggregator):
+    """Signals the earliest occurrence — but only once it is *fixed*.
+
+    "In order to signal the first of A and B to occur, it is not
+    sufficient to receive notification of A.  It is also necessary to
+    receive information that B has not occurred" (section 6.9.1): the
+    first fixed item is provably the earliest, because no insertion below
+    the boundary can ever happen.
+    """
+
+    def __init__(self, on_signal: Optional[Emit] = None):
+        super().__init__(on_signal)
+        self.first: Optional[QueueItem] = None
+
+    def _fixed(self, item: QueueItem) -> None:
+        if self.first is None:
+            self.first = item
+            self._emit(item.timestamp, dict(item.payload))
+
+
+class Once(_BaseAggregator):
+    """Collapses bursts: signals at most once per ``window`` seconds.
+
+    The squash EndOfPoint use case — several end-of-point conditions
+    often hold simultaneously and must produce one signal per point."""
+
+    def __init__(self, window: float, on_signal: Optional[Emit] = None):
+        super().__init__(on_signal)
+        self.window = window
+        self._last: Optional[float] = None
+
+    def _fixed(self, item: QueueItem) -> None:
+        if self._last is None or item.timestamp - self._last >= self.window:
+            self._last = item.timestamp
+            self._emit(item.timestamp, dict(item.payload))
+
+
+def attach(aggregator, watch, tracker=None):
+    """Wire an aggregator to a composite detector watch: occurrences feed
+    :meth:`offer`; if a :class:`~repro.events.horizon.HorizonTracker` is
+    given its advances drive :meth:`advance`."""
+    previous = watch.callback
+
+    def forward(t, env):
+        aggregator.offer(t, env)
+        if previous is not None:
+            previous(t, env)
+
+    watch.callback = forward
+    if tracker is not None:
+        tracker.on_advance(aggregator.advance)
+    return aggregator

@@ -1,0 +1,411 @@
+"""The aggregation-function language (section 6.10).
+
+An aggregation function is a block::
+
+    {
+        int t = 0;                      # local variable definitions
+        expr: Deposit(x) - Close       # a composite event expression
+        event: t = t + new.x;          # run per (fixed) occurrence
+        var:                           # run when the queue boundary moves
+        term: signal(t);               # run when the stream terminates
+    }
+
+* ``new.<name>`` reads a binding of the current occurrence's environment;
+  ``new.time`` is the occurrence timestamp;
+* ``boundary`` is the current fixed boundary (available in ``var:``);
+* ``signal(a, b, ...)`` emits an aggregate event;
+* ``terminate();`` ends the evaluation early (no further sections run).
+
+Occurrences are delivered to ``event:`` **in timestamp order, once
+fixed** — the two-section queue supplies exactly that guarantee, so an
+aggregation function written here never observes misordered input even
+though the underlying network delivers events out of order.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import AggregationError
+from repro.events.aggregation.queue import QueueItem, TwoSectionQueue
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||[{}();,.=<>+*/:$@!|-])
+    """,
+    re.VERBOSE,
+)
+
+_TYPES = {"int": 0, "float": 0.0, "string": "", "bool": False}
+
+
+# ---------------------------------------------------------------- parsing
+
+
+def _tokenize(source: str):
+    tokens = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise AggregationError(f"unexpected character {source[pos]!r} at {pos}")
+        if match.lastgroup not in ("ws", "comment"):
+            tokens.append((match.lastgroup, match.group(), pos))
+        pos = match.end()
+    tokens.append(("eof", "", pos))
+    return tokens
+
+
+@dataclass
+class _Block:
+    decls: dict[str, Any]
+    expr_source: str
+    sections: dict[str, list]     # 'event' | 'var' | 'term' -> stmt list
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    @property
+    def _cur(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._cur
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, text):
+        if self._cur[1] == text:
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text):
+        if not self._accept(text):
+            raise AggregationError(
+                f"expected {text!r}, found {self._cur[1]!r} at {self._cur[2]}"
+            )
+
+    def parse(self) -> _Block:
+        self._expect("{")
+        decls: dict[str, Any] = {}
+        while self._cur[1] in _TYPES:
+            self._parse_decl(decls)
+        expr_source = self._parse_expr_line()
+        sections: dict[str, list] = {"event": [], "var": [], "term": []}
+        while self._cur[1] in sections:
+            name = self._advance()[1]
+            self._expect(":")
+            sections[name] = self._parse_stmts(stop={"event", "var", "term", "}"})
+        self._expect("}")
+        return _Block(decls, expr_source, sections)
+
+    def _parse_decl(self, decls):
+        type_name = self._advance()[1]
+        name = self._advance()[1]
+        value = _TYPES[type_name]
+        if self._accept("="):
+            value = self._literal()
+        self._expect(";")
+        decls[name] = value
+
+    def _parse_expr_line(self) -> str:
+        if self._cur[1] != "expr":
+            raise AggregationError("aggregation block must contain an 'expr:' line")
+        self._advance()
+        self._expect(":")
+        # the composite expression runs to the next section keyword;
+        # recover the raw source text between positions
+        start = self._cur[2]
+        depth = 0
+        while True:
+            kind, text, pos = self._cur
+            if kind == "eof":
+                raise AggregationError("unterminated expr: line")
+            if depth == 0 and text in ("event", "var", "term") and self._peek_is_section():
+                return self.source[start:pos].strip()
+            if text == "(" or text == "{":
+                depth += 1
+            elif text == ")" or text == "}":
+                if depth == 0 and text == "}":
+                    return self.source[start:pos].strip()
+                depth -= 1
+            self._advance()
+
+    def _peek_is_section(self) -> bool:
+        return self._tokens[self._pos + 1][1] == ":"
+
+    def _parse_stmts(self, stop):
+        stmts = []
+        while self._cur[1] not in stop and self._cur[0] != "eof":
+            if self._cur[1] in ("event", "var", "term") and self._peek_is_section():
+                break
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self):
+        kind, text, pos = self._cur
+        if text == "signal":
+            self._advance()
+            self._expect("(")
+            args = []
+            if self._cur[1] != ")":
+                args.append(self._parse_expr())
+                while self._accept(","):
+                    args.append(self._parse_expr())
+            self._expect(")")
+            self._expect(";")
+            return ("signal", args)
+        if text == "terminate":
+            self._advance()
+            self._expect("(")
+            self._expect(")")
+            self._expect(";")
+            return ("terminate",)
+        if text == "if":
+            self._advance()
+            self._expect("(")
+            cond = self._parse_cond()
+            self._expect(")")
+            then = self._parse_block()
+            otherwise = []
+            if self._accept("else"):
+                otherwise = self._parse_block()
+            return ("if", cond, then, otherwise)
+        if kind == "name":
+            name = self._advance()[1]
+            self._expect("=")
+            value = self._parse_expr()
+            self._expect(";")
+            return ("assign", name, value)
+        raise AggregationError(f"bad statement at {pos}: {text!r}")
+
+    def _parse_block(self):
+        if self._accept("{"):
+            stmts = self._parse_stmts(stop={"}"})
+            self._expect("}")
+            return stmts
+        return [self._parse_stmt()]
+
+    def _parse_cond(self):
+        left = self._parse_expr()
+        op = self._cur[1]
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._parse_expr()
+            node = ("cmp", op, left, right)
+        else:
+            node = ("truthy", left)
+        while self._cur[1] in ("&&", "||"):
+            connective = self._advance()[1]
+            node = ("logic", connective, node, self._parse_cond())
+        return node
+
+    def _parse_expr(self):
+        node = self._parse_term()
+        while self._cur[1] in ("+", "-"):
+            op = self._advance()[1]
+            node = ("bin", op, node, self._parse_term())
+        return node
+
+    def _parse_term(self):
+        node = self._parse_factor()
+        while self._cur[1] in ("*", "/"):
+            op = self._advance()[1]
+            node = ("bin", op, node, self._parse_factor())
+        return node
+
+    def _parse_factor(self):
+        kind, text, pos = self._cur
+        if self._accept("("):
+            node = self._parse_expr()
+            self._expect(")")
+            return node
+        if self._accept("-"):
+            return ("neg", self._parse_factor())
+        if kind in ("int", "float", "string"):
+            return ("lit", self._literal())
+        if text in ("true", "false"):
+            self._advance()
+            return ("lit", text == "true")
+        if text == "new":
+            self._advance()
+            self._expect(".")
+            return ("new", self._advance()[1])
+        if text == "boundary":
+            self._advance()
+            return ("boundary",)
+        if kind == "name":
+            self._advance()
+            return ("var", text)
+        raise AggregationError(f"bad expression at {pos}: {text!r}")
+
+    def _literal(self):
+        kind, text, pos = self._advance()
+        if kind == "int":
+            return int(text)
+        if kind == "float":
+            return float(text)
+        if kind == "string":
+            return text[1:-1]
+        raise AggregationError(f"bad literal at {pos}: {text!r}")
+
+
+# ------------------------------------------------------------- evaluation
+
+
+class _Terminated(Exception):
+    pass
+
+
+class AggregationFunction:
+    """A compiled aggregation function.
+
+    One instance is one independent evaluation (the paper: many
+    simultaneous independent evaluations of the same function may exist,
+    e.g. one per bank account).  Wire it to occurrences with
+    :meth:`offer` (inserts into the two-section queue), advance knowledge
+    with :meth:`advance` and finish with :meth:`terminate`.
+    """
+
+    def __init__(self, block: _Block, on_signal: Optional[Callable[..., None]] = None):
+        self._block = block
+        self.expr_source = block.expr_source
+        self.vars: dict[str, Any] = dict(block.decls)
+        self.on_signal = on_signal
+        self.signals: list[tuple] = []
+        self.terminated = False
+        self.queue = TwoSectionQueue(on_fixed=self._on_fixed, on_boundary=self._on_boundary)
+
+    # -- feeding --------------------------------------------------------------
+
+    def offer(self, timestamp: float, env: dict) -> None:
+        """An occurrence of the composite expression arrived."""
+        if not self.terminated:
+            self.queue.insert(timestamp, dict(env))
+
+    def advance(self, horizon: float) -> None:
+        """The global event horizon advanced (fixes queue prefix)."""
+        if not self.terminated:
+            self.queue.fix_up_to(horizon)
+
+    def terminate(self) -> None:
+        """The stream ended: run the ``term:`` section."""
+        if self.terminated:
+            return
+        self.terminated = True
+        self._run(self._block.sections["term"], new=None)
+
+    # -- interpreter -----------------------------------------------------------
+
+    def _on_fixed(self, item: QueueItem) -> None:
+        if self.terminated:
+            return
+        new = dict(item.payload)
+        new["time"] = item.timestamp
+        self._run(self._block.sections["event"], new=new)
+
+    def _on_boundary(self, horizon: float) -> None:
+        if self.terminated:
+            return
+        self._run(self._block.sections["var"], new=None)
+
+    def _run(self, stmts, new) -> None:
+        try:
+            for stmt in stmts:
+                self._exec(stmt, new)
+        except _Terminated:
+            self.terminated = True
+
+    def _exec(self, stmt, new) -> None:
+        op = stmt[0]
+        if op == "assign":
+            if stmt[1] not in self.vars:
+                raise AggregationError(
+                    f"assignment to undeclared variable {stmt[1]!r}"
+                )
+            self.vars[stmt[1]] = self._eval(stmt[2], new)
+        elif op == "signal":
+            args = tuple(self._eval(a, new) for a in stmt[1])
+            self.signals.append(args)
+            if self.on_signal is not None:
+                self.on_signal(*args)
+        elif op == "terminate":
+            raise _Terminated()
+        elif op == "if":
+            branch = stmt[2] if self._cond(stmt[1], new) else stmt[3]
+            for inner in branch:
+                self._exec(inner, new)
+        else:
+            raise AggregationError(f"unknown statement {stmt!r}")
+
+    def _cond(self, cond, new) -> bool:
+        kind = cond[0]
+        if kind == "cmp":
+            left = self._eval(cond[2], new)
+            right = self._eval(cond[3], new)
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[cond[1]]
+        if kind == "truthy":
+            return bool(self._eval(cond[1], new))
+        if kind == "logic":
+            if cond[1] == "&&":
+                return self._cond(cond[2], new) and self._cond(cond[3], new)
+            return self._cond(cond[2], new) or self._cond(cond[3], new)
+        raise AggregationError(f"unknown condition {cond!r}")
+
+    def _eval(self, expr, new):
+        kind = expr[0]
+        if kind == "lit":
+            return expr[1]
+        if kind == "var":
+            if expr[1] not in self.vars:
+                raise AggregationError(f"undeclared variable {expr[1]!r}")
+            return self.vars[expr[1]]
+        if kind == "new":
+            if new is None:
+                raise AggregationError("'new' is only available in the event: section")
+            if expr[1] not in new:
+                raise AggregationError(f"occurrence has no binding {expr[1]!r}")
+            return new[expr[1]]
+        if kind == "boundary":
+            return self.queue.boundary
+        if kind == "neg":
+            return -self._eval(expr[1], new)
+        if kind == "bin":
+            left = self._eval(expr[2], new)
+            right = self._eval(expr[3], new)
+            if expr[1] == "+":
+                return left + right
+            if expr[1] == "-":
+                return left - right
+            if expr[1] == "*":
+                return left * right
+            return left / right
+        raise AggregationError(f"unknown expression {expr!r}")
+
+
+def parse_aggregation(
+    source: str, on_signal: Optional[Callable[..., None]] = None
+) -> AggregationFunction:
+    """Compile an aggregation block into a runnable function."""
+    return AggregationFunction(_Parser(source).parse(), on_signal=on_signal)

@@ -1,0 +1,106 @@
+"""The two-section priority queue (section 6.9.2, fig 6.6).
+
+Event occurrences are kept in timestamp order.  The queue has two
+sections: the **fixed** prefix — the system guarantees no more insertions
+into it — and the **variable** suffix, into which delayed events may
+still be inserted.  As horizons advance ("heartbeats 'promise' the
+absence of events from particular servers"), the fixed portion grows and
+the aggregation function is told via meta-events, letting it emit
+aggregate events at the earliest possible moment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True, order=True)
+class QueueItem:
+    timestamp: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class TwoSectionQueue:
+    """A priority queue whose prefix becomes immutable as knowledge grows.
+
+    ``on_fixed(item)`` fires (in timestamp order) for each item as it
+    enters the fixed section; ``on_boundary(horizon)`` fires when the
+    boundary moves (even if no items were crossed) — the meta-event the
+    aggregation machinery consumes.
+    """
+
+    def __init__(
+        self,
+        on_fixed: Optional[Callable[[QueueItem], None]] = None,
+        on_boundary: Optional[Callable[[float], None]] = None,
+    ):
+        self._items: list[QueueItem] = []     # sorted; prefix [0:_fixed) is fixed
+        self._fixed = 0
+        self._boundary = float("-inf")
+        self._seq = itertools.count()
+        self.on_fixed = on_fixed
+        self.on_boundary = on_boundary
+        self.late_rejections = 0
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, timestamp: float, payload: Any) -> QueueItem:
+        """Insert an occurrence.  Inserting at or below the fixed boundary
+        violates the horizon promise and raises."""
+        if timestamp <= self._boundary:
+            self.late_rejections += 1
+            raise AggregationError(
+                f"insertion at {timestamp} violates the fixed boundary "
+                f"{self._boundary} (a horizon promise was broken)"
+            )
+        item = QueueItem(timestamp, next(self._seq), payload)
+        bisect.insort(self._items, item)
+        return item
+
+    # -- fixing -----------------------------------------------------------------
+
+    def fix_up_to(self, horizon: float) -> list[QueueItem]:
+        """The horizon advanced: everything stamped <= ``horizon`` is now
+        fixed.  Returns (and reports) the newly fixed items in order."""
+        if horizon <= self._boundary:
+            return []
+        self._boundary = horizon
+        newly: list[QueueItem] = []
+        while self._fixed < len(self._items) and self._items[self._fixed].timestamp <= horizon:
+            item = self._items[self._fixed]
+            self._fixed += 1
+            newly.append(item)
+            if self.on_fixed is not None:
+                self.on_fixed(item)
+        if self.on_boundary is not None:
+            self.on_boundary(horizon)
+        return newly
+
+    # -- reading -------------------------------------------------------------------
+
+    @property
+    def boundary(self) -> float:
+        return self._boundary
+
+    def fixed_items(self) -> list[QueueItem]:
+        return self._items[: self._fixed]
+
+    def variable_items(self) -> list[QueueItem]:
+        return self._items[self._fixed:]
+
+    def pop_fixed(self) -> QueueItem:
+        """Remove and return the earliest fixed item."""
+        if self._fixed == 0:
+            raise AggregationError("no fixed items to pop")
+        item = self._items.pop(0)
+        self._fixed -= 1
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,236 @@
+"""The event broker: registration and notification (sections 6.2.2, 6.8.1).
+
+A client first *establishes a session* (supplying credentials — admission
+control, chapter 7), then registers interest in event templates.  The
+broker signals matching events to the session callback, each notification
+carrying the broker's current *event horizon* (section 6.8.2).
+
+Pre-registration / retrospective registration (section 6.8.1): a client
+may pre-register interest in an event it will need later; matching
+occurrences are buffered **at the source** (shared between clients) but
+not notified.  When ready, the client retrospectively registers from a
+time in the past and is immediately sent the buffered occurrences between
+then and now, closing the lookup/register race without flooding the
+network with irrelevant notifications.
+
+Delivery is either immediate (local callback) or scheduled on a simulator
+with a per-session delay, which is how the fig 6.4 delay experiments are
+driven.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import RegistrationError
+from repro.events.model import Event, Template
+from repro.runtime.clock import Clock, ManualClock
+from repro.runtime.simulator import Simulator
+
+# callback(event, horizon) for events; callback(None, horizon) = heartbeat
+Notify = Callable[[Optional[Event], float], None]
+# admission(session_info) -> None or raise; filter(session, event) -> bool
+AdmissionHook = Callable[[dict], None]
+NotificationFilter = Callable[["Session", Event], bool]
+
+
+@dataclass
+class Session:
+    """A client's session with an event broker."""
+
+    id: int
+    notify: Notify
+    info: dict = field(default_factory=dict)
+    delay: float = 0.0           # simulated network delay to this client
+    open: bool = True
+    notifications: int = 0
+
+
+@dataclass
+class Registration:
+    id: int
+    session: Session
+    template: Template
+    live: bool = True            # False = pre-registration (buffer only)
+
+
+@dataclass
+class BrokerStats:
+    events_signalled: int = 0
+    notifications: int = 0
+    suppressed_by_filter: int = 0
+    replayed: int = 0
+    heartbeats: int = 0
+
+
+class EventBroker:
+    """Server-side event library (the right-hand half of fig 6.1).
+
+    ``retention`` is how long signalled events are kept for retrospective
+    registration; the paper notes a service is only willing to buffer for
+    a bounded period, trading memory against the registration-delay
+    window it can cover.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Clock] = None,
+        simulator: Optional[Simulator] = None,
+        retention: float = 60.0,
+        admission: Optional[AdmissionHook] = None,
+        notification_filter: Optional[NotificationFilter] = None,
+    ):
+        self.name = name
+        self.clock = clock or ManualClock()
+        self.simulator = simulator
+        self.retention = retention
+        self.admission = admission
+        self.notification_filter = notification_filter
+        self._sessions: dict[int, Session] = {}
+        self._registrations: dict[int, Registration] = {}
+        self._ids = itertools.count(1)
+        self._buffer: deque[Event] = deque()
+        self.stats = BrokerStats()
+
+    # -- sessions -----------------------------------------------------------
+
+    def establish_session(
+        self, notify: Notify, info: Optional[dict] = None, delay: float = 0.0
+    ) -> Session:
+        """Open a session; admission control runs here (section 6.2.2)."""
+        info = dict(info or {})
+        if self.admission is not None:
+            self.admission(info)
+        session = Session(id=next(self._ids), notify=notify, info=info, delay=delay)
+        self._sessions[session.id] = session
+        return session
+
+    def close_session(self, session: Session) -> None:
+        session.open = False
+        self._sessions.pop(session.id, None)
+        for reg_id in [r.id for r in self._registrations.values() if r.session is session]:
+            del self._registrations[reg_id]
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, session: Session, template: Template) -> Registration:
+        """Register interest in events matching ``template``."""
+        self._require_open(session)
+        registration = Registration(next(self._ids), session, template, live=True)
+        self._registrations[registration.id] = registration
+        return registration
+
+    def deregister(self, registration: Registration) -> None:
+        self._registrations.pop(registration.id, None)
+
+    def preregister(self, session: Session, template: Template) -> Registration:
+        """Indicate future interest: matching events are retained but not
+        notified (section 6.8.1)."""
+        self._require_open(session)
+        registration = Registration(next(self._ids), session, template, live=False)
+        self._registrations[registration.id] = registration
+        return registration
+
+    def narrow(self, registration: Registration, template: Template) -> None:
+        """Repeatedly narrow a pre-registration as parameters become
+        known (section 6.8.1)."""
+        registration.template = template
+
+    def retro_register(
+        self, registration: Registration, since: float
+    ) -> list[Event]:
+        """Upgrade a pre-registration to live, replaying buffered matching
+        occurrences with timestamps >= ``since`` immediately.  Returns the
+        replayed events (they are also delivered through the callback)."""
+        if registration.id not in self._registrations:
+            raise RegistrationError("registration is no longer active")
+        self._expire_buffer()
+        registration.live = True
+        replay = [
+            event
+            for event in self._buffer
+            if event.timestamp >= since
+            and registration.template.match(event) is not None
+        ]
+        for event in replay:
+            self._notify(registration.session, event)
+            self.stats.replayed += 1
+        return replay
+
+    # -- signalling ---------------------------------------------------------------
+
+    def signal(self, event: Event) -> int:
+        """A service signals an event occurrence; returns notifications
+        initiated."""
+        if event.timestamp == 0.0 and self.clock.now() != 0.0:
+            event = event.stamped(self.clock.now(), self.name)
+        elif not event.source:
+            event = event.stamped(event.timestamp or self.clock.now(), self.name)
+        self.stats.events_signalled += 1
+        self._buffer.append(event)
+        self._expire_buffer()
+        sent = 0
+        for registration in list(self._registrations.values()):
+            if not registration.live:
+                continue
+            if registration.template.match(event) is None:
+                continue
+            if self._notify(registration.session, event):
+                sent += 1
+        return sent
+
+    def heartbeat(self) -> None:
+        """Assert liveness: push the current horizon to every session."""
+        self.stats.heartbeats += 1
+        horizon = self.horizon()
+        for session in list(self._sessions.values()):
+            self._deliver(session, None, horizon)
+
+    def horizon(self) -> float:
+        """A *strict* lower bound on future stamps: events signalled from
+        now on carry stamps >= clock.now, so anything <= just-below-now
+        can never arrive.  (Strictness matters: an event and a heartbeat
+        in the same instant must not race.)"""
+        import math
+        return math.nextafter(self.clock.now(), float("-inf"))
+
+    # -- internals -------------------------------------------------------------------
+
+    def _notify(self, session: Session, event: Event) -> bool:
+        if not session.open:
+            return False
+        if self.notification_filter is not None and not self.notification_filter(
+            session, event
+        ):
+            self.stats.suppressed_by_filter += 1
+            return False
+        self._deliver(session, event, self.horizon())
+        return True
+
+    def _deliver(self, session: Session, event: Optional[Event], horizon: float) -> None:
+        if event is not None:
+            session.notifications += 1
+            self.stats.notifications += 1
+        if self.simulator is not None and session.delay > 0:
+            self.simulator.schedule(
+                session.delay, session.notify, event, horizon, name="event-delivery"
+            )
+        else:
+            session.notify(event, horizon)
+
+    def _expire_buffer(self) -> None:
+        cutoff = self.clock.now() - self.retention
+        while self._buffer and self._buffer[0].timestamp < cutoff:
+            self._buffer.popleft()
+
+    def _require_open(self, session: Session) -> None:
+        if not session.open or session.id not in self._sessions:
+            raise RegistrationError("session is not open")
+
+    def buffered(self) -> int:
+        self._expire_buffer()
+        return len(self._buffer)

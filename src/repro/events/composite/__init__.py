@@ -1,0 +1,43 @@
+"""The composite event language of sections 6.4-6.8.
+
+* :mod:`repro.events.composite.ast` — expression nodes: templates with
+  side expressions, ``;`` (sequence), ``|`` (or), ``-`` (without),
+  ``$`` (whenever), ``null`` and ``AbsTime``;
+* :mod:`repro.events.composite.parser` — the concrete syntax, e.g.
+  ``"$Seen(B, R1); Seen(B, R) - Seen(B, R1)"``;
+* :mod:`repro.events.composite.semantics` — the denotational evaluation
+  function Φ of section 6.5 over a finite trace (the testing oracle);
+* :mod:`repro.events.composite.machine` — the push-down bead machine of
+  section 6.7 (the incremental detector);
+* :mod:`repro.events.composite.detector` — the detector service wiring
+  machines to event sources, with independent-evaluation and global-view
+  modes (fig 6.4).
+"""
+
+from repro.events.composite.ast import (
+    CAbsTime,
+    CNull,
+    COr,
+    CSeq,
+    CTemplate,
+    CWhenever,
+    CWithout,
+)
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.composite.machine import Machine
+from repro.events.composite.parser import parse_expression
+from repro.events.composite.semantics import evaluate
+
+__all__ = [
+    "parse_expression",
+    "evaluate",
+    "Machine",
+    "CompositeEventDetector",
+    "CTemplate",
+    "CSeq",
+    "COr",
+    "CWithout",
+    "CWhenever",
+    "CNull",
+    "CAbsTime",
+]

@@ -1,0 +1,201 @@
+"""AST for composite event expressions (section 6.5).
+
+Operator summary (and ASCII syntax):
+
+=============  =======  ====================================================
+Φ case         Syntax   Meaning
+=============  =======  ====================================================
+base template  ``A(x)`` first matching base event after the start time
+sequence       ``;``    ``C1`` followed (not necessarily immediately) by
+                        ``C2`` started at each ``C1`` occurrence
+or             ``|``    union of occurrences of both sides
+without        ``-``    ``C1`` occurs without ``C2`` having occurred first
+whenever       ``$``    a new evaluation starts each time one completes,
+                        with a fresh environment (replaces the Kleene star)
+null           ``null`` occurs immediately
+absolute time  ``AbsTime(t)``  fires when the (clock) time reaches ``t``
+=============  =======  ====================================================
+
+Side expressions in braces attach to templates (``Seen(x, y) {x != "rjh"}``)
+and carry comparisons and assignments; ``@`` denotes the matched event's
+timestamp.  The ``-`` operator accepts ``{delay = d}`` / ``{prob = p}``
+annotations (sections 6.8.3-6.8.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.errors import CompositeSyntaxError
+from repro.events.model import Template
+
+# -------------------------------------------------------------- arithmetic
+
+# arithmetic expression over side-clause terms, as nested tuples:
+#   ("lit", value) | ("var", name) | ("now",) | ("+", a, b) | ("-", a, b)
+Arith = tuple
+
+
+def eval_arith(expr: Arith, env: dict, event_time: float) -> Any:
+    kind = expr[0]
+    if kind == "lit":
+        return expr[1]
+    if kind == "var":
+        name = expr[1]
+        if name not in env:
+            raise KeyError(name)
+        return env[name]
+    if kind == "now":
+        return event_time
+    if kind == "+":
+        return eval_arith(expr[1], env, event_time) + eval_arith(expr[2], env, event_time)
+    if kind == "-":
+        return eval_arith(expr[1], env, event_time) - eval_arith(expr[2], env, event_time)
+    raise CompositeSyntaxError(f"bad arithmetic node {expr!r}")
+
+
+@dataclass(frozen=True)
+class SideClause:
+    """One clause of a side expression: ``var op expr``.
+
+    ``=`` binds the variable if unbound, else tests equality (matching
+    the constraint-language convention)."""
+
+    op: str          # = == != < <= > >=
+    var: str
+    expr: Arith
+
+    def apply(self, env: dict, event_time: float) -> Optional[dict]:
+        """Evaluate against ``env``; returns the updated env or None."""
+        try:
+            value = eval_arith(self.expr, env, event_time)
+        except KeyError:
+            return None
+        if self.op == "=" and self.var not in env:
+            out = dict(env)
+            out[self.var] = value
+            return out
+        if self.var not in env:
+            return None
+        current = env[self.var]
+        ok = {
+            "=": lambda: current == value,
+            "==": lambda: current == value,
+            "!=": lambda: current != value,
+            "<": lambda: current < value,
+            "<=": lambda: current <= value,
+            ">": lambda: current > value,
+            ">=": lambda: current >= value,
+        }[self.op]()
+        return dict(env) if ok else None
+
+
+def apply_sides(
+    sides: tuple[SideClause, ...], env: dict, event_time: float
+) -> Optional[dict]:
+    out = dict(env)
+    for clause in sides:
+        result = clause.apply(out, event_time)
+        if result is None:
+            return None
+        out = result
+    return out
+
+
+# ------------------------------------------------------------------- nodes
+
+
+@dataclass(frozen=True)
+class CTemplate:
+    """A base event template, with optional side expression."""
+
+    template: Template
+    sides: tuple[SideClause, ...] = ()
+
+    def __str__(self) -> str:
+        text = str(self.template)
+        if self.sides:
+            clauses = ", ".join(f"{c.var} {c.op} ..." for c in self.sides)
+            text += " {" + clauses + "}"
+        return text
+
+
+@dataclass(frozen=True)
+class CSeq:
+    left: "CNode"
+    right: "CNode"
+
+    def __str__(self) -> str:
+        return f"({self.left}; {self.right})"
+
+
+@dataclass(frozen=True)
+class COr:
+    left: "CNode"
+    right: "CNode"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class CWithout:
+    """``left - right``: left occurs without right having occurred first.
+
+    ``delay``: maximum time evaluation is held after a left occurrence
+    before ¬right is assumed (section 6.8.3); None = wait for the event
+    horizon (fully correct, detection latency bounded by the heartbeat).
+    ``probability``: minimum ordering confidence (section 6.8.4), recorded
+    for use by clock-drift-aware detectors."""
+
+    left: "CNode"
+    right: "CNode"
+    delay: Optional[float] = None
+    probability: Optional[float] = None
+
+    def __str__(self) -> str:
+        annotation = ""
+        if self.delay is not None:
+            annotation = f" {{delay = {self.delay}}}"
+        return f"({self.left} - {self.right}{annotation})"
+
+
+@dataclass(frozen=True)
+class CWhenever:
+    child: "CNode"
+
+    def __str__(self) -> str:
+        return f"${self.child}"
+
+
+@dataclass(frozen=True)
+class CNull:
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class CAbsTime:
+    """Fires when absolute time reaches the value of ``expr`` (used by
+    the fire-alarm example: ``$Alarm() {t = @ + 60}; AbsTime(t)``)."""
+
+    expr: Arith
+
+    def __str__(self) -> str:
+        return "AbsTime(...)"
+
+
+CNode = Union[CTemplate, CSeq, COr, CWithout, CWhenever, CNull, CAbsTime]
+
+
+def templates_in(node: CNode) -> list[Template]:
+    """Every base event template mentioned in an expression (the explicit
+    alphabet of section 6.4.2)."""
+    if isinstance(node, CTemplate):
+        return [node.template]
+    if isinstance(node, (CSeq, COr, CWithout)):
+        return templates_in(node.left) + templates_in(node.right)
+    if isinstance(node, CWhenever):
+        return templates_in(node.child)
+    return []

@@ -1,0 +1,215 @@
+"""The composite event detector service (sections 6.7-6.8).
+
+Hosts any number of :class:`~repro.events.composite.machine.Machine`
+instances and wires them to event sources:
+
+* **independent mode** (the paper's contribution): events are dispatched
+  to machines the moment they arrive, in arrival order.  Delays affecting
+  one source hold back only the decisions (``without``) that genuinely
+  need its horizon; everything else signals immediately (fig 6.4, the
+  "optimal detector").
+* **global-view mode** (the baseline the paper argues against): events
+  are buffered in a two-section queue and released in timestamp order
+  only once the global horizon passes them, giving every detection an
+  inherent Δ-worst latency.
+
+Horizons are tracked per source (every heartbeat / notification carries
+one) and the global minimum drives `without` decisions in both modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional, Union
+
+from repro.events.broker import EventBroker, Session
+from repro.events.composite.ast import CNode, templates_in
+from repro.events.composite.machine import Machine
+from repro.events.composite.parser import parse_expression
+from repro.events.horizon import HorizonTracker
+from repro.events.model import Event, Template, WILDCARD
+from repro.runtime.clock import Clock, ManualClock
+
+
+class Watch:
+    """A client's composite registration with the detector."""
+
+    def __init__(self, detector: "CompositeEventDetector", machine: Machine,
+                 callback: Callable[[float, dict], None]):
+        self.detector = detector
+        self.machine = machine
+        self.callback = callback
+        self.occurrences: list[tuple[float, dict]] = []
+
+    def cancel(self) -> None:
+        self.detector._watches.discard(self)
+
+
+class CompositeEventDetector:
+    """Detects composite events over one or more event sources."""
+
+    def __init__(self, clock: Optional[Clock] = None, mode: str = "independent"):
+        if mode not in ("independent", "global-view"):
+            raise ValueError(f"unknown detector mode {mode!r}")
+        self.clock = clock or ManualClock()
+        self.mode = mode
+        self.horizons = HorizonTracker()
+        self._watches: set[Watch] = set()
+        self._sessions: list[tuple[EventBroker, Session]] = []
+        self._databases: list = []   # attached Namers (active databases)
+        # global-view buffering: (timestamp, seq, event)
+        self._buffer: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.events_received = 0
+        self.events_dispatched = 0
+        self.horizons.on_advance(self._on_horizon)
+
+    # -- client API ------------------------------------------------------------
+
+    def watch(
+        self,
+        expression: Union[str, CNode],
+        callback: Optional[Callable[[float, dict], None]] = None,
+        env: Optional[dict] = None,
+    ) -> Watch:
+        """Register a composite expression; ``callback(time, env)`` fires
+        per occurrence and occurrences are also collected on the watch."""
+        node = parse_expression(expression) if isinstance(expression, str) else expression
+        holder: list[Watch] = []
+        pending: list[tuple[float, dict]] = []
+
+        def on_signal(t: float, bound_env: dict) -> None:
+            if not holder:
+                # fired during machine construction (e.g. a null branch):
+                # deliver once the watch exists
+                pending.append((t, bound_env))
+                return
+            watch = holder[0]
+            watch.occurrences.append((t, bound_env))
+            if watch.callback is not None:
+                watch.callback(t, bound_env)
+
+        machine = Machine(node, on_signal, start=self.clock.now(), env=env)
+        machine.on_register = self._on_frame_registered
+        watch = Watch(self, machine, callback)
+        holder.append(watch)
+        for t, bound_env in pending:
+            on_signal(t, bound_env)
+        pending.clear()
+        self._watches.add(watch)
+        # frames registered during machine construction predate the hook
+        for frames in list(machine._by_name.values()):
+            for frame in list(frames):
+                self._on_frame_registered(frame)
+        return watch
+
+    # -- source wiring -------------------------------------------------------------
+
+    def connect(self, broker: EventBroker, templates: Optional[list[Template]] = None,
+                delay: float = 0.0) -> Session:
+        """Subscribe to an event broker.  Without an explicit template
+        list, one wildcard registration per event name mentioned by the
+        current watches would be ideal; since watches come and go, a
+        single catch-all feed per broker keeps the wiring simple while
+        the machines still only *register* (count) interesting templates.
+        """
+        self.horizons.expect_source(broker.name)
+        session = broker.establish_session(self._make_feed(broker.name), delay=delay)
+        if templates is None:
+            templates = [Template("*", ())]   # catch-all marker
+        for tpl in templates:
+            if tpl.name == "*":
+                broker.register(session, _CatchAll())
+            else:
+                broker.register(session, tpl)
+        self._sessions.append((broker, session))
+        return session
+
+    def connect_database(self, namer) -> None:
+        """Attach an active database (a Namer, section 6.3.3).  Whenever a
+        machine registers a template over one of its relations, existing
+        tuples are replayed as events — the DBRegister lookup half — and
+        live updates flow via :meth:`connect` on the namer's broker."""
+        self._databases.append(namer)
+        self.connect(namer.broker)
+        for watch in list(self._watches):
+            for frames in list(watch.machine._by_name.values()):
+                for frame in list(frames):
+                    self._on_frame_registered(frame)
+
+    def _on_frame_registered(self, frame) -> None:
+        """DBRegister integration: replay matching database tuples into a
+        newly registered template frame, stamped just after its start
+        time (the lookup happens at registration time)."""
+        import math
+
+        name = frame.bound_template.name
+        for namer in self._databases:
+            if name not in namer._relations:
+                continue
+            stamp = max(self.clock.now(), frame.start)
+            stamp = math.nextafter(stamp, float("inf"))
+            for row in namer.select(name):
+                if not frame.alive:
+                    return
+                event = Event(name, row, timestamp=stamp, source=namer.broker.name)
+                if frame.bound_template.match(event, frame.env) is not None:
+                    frame.on_event(event)
+
+    def _make_feed(self, source: str):
+        def feed(event: Optional[Event], horizon: float) -> None:
+            self.horizons.update(source, horizon)
+            if event is not None:
+                self.post(event)
+
+        return feed
+
+    # -- direct feeding (tests, embedded use) ------------------------------------------
+
+    def post(self, event: Event) -> None:
+        """An event arrives (stamped by its source)."""
+        self.events_received += 1
+        if self.mode == "global-view":
+            heapq.heappush(self._buffer, (event.timestamp, next(self._seq), event))
+            self._release_buffer()
+        else:
+            self._dispatch(event)
+
+    def update_horizon(self, source: str, horizon: float) -> None:
+        self.horizons.update(source, horizon)
+
+    def tick(self) -> None:
+        """Propagate wall-clock progress (delay budgets, AbsTime)."""
+        now = self.clock.now()
+        for watch in list(self._watches):
+            watch.machine.advance_time(now)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        self.events_dispatched += 1
+        for watch in list(self._watches):
+            watch.machine.post(event)
+
+    def _on_horizon(self, horizon: float) -> None:
+        if self.mode == "global-view":
+            self._release_buffer()
+        for watch in list(self._watches):
+            watch.machine.advance_horizon(horizon)
+
+    def _release_buffer(self) -> None:
+        horizon = self.horizons.global_horizon()
+        while self._buffer and self._buffer[0][0] <= horizon:
+            _, _, event = heapq.heappop(self._buffer)
+            self._dispatch(event)
+
+
+class _CatchAll(Template):
+    """A template matching every event (detector feed registration)."""
+
+    def __init__(self):
+        super().__init__("*", ())
+
+    def match(self, event, env=None):
+        return dict(env) if env else {}

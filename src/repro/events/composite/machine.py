@@ -1,0 +1,582 @@
+"""The push-down bead machine (section 6.7).
+
+An expression is evaluated by *frames* (the paper's push-down states),
+each holding "beads" — activations carrying an environment.  A frame:
+
+* registers interest only in the event templates it is currently waiting
+  for, merged with its environment (so only truly interesting events are
+  ever registered — the explicit-alphabet property of section 6.4.2);
+* may *complete* any number of times (each completion is a bead returning
+  to the level above with an occurrence time and an updated environment);
+* eventually becomes *exhausted* — no further completions are possible —
+  letting parents delete sibling beads (the walkthrough's bead 1/4/5
+  cleanup).
+
+The ``without`` operator holds completions of its left side until either
+the event horizon passes the occurrence time (no right-side occurrence
+with an earlier stamp can still arrive — section 6.8.2) or an optional
+``delay`` budget expires (the probabilistic trade of section 6.8.3).
+
+Evaluations are *independent*: delay in deciding one ``without`` never
+blocks other beads (fig 6.4) — only the affected completion is held.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.events.composite.ast import (
+    CAbsTime,
+    CNode,
+    CNull,
+    COr,
+    CSeq,
+    CTemplate,
+    CWhenever,
+    CWithout,
+    apply_sides,
+    eval_arith,
+)
+from repro.events.model import Event, Template
+
+Signal = Callable[[float, dict], None]
+
+
+class Machine:
+    """Evaluates one composite expression incrementally.
+
+    Feed events with :meth:`post` (stamped with source timestamps),
+    advance knowledge with :meth:`advance_horizon` (the global event
+    horizon) and :meth:`advance_time` (local clock, for ``delay`` and
+    ``AbsTime``).  ``on_signal(time, env)`` fires for each occurrence.
+    """
+
+    def __init__(
+        self,
+        expr: CNode,
+        on_signal: Signal,
+        start: float = float("-inf"),
+        env: Optional[dict] = None,
+        clock_skew: float = 0.0,
+    ):
+        self.expr = expr
+        self.on_signal = on_signal
+        self.horizon = float("-inf")
+        self.now = float("-inf")
+        # worst-case pairwise clock skew among event sources, for the
+        # probabilistic ordering extension of section 6.8.4
+        self.clock_skew = clock_skew
+        self._by_name: dict[str, set["_TemplateFrame"]] = {}
+        self._history: list[Event] = []
+        self._timers: list["_AbsTimeFrame"] = []
+        self._held: list["_WithoutFrame"] = []
+        self._ids = itertools.count(1)
+        self.signals = 0
+        self.registrations_made = 0
+        self.beads_created = 0
+        # hook: called with each _TemplateFrame as it registers; the
+        # detector uses it to run DBRegister-style lookups (section 6.3.3)
+        self.on_register: Optional[Callable[[Any], None]] = None
+        self._root = _make_frame(self, expr, None, 0, start, dict(env or {}))
+        self._root.activate()
+        self._flush_held()
+
+    # -- feeding ------------------------------------------------------------
+
+    def post(self, event: Event) -> None:
+        """An event notification arrives (any arrival order; the stamp is
+        the source's)."""
+        if event.timestamp > self.now:
+            self.now = event.timestamp
+        self._history.append(event)
+        frames = list(self._by_name.get(event.name, ()))
+        for frame in frames:
+            if frame.alive:
+                frame.on_event(event)
+        self._fire_timers()
+        self._flush_held()
+
+    def prune_history(self, before: float) -> int:
+        """Discard retained events with stamps < ``before``.  The history
+        is the in-machine analogue of broker-side retention (section
+        6.8.1): frames activated by late-deciding ``without`` operators
+        replay it so no occurrence is missed.  Prune only below the
+        earliest start time you may still activate frames at."""
+        keep = [e for e in self._history if e.timestamp >= before]
+        dropped = len(self._history) - len(keep)
+        self._history = keep
+        return dropped
+
+    def advance_horizon(self, horizon: float) -> None:
+        """No event with stamp <= ``horizon`` will ever arrive again."""
+        if horizon > self.horizon:
+            self.horizon = horizon
+            if horizon > self.now:
+                self.now = horizon
+            self._fire_timers()
+            self._flush_held()
+
+    def advance_time(self, now: float) -> None:
+        """Local wall-clock progress (drives delay budgets and AbsTime)."""
+        if now > self.now:
+            self.now = now
+            self._fire_timers()
+            self._flush_held()
+
+    # -- introspection ----------------------------------------------------------
+
+    def waiting_templates(self) -> list[Template]:
+        """Templates currently registered — the machine's live alphabet."""
+        out = []
+        for frames in self._by_name.values():
+            out.extend(f.bound_template for f in frames if f.alive)
+        return out
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._root.alive
+
+    # -- plumbing for frames ---------------------------------------------------------
+
+    def _signal(self, time: float, env: dict) -> None:
+        self.signals += 1
+        self.on_signal(time, dict(env))
+
+    def _register(self, frame: "_TemplateFrame") -> None:
+        self._by_name.setdefault(frame.bound_template.name, set()).add(frame)
+        self.registrations_made += 1
+        if self.on_register is not None:
+            self.on_register(frame)
+
+    def _deregister(self, frame: "_TemplateFrame") -> None:
+        frames = self._by_name.get(frame.bound_template.name)
+        if frames is not None:
+            frames.discard(frame)
+
+    def _add_timer(self, frame: "_AbsTimeFrame") -> None:
+        self._timers.append(frame)
+
+    def _add_held(self, frame: "_WithoutFrame") -> None:
+        if frame not in self._held:
+            self._held.append(frame)
+
+    def _fire_timers(self) -> None:
+        due = [f for f in self._timers if f.alive and f.when <= self.now]
+        self._timers = [f for f in self._timers if f.alive and f.when > self.now]
+        for frame in due:
+            frame.fire()
+
+    def _flush_held(self) -> None:
+        # Fixpoint: releasing one held completion can update the
+        # kill-time of another `without`, so iterate until stable.
+        progress = True
+        while progress:
+            progress = False
+            for frame in list(self._held):
+                if frame.alive and frame.flush():
+                    progress = True
+            self._held = [f for f in self._held if f.alive and f._pending]
+
+
+# ---------------------------------------------------------------------- frames
+
+
+class _Frame:
+    """Base class: one activation of one expression node."""
+
+    def __init__(self, machine: Machine, node: CNode, parent: Optional["_Frame"],
+                 slot: int, start: float, env: dict):
+        self.machine = machine
+        self.node = node
+        self.parent = parent
+        self.slot = slot
+        self.start = start
+        self.env = env
+        self.alive = True
+        self.activated = False
+        self.id = next(machine._ids)
+        machine.beads_created += 1
+
+    # overridden by subclasses
+    def activate(self) -> None:
+        raise NotImplementedError
+
+    def child_completed(self, slot: int, t: float, env: dict) -> None:
+        raise NotImplementedError
+
+    def child_exhausted(self, slot: int) -> None:
+        pass
+
+    def kill(self) -> None:
+        self.alive = False
+
+    # upward plumbing
+    def complete(self, t: float, env: dict) -> None:
+        if self.parent is None:
+            self.machine._signal(t, env)
+        else:
+            self.parent.child_completed(self.slot, t, env)
+
+    def exhaust(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        if self.parent is not None:
+            self.parent.child_exhausted(self.slot)
+
+    def no_completion_le(self, t: float) -> bool:
+        """True if this frame can never (again) complete with a stamp
+        <= ``t`` — the decision procedure behind `without` (sec 6.8.2)."""
+        raise NotImplementedError
+
+    def _guard_undecided(self, t: float) -> Optional[bool]:
+        """Common prologue: dead frames never complete again; frames not
+        yet activated might complete at any stamp."""
+        if not self.alive:
+            return True
+        if not self.activated:
+            return False
+        return None
+
+
+class _TemplateFrame(_Frame):
+    """Waits for the first matching base event after ``start``."""
+
+    def activate(self) -> None:
+        if not self.alive:
+            return
+        self.activated = True
+        node: CTemplate = self.node  # type: ignore[assignment]
+        self.bound_template = node.template.substitute(self.env)
+        self.machine._register(self)
+        # retrospective scan (section 6.8.1): a frame activated after
+        # events with stamps later than its start must not miss them;
+        # the earliest-stamped match wins, as in Φ
+        best: Optional[Event] = None
+        for event in self.machine._history:
+            if event.timestamp <= self.start:
+                continue
+            if best is not None and event.timestamp >= best.timestamp:
+                continue
+            if self.bound_template.match(event, self.env) is None:
+                continue
+            if apply_sides(node.sides, self.bound_template.match(event, self.env),
+                           event.timestamp) is None:
+                continue
+            best = event
+        if best is not None:
+            self.on_event(best)
+
+    def on_event(self, event: Event) -> None:
+        if event.timestamp <= self.start:
+            return
+        node: CTemplate = self.node  # type: ignore[assignment]
+        match = self.bound_template.match(event, self.env)
+        if match is None:
+            return
+        updated = apply_sides(node.sides, match, event.timestamp)
+        if updated is None:
+            return
+        self.machine._deregister(self)
+        completed_at = event.timestamp
+        parent = self.parent
+        self.complete(completed_at, updated)
+        self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        # a future matching event will carry a stamp > the global horizon
+        return self.machine.horizon >= t
+
+    def kill(self) -> None:
+        if self.alive and hasattr(self, "bound_template"):
+            self.machine._deregister(self)
+        super().kill()
+
+
+class _NullFrame(_Frame):
+    def activate(self) -> None:
+        self.activated = True
+        self.complete(self.start, self.env)
+        self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        return self.start > t
+
+
+class _AbsTimeFrame(_Frame):
+    def activate(self) -> None:
+        self.activated = True
+        node: CAbsTime = self.node  # type: ignore[assignment]
+        try:
+            when = float(eval_arith(node.expr, self.env, self.start))
+        except KeyError:
+            self.exhaust()
+            return
+        self.when = max(when, self.start)
+        if self.when <= self.machine.now:
+            self.fire()
+        else:
+            self.machine._add_timer(self)
+
+    def fire(self) -> None:
+        if not self.alive:
+            return
+        self.complete(self.when, self.env)
+        self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        return getattr(self, "when", float("inf")) > t
+
+
+class _SeqFrame(_Frame):
+    def activate(self) -> None:
+        self.activated = True
+        node: CSeq = self.node  # type: ignore[assignment]
+        self._rights: list[_Frame] = []
+        self._left_exhausted = False
+        self._left = _make_frame(self.machine, node.left, self, 0, self.start, dict(self.env))
+        self._left.activate()
+
+    def child_completed(self, slot: int, t: float, env: dict) -> None:
+        node: CSeq = self.node  # type: ignore[assignment]
+        if slot == 0:
+            # a left occurrence starts a fresh right evaluation
+            right = _make_frame(self.machine, node.right, self, 1, t, dict(env))
+            self._rights.append(right)
+            right.activate()
+        else:
+            self.complete(t, env)
+
+    def child_exhausted(self, slot: int) -> None:
+        if slot == 0:
+            self._left_exhausted = True
+        self._rights = [r for r in self._rights if r.alive]
+        if self._left_exhausted and not self._rights:
+            self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        if not self._left.no_completion_le(t):
+            return False
+        return all(r.no_completion_le(t) for r in self._rights if r.alive)
+
+    def kill(self) -> None:
+        super().kill()
+        if hasattr(self, "_left"):
+            self._left.kill()
+        for right in getattr(self, "_rights", []):
+            right.kill()
+
+
+class _OrFrame(_Frame):
+    def activate(self) -> None:
+        self.activated = True
+        node: COr = self.node  # type: ignore[assignment]
+        self._active = 2
+        self._children = [
+            _make_frame(self.machine, node.left, self, 0, self.start, dict(self.env)),
+            _make_frame(self.machine, node.right, self, 1, self.start, dict(self.env)),
+        ]
+        for child in self._children:
+            child.activate()
+
+    def child_completed(self, slot: int, t: float, env: dict) -> None:
+        self.complete(t, env)
+
+    def child_exhausted(self, slot: int) -> None:
+        self._active -= 1
+        if self._active == 0:
+            self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        return all(c.no_completion_le(t) for c in self._children if c.alive)
+
+    def kill(self) -> None:
+        super().kill()
+        for child in getattr(self, "_children", []):
+            child.kill()
+
+
+class _WheneverFrame(_Frame):
+    """$C: a new evaluation of C starts, with the *original* environment,
+    each time one completes."""
+
+    def activate(self) -> None:
+        self.activated = True
+        self._children: list[_Frame] = []
+        self._spawned: set[float] = set()
+        self._spawn(self.start)
+
+    def _spawn(self, start: float) -> None:
+        node: CWhenever = self.node  # type: ignore[assignment]
+        if start in self._spawned:
+            return
+        self._spawned.add(start)
+        child = _make_frame(self.machine, node.child, self, 0, start, dict(self.env))
+        self._children.append(child)
+        child.activate()
+
+    def child_completed(self, slot: int, t: float, env: dict) -> None:
+        self.complete(t, env)
+        if t > self.start or t not in self._spawned:
+            self._spawn(t)
+
+    def child_exhausted(self, slot: int) -> None:
+        self._children = [c for c in self._children if c.alive]
+        if not self._children:
+            self.exhaust()
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        return all(c.no_completion_le(t) for c in self._children if c.alive)
+
+    def kill(self) -> None:
+        super().kill()
+        for child in getattr(self, "_children", []):
+            child.kill()
+
+
+class _WithoutFrame(_Frame):
+    """C1 - C2: hold C1 completions until ¬C2 is decidable."""
+
+    def activate(self) -> None:
+        self.activated = True
+        node: CWithout = self.node  # type: ignore[assignment]
+        self._t2_min = float("inf")
+        self._pending: list[tuple[float, dict, float]] = []  # (t, env, held_since)
+        self._left_exhausted = False
+        self._left = _make_frame(self.machine, node.left, self, 0, self.start, dict(self.env))
+        self._right = _make_frame(self.machine, node.right, self, 1, self.start, dict(self.env))
+        # the left side may complete-and-exhaust during activation (e.g.
+        # null), which can settle this frame before the right side starts
+        self._left.activate()
+        if self.alive and self._right.alive:
+            self._right.activate()
+        # a completion held while the right side was un-activated may be
+        # decidable now
+        if self._pending:
+            self.machine._add_held(self)
+
+    def child_completed(self, slot: int, t: float, env: dict) -> None:
+        node: CWithout = self.node  # type: ignore[assignment]
+        if slot == 1:
+            # a right occurrence kills every left occurrence at or after
+            # it; occurrences exactly at the frame start do not count
+            # (Φ requires s < t1)
+            if t <= self.start:
+                return
+            if t < self._t2_min:
+                self._t2_min = t
+                margin = self._ordering_margin()
+                self._pending = [p for p in self._pending if p[0] < t - margin]
+                self._maybe_done()
+            return
+        if t >= self._t2_min - self._ordering_margin():
+            self._maybe_done()
+            return
+        if self._decidable(t, self.machine.now):
+            self.complete(t, env)
+            self._maybe_done()
+        else:
+            self._pending.append((t, env, self.machine.now))
+            self.machine._add_held(self)
+
+    def _ordering_margin(self) -> float:
+        """Section 6.8.4: with clock drift, C2's stamp must beat C1's by
+        a margin before we are confident C2 really came first.  Under a
+        rectangular skew model the requested minimum ordering probability
+        p maps to margin = skew * (2p - 1): p = 0.5 compares raw stamps,
+        p -> 1 suppresses C1 even when C2's stamp is slightly *later*
+        ("almost certainly before"), p -> 0 suppresses only when C2's
+        stamp is clearly earlier ("might possibly have occurred before").
+        No probability annotation = raw timestamp order, the paper's
+        default ("time stamp order will always give the most probable
+        order")."""
+        node: CWithout = self.node  # type: ignore[assignment]
+        if node.probability is None or self.machine.clock_skew <= 0.0:
+            return 0.0
+        return self.machine.clock_skew * (2.0 * node.probability - 1.0)
+
+    def _decidable(self, t: float, held_since: float) -> bool:
+        node: CWithout = self.node  # type: ignore[assignment]
+        if self._right.no_completion_le(t + self._ordering_margin()):
+            return True
+        if node.delay is not None and self.machine.now >= held_since + node.delay:
+            return True
+        return False
+
+    def flush(self) -> bool:
+        released = False
+        still: list[tuple[float, dict, float]] = []
+        margin = self._ordering_margin()
+        for t, env, held_since in self._pending:
+            if t >= self._t2_min - margin:
+                released = True     # pruned: progress for the fixpoint
+                continue
+            if self._decidable(t, held_since):
+                released = True
+                self.complete(t, env)
+            else:
+                still.append((t, env, held_since))
+        self._pending = still
+        self._maybe_done()
+        return released
+
+    def no_completion_le(self, t: float) -> bool:
+        guard = self._guard_undecided(t)
+        if guard is not None:
+            return guard
+        if any(p[0] <= t for p in self._pending):
+            return False
+        return self._left.no_completion_le(t)
+
+    def child_exhausted(self, slot: int) -> None:
+        if slot == 0:
+            self._left_exhausted = True
+            self._maybe_done()
+
+    def _maybe_done(self) -> None:
+        if not self.alive:
+            return
+        left_dead = self._left_exhausted or not self._left.alive
+        if left_dead and not self._pending:
+            # no further left completions possible: delete the sibling
+            # beads watching for C2 (the walkthrough's cleanup step)
+            self._right.kill()
+            self.exhaust()
+
+    def kill(self) -> None:
+        super().kill()
+        self._left.kill()
+        self._right.kill()
+
+
+def _make_frame(machine: Machine, node: CNode, parent: Optional[_Frame],
+                slot: int, start: float, env: dict) -> _Frame:
+    cls = {
+        CTemplate: _TemplateFrame,
+        CNull: _NullFrame,
+        CAbsTime: _AbsTimeFrame,
+        CSeq: _SeqFrame,
+        COr: _OrFrame,
+        CWhenever: _WheneverFrame,
+        CWithout: _WithoutFrame,
+    }[type(node)]
+    return cls(machine, node, parent, slot, start, env)

@@ -1,0 +1,265 @@
+"""Parser for the composite event language.
+
+Grammar (precedence from loosest to tightest, per section 6.6: whenever
+is the most closely binding operator and sequence the least):
+
+.. code-block:: text
+
+    expr    := or_e (';' or_e)*                  # sequence
+    or_e    := without ('|' without)*
+    without := atom ('-' atom [annotation])*
+    atom    := '$' atom
+             | '(' expr ')'
+             | 'null'
+             | 'AbsTime' '(' arith ')'
+             | NAME ['(' params ')'] [sides]
+    params  := param (',' param)*
+    param   := INT | FLOAT | STRING | '*' | NAME          # NAME = variable
+    sides   := '{' clause (',' clause)* '}'
+    clause  := NAME op arith
+    arith   := aterm (('+'|'-') aterm)*
+    aterm   := INT | FLOAT | STRING | NAME | '@'
+
+An annotation after the right operand of '-' whose clauses use the
+reserved names ``delay`` / ``prob`` configures the operator
+(sections 6.8.3-6.8.4).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import CompositeSyntaxError
+from repro.events.composite.ast import (
+    Arith,
+    CAbsTime,
+    CNode,
+    CNull,
+    COr,
+    CSeq,
+    CTemplate,
+    CWhenever,
+    CWithout,
+    SideClause,
+)
+from repro.events.model import Template, Var, WILDCARD
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op><=|>=|==|!=|[$();|{},*@<>=+-])
+    """,
+    re.VERBOSE,
+)
+
+_RELOPS = {"=", "==", "!=", "<", "<=", ">", ">="}
+
+
+def _tokenize(source: str) -> list[tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CompositeSyntaxError(f"unexpected character {source[pos]!r}", pos)
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    @property
+    def _cur(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._cur
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        if self._cur[1] == text and self._cur[0] in ("op", "name"):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str):
+        if not self._accept(text):
+            raise CompositeSyntaxError(
+                f"expected {text!r}, found {self._cur[1]!r}", self._cur[2]
+            )
+
+    def _err(self, message: str) -> CompositeSyntaxError:
+        return CompositeSyntaxError(message, self._cur[2])
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> CNode:
+        node = self._seq()
+        if self._cur[0] != "eof":
+            raise self._err(f"unexpected trailing input {self._cur[1]!r}")
+        return node
+
+    def _seq(self) -> CNode:
+        node = self._or()
+        while self._accept(";"):
+            node = CSeq(node, self._or())
+        return node
+
+    def _or(self) -> CNode:
+        node = self._without()
+        while self._accept("|"):
+            node = COr(node, self._without())
+        return node
+
+    def _without(self) -> CNode:
+        node = self._atom()
+        while self._accept("-"):
+            right = self._atom()
+            delay: Optional[float] = None
+            probability: Optional[float] = None
+            # the atom parser consumes a trailing brace group as template
+            # sides; clauses using the reserved names delay/prob actually
+            # configure the '-' operator and are stripped back out here
+            if isinstance(right, CTemplate) and right.sides:
+                plain: list[SideClause] = []
+                for clause in right.sides:
+                    if clause.var == "delay" and clause.op == "=" and clause.expr[0] == "lit":
+                        delay = float(clause.expr[1])
+                    elif (
+                        clause.var in ("prob", "probability")
+                        and clause.op == "="
+                        and clause.expr[0] == "lit"
+                    ):
+                        probability = float(clause.expr[1])
+                    else:
+                        plain.append(clause)
+                if plain and (delay is not None or probability is not None):
+                    raise self._err("cannot mix delay/prob with side clauses")
+                right = CTemplate(right.template, tuple(plain))
+            node = CWithout(node, right, delay=delay, probability=probability)
+        return node
+
+    def _atom(self) -> CNode:
+        if self._accept("$"):
+            return CWhenever(self._atom())
+        if self._accept("("):
+            node = self._seq()
+            self._expect(")")
+            return node
+        kind, text, pos = self._cur
+        if kind == "name" and text == "null":
+            self._advance()
+            return CNull()
+        if kind == "name" and text == "AbsTime":
+            self._advance()
+            self._expect("(")
+            expr = self._arith()
+            self._expect(")")
+            return CAbsTime(expr)
+        if kind == "name":
+            self._advance()
+            params = []
+            if self._accept("("):
+                if self._cur[1] != ")":
+                    params.append(self._param())
+                    while self._accept(","):
+                        params.append(self._param())
+                self._expect(")")
+            sides: tuple[SideClause, ...] = ()
+            if self._cur[1] == "{":
+                sides = tuple(self._sides())
+            return CTemplate(Template(text, tuple(params)), sides)
+        raise self._err(f"expected an event expression, found {text!r}")
+
+    def _param(self):
+        kind, text, pos = self._cur
+        if kind == "int":
+            self._advance()
+            return int(text)
+        if kind == "float":
+            self._advance()
+            return float(text)
+        if kind == "string":
+            self._advance()
+            return _unquote(text)
+        if kind == "op" and text == "*":
+            self._advance()
+            return WILDCARD
+        if kind == "name":
+            self._advance()
+            return Var(text)
+        raise self._err(f"bad template parameter {text!r}")
+
+    def _sides(self) -> list[SideClause]:
+        self._expect("{")
+        clauses = [self._clause()]
+        while self._accept(","):
+            clauses.append(self._clause())
+        self._expect("}")
+        return clauses
+
+    def _clause(self) -> SideClause:
+        kind, text, pos = self._cur
+        if kind != "name":
+            raise self._err(f"side clause must start with a variable, found {text!r}")
+        self._advance()
+        op = self._cur[1]
+        if op not in _RELOPS:
+            raise self._err(f"bad side-clause operator {op!r}")
+        self._advance()
+        return SideClause(op, text, self._arith())
+
+    def _arith(self) -> Arith:
+        node = self._aterm()
+        while self._cur[1] in ("+", "-") and self._cur[0] == "op":
+            op = self._advance()[1]
+            node = (op, node, self._aterm())
+        return node
+
+    def _aterm(self) -> Arith:
+        kind, text, pos = self._cur
+        if kind == "int":
+            self._advance()
+            return ("lit", int(text))
+        if kind == "float":
+            self._advance()
+            return ("lit", float(text))
+        if kind == "string":
+            self._advance()
+            return ("lit", _unquote(text))
+        if kind == "name":
+            self._advance()
+            return ("var", text)
+        if kind == "op" and text == "@":
+            self._advance()
+            return ("now",)
+        raise self._err(f"bad arithmetic term {text!r}")
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _attach_sides(node: CNode, sides: tuple[SideClause, ...]) -> CNode:
+    if isinstance(node, CTemplate):
+        return CTemplate(node.template, node.sides + sides)
+    raise CompositeSyntaxError("side clauses may only follow a template")
+
+
+def parse_expression(source: str) -> CNode:
+    """Parse a composite event expression."""
+    return _Parser(source).parse()

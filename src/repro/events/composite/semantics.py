@@ -1,0 +1,123 @@
+"""Reference denotational semantics Φ (section 6.5).
+
+``evaluate(expr, trace, start, env)`` computes the full occurrence set of
+a composite expression over a *finite, globally ordered* trace — the
+"global view" a distributed detector cannot cheaply obtain, which is
+exactly why it makes a good testing oracle for the incremental bead
+machine: fed the same events in timestamp order, the machine must signal
+precisely this set.
+
+Definitions implemented (quoting the paper's Φ):
+
+* template: the first base event matching T after s (binding variables);
+* ``C1 - C2``: occurrences (t, E') of C1 such that no occurrence of C2
+  exists with s < t1 <= t;
+* ``C1 ; C2``: union of Φ(C2, t, E') over occurrences (t, E') of C1;
+* ``C1 | C2``: union;
+* ``$C``: least fixpoint of Φ(C, s, E) ∪ ⋃ Φ($C, t, E) — note the
+  *original* environment E, giving fresh bindings each repetition;
+* ``null``: {(s, E)}.
+"""
+
+from __future__ import annotations
+
+from repro.events.composite.ast import (
+    CAbsTime,
+    CNode,
+    CNull,
+    COr,
+    CSeq,
+    CTemplate,
+    CWhenever,
+    CWithout,
+    apply_sides,
+    eval_arith,
+)
+from repro.events.model import Event
+
+Occurrence = tuple[float, frozenset]  # (time, frozen environment items)
+
+
+def _freeze(env: dict) -> frozenset:
+    return frozenset(env.items())
+
+
+def _thaw(frozen: frozenset) -> dict:
+    return dict(frozen)
+
+
+def evaluate(
+    expr: CNode,
+    trace: list[Event],
+    start: float = float("-inf"),
+    env: dict | None = None,
+) -> set[Occurrence]:
+    """Full occurrence set of ``expr`` over ``trace`` from ``start``.
+
+    The trace must be sorted by (timestamp, arrival index); ties between
+    equal timestamps resolve in list order for the template base case.
+    """
+    return _phi(expr, trace, start, _freeze(env or {}))
+
+
+def _phi(expr: CNode, trace: list[Event], start: float, env: frozenset) -> set[Occurrence]:
+    if isinstance(expr, CTemplate):
+        bound = expr.template.substitute(_thaw(env))
+        for event in trace:
+            if event.timestamp <= start:
+                continue
+            match = bound.match(event, _thaw(env))
+            if match is None:
+                continue
+            updated = apply_sides(expr.sides, match, event.timestamp)
+            if updated is None:
+                continue
+            return {(event.timestamp, _freeze(updated))}
+        return set()
+
+    if isinstance(expr, CNull):
+        return {(start, env)}
+
+    if isinstance(expr, CAbsTime):
+        try:
+            when = eval_arith(expr.expr, _thaw(env), start)
+        except KeyError:
+            return set()
+        return {(max(float(when), start), env)}
+
+    if isinstance(expr, CSeq):
+        out: set[Occurrence] = set()
+        for t, mid_env in _phi(expr.left, trace, start, env):
+            out |= _phi(expr.right, trace, t, mid_env)
+        return out
+
+    if isinstance(expr, COr):
+        return _phi(expr.left, trace, start, env) | _phi(expr.right, trace, start, env)
+
+    if isinstance(expr, CWithout):
+        left = _phi(expr.left, trace, start, env)
+        right = _phi(expr.right, trace, start, env)
+        # Φ requires a C2 occurrence with s < t1 <= t: occurrences exactly
+        # at the start time do not count
+        right_times = [t for t, _ in right if t > start]
+        if not right_times:
+            return left
+        t2_min = min(right_times)
+        return {(t, e) for t, e in left if t < t2_min}
+
+    if isinstance(expr, CWhenever):
+        out: set[Occurrence] = set()
+        frontier = {start}
+        visited: set[float] = set()
+        while frontier:
+            s = frontier.pop()
+            if s in visited:
+                continue
+            visited.add(s)
+            for t, e in _phi(expr.child, trace, s, env):
+                out.add((t, e))
+                if t > s:          # least solution: $null = {(s, E)}
+                    frontier.add(t)
+        return out
+
+    raise TypeError(f"unknown composite node {expr!r}")

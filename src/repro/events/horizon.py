@@ -1,0 +1,63 @@
+"""Event horizon timestamps (section 6.8.2).
+
+An *event horizon time stamp* is a lower bound on the timestamps of
+events yet to be signalled by a server.  Every heartbeat and notification
+carries one.  A client combining several sources knows that no event with
+a stamp below the **minimum** of its per-source horizons can ever arrive,
+which is exactly the knowledge needed to decide event *absence* for the
+``without`` operator, and to grow the fixed section of the aggregation
+queue (fig 6.6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class HorizonTracker:
+    """Tracks per-source horizons and the global minimum."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, float] = {}
+        self._callbacks: list[Callable[[float], None]] = []
+        self._last_global = float("-inf")
+
+    def expect_source(self, source: str) -> None:
+        """Declare a source before any of its events arrive; until it
+        reports, the global horizon is pinned at -inf (we know nothing)."""
+        self._sources.setdefault(source, float("-inf"))
+
+    def forget_source(self, source: str) -> None:
+        self._sources.pop(source, None)
+        self._maybe_advance()
+
+    def update(self, source: str, horizon: float) -> None:
+        """A heartbeat/notification from ``source`` carried ``horizon``."""
+        current = self._sources.get(source, float("-inf"))
+        if horizon > current:
+            self._sources[source] = horizon
+            self._maybe_advance()
+
+    def of(self, source: str) -> float:
+        return self._sources.get(source, float("-inf"))
+
+    def global_horizon(self) -> float:
+        """No event with a stamp <= this value will ever arrive again."""
+        if not self._sources:
+            return float("-inf")
+        return min(self._sources.values())
+
+    def on_advance(self, callback: Callable[[float], None]) -> None:
+        """``callback(new_global)`` fires whenever the global horizon
+        strictly advances."""
+        self._callbacks.append(callback)
+
+    def sources(self) -> list[str]:
+        return sorted(self._sources)
+
+    def _maybe_advance(self) -> None:
+        new = self.global_horizon()
+        if new > self._last_global:
+            self._last_global = new
+            for callback in list(self._callbacks):
+                callback(new)

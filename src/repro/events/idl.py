@@ -1,0 +1,127 @@
+"""Interface definitions combining operations and events (section 6.2.1).
+
+The dissertation extends an RPC IDL so a single interface declares both
+the typed operations a service implements and the typed events it may
+signal, e.g. the print server::
+
+    interface = Interface(
+        "Printer",
+        operations={"Print": ("file",), "Cancel": ("jobno",)},
+        events={"Finished": ("jobno",), "Jammed": ()},
+    )
+
+An interface with events automatically inherits the standard event
+operations (Register / Deregister), which are provided by the broker the
+implementation attaches to.  ``stubs_for`` builds constructor/destructor
+pairs for each event type, mirroring the generated
+``Printer_Finished`` / ``Decode_Printer_Finished`` functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import EventError
+from repro.events.model import Event, EventType
+
+
+@dataclass(frozen=True)
+class Operation:
+    name: str
+    params: tuple[str, ...]
+
+
+class Interface:
+    """A service interface: named operations plus event types."""
+
+    def __init__(
+        self,
+        name: str,
+        operations: Optional[dict[str, tuple[str, ...]]] = None,
+        events: Optional[dict[str, tuple[str, ...]]] = None,
+    ):
+        self.name = name
+        self.operations = {
+            op: Operation(op, params) for op, params in (operations or {}).items()
+        }
+        self.event_types = {
+            ev: EventType(ev, params) for ev, params in (events or {}).items()
+        }
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.event_types)
+
+    def event_type(self, name: str) -> EventType:
+        try:
+            return self.event_types[name]
+        except KeyError:
+            raise EventError(f"interface {self.name!r} declares no event {name!r}") from None
+
+    def constructor(self, event_name: str) -> Callable[..., Event]:
+        """The generated event constructor (e.g. ``Printer_Finished``)."""
+        event_type = self.event_type(event_name)
+
+        def construct(*args: Any, timestamp: float = 0.0, source: str = "") -> Event:
+            return event_type.make(*args, timestamp=timestamp, source=source)
+
+        construct.__name__ = f"{self.name}_{event_name}"
+        return construct
+
+    def destructor(self, event_name: str) -> Callable[[Event], tuple]:
+        """The generated event destructor (``Decode_Printer_Finished``)."""
+        event_type = self.event_type(event_name)
+
+        def decode(event: Event) -> tuple:
+            return event_type.decode(event)
+
+        decode.__name__ = f"Decode_{self.name}_{event_name}"
+        return decode
+
+    def check_operation(self, name: str, args: tuple) -> None:
+        op = self.operations.get(name)
+        if op is None:
+            raise EventError(f"interface {self.name!r} has no operation {name!r}")
+        if len(args) != len(op.params):
+            raise EventError(
+                f"{self.name}.{name} takes {len(op.params)} arguments, got {len(args)}"
+            )
+
+
+def parse_idl(source: str) -> Interface:
+    """Parse a tiny textual IDL, e.g.::
+
+        interface Printer {
+            operation Print(file)
+            operation Cancel(jobno)
+            event Finished(jobno)
+            event Jammed()
+        }
+    """
+    operations: dict[str, tuple[str, ...]] = {}
+    events: dict[str, tuple[str, ...]] = {}
+    name: Optional[str] = None
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip().rstrip(";")
+        if not line or line == "}":
+            continue
+        if line.startswith("interface"):
+            name = line.split()[1].rstrip("{").strip()
+            continue
+        for keyword, target in (("operation", operations), ("event", events)):
+            if line.startswith(keyword):
+                decl = line[len(keyword):].strip()
+                if "(" not in decl or not decl.endswith(")"):
+                    raise EventError(f"malformed IDL line: {raw!r}")
+                op_name, params_text = decl[:-1].split("(", 1)
+                params = tuple(
+                    p.strip() for p in params_text.split(",") if p.strip()
+                )
+                target[op_name.strip()] = params
+                break
+        else:
+            raise EventError(f"malformed IDL line: {raw!r}")
+    if name is None:
+        raise EventError("IDL source declares no interface")
+    return Interface(name, operations, events)

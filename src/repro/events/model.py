@@ -1,0 +1,170 @@
+"""Events, event types and templates (section 6.2).
+
+Events are named, parametrised occurrences.  An *event template* is an
+event specification with wild-card or variable parameters — the
+acceptance-expression format chosen in section 6.2.2 because templates
+are simple, cheap to match, and amenable to automatic generation by the
+composite event detector (cf. query-by-example).
+
+Matching semantics (section 6.5, base case of Φ): a base event matches a
+template if it has the same type and each template parameter is either a
+literal equal to the corresponding event parameter, a wild card, or a
+variable that is unbound (binds) or bound to an equal value.  Matching
+returns the *updated environment*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+
+class _Wildcard:
+    """The ``*`` parameter: matches anything, binds nothing."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+
+@dataclass(frozen=True)
+class Var:
+    """A template variable, bound during matching."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+TemplateParam = Union[Any, Var, _Wildcard]
+
+
+@dataclass(frozen=True)
+class EventType:
+    """A named event type with named parameters (from an IDL interface)."""
+
+    name: str
+    params: tuple[str, ...] = ()
+
+    def make(self, *args: Any, timestamp: float = 0.0, source: str = "") -> "Event":
+        """The generated *constructor* (section 6.2.1): build a generic
+        event object of this type."""
+        if len(args) != len(self.params):
+            raise ValueError(
+                f"{self.name} takes {len(self.params)} parameters, got {len(args)}"
+            )
+        return Event(self.name, tuple(args), timestamp=timestamp, source=source)
+
+    def decode(self, event: "Event") -> tuple:
+        """The generated *destructor*: recover the original arguments."""
+        if event.name != self.name:
+            raise ValueError(f"event {event.name!r} is not a {self.name!r}")
+        return event.args
+
+    def template(self, *params: TemplateParam) -> "Template":
+        if len(params) != len(self.params):
+            raise ValueError(
+                f"{self.name} takes {len(self.params)} parameters, got {len(params)}"
+            )
+        return Template(self.name, tuple(params))
+
+
+@dataclass(frozen=True)
+class Event:
+    """A generic event object: type name, marshalled-in-spirit args, a
+    timestamp from the *source's* clock, and the source name."""
+
+    name: str
+    args: tuple
+    timestamp: float = 0.0
+    source: str = ""
+
+    def stamped(self, timestamp: float, source: str = "") -> "Event":
+        return Event(self.name, self.args, timestamp, source or self.source)
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({args})@{self.timestamp:g}"
+
+
+@dataclass(frozen=True)
+class Template:
+    """An event template; parameters are literals, Vars or WILDCARD."""
+
+    name: str
+    params: tuple[TemplateParam, ...] = ()
+
+    def match(self, event: Event, env: Optional[dict] = None) -> Optional[dict]:
+        """Match ``event`` under ``env``; returns the updated environment
+        (a new dict) or None.  The base-case semantics of Φ."""
+        if event.name != self.name or len(event.args) != len(self.params):
+            return None
+        out = dict(env) if env else {}
+        for param, value in zip(self.params, event.args):
+            if param is WILDCARD:
+                continue
+            if isinstance(param, Var):
+                if param.name in out:
+                    if out[param.name] != value:
+                        return None
+                else:
+                    out[param.name] = value
+            elif param != value:
+                return None
+        return out
+
+    def substitute(self, env: dict) -> "Template":
+        """Replace variables bound in ``env`` by their values — used when
+        registering interest so only truly interesting events are sent
+        (section 6.4.2, explicit alphabet)."""
+        params = tuple(
+            env.get(p.name, p) if isinstance(p, Var) else p for p in self.params
+        )
+        return Template(self.name, params)
+
+    def is_ground(self) -> bool:
+        """True if the template contains no unbound variables/wildcards."""
+        return not any(isinstance(p, (Var, _Wildcard)) for p in self.params)
+
+    def overlaps(self, other: "Template") -> bool:
+        """Conservative test: could an event match both templates?"""
+        if self.name != other.name or len(self.params) != len(other.params):
+            return False
+        for a, b in zip(self.params, other.params):
+            if isinstance(a, (Var, _Wildcard)) or isinstance(b, (Var, _Wildcard)):
+                continue
+            if a != b:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        params = ", ".join(_render_param(p) for p in self.params)
+        return f"{self.name}({params})"
+
+
+def _render_param(param: TemplateParam) -> str:
+    """Render a parameter in the composite language's concrete syntax
+    (so str(template) parses back)."""
+    if isinstance(param, Var):
+        return param.name
+    if isinstance(param, _Wildcard):
+        return "*"
+    if isinstance(param, str):
+        escaped = param.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(param)
+
+
+def template(name: str, *params: TemplateParam) -> Template:
+    """Convenience constructor: ``template("Seen", Var("b"), WILDCARD)``."""
+    return Template(name, tuple(params))

@@ -1,0 +1,95 @@
+"""Event multiplexing and forwarding (sections 6.2.3 and 4.10).
+
+"Event services, such as composite event servers and event multiplexers,
+need not understand the concrete type of the event instances they
+manipulate" — generic event objects make a forwarder type-agnostic.
+
+"A client who processes and forwards events can treat heart-beats in a
+similar manner.  This feature allows a service to provide guarantees
+about 'indirect' events from other services": the forwarder's own event
+horizon is the minimum over its upstreams, so downstream consumers get
+the same absence guarantees they would get first-hand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.events.broker import EventBroker, Session
+from repro.events.horizon import HorizonTracker
+from repro.events.model import Event, Template
+from repro.runtime.clock import Clock
+from repro.runtime.simulator import Simulator
+
+
+class EventMultiplexer:
+    """Aggregates several upstream brokers into one downstream broker.
+
+    Downstream clients register with :attr:`broker` as usual; events from
+    every connected upstream are re-signalled with their original stamps
+    and sources, and the multiplexer's horizon is the minimum upstream
+    horizon (pinned at -inf until every upstream has reported — silence
+    from one source must block absence conclusions about it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Clock] = None,
+        simulator: Optional[Simulator] = None,
+        transform: Optional[Callable[[Event], Optional[Event]]] = None,
+        **broker_kwargs,
+    ):
+        self.name = name
+        self.transform = transform
+        self.horizons = HorizonTracker()
+        self.broker = EventBroker(name, clock=clock, simulator=simulator, **broker_kwargs)
+        # downstream notifications carry *our* indirect horizon
+        self.broker.horizon = self.indirect_horizon  # type: ignore[method-assign]
+        self._upstreams: list[tuple[EventBroker, Session]] = []
+        self.forwarded = 0
+        self.dropped_by_transform = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def connect_upstream(
+        self, upstream: EventBroker, templates: Optional[list[Template]] = None
+    ) -> Session:
+        """Subscribe to an upstream broker (optionally only for selected
+        templates)."""
+        self.horizons.expect_source(upstream.name)
+        session = upstream.establish_session(self._make_feed(upstream.name))
+        from repro.events.composite.detector import _CatchAll
+
+        for template in templates or [_CatchAll()]:
+            upstream.register(session, template)
+        self._upstreams.append((upstream, session))
+        return session
+
+    def _make_feed(self, source: str):
+        def feed(event: Optional[Event], horizon: float) -> None:
+            self.horizons.update(source, horizon)
+            if event is None:
+                # an upstream heartbeat: pass the guarantee downstream
+                self.broker.heartbeat()
+                return
+            if self.transform is not None:
+                transformed = self.transform(event)
+                if transformed is None:
+                    self.dropped_by_transform += 1
+                    return
+                event = transformed
+            self.forwarded += 1
+            self.broker.signal(event)
+
+        return feed
+
+    # -- the indirect-horizon guarantee --------------------------------------------
+
+    def indirect_horizon(self) -> float:
+        """Downstream absence guarantees are only as strong as the weakest
+        upstream's promise."""
+        return self.horizons.global_horizon()
+
+    def heartbeat(self) -> None:
+        self.broker.heartbeat()

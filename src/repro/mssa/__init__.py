@@ -1,0 +1,40 @@
+"""The Multi-Service Storage Architecture (chapter 5).
+
+Three levels of server (fig 5.1): **byte segment custodes** own physical
+storage; **file custodes** (flat, structured, continuous-medium) provide
+typed storage interfaces over them; **value-adding custodes** abstract
+file custodes and add functionality (indexing, bank accounts).  Custodes
+are mutually distrustful: every inter-level access is authorised like
+any client access.
+
+Access control under Oasis (sections 5.4-5.6): **shared ACLs** stored as
+files, protected by further ACLs (meta-access control) with the same-
+custode placement constraint that bounds checks to one remote call;
+ordered positive/negative ACL entries evaluated by the G/P algorithm of
+section 5.4.4; per-ACL credential records so modifying an ACL revokes
+outstanding certificates (volatile ACLs, 5.5.2); and **bypassing** of
+custode stacks with validation callbacks (5.6).
+"""
+
+from repro.mssa.acl import Acl, AclEntry, unixacl
+from repro.mssa.byte_segment import ByteSegmentCustode
+from repro.mssa.continuous import ContinuousMediaCustode
+from repro.mssa.custode import Custode
+from repro.mssa.flat_file import FlatFileCustode
+from repro.mssa.ids import FileId
+from repro.mssa.structured import StructuredFileCustode
+from repro.mssa.vac import BankAccountCustode, IndexedFlatFileCustode
+
+__all__ = [
+    "Acl",
+    "AclEntry",
+    "unixacl",
+    "FileId",
+    "Custode",
+    "ByteSegmentCustode",
+    "FlatFileCustode",
+    "StructuredFileCustode",
+    "ContinuousMediaCustode",
+    "IndexedFlatFileCustode",
+    "BankAccountCustode",
+]

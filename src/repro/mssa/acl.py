@@ -1,0 +1,126 @@
+"""The standard MSSA ACL format and evaluation algorithm (section 5.4.4).
+
+Entries are **ordered**; each is positive (grants) or negative
+(restricts).  Evaluation maintains two sets — the rights to be granted
+``G`` (initially empty) and the possible rights ``P`` (initially full).
+Each entry matching the client is applied in turn:
+
+* a negative entry removes its rights from P (``P <- P - R``);
+* a positive entry grants what is still possible (``G <- G ∪ (P ∩ R)``).
+
+The client receives G.  This is "considerably more expressive than
+systems involving a fixed priority between entries of different types
+... there are no 'difficult cases'": "Students may not have write
+access" (`students=-w`) is distinct from "students may have only read
+access" (`students=+r`).
+
+Text format: whitespace-separated ``subject=+rights`` / ``subject=-rights``
+entries; subjects are user names, ``@group`` names or ``*`` (everyone).
+:func:`unixacl` is the legacy embedding of section 3.3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import StorageError
+
+Rights = frozenset
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One ordered ACL entry."""
+
+    subject: str                 # user name, '@group', or '*'
+    rights: Rights
+    negative: bool = False
+
+    def matches(self, user: str, groups: Iterable[str]) -> bool:
+        if self.subject == "*":
+            return True
+        if self.subject.startswith("@"):
+            return self.subject[1:] in set(groups)
+        return self.subject == user
+
+    def render(self) -> str:
+        sign = "-" if self.negative else "+"
+        return f"{self.subject}={sign}{''.join(sorted(self.rights))}"
+
+
+class Acl:
+    """An ordered access control list over a rights alphabet."""
+
+    def __init__(self, entries: Iterable[AclEntry], alphabet: str = "rwxad"):
+        self.entries = list(entries)
+        self.alphabet = alphabet
+        for entry in self.entries:
+            extra = set(entry.rights) - set(alphabet)
+            if extra:
+                raise StorageError(
+                    f"rights {sorted(extra)} not in the custode alphabet {alphabet!r}"
+                )
+
+    def evaluate(self, user: str, groups: Iterable[str] = ()) -> Rights:
+        """The G/P algorithm of section 5.4.4."""
+        granted: set = set()
+        possible: set = set(self.alphabet)
+        for entry in self.entries:
+            if not entry.matches(user, groups):
+                continue
+            if entry.negative:
+                possible -= set(entry.rights)
+                granted -= set(entry.rights)
+            else:
+                granted |= possible & set(entry.rights)
+        return frozenset(granted)
+
+    def render(self) -> str:
+        return " ".join(entry.render() for entry in self.entries)
+
+    @classmethod
+    def parse(cls, text: str, alphabet: str = "rwxad") -> "Acl":
+        entries = []
+        for chunk in text.split():
+            if "=" not in chunk:
+                raise StorageError(f"malformed ACL entry {chunk!r}")
+            subject, spec = chunk.split("=", 1)
+            if not spec or spec[0] not in "+-":
+                raise StorageError(f"ACL entry {chunk!r} must grant (+) or restrict (-)")
+            entries.append(
+                AclEntry(subject, frozenset(spec[1:]), negative=spec[0] == "-")
+            )
+        return cls(entries, alphabet=alphabet)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Acl) and other.entries == self.entries
+
+    def __repr__(self) -> str:
+        return f"Acl({self.render()!r})"
+
+
+def unixacl(text: str, user: str, groups: Iterable[str] = ()) -> Rights:
+    """The legacy Unix-style mapping of section 3.3.3: entries like
+    ``rjh21=rwx staff=r-x other=r--`` where the subject is a user name,
+    a group name or ``other``.  Most-closely-binding semantics: the first
+    of user entry, matching group entry, ``other`` entry wins."""
+    user_entry: Optional[Rights] = None
+    group_entry: Optional[Rights] = None
+    other_entry: Optional[Rights] = None
+    group_set = set(groups)
+    for chunk in text.split():
+        if "=" not in chunk:
+            raise StorageError(f"malformed unix ACL entry {chunk!r}")
+        subject, spec = chunk.split("=", 1)
+        rights = frozenset(c for c in spec if c != "-")
+        if subject == user and user_entry is None:
+            user_entry = rights
+        elif subject in group_set and group_entry is None:
+            group_entry = rights
+        elif subject == "other" and other_entry is None:
+            other_entry = rights
+    for candidate in (user_entry, group_entry, other_entry):
+        if candidate is not None:
+            return candidate
+    return frozenset()

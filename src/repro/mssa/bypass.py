@@ -1,0 +1,114 @@
+"""Bypassing value-adding custodes (section 5.6, fig 5.8).
+
+Operations a VAC passes through unmodified can be served by the custode
+below directly, missing out the VAC: the client calls the bottom custode
+with its *top-level* certificate, and the bottom custode makes a
+validation **callback** to the top of the stack.  "This is never less
+efficient than a straightforward call down the stack, and in the
+majority of cases, where caching of credential checks has taken place,
+this is considerably more efficient."
+
+If a credential change invalidates the client's certificate the callback
+fails (the top service's credential records are authoritative), so the
+bypass route closes automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import AccessDenied, MisuseError
+from repro.mssa.custode import Custode
+from repro.mssa.flat_file import FlatFileCustode
+from repro.mssa.ids import FileId
+from repro.mssa.vac import ValueAddingCustode
+
+
+class BypassRoute:
+    """A resolved bypass path from a top-level file to the custode that
+    can serve an unmodified operation directly."""
+
+    def __init__(self, stack: list[Custode]):
+        if len(stack) < 2:
+            raise MisuseError("a bypass route needs at least two custodes")
+        self.top = stack[0]
+        self.bottom = stack[-1]
+        self.stack = stack
+
+    @classmethod
+    def resolve(cls, top: ValueAddingCustode, op: str) -> "BypassRoute":
+        """Walk down from ``top`` while each level passes ``op`` through
+        unmodified (sub-typed interfaces, fig 5.7)."""
+        if not top.is_bypassable(op):
+            raise MisuseError(f"operation {op!r} is specialised by {top.name!r}")
+        stack: list[Custode] = [top]
+        current: Custode = top
+        while isinstance(current, ValueAddingCustode) and current.is_bypassable(op):
+            below = current._below
+            if below is None:
+                break
+            stack.append(below)
+            current = below
+        return cls(stack)
+
+    def map_file(self, fid: FileId) -> FileId:
+        """Translate a top-level file id to the bottom-level backing file."""
+        current = fid
+        for custode in self.stack[:-1]:
+            assert isinstance(custode, ValueAddingCustode)
+            current = custode.below_file_of(current)
+        return current
+
+    # -- bypassed operations --------------------------------------------------
+
+    def read(self, cert, fid: FileId) -> bytes:
+        """Serve a read at the bottom custode with a top-level
+        certificate (fig 5.8b)."""
+        self._authorise(cert, fid, "r")
+        bottom_fid = self.map_file(fid)
+        assert isinstance(self.bottom, FlatFileCustode)
+        return self.bottom.serve_bypassed(
+            self.top.service, cert, bottom_fid,
+            lambda record: self._read_record(record),
+        )
+
+    def size(self, cert, fid: FileId) -> int:
+        self._authorise(cert, fid, "r")
+        bottom_fid = self.map_file(fid)
+        return self.bottom.serve_bypassed(
+            self.top.service, cert, bottom_fid,
+            lambda record: len(self._read_record(record)),
+        )
+
+    def _read_record(self, record) -> bytes:
+        content = record.content
+        if content is None:
+            return b""
+        if isinstance(content, (bytes, bytearray)):
+            return bytes(content)
+        if isinstance(content, FileId) and isinstance(self.bottom, FlatFileCustode):
+            # the flat file custode backs its files with byte segments
+            bottom = self.bottom
+            assert bottom._below is not None
+            bottom.below_calls += 1
+            return bottom._below.read_segment(bottom._below_cert, content)
+        raise MisuseError("bottom custode does not hold raw data here")
+
+    def _authorise(self, cert, fid: FileId, right: str) -> None:
+        """The rights embodied in the top-level certificate govern the
+        bypassed access; checking them is pure computation on the
+        (callback-validated) certificate."""
+        record = self.top._record(fid)
+        if cert.rolefile_id != str(record.acl_id):
+            raise AccessDenied(
+                f"certificate is for ACL {cert.rolefile_id}, "
+                f"{fid} is governed by {record.acl_id}"
+            )
+        if "UseAcl" in cert.roles:
+            granted = cert.args[0]
+        elif "UseFile" in cert.roles and cert.args[0] == str(fid):
+            granted = cert.args[1]
+        else:
+            raise AccessDenied("certificate grants no access to this file")
+        if right not in granted:
+            raise AccessDenied(f"{right!r} not among granted rights {sorted(granted)}")

@@ -1,0 +1,50 @@
+"""Byte segment custodes (section 5.2).
+
+"Byte Segment Custodes are responsible for physical storage of data.
+They mask device specific details and provide a standard interface for
+use by File Custodes."  Rights: read / write.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mssa.custode import Custode
+from repro.mssa.ids import FileId
+
+
+class ByteSegmentCustode(Custode):
+    """Raw byte segments; the bottom of every custode stack."""
+
+    ALPHABET = "rw"
+    FULL_RIGHTS = frozenset(ALPHABET)
+
+    def create_segment(self, acl_id: FileId, data: bytes = b"",
+                       container: str = "default") -> FileId:
+        return self.create_file(bytearray(data), acl_id, container=container)
+
+    def read_segment(self, cert, fid: FileId, offset: int = 0,
+                     length: Optional[int] = None) -> bytes:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        data = self._record(fid).content
+        end = len(data) if length is None else offset + length
+        return bytes(data[offset:end])
+
+    def write_segment(self, cert, fid: FileId, data: bytes, offset: int = 0,
+                      truncate: bool = False) -> int:
+        self.check_access(cert, fid, "w")
+        self.ops += 1
+        segment = self._record(fid).content
+        needed = offset + len(data)
+        if needed > len(segment):
+            segment.extend(b"\x00" * (needed - len(segment)))
+        segment[offset:offset + len(data)] = data
+        if truncate:
+            del segment[needed:]
+        return len(data)
+
+    def segment_length(self, cert, fid: FileId) -> int:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        return len(self._record(fid).content)

@@ -1,0 +1,116 @@
+"""Containers: grouping for management and accounting (section 5.3.1).
+
+"In the MSSA, files are grouped into containers for accounting purposes."
+The original scheme also overloaded containers for access control, which
+chapter 5 rejects in favour of shared ACLs — so here containers carry
+only what they are good at: quotas, usage accounting and charging.
+
+Section 4.13: "each role membership certificate can trivially be
+extended to include the identity of the account that should be charged"
+— :meth:`ContainerRegistry.charge_operation` takes the account from the
+certificate's audit context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import StorageError
+from repro.mssa.ids import FileId
+
+
+@dataclass
+class ContainerInfo:
+    name: str
+    account: str                      # who pays for this container
+    quota_files: Optional[int] = None
+    quota_bytes: Optional[int] = None
+    files: set[FileId] = field(default_factory=set)
+    bytes_used: int = 0
+    operations_charged: int = 0
+
+
+class ContainerRegistry:
+    """Per-custode container management and accounting."""
+
+    def __init__(self, custode_name: str):
+        self.custode_name = custode_name
+        self._containers: dict[str, ContainerInfo] = {}
+        self._charges: dict[str, int] = {}        # account -> operations
+
+    # -- management ------------------------------------------------------------
+
+    def create_container(
+        self,
+        name: str,
+        account: str,
+        quota_files: Optional[int] = None,
+        quota_bytes: Optional[int] = None,
+    ) -> ContainerInfo:
+        if name in self._containers:
+            raise StorageError(f"container {name!r} already exists")
+        info = ContainerInfo(name, account, quota_files, quota_bytes)
+        self._containers[name] = info
+        return info
+
+    def container(self, name: str) -> ContainerInfo:
+        info = self._containers.get(name)
+        if info is None:
+            raise StorageError(f"no container {name!r} on {self.custode_name!r}")
+        return info
+
+    def containers(self) -> list[str]:
+        return sorted(self._containers)
+
+    # -- file accounting -----------------------------------------------------------
+
+    def add_file(self, name: str, fid: FileId, size: int = 0) -> None:
+        info = self.container(name)
+        if info.quota_files is not None and len(info.files) >= info.quota_files:
+            raise StorageError(f"container {name!r} is at its file quota")
+        if info.quota_bytes is not None and info.bytes_used + size > info.quota_bytes:
+            raise StorageError(f"container {name!r} is at its byte quota")
+        info.files.add(fid)
+        info.bytes_used += size
+
+    def remove_file(self, name: str, fid: FileId, size: int = 0) -> None:
+        info = self.container(name)
+        info.files.discard(fid)
+        info.bytes_used = max(0, info.bytes_used - size)
+
+    def resize_file(self, name: str, delta: int) -> None:
+        info = self.container(name)
+        if (
+            delta > 0
+            and info.quota_bytes is not None
+            and info.bytes_used + delta > info.quota_bytes
+        ):
+            raise StorageError(f"container {name!r} is at its byte quota")
+        info.bytes_used = max(0, info.bytes_used + delta)
+
+    # -- operation charging (section 4.13) ---------------------------------------------
+
+    def charge_operation(self, container: str, account: Optional[str] = None) -> None:
+        """Charge one operation to the container's account (or an account
+        carried by the client's certificate)."""
+        info = self.container(container)
+        info.operations_charged += 1
+        payer = account or info.account
+        self._charges[payer] = self._charges.get(payer, 0) + 1
+
+    def bill(self, account: str) -> int:
+        """Operations charged to ``account`` so far."""
+        return self._charges.get(account, 0)
+
+    def usage_report(self) -> dict[str, dict[str, Any]]:
+        """The management query: usage per container."""
+        return {
+            name: {
+                "account": info.account,
+                "files": len(info.files),
+                "bytes": info.bytes_used,
+                "operations": info.operations_charged,
+            }
+            for name, info in self._containers.items()
+        }

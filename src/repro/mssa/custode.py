@@ -1,0 +1,447 @@
+"""The custode base class (sections 5.2-5.5).
+
+A custode is a storage server whose access control is delegated to an
+embedded Oasis service:
+
+* every **ACL is itself a file** (section 5.4.1), with an embedded
+  reference from each file it protects; ACL files are protected by
+  further ACLs — with the placement constraint of section 5.4.2 (the ACL
+  protecting an ACL file must reside in the same custode), which bounds
+  any access check to at most one remote call and makes cyclic ACL
+  references harmless (figs 5.4/5.5);
+* each ACL file is represented by a rolefile defining ``UseAcl(r)``
+  (access to all files the ACL governs) and ``UseFile(f, r)``
+  (delegation of access to one file) — section 5.4.3;
+* the rolefile's ACL rule uses the watchable ``acl`` constraint function,
+  so certificates depend on a per-ACL *version* credential record:
+  modifying the ACL revokes them (volatile ACLs, section 5.5.2);
+* standard statements merged into every rolefile give administrators
+  access without a 'root' identity (section 5.4.3).
+
+Inter-custode trust: custodes do not trust each other.  A custode
+reading a *remote* ACL is authorised by the remote custode against the
+ACL protecting that ACL file, under the principal ``custode:<name>`` in
+group ``custodes``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.credentials import RecordState
+from repro.core.groups import GroupService
+from repro.core.identifiers import ClientId, HostOS
+from repro.core.linkage import Linkage, LocalLinkage
+from repro.core.registry import ServiceRegistry
+from repro.core.service import OasisService
+from repro.core.types import ObjectRef
+from repro.errors import (
+    AccessDenied,
+    MisuseError,
+    NoSuchFileError,
+    PlacementError,
+    StorageError,
+)
+from repro.mssa.acl import Acl, Rights
+from repro.mssa.ids import FileId
+from repro.runtime.clock import Clock
+
+
+def principal_name(user: Any) -> str:
+    """Render a role argument (userid ObjectRef or string) as the ACL
+    subject name."""
+    if isinstance(user, ObjectRef):
+        return user.identity.decode("utf-8", "replace")
+    return str(user)
+
+
+@dataclass
+class FileRecord:
+    fid: FileId
+    content: Any
+    acl_id: Optional[FileId]
+    container: str
+    is_acl: bool = False
+    acl: Optional[Acl] = None
+    version_ref: Optional[int] = None    # credential record behind the ACL
+
+
+class Custode:
+    """Base storage server.  Subclasses define the rights ``ALPHABET``
+    and the mapping from operations to required rights."""
+
+    ALPHABET = "rwxad"
+    FULL_RIGHTS: Rights = frozenset(ALPHABET)
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[ServiceRegistry] = None,
+        linkage: Optional[Linkage] = None,
+        clock: Optional[Clock] = None,
+        login_service: str = "Login",
+        login_role: str = "LoggedOn",
+        user_groups: Optional[Callable[[str], set[str]]] = None,
+        enforce_placement: bool = True,
+    ):
+        self.name = name
+        self.registry = registry
+        self.login_ref = f"{login_service}.{login_role}"
+        self.user_groups = user_groups or (lambda user: set())
+        self.enforce_placement = enforce_placement
+        groups = GroupService(f"{name}.groups")
+        groups.create_group("admins")
+        self.service = OasisService(
+            name,
+            registry=registry,
+            linkage=linkage or LocalLinkage(),
+            clock=clock,
+            groups=groups,
+            watchable={"acl": self._acl_function},
+        )
+        self.service.custode = self   # registry lookups find the custode
+        self._files: dict[int, FileRecord] = {}
+        self._numbers = itertools.count(1)
+        self._containers: dict[str, list[FileId]] = {}
+        # accounting (sections 5.3.1 / 4.13): quotas and charging per
+        # container; unknown containers are auto-created on the default
+        # account so accounting is always on
+        from repro.mssa.containers import ContainerRegistry
+        self.accounting = ContainerRegistry(name)
+        # the custode's own low-level identity (it is a client of peers)
+        self._host = HostOS(f"custode-host-{name}")
+        self.identity: ClientId = self._host.create_domain().client_id
+        # statistics for the chapter-5 experiments
+        self.ops = 0
+        self.access_checks = 0
+        self.remote_acl_reads = 0
+        self.acl_reads_for_peers = 0
+        self.bypassed_ops = 0
+
+    # -------------------------------------------------------------- admin
+
+    def add_admin(self, user: Any) -> None:
+        self.service.groups.add_member("admins", user)
+
+    # ---------------------------------------------------------- ACL files
+
+    def create_acl(
+        self,
+        acl: Acl,
+        protecting_acl_id: Optional[FileId] = None,
+        container: str = "system",
+    ) -> FileId:
+        """Store an ACL as a file and activate its rolefile.
+
+        ``protecting_acl_id`` is the meta-ACL controlling who may read or
+        modify this ACL; the placement constraint requires it to live in
+        this custode."""
+        if (
+            protecting_acl_id is not None
+            and protecting_acl_id.custode != self.name
+            and self.enforce_placement
+        ):
+            raise PlacementError(
+                "the ACL file protecting an ACL file must reside in the "
+                f"same custode ({self.name!r}), not {protecting_acl_id.custode!r}"
+            )
+        # the ACL keeps its authored alphabet: it may protect files on a
+        # *different* custode with different rights (shared ACLs are just
+        # files); consumers intersect with their own alphabet
+        fid = FileId(self.name, next(self._numbers))
+        version = self.service.credentials.create_source(state=RecordState.TRUE)
+        record = FileRecord(
+            fid=fid,
+            content=acl.render(),
+            acl_id=protecting_acl_id,
+            container=container,
+            is_acl=True,
+            acl=acl,
+            version_ref=version.ref,
+        )
+        self._account_file(container, fid, record.content)
+        self._files[fid.number] = record
+        self._containers.setdefault(container, []).append(fid)
+        self.service.add_rolefile(str(fid), self._rolefile_source(fid))
+        return fid
+
+    def _login_params(self) -> str:
+        """The login role's parameter pattern, adapted to its arity (a
+        chapter-2 LoggedOn(u, h) or the section 3.4.3 Login(l, u, h)).
+        The user variable is always named ``u``."""
+        arity = 2
+        if self.registry is not None:
+            service_name, role = self.login_ref.split(".", 1)
+            peer = self.registry.try_lookup(service_name)
+            if peer is not None:
+                signature = peer.gettypes(role)
+                if signature is not None:
+                    arity = len(signature)
+        names = [f"x{i}" for i in range(arity)]
+        user_index = 1 if arity >= 3 else 0   # Login(l, u, h) vs LoggedOn(u, h)
+        names[user_index] = "u"
+        return ", ".join(names)
+
+    def _rolefile_source(self, acl_fid: FileId) -> str:
+        """The per-ACL rolefile of section 5.4.3, merged with the standard
+        administrator statements."""
+        rights = "{" + self.ALPHABET + "}"
+        login = f"{self.login_ref}({self._login_params()})"
+        return f"""
+def UseAcl(r)  r: {rights}
+def UseFile(f, r)  f: string  r: {rights}
+UseAcl(r) <- {login}* : r = {rights} and (u in admins)*
+UseAcl(r) <- {login}* : (r = acl("{acl_fid}", u))*
+UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
+"""
+
+    def modify_acl(self, cert, acl_id: FileId, new_acl: Acl) -> None:
+        """Replace an ACL's contents.  Meta-access control: requires 'w'
+        under the *protecting* ACL.  Outstanding certificates issued
+        against the old contents are revoked via the version record
+        (section 5.5.2)."""
+        record = self._acl_record(acl_id)
+        self._check_meta(cert, record, "w")
+        # revoke the old version; new certificates use a fresh record
+        if record.version_ref is not None:
+            self.service.credentials.revoke(record.version_ref)
+        record.version_ref = self.service.credentials.create_source(
+            state=RecordState.TRUE
+        ).ref
+        record.acl = new_acl
+        record.content = new_acl.render()
+
+    def read_acl(self, cert, acl_id: FileId) -> Acl:
+        """Read an ACL's contents (requires 'r' under the protecting ACL)."""
+        record = self._acl_record(acl_id)
+        self._check_meta(cert, record, "r")
+        assert record.acl is not None
+        return record.acl
+
+    def _check_meta(self, cert, record: FileRecord, right: str) -> None:
+        if record.acl_id is None:
+            # an unprotected ACL is administered via the admin statements
+            # of its own rolefile
+            self.check_access(cert, record.fid, right, acl_override=record.fid)
+        else:
+            self.check_access(cert, record.fid, right)
+
+    def _acl_record(self, acl_id: FileId) -> FileRecord:
+        if acl_id.custode != self.name:
+            raise MisuseError(f"{acl_id} is not stored on custode {self.name!r}")
+        record = self._files.get(acl_id.number)
+        if record is None or not record.is_acl:
+            raise NoSuchFileError(f"{acl_id} is not an ACL file on {self.name!r}")
+        return record
+
+    # -------------------------------------------------------- ordinary files
+
+    def create_file(
+        self, content: Any, acl_id: FileId, container: str = "default"
+    ) -> FileId:
+        """Store a file under the protection of an existing (possibly
+        remote) ACL file."""
+        self._require_acl_exists(acl_id)
+        self._ensure_rolefile(acl_id)
+        fid = FileId(self.name, next(self._numbers))
+        record = FileRecord(fid=fid, content=content, acl_id=acl_id, container=container)
+        self._account_file(container, fid, content)
+        self._files[fid.number] = record
+        self._containers.setdefault(container, []).append(fid)
+        return fid
+
+    def _account_file(self, container: str, fid: FileId, content: Any) -> None:
+        if container not in self.accounting.containers():
+            self.accounting.create_container(container, account="system")
+        size = len(content) if isinstance(content, (bytes, bytearray, str)) else 0
+        self.accounting.add_file(container, fid, size=size)
+
+    def _ensure_rolefile(self, acl_id: FileId) -> None:
+        """The custode controlling a file issues its certificates, so it
+        needs a rolefile even when the governing ACL is stored remotely
+        (the ``acl`` constraint function fetches the contents)."""
+        if str(acl_id) not in self.service._rolefiles:
+            self.service.add_rolefile(str(acl_id), self._rolefile_source(acl_id))
+
+    def set_acl_of(self, cert, fid: FileId, acl_id: FileId) -> None:
+        """Re-group a file under a different ACL — "users may manipulate
+        access control information by changing which ACL is used to
+        control a file" (section 5.4).  Requires 'w' under the current
+        ACL."""
+        record = self._record(fid)
+        self.check_access(cert, fid, "w")
+        self._require_acl_exists(acl_id)
+        if record.is_acl and self.enforce_placement and acl_id.custode != self.name:
+            raise PlacementError("an ACL file's protecting ACL must be local")
+        record.acl_id = acl_id
+
+    def _require_acl_exists(self, acl_id: FileId) -> None:
+        if acl_id.custode == self.name:
+            self._acl_record(acl_id)
+        elif self.registry is None or acl_id.custode not in getattr(self.registry, "_services", {}):
+            # remote existence is verified lazily on first check
+            pass
+
+    def _record(self, fid: FileId) -> FileRecord:
+        if fid.custode != self.name:
+            raise MisuseError(f"{fid} is not stored on custode {self.name!r}")
+        record = self._files.get(fid.number)
+        if record is None:
+            raise NoSuchFileError(f"no file {fid} on {self.name!r}")
+        return record
+
+    def files_in(self, container: str) -> list[FileId]:
+        return list(self._containers.get(container, []))
+
+    def files_protected_by(self, acl_id: FileId) -> list[FileId]:
+        return [r.fid for r in self._files.values() if r.acl_id == acl_id]
+
+    # ---------------------------------------------------------- role entry
+
+    def enter_use_acl(self, client: ClientId, acl_id: FileId, login_cert,
+                      rights: Optional[Rights] = None):
+        """Obtain a UseAcl certificate for all files governed by the ACL."""
+        return self.service.enter_role(
+            client,
+            "UseAcl",
+            (rights,),                    # None = whatever the ACL grants
+            credentials=(login_cert,),
+            rolefile_id=str(acl_id),
+        )
+
+    def delegate_use_file(self, use_acl_cert, fid: FileId, rights: Rights,
+                          expires_in: Optional[float] = None):
+        """A UseAcl holder delegates access to one file (section 5.4.3)."""
+        record = self._record(fid)
+        assert record.acl_id is not None
+        return self.service.delegate(
+            use_acl_cert,
+            "UseFile",
+            role_args=(str(fid), frozenset(rights)),
+            expires_in=expires_in,
+            rolefile_id=use_acl_cert.rolefile_id,
+        )
+
+    def accept_use_file(self, client: ClientId, delegation, login_cert):
+        return self.service.enter_delegated_role(
+            client, delegation, credentials=(login_cert,),
+            rolefile_id=delegation.rolefile_id,
+        )
+
+    # --------------------------------------------------------- access checks
+
+    def check_access(self, cert, fid: FileId, right: str,
+                     acl_override: Optional[FileId] = None) -> None:
+        """Validate a certificate against a file operation (fig 5.6).
+        Each authorised operation is charged to the file's container
+        (section 4.13)."""
+        self.access_checks += 1
+        record = self._record(fid)
+        if record.container in self.accounting.containers():
+            self.accounting.charge_operation(record.container)
+        acl_id = acl_override or record.acl_id
+        if acl_id is None:
+            raise AccessDenied(f"{fid} has no governing ACL")
+        self.service.validate(cert)
+        if cert.rolefile_id != str(acl_id):
+            raise AccessDenied(
+                f"certificate is for ACL {cert.rolefile_id}, {fid} is governed by {acl_id}"
+            )
+        if "UseAcl" in cert.roles:
+            granted = cert.args[0]
+        elif "UseFile" in cert.roles:
+            if cert.args[0] != str(fid):
+                raise AccessDenied(f"UseFile certificate names {cert.args[0]}, not {fid}")
+            granted = cert.args[1]
+        else:
+            raise AccessDenied(f"certificate roles {sorted(cert.roles)} grant no file access")
+        if right not in granted:
+            raise AccessDenied(f"certificate grants {sorted(granted)}, {right!r} required")
+
+    # the watchable constraint function behind the rolefiles
+    def _acl_function(self, acl_ref: str, user: Any):
+        """Evaluate an ACL for a user; returns (rights, version-record-ref)
+        so entry depends on the ACL version (volatile ACLs)."""
+        fid = FileId.parse(acl_ref)
+        user_name = principal_name(user)
+        acl, owner, version_ref = self._fetch_acl(fid)
+        rights = acl.evaluate(user_name, self.user_groups(user_name))
+        rights = rights & frozenset(self.ALPHABET)
+        if owner != self.name:
+            # surrogate record kept coherent by event notification
+            version_ref = self.service.external_record_for(owner, version_ref)
+        return rights, version_ref
+
+    def _fetch_acl(self, fid: FileId) -> tuple[Acl, str, int]:
+        if fid.custode == self.name:
+            record = self._acl_record(fid)
+            assert record.acl is not None and record.version_ref is not None
+            return record.acl, self.name, record.version_ref
+        if self.registry is None:
+            raise StorageError(f"cannot reach custode {fid.custode!r}: no registry")
+        peer_service = self.registry.lookup(fid.custode)
+        peer = getattr(peer_service, "custode", None)
+        if peer is None:
+            raise StorageError(f"{fid.custode!r} is not a custode")
+        self.remote_acl_reads += 1
+        acl, version_ref = peer.read_acl_for_peer(fid, reader=self.name)
+        return acl, peer.name, version_ref
+
+    def read_acl_for_peer(self, fid: FileId, reader: str, _depth: int = 0) -> tuple[Acl, int]:
+        """A peer custode asks to read one of our ACL files for an access
+        check.  We authorise it against the protecting ACL under the
+        principal ``custode:<reader>`` (custodes trust nobody, 5.4.2).
+
+        Without the placement constraint the protecting ACL may itself be
+        remote, and cyclic ACLs then produce unbounded chains (fig 5.4);
+        the depth guard surfaces that as an error."""
+        if _depth > 16:
+            raise StorageError(
+                "ACL check recursion limit hit: cyclic ACLs without the "
+                "placement constraint (fig 5.4)"
+            )
+        self.acl_reads_for_peers += 1
+        record = self._acl_record(fid) if fid.custode == self.name else None
+        if record is None:
+            # only possible when placement enforcement is off
+            acl, owner, ref = self._fetch_acl(fid)
+            return acl, ref
+        if record.acl_id is not None:
+            protecting, _owner, _ref = self._fetch_acl_guarded(record.acl_id, _depth + 1)
+            rights = protecting.evaluate(f"custode:{reader}", {"custodes"})
+            if "r" not in rights:
+                raise AccessDenied(
+                    f"custode {reader!r} may not read ACL {fid} "
+                    f"(protecting ACL grants {sorted(rights)})"
+                )
+        assert record.acl is not None and record.version_ref is not None
+        return record.acl, record.version_ref
+
+    def _fetch_acl_guarded(self, fid: FileId, depth: int) -> tuple[Acl, str, int]:
+        if fid.custode == self.name:
+            record = self._acl_record(fid)
+            assert record.acl is not None and record.version_ref is not None
+            return record.acl, self.name, record.version_ref
+        if self.registry is None:
+            raise StorageError(f"cannot reach custode {fid.custode!r}")
+        peer = getattr(self.registry.lookup(fid.custode), "custode", None)
+        if peer is None:
+            raise StorageError(f"{fid.custode!r} is not a custode")
+        self.remote_acl_reads += 1
+        acl, ref = peer.read_acl_for_peer(fid, reader=self.name, _depth=depth)
+        return acl, peer.name, ref
+
+    # ------------------------------------------------------------- bypass hooks
+
+    def serve_bypassed(self, top_service: OasisService, cert, fid: FileId,
+                       op: Callable[[FileRecord], Any]) -> Any:
+        """Serve an operation bypassing the custodes above us (fig 5.8):
+        the supplied certificate was issued by ``top_service``; we make a
+        validation callback to it (cached there) instead of walking the
+        stack."""
+        top_service.validate_for_peer(cert)
+        self.bypassed_ops += 1
+        self.ops += 1
+        return op(self._record(fid))

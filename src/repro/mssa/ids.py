@@ -1,0 +1,31 @@
+"""MSSA file identifiers.
+
+"Each file is named with a machine oriented unique identifier, that may
+be examined to locate the (file) custode responsible for it"
+(section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True, order=True)
+class FileId:
+    """A globally unique file identifier locating its custode."""
+
+    custode: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.custode}:{self.number}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FileId":
+        try:
+            custode, number = text.rsplit(":", 1)
+            return cls(custode, int(number))
+        except ValueError:
+            raise StorageError(f"malformed file identifier {text!r}") from None

@@ -1,0 +1,70 @@
+"""The structured file custode (sections 5.2, 5.3.1).
+
+Stores structured data: nodes with named fields and references to other
+files — which may live on *other custodes*, allowing "complex compound
+documents" (OLE-style, section 5.3.1).  Rights: read / write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import StorageError
+from repro.mssa.custode import Custode
+from repro.mssa.ids import FileId
+
+
+class StructuredFileCustode(Custode):
+    ALPHABET = "rw"
+    FULL_RIGHTS = frozenset(ALPHABET)
+
+    def create_node(self, acl_id: FileId, fields: Optional[dict] = None,
+                    container: str = "default") -> FileId:
+        return self.create_file(
+            {"fields": dict(fields or {}), "refs": []}, acl_id, container=container
+        )
+
+    def get_field(self, cert, fid: FileId, name: str) -> Any:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        fields = self._record(fid).content["fields"]
+        if name not in fields:
+            raise StorageError(f"{fid} has no field {name!r}")
+        return fields[name]
+
+    def set_field(self, cert, fid: FileId, name: str, value: Any) -> None:
+        self.check_access(cert, fid, "w")
+        self.ops += 1
+        self._record(fid).content["fields"][name] = value
+
+    def fields(self, cert, fid: FileId) -> dict:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        return dict(self._record(fid).content["fields"])
+
+    def add_ref(self, cert, fid: FileId, target: FileId) -> None:
+        """Embed a reference to another file — possibly on another
+        custode (compound documents)."""
+        self.check_access(cert, fid, "w")
+        self.ops += 1
+        self._record(fid).content["refs"].append(target)
+
+    def refs(self, cert, fid: FileId) -> list[FileId]:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        return list(self._record(fid).content["refs"])
+
+    def transitive_refs(self, cert, fid: FileId, limit: int = 1000) -> list[FileId]:
+        """All files reachable from a compound document root (local refs
+        are followed; remote refs are reported but not traversed — they
+        belong to other custodes)."""
+        seen: list[FileId] = []
+        frontier = [fid]
+        while frontier and len(seen) < limit:
+            current = frontier.pop(0)
+            for ref in self.refs(cert, current) if current.custode == self.name else []:
+                if ref not in seen:
+                    seen.append(ref)
+                    if ref.custode == self.name and self._files.get(ref.number):
+                        frontier.append(ref)
+        return seen

@@ -1,0 +1,171 @@
+"""Value-adding custodes (sections 5.2, 5.5, 5.6, fig 5.7).
+
+VACs "appear to clients as 'standard' file custodes, but are implemented
+by abstracting the interface of file custodes or other value adding
+custodes".  They are *not trusted* by the layer below: each VAC is an
+ordinary client holding one UseAcl certificate for its files there.
+
+Two VACs from the paper:
+
+* :class:`IndexedFlatFileCustode` — fig 5.7: provides all flat-file
+  operations plus keyed lookup; ``read`` is passed through unmodified,
+  making it *bypassable* (section 5.6);
+* :class:`BankAccountCustode` — the deposit/withdraw/balance example of
+  section 5.3.1 whose rights clearly don't fit read/write semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AccessDenied, StorageError
+from repro.mssa.acl import Acl
+from repro.mssa.custode import Custode
+from repro.mssa.flat_file import FlatFileCustode
+from repro.mssa.ids import FileId
+
+
+class ValueAddingCustode(Custode):
+    """Common VAC plumbing: one below-custode, one below-certificate."""
+
+    BYPASSABLE: frozenset[str] = frozenset()
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._below: Optional[Custode] = None
+        self._below_cert = None
+        self._below_acl: Optional[FileId] = None
+        self.below_calls = 0
+
+    def wire_below(self, below: Custode, login_cert, below_rights: str = "rwad") -> None:
+        below_acl = below.create_acl(
+            Acl.parse(f"custode:{self.name}=+{below_rights}", alphabet=below.ALPHABET),
+            container=f"{self.name}-meta",
+        )
+        self._below = below
+        self._below_acl = below_acl
+        self._below_cert = below.enter_use_acl(self.identity, below_acl, login_cert)
+
+    def below_file_of(self, fid: FileId) -> FileId:
+        """The lower-level file backing ``fid`` (used for bypassing)."""
+        record = self._record(fid)
+        below_fid = record.content.get("below")
+        if below_fid is None:
+            raise StorageError(f"{fid} has no backing file")
+        return below_fid
+
+    def is_bypassable(self, op: str) -> bool:
+        return op in self.BYPASSABLE
+
+
+class IndexedFlatFileCustode(ValueAddingCustode):
+    """Flat files plus keyed lookup (fig 5.7).
+
+    ``read`` is implemented "by passing the request to the FFC without
+    modification" — the custode takes no functional part, so the client
+    may be directed to call the FFC directly (bypassing)."""
+
+    ALPHABET = "rwadl"      # flat-file rights plus lookup
+    FULL_RIGHTS = frozenset(ALPHABET)
+    BYPASSABLE = frozenset({"read", "size"})
+
+    def create(self, acl_id: FileId, container: str = "default") -> FileId:
+        assert isinstance(self._below, FlatFileCustode) and self._below_acl is not None
+        below_fid = self._below.create(self._below_acl)
+        return self.create_file({"below": below_fid, "index": {}}, acl_id, container)
+
+    def read(self, cert, fid: FileId) -> bytes:
+        """Unmodified pass-through (bypassable)."""
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        self.below_calls += 1
+        assert isinstance(self._below, FlatFileCustode)
+        return self._below.read(self._below_cert, self.below_file_of(fid))
+
+    def size(self, cert, fid: FileId) -> int:
+        self.check_access(cert, fid, "r")
+        self.ops += 1
+        self.below_calls += 1
+        assert isinstance(self._below, FlatFileCustode)
+        return self._below.size(self._below_cert, self.below_file_of(fid))
+
+    def write_record(self, cert, fid: FileId, key: str, value: bytes) -> None:
+        """The specialised operation: write maintains the index."""
+        self.check_access(cert, fid, "w")
+        self.ops += 1
+        record = self._record(fid)
+        assert isinstance(self._below, FlatFileCustode)
+        below_fid = self.below_file_of(fid)
+        self.below_calls += 2
+        offset = self._below.size(self._below_cert, below_fid)
+        self._below.append(self._below_cert, below_fid, value)
+        record.content["index"][key] = (offset, len(value))
+
+    def lookup(self, cert, fid: FileId, key: str) -> bytes:
+        """The value-added operation: keyed retrieval."""
+        self.check_access(cert, fid, "l")
+        self.ops += 1
+        record = self._record(fid)
+        entry = record.content["index"].get(key)
+        if entry is None:
+            raise StorageError(f"no record under key {key!r}")
+        offset, length = entry
+        assert isinstance(self._below, FlatFileCustode)
+        self.below_calls += 1
+        data = self._below.read(self._below_cert, self.below_file_of(fid))
+        return data[offset:offset + length]
+
+    def keys(self, cert, fid: FileId) -> list[str]:
+        self.check_access(cert, fid, "l")
+        self.ops += 1
+        return sorted(self._record(fid).content["index"])
+
+
+class BankAccountCustode(ValueAddingCustode):
+    """Accounts over flat files: deposit / withdraw / query balance.
+
+    "A bank account has operations deposit, withdraw and query balance.
+    These clearly do not fit 'read/write' semantics" (section 5.3.1)."""
+
+    ALPHABET = "dwq"
+    FULL_RIGHTS = frozenset(ALPHABET)
+
+    def open_account(self, acl_id: FileId, container: str = "accounts") -> FileId:
+        assert isinstance(self._below, FlatFileCustode) and self._below_acl is not None
+        below_fid = self._below.create(self._below_acl, b"0")
+        return self.create_file({"below": below_fid}, acl_id, container)
+
+    def _balance(self, fid: FileId) -> int:
+        assert isinstance(self._below, FlatFileCustode)
+        self.below_calls += 1
+        raw = self._below.read(self._below_cert, self.below_file_of(fid))
+        return int(raw or b"0")
+
+    def _set_balance(self, fid: FileId, value: int) -> None:
+        assert isinstance(self._below, FlatFileCustode)
+        self.below_calls += 1
+        self._below.write(self._below_cert, self.below_file_of(fid), str(value).encode())
+
+    def deposit(self, cert, fid: FileId, amount: int) -> int:
+        self.check_access(cert, fid, "d")
+        self.ops += 1
+        if amount <= 0:
+            raise StorageError("deposits must be positive")
+        balance = self._balance(fid) + amount
+        self._set_balance(fid, balance)
+        return balance
+
+    def withdraw(self, cert, fid: FileId, amount: int) -> int:
+        self.check_access(cert, fid, "w")
+        self.ops += 1
+        balance = self._balance(fid)
+        if amount <= 0 or amount > balance:
+            raise AccessDenied("insufficient funds")
+        balance -= amount
+        self._set_balance(fid, balance)
+        return balance
+
+    def balance(self, cert, fid: FileId) -> int:
+        self.check_access(cert, fid, "q")
+        self.ops += 1
+        return self._balance(fid)

@@ -1,0 +1,33 @@
+"""Distributed-systems substrate for the OASIS reproduction.
+
+The dissertation's implementation ran over ANSAware RPC on a real network.
+This package replaces that substrate with a deterministic discrete-event
+simulation: virtual time (:mod:`repro.runtime.simulator`), per-node clocks
+with configurable drift (:mod:`repro.runtime.clock`), a message-passing
+network with per-link delay/loss/partitions (:mod:`repro.runtime.network`),
+an RPC layer (:mod:`repro.runtime.rpc`) and the heartbeat failure-detection
+protocol of section 4.10 (:mod:`repro.runtime.heartbeat`).
+"""
+
+from repro.runtime.clock import Clock, DriftingClock, ManualClock, SimClock
+from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender
+from repro.runtime.network import Link, Message, Network, Node
+from repro.runtime.rpc import RpcEndpoint, RpcError, RpcFuture
+from repro.runtime.simulator import Simulator
+
+__all__ = [
+    "Clock",
+    "DriftingClock",
+    "ManualClock",
+    "SimClock",
+    "Simulator",
+    "Network",
+    "Node",
+    "Link",
+    "Message",
+    "RpcEndpoint",
+    "RpcFuture",
+    "RpcError",
+    "HeartbeatSender",
+    "HeartbeatMonitor",
+]

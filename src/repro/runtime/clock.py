@@ -1,0 +1,96 @@
+"""Clocks for timestamping events.
+
+Section 6.8.4 of the dissertation discusses the effect of clock drift on
+composite event ordering.  To reproduce those experiments we need per-node
+clocks whose offset and drift relative to virtual ("true") time are
+controllable:
+
+* :class:`ManualClock` — a clock advanced explicitly by tests.
+* :class:`SimClock` — reads the simulator's virtual time directly
+  (a perfectly synchronised clock).
+* :class:`DriftingClock` — a simulator-backed clock with a fixed offset and
+  a linear drift rate, modelling an unsynchronised workstation clock.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.runtime.simulator import Simulator
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now()`` returning seconds as a float."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class ManualClock:
+    """A clock advanced explicitly; convenient for unit tests.
+
+    >>> c = ManualClock(10.0)
+    >>> c.advance(5.0)
+    >>> c.now()
+    15.0
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks cannot run backwards")
+        self._now += seconds
+
+    def set(self, time: float) -> None:
+        if time < self._now:
+            raise ValueError("clocks cannot run backwards")
+        self._now = time
+
+
+class SimClock:
+    """A perfectly synchronised clock reading the simulator's virtual time."""
+
+    def __init__(self, simulator: Simulator):
+        self._sim = simulator
+
+    def now(self) -> float:
+        return self._sim.now
+
+
+class DriftingClock:
+    """A simulator-backed clock with constant offset and linear drift.
+
+    Local time is ``true_time * (1 + drift) + offset``.  A drift of 1e-5
+    corresponds to roughly one second of error per day, typical of an
+    undisciplined quartz oscillator.
+    """
+
+    def __init__(self, simulator: Simulator, offset: float = 0.0, drift: float = 0.0):
+        self._sim = simulator
+        self.offset = offset
+        self.drift = drift
+
+    def now(self) -> float:
+        return self._sim.now * (1.0 + self.drift) + self.offset
+
+    def error_at(self, true_time: float) -> float:
+        """Difference between this clock and true time at ``true_time``."""
+        return true_time * self.drift + self.offset
+
+
+def max_clock_skew(clocks: list[DriftingClock], horizon: float) -> float:
+    """Worst-case pairwise skew among ``clocks`` up to true time ``horizon``.
+
+    Used by the probabilistic-ordering extension of section 6.8.4 to bound
+    how far apart two timestamps must be before their order is trustworthy.
+    """
+    if not clocks:
+        return 0.0
+    errors = [c.error_at(horizon) for c in clocks] + [c.error_at(0.0) for c in clocks]
+    return max(errors) - min(errors)

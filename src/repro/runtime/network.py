@@ -1,0 +1,195 @@
+"""Simulated message-passing network.
+
+Nodes register a message handler under a string address.  Links between
+nodes carry per-link delay (base + seeded jitter), loss probability and
+partition state.  Delivery is scheduled on the shared simulator, so all
+network behaviour is deterministic for a given seed.
+
+This substrate replaces the real network the dissertation's implementation
+ran on; every cross-service interaction in the distributed experiments
+(credential-record change notifications, heartbeats, badge sightings)
+travels through it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.runtime.simulator import Simulator
+
+MessageHandler = Callable[["Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message in flight.
+
+    ``payload`` is any picklable-in-spirit Python object; the network does
+    not interpret it.  ``sent_at`` is true (virtual) send time.
+    """
+
+    source: str
+    dest: str
+    kind: str
+    payload: Any
+    sent_at: float
+    seq: int
+
+
+@dataclass
+class Link:
+    """Directed link properties between two addresses."""
+
+    base_delay: float = 0.001
+    jitter: float = 0.0
+    loss_probability: float = 0.0
+    up: bool = True
+
+    def sample_delay(self, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return self.base_delay
+        return self.base_delay + rng.uniform(0.0, self.jitter)
+
+
+class Node:
+    """A network endpoint: an address plus a message handler."""
+
+    def __init__(self, address: str, handler: MessageHandler):
+        self.address = address
+        self.handler = handler
+        self.up = True
+        self.received = 0
+        self.dropped_while_down = 0
+
+    def deliver(self, message: Message) -> None:
+        if not self.up:
+            self.dropped_while_down += 1
+            return
+        self.received += 1
+        self.handler(message)
+
+
+class Network:
+    """The simulated network fabric.
+
+    >>> sim = Simulator()
+    >>> net = Network(sim, seed=42)
+    >>> got = []
+    >>> _ = net.add_node("a", lambda m: None)
+    >>> _ = net.add_node("b", lambda m: got.append(m.payload))
+    >>> net.send("a", "b", "ping", 123)
+    >>> sim.run()
+    >>> got
+    [123]
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        seed: int = 0,
+        default_delay: float = 0.001,
+        default_jitter: float = 0.0,
+        default_loss: float = 0.0,
+    ):
+        self.simulator = simulator
+        self._rng = random.Random(seed)
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._default = Link(
+            base_delay=default_delay,
+            jitter=default_jitter,
+            loss_probability=default_loss,
+        )
+        self._seq = 0
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.bytes_sent = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, address: str, handler: MessageHandler) -> Node:
+        if address in self._nodes:
+            raise NetworkError(f"duplicate node address {address!r}")
+        node = Node(address, handler)
+        self._nodes[address] = node
+        return node
+
+    def remove_node(self, address: str) -> None:
+        self._nodes.pop(address, None)
+
+    def node(self, address: str) -> Node:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise NetworkError(f"no node at address {address!r}") from None
+
+    def has_node(self, address: str) -> bool:
+        return address in self._nodes
+
+    def set_link(self, source: str, dest: str, link: Link) -> None:
+        """Set properties for the directed link source -> dest."""
+        self._links[(source, dest)] = link
+
+    def link(self, source: str, dest: str) -> Link:
+        return self._links.get((source, dest), self._default)
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Cut all links between two groups of addresses (both directions)."""
+        for a in group_a:
+            for b in group_b:
+                self._link_mut(a, b).up = False
+                self._link_mut(b, a).up = False
+
+    def heal(self, group_a: set[str], group_b: set[str]) -> None:
+        """Restore links previously cut by :meth:`partition`."""
+        for a in group_a:
+            for b in group_b:
+                self._link_mut(a, b).up = True
+                self._link_mut(b, a).up = True
+
+    def _link_mut(self, source: str, dest: str) -> Link:
+        key = (source, dest)
+        if key not in self._links:
+            default = self._default
+            self._links[key] = Link(
+                base_delay=default.base_delay,
+                jitter=default.jitter,
+                loss_probability=default.loss_probability,
+            )
+        return self._links[key]
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, source: str, dest: str, kind: str, payload: Any) -> Optional[Message]:
+        """Send a message; returns it, or None if it was lost/partitioned.
+
+        Loss and partitions are silent to the sender, as on a real datagram
+        network; reliability is the application's problem (which is the
+        whole point of the heartbeat protocol of section 4.10).
+        """
+        if dest not in self._nodes:
+            raise NetworkError(f"no node at address {dest!r}")
+        self._seq += 1
+        message = Message(
+            source=source,
+            dest=dest,
+            kind=kind,
+            payload=payload,
+            sent_at=self.simulator.now,
+            seq=self._seq,
+        )
+        self.messages_sent += 1
+        link = self.link(source, dest)
+        if not link.up:
+            self.messages_lost += 1
+            return None
+        if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
+            self.messages_lost += 1
+            return None
+        delay = link.sample_delay(self._rng)
+        node = self._nodes[dest]
+        self.simulator.schedule(delay, node.deliver, message, name=f"deliver:{kind}")
+        return message

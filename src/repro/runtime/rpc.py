@@ -1,0 +1,189 @@
+"""Request/response RPC over the simulated network.
+
+The dissertation's services communicate by RPC (extended with event
+notification; section 6.2).  This module provides that layer: an
+:class:`RpcEndpoint` owns a network node, exposes named methods, and issues
+calls that complete a :class:`RpcFuture` when the reply message arrives.
+
+Timeouts are driven by the simulator, so an experiment can measure how long
+an operation takes under given network conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError, OasisError
+from repro.runtime.network import Message, Network
+
+RpcHandler = Callable[..., Any]
+
+
+class RpcError(OasisError):
+    """An RPC failed: remote exception, timeout, or unknown method."""
+
+
+@dataclass
+class _PendingCall:
+    future: "RpcFuture"
+    timeout_handle: Any
+
+
+class RpcFuture:
+    """Completion handle for an outstanding RPC.
+
+    Callbacks added with :meth:`on_done` fire when the reply (or timeout)
+    arrives.  ``result()`` raises :class:`RpcError` for failed calls.
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[str] = None
+        self._callbacks: list[Callable[["RpcFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._error is not None
+
+    def result(self) -> Any:
+        if not self._done:
+            raise RpcError("RPC not yet complete")
+        if self._error is not None:
+            raise RpcError(self._error)
+        return self._value
+
+    def on_done(self, callback: Callable[["RpcFuture"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, value: Any = None, error: Optional[str] = None) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class RpcEndpoint:
+    """A network endpoint speaking a simple request/reply protocol.
+
+    >>> from repro.runtime.simulator import Simulator
+    >>> sim = Simulator()
+    >>> net = Network(sim)
+    >>> server = RpcEndpoint(net, "server")
+    >>> server.register("add", lambda a, b: a + b)
+    >>> client = RpcEndpoint(net, "client")
+    >>> future = client.call("server", "add", 2, 3)
+    >>> sim.run()
+    >>> future.result()
+    5
+    """
+
+    def __init__(self, network: Network, address: str):
+        self.network = network
+        self.address = address
+        self._methods: dict[str, RpcHandler] = {}
+        self._pending: dict[int, _PendingCall] = {}
+        self._call_seq = 0
+        self._event_handlers: dict[str, Callable[[str, Any], None]] = {}
+        network.add_node(address, self._on_message)
+
+    # -- server side ---------------------------------------------------------
+
+    def register(self, method: str, handler: RpcHandler) -> None:
+        """Expose ``handler`` as RPC method ``method``."""
+        self._methods[method] = handler
+
+    # -- client side ---------------------------------------------------------
+
+    def call(
+        self,
+        dest: str,
+        method: str,
+        *args: Any,
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ) -> RpcFuture:
+        """Invoke ``method`` on the endpoint at ``dest``."""
+        self._call_seq += 1
+        call_id = self._call_seq
+        future = RpcFuture()
+        timeout_handle = None
+        if timeout is not None:
+            timeout_handle = self.network.simulator.schedule(
+                timeout, self._on_timeout, call_id, name="rpc-timeout"
+            )
+        self._pending[call_id] = _PendingCall(future, timeout_handle)
+        try:
+            self.network.send(
+                self.address,
+                dest,
+                "rpc-request",
+                {"id": call_id, "method": method, "args": args, "kwargs": kwargs},
+            )
+        except NetworkError as exc:
+            self._resolve(call_id, error=str(exc))
+        return future
+
+    def notify(self, dest: str, topic: str, payload: Any) -> None:
+        """One-way notification (the event half of the extended RPC)."""
+        self.network.send(self.address, dest, "rpc-event", {"topic": topic, "payload": payload})
+
+    def on_event(self, topic: str, handler: Callable[[str, Any], None]) -> None:
+        """Register a handler for one-way notifications on ``topic``.
+
+        The handler receives ``(source_address, payload)``.
+        """
+        self._event_handlers[topic] = handler
+
+    # -- internals -----------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind == "rpc-request":
+            self._serve(message)
+        elif message.kind == "rpc-reply":
+            body = message.payload
+            self._resolve(body["id"], value=body.get("value"), error=body.get("error"))
+        elif message.kind == "rpc-event":
+            body = message.payload
+            handler = self._event_handlers.get(body["topic"])
+            if handler is not None:
+                handler(message.source, body["payload"])
+
+    def _serve(self, message: Message) -> None:
+        body = message.payload
+        handler = self._methods.get(body["method"])
+        reply: dict[str, Any] = {"id": body["id"]}
+        if handler is None:
+            reply["error"] = f"unknown method {body['method']!r}"
+        else:
+            try:
+                reply["value"] = handler(*body["args"], **body["kwargs"])
+            except Exception as exc:  # surfaced to the caller, not swallowed
+                reply["error"] = f"{type(exc).__name__}: {exc}"
+        try:
+            self.network.send(self.address, message.source, "rpc-reply", reply)
+        except NetworkError:
+            pass  # caller vanished; its timeout will fire
+
+    def _resolve(self, call_id: int, value: Any = None, error: Optional[str] = None) -> None:
+        pending = self._pending.pop(call_id, None)
+        if pending is None:
+            return  # duplicate reply or reply after timeout
+        if pending.timeout_handle is not None:
+            self.network.simulator.cancel(pending.timeout_handle)
+        pending.future._complete(value=value, error=error)
+
+    def _on_timeout(self, call_id: int) -> None:
+        self._resolve(call_id, error="timeout")

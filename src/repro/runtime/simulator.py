@@ -1,0 +1,155 @@
+"""Deterministic discrete-event simulator.
+
+This is the virtual-time kernel underneath every distributed experiment in
+the repository.  Events are callbacks scheduled at absolute virtual times;
+ties are broken by insertion order so runs are fully deterministic.
+
+The simulator intentionally has no notion of processes or threads: OASIS
+services are plain objects whose methods are invoked either directly (local
+calls) or by scheduled message deliveries (see :mod:`repro.runtime.network`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """Handle for a scheduled callback; pass to :meth:`Simulator.cancel`."""
+
+    time: float
+    seq: int
+    name: str = ""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    name: str = field(default="", compare=False)
+
+
+class Simulator:
+    """A discrete-event simulator with deterministic tie-breaking.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, order.append, "b")
+    >>> _ = sim.schedule(1.0, order.append, "a")
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._handles: dict[int, _QueueEntry] = {}
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < current time {self._now}"
+            )
+        seq = next(self._seq)
+        entry = _QueueEntry(time=time, seq=seq, fn=fn, args=args, name=name)
+        heapq.heappush(self._queue, entry)
+        self._handles[seq] = entry
+        return ScheduledEvent(time=time, seq=seq, name=name)
+
+    def cancel(self, handle: ScheduledEvent) -> bool:
+        """Cancel a scheduled event.  Returns False if already run/cancelled."""
+        entry = self._handles.get(handle.seq)
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        return True
+
+    def pending(self) -> int:
+        """Number of events still waiting to run."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None if queue empty."""
+        while self._queue and self._queue[0].cancelled:
+            entry = heapq.heappop(self._queue)
+            self._handles.pop(entry.seq, None)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if nothing is pending."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            self._handles.pop(entry.seq, None)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self.events_processed += 1
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains.  Returns the number of events run."""
+        count = 0
+        while count < max_events and self.step():
+            count += 1
+        if count >= max_events:
+            raise SimulationError(f"exceeded max_events={max_events}")
+        return count
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        """Run all events with timestamps <= ``time``; advance clock to it."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time}")
+        count = 0
+        while count < max_events:
+            nxt = self.peek_time()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+            count += 1
+        if count >= max_events:
+            raise SimulationError(f"exceeded max_events={max_events}")
+        self._now = max(self._now, time)
+        return count
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> int:
+        """Run events for ``duration`` seconds of virtual time."""
+        return self.run_until(self._now + duration, max_events=max_events)

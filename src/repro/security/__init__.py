@@ -1,0 +1,28 @@
+"""Event security (chapter 7).
+
+Access control for event-based systems does not fit the request/response
+model: the service *pushes* notifications, so policy must control which
+clients may register for, and be notified of, which event instances.
+
+* :mod:`repro.security.erdl` — ERDL, the event extension of RDL: ordered
+  allow/deny statements relating a client's roles to event templates,
+  with parameter conditions; preprocessed (fig 7.1) into per-session
+  filters so the per-notification cost is a template match;
+* :mod:`repro.security.admission` — a secure event broker performing
+  admission control at session establishment and registration, and
+  per-notification filtering;
+* :mod:`repro.security.proxy` — enforcing a site's policy on *remote*
+  consumers via proxies (fig 7.3).
+"""
+
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import ErdlPolicy, SessionFilter, parse_erdl
+from repro.security.proxy import PolicyProxy
+
+__all__ = [
+    "parse_erdl",
+    "ErdlPolicy",
+    "SessionFilter",
+    "SecureEventBroker",
+    "PolicyProxy",
+]

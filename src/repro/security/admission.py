@@ -1,0 +1,128 @@
+"""The secure event broker (section 7.4).
+
+Wraps an :class:`~repro.events.broker.EventBroker` with Oasis-based
+security:
+
+* **admission control**: a session is established only with a role
+  membership certificate, validated by the issuing service (including
+  the revocation check — a revoked client cannot open new sessions);
+* **registration control**: a registration whose template can never be
+  permitted by the client's specialised policy is rejected outright, so
+  the server does no monitoring on behalf of unauthorised clients;
+* **notification filtering**: each delivery runs the client's compiled
+  :class:`~repro.security.erdl.SessionFilter` — the fig 7.1 design makes
+  this the only per-event cost;
+* **revocation**: when the certificate backing a session is revoked, the
+  session is torn down (the credential-record watch drives this).
+"""
+
+from __future__ import annotations
+
+from repro.core.certificates import RoleMembershipCertificate
+from repro.core.credentials import RecordState
+from repro.core.service import OasisService
+from repro.errors import AccessDenied, RegistrationError
+from repro.events.broker import EventBroker, Notify, Registration, Session
+from repro.events.model import Template
+from repro.security.erdl import ErdlPolicy, SessionFilter
+
+
+class SecureEventBroker:
+    """An event broker whose clients are named by Oasis roles."""
+
+    def __init__(
+        self,
+        name: str,
+        oasis: OasisService,
+        policy: ErdlPolicy,
+        **broker_kwargs,
+    ):
+        self.oasis = oasis
+        self.policy = policy
+        self._filters: dict[int, SessionFilter] = {}
+        self.broker = EventBroker(
+            name,
+            clock=oasis.clock,
+            notification_filter=self._filter,
+            **broker_kwargs,
+        )
+        self.rejected_sessions = 0
+        self.rejected_registrations = 0
+
+    # -- sessions ---------------------------------------------------------------
+
+    def establish_session(
+        self,
+        notify: Notify,
+        cert: RoleMembershipCertificate,
+        claimed_client=None,
+        delay: float = 0.0,
+    ) -> Session:
+        """Admission control: validate the certificate, compile the
+        client's session filter, and arrange teardown on revocation."""
+        try:
+            self.oasis.validate(cert, claimed_client=claimed_client)
+        except Exception:
+            self.rejected_sessions += 1
+            raise
+        session_filter = self.policy.specialise(cert)
+        if not any(allow for allow, *_ in session_filter.compiled):
+            self.rejected_sessions += 1
+            raise AccessDenied(
+                f"roles {sorted(cert.roles)} may not receive any event here"
+            )
+        session = self.broker.establish_session(
+            notify, info={"cert": cert, "roles": sorted(cert.roles)}, delay=delay
+        )
+        self._filters[session.id] = session_filter
+        # teardown on revocation of the backing credential record
+        record = self.oasis.credentials.get(cert.crr)
+        if record is not None:
+            self.oasis.credentials.watch(cert.crr, self._make_teardown(session))
+        return session
+
+    def _make_teardown(self, session: Session):
+        def teardown(record, old, new):
+            if new is not RecordState.TRUE and session.open:
+                self.close_session(session)
+
+        return teardown
+
+    def close_session(self, session: Session) -> None:
+        self._filters.pop(session.id, None)
+        self.broker.close_session(session)
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, session: Session, template: Template) -> Registration:
+        """Registration-time admission: hopeless templates are refused."""
+        session_filter = self._filters.get(session.id)
+        if session_filter is None:
+            raise RegistrationError("session has no admission filter")
+        cert = session.info["cert"]
+        if not self.policy.may_ever_receive(cert, template):
+            self.rejected_registrations += 1
+            raise AccessDenied(
+                f"policy can never deliver events matching {template} "
+                f"to roles {sorted(cert.roles)}"
+            )
+        return self.broker.register(session, template)
+
+    def deregister(self, registration: Registration) -> None:
+        self.broker.deregister(registration)
+
+    # -- signalling ----------------------------------------------------------------
+
+    def signal(self, event) -> int:
+        return self.broker.signal(event)
+
+    def heartbeat(self) -> None:
+        self.broker.heartbeat()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _filter(self, session: Session, event) -> bool:
+        session_filter = self._filters.get(session.id)
+        if session_filter is None:
+            return False
+        return session_filter.permits(event)

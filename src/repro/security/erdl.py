@@ -1,0 +1,267 @@
+"""ERDL: the event-security policy language (sections 7.3-7.5).
+
+Policy statements relate roles (as defined by the site's Oasis service)
+to event templates, in order, first match wins, default deny::
+
+    allow Admin : Seen(b, s)
+    allow LoggedOn(u, h) : Seen(b, s) : owns(u, b)
+    deny  Visitor(u) : Seen(b, s)
+    allow LoggedOn(u, h) : MovedSite(b, o, n) : owns(u, b)
+
+* the role reference binds variables from the client's certificate
+  arguments;
+* the event template binds variables from the event's parameters;
+* the optional condition is a conjunction of comparisons and calls to
+  site-registered predicate functions (e.g. ``owns``) over both.
+
+Preprocessing (fig 7.1) happens in three stages:
+
+1. parse the policy into statements (once, at configuration time);
+2. at session admission, *specialise* the statements against the
+   client's validated certificate: statements whose role does not match
+   are dropped and role variables are substituted, yielding a compact
+   :class:`SessionFilter`;
+3. at notification, the filter matches the event template and evaluates
+   any residual condition — the only per-event work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.certificates import RoleMembershipCertificate
+from repro.errors import RDLSyntaxError
+from repro.core.rdl.lexer import Token, tokenize
+from repro.events.model import Event, Template, Var, WILDCARD
+
+Predicate = Callable[..., bool]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One conjunct: ``('call', name, args)`` or ``('cmp', op, a, b)``.
+    Terms are Vars or literals."""
+
+    kind: str
+    op_or_name: str
+    terms: tuple
+
+    def evaluate(self, env: dict, predicates: dict[str, Predicate]) -> bool:
+        values = []
+        for term in self.terms:
+            if isinstance(term, Var):
+                if term.name not in env:
+                    return False
+                values.append(env[term.name])
+            else:
+                values.append(term)
+        if self.kind == "call":
+            predicate = predicates.get(self.op_or_name)
+            if predicate is None:
+                raise RDLSyntaxError(f"unknown predicate {self.op_or_name!r}")
+            return bool(predicate(*values))
+        a, b = values
+        return {
+            "==": a == b,
+            "!=": a != b,
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+        }[self.op_or_name]
+
+
+@dataclass(frozen=True)
+class ErdlStatement:
+    allow: bool
+    role: str
+    role_params: tuple           # Vars / literals / WILDCARD
+    event: Template
+    conditions: tuple[Condition, ...] = ()
+
+
+class ErdlPolicy:
+    """A parsed, ordered ERDL policy."""
+
+    def __init__(self, statements: list[ErdlStatement],
+                 predicates: Optional[dict[str, Predicate]] = None):
+        self.statements = statements
+        self.predicates = predicates or {}
+
+    def specialise(self, cert: RoleMembershipCertificate) -> "SessionFilter":
+        """Stage 2 of fig 7.1: partial evaluation against a certificate."""
+        compiled: list[tuple[bool, Template, tuple[Condition, ...], dict]] = []
+        for stmt in self.statements:
+            if stmt.role not in cert.roles:
+                continue
+            if len(stmt.role_params) != len(cert.args) and stmt.role_params:
+                continue
+            env: dict[str, Any] = {}
+            ok = True
+            for param, value in zip(stmt.role_params, cert.args):
+                if param is WILDCARD:
+                    continue
+                if isinstance(param, Var):
+                    env[param.name] = value
+                elif param != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # substitute known variables into the event template
+            template = stmt.event.substitute(env)
+            compiled.append((stmt.allow, template, stmt.conditions, env))
+        return SessionFilter(compiled, self.predicates)
+
+    def may_ever_receive(self, cert: RoleMembershipCertificate, template: Template) -> bool:
+        """Admission-time check: could any event matching ``template``
+        ever be allowed to this client?  Used to reject hopeless
+        registrations outright."""
+        session = self.specialise(cert)
+        for allow, stmt_template, _conds, _env in session.compiled:
+            if stmt_template.overlaps(template):
+                return allow
+        return False
+
+
+class SessionFilter:
+    """Stage 3 of fig 7.1: the per-notification filter."""
+
+    def __init__(self, compiled, predicates):
+        self.compiled = compiled
+        self.predicates = predicates
+        self.checked = 0
+        self.suppressed = 0
+
+    def permits(self, event: Event) -> bool:
+        self.checked += 1
+        for allow, template, conditions, env in self.compiled:
+            match = template.match(event, env)
+            if match is None:
+                continue
+            if conditions and not all(
+                c.evaluate(match, self.predicates) for c in conditions
+            ):
+                continue
+            if not allow:
+                self.suppressed += 1
+            return allow
+        self.suppressed += 1
+        return False   # default deny
+
+
+# ------------------------------------------------------------------ parser
+
+
+def parse_erdl(source: str, predicates: Optional[dict[str, Predicate]] = None) -> ErdlPolicy:
+    """Parse ERDL policy text into an :class:`ErdlPolicy`."""
+    statements: list[ErdlStatement] = []
+    tokens = tokenize(source)
+    pos = 0
+
+    def cur() -> Token:
+        return tokens[pos]
+
+    def advance() -> Token:
+        nonlocal pos
+        token = tokens[pos]
+        if token.kind != "EOF":
+            pos += 1
+        return token
+
+    def expect(kind: str) -> Token:
+        if cur().kind != kind:
+            raise RDLSyntaxError(
+                f"expected {kind!r}, found {cur().text!r}", cur().line, cur().column
+            )
+        return advance()
+
+    def parse_params() -> tuple:
+        params: list = []
+        if cur().kind != "(":
+            return ()
+        advance()
+        while cur().kind != ")":
+            token = advance()
+            if token.kind == "IDENT":
+                params.append(Var(token.text))
+            elif token.kind == "*":
+                params.append(WILDCARD)
+            elif token.kind == "INT":
+                params.append(int(token.text))
+            elif token.kind == "STRING":
+                params.append(token.text)
+            else:
+                raise RDLSyntaxError(f"bad parameter {token.text!r}", token.line, token.column)
+            if cur().kind == ",":
+                advance()
+        advance()   # ')'
+        return tuple(params)
+
+    def parse_term():
+        token = advance()
+        if token.kind == "IDENT":
+            return Var(token.text)
+        if token.kind == "INT":
+            return int(token.text)
+        if token.kind == "STRING":
+            return token.text
+        raise RDLSyntaxError(f"bad term {token.text!r}", token.line, token.column)
+
+    def parse_conditions() -> tuple[Condition, ...]:
+        conditions: list[Condition] = []
+        while True:
+            if cur().kind == "IDENT" and tokens[pos + 1].kind == "(":
+                name = advance().text
+                advance()   # '('
+                args: list = []
+                while cur().kind != ")":
+                    args.append(parse_term())
+                    if cur().kind == ",":
+                        advance()
+                advance()
+                conditions.append(Condition("call", name, tuple(args)))
+            else:
+                left = parse_term()
+                op = advance()
+                if op.kind not in ("==", "!=", "<", "<=", ">", ">="):
+                    raise RDLSyntaxError(f"bad operator {op.text!r}", op.line, op.column)
+                right = parse_term()
+                conditions.append(Condition("cmp", op.kind, (left, right)))
+            if cur().kind == "&":
+                advance()
+                continue
+            break
+        return tuple(conditions)
+
+    while cur().kind != "EOF":
+        if cur().kind == "NEWLINE":
+            advance()
+            continue
+        keyword = expect("IDENT")
+        if keyword.text not in ("allow", "deny"):
+            raise RDLSyntaxError(
+                f"expected allow/deny, found {keyword.text!r}", keyword.line, keyword.column
+            )
+        role = expect("IDENT").text
+        role_params = parse_params()
+        expect(":")
+        event_name = expect("IDENT").text
+        event_params = parse_params()
+        conditions: tuple[Condition, ...] = ()
+        if cur().kind == ":":
+            advance()
+            conditions = parse_conditions()
+        statements.append(
+            ErdlStatement(
+                allow=keyword.text == "allow",
+                role=role,
+                role_params=role_params,
+                event=Template(event_name, event_params),
+                conditions=conditions,
+            )
+        )
+        if cur().kind == "NEWLINE":
+            advance()
+    return ErdlPolicy(statements, predicates)

@@ -1,0 +1,70 @@
+"""Enforcing remote policy using proxies (section 7.5.3, fig 7.3).
+
+When a *remote* site's clients want a local site's events, the local
+site cannot trust the remote site to apply local policy.  A proxy runs
+**at the local site**, holding a session opened with the remote
+consumer's credentials: local policy is applied to every notification
+before it crosses the organisational boundary, and the remote site
+merely redistributes what it legitimately received.
+
+The proxy also forwards heartbeats, so remote composite detectors keep
+their event-horizon guarantees across the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.certificates import RoleMembershipCertificate
+from repro.events.broker import Session
+from repro.events.model import Event, Template
+from repro.runtime.network import Network
+from repro.security.admission import SecureEventBroker
+
+RemoteDeliver = Callable[[Optional[Event], float], None]
+
+
+class PolicyProxy:
+    """A local-site agent forwarding policy-filtered events to one remote
+    consumer."""
+
+    def __init__(
+        self,
+        local: SecureEventBroker,
+        remote_cert: RoleMembershipCertificate,
+        deliver: RemoteDeliver,
+        network: Optional[Network] = None,
+        local_address: str = "",
+        remote_address: str = "",
+    ):
+        self.local = local
+        self.remote_cert = remote_cert
+        self.network = network
+        self.local_address = local_address
+        self.remote_address = remote_address
+        self._deliver = deliver
+        self.forwarded = 0
+        self.session: Session = local.establish_session(self._on_event, remote_cert)
+
+    def register(self, template: Template):
+        """Register interest on behalf of the remote consumer.  Local
+        admission control applies — the remote site cannot register for
+        more than its credentials allow."""
+        return self.local.register(self.session, template)
+
+    def close(self) -> None:
+        self.local.close_session(self.session)
+
+    def _on_event(self, event: Optional[Event], horizon: float) -> None:
+        # everything arriving here already passed local policy
+        if event is not None:
+            self.forwarded += 1
+        if self.network is not None and self.remote_address:
+            self.network.send(
+                self.local_address or "proxy",
+                self.remote_address,
+                "proxied-event",
+                {"event": event, "horizon": horizon},
+            )
+        else:
+            self._deliver(event, horizon)

@@ -1,0 +1,18 @@
+"""Reusable Oasis services implementing the chapter 3 worked examples:
+
+* :mod:`repro.services.password` — the central password service that
+  bootstraps authentication (section 3.4.3);
+* :mod:`repro.services.login` — multi-level login (Secure / Login /
+  Untrusted / Visitor) built on password certificates;
+* :mod:`repro.services.loader` — program-image certification for the
+  high-score-table example (section 3.4.1);
+* :mod:`repro.services.meeting` — the open meeting with recursive
+  delegation and Chair ejection (sections 3.4.2, 3.3.2).
+"""
+
+from repro.services.loader import LoaderService
+from repro.services.login import LoginService
+from repro.services.meeting import MeetingService
+from repro.services.password import PasswordService
+
+__all__ = ["PasswordService", "LoginService", "LoaderService", "MeetingService"]

@@ -1,0 +1,109 @@
+"""Multi-level login on password certificates (section 3.4.3).
+
+The paper's second formulation is used: a single parametrised role
+``Login(l, u)`` where ``l`` encodes the trust level and the *first
+matching rule wins*, giving a client the maximum permissible level for
+the machine they are on:
+
+.. code-block:: text
+
+    Login(3, u) <- Pw.Passwd(u, "Login") : h in secure
+    Login(2, u) <- Pw.Passwd(u, "Login") : h in hosts
+    Login(1, u) <- Pw.Passwd(u, "Login")
+    Login(0, u) <-                              # unchecked visitor claim
+
+(Level 3 = secure console, 2 = known host, 1 = unknown host,
+0 = visitor.)  A client may also request an explicit level.
+
+This demonstrates the security-mismatch handling of section 2.3.3:
+downstream services can distinguish clients by trust level instead of
+either over-encrypting everything or accepting the weakest link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.groups import GroupService
+from repro.core.identifiers import ClientId
+from repro.core.service import OasisService
+
+SECURE, KNOWN, UNKNOWN_HOST, VISITOR = 3, 2, 1, 0
+
+LOGIN_RDL = """
+import Pw.userid
+def Login(l, u, h)  l: integer  u: userid  h: string
+Login(3, u, h) <- Pw.Passwd(u, "Login")* : h in secure
+Login(2, u, h) <- Pw.Passwd(u, "Login")* : h in hosts
+Login(1, u, h) <- Pw.Passwd(u, "Login")*
+Login(0, u, h) <-
+"""
+
+
+class LoginService(OasisService):
+    """Issues ``Login(level, user, host)`` certificates.
+
+    ``secure`` and ``hosts`` are host groups managed by the embedded group
+    service; membership changes revoke outstanding certificates of the
+    affected level (the group tests are starred... they are evaluated per
+    entry, so level assignment is a membership rule only insofar as the
+    password certificate stays valid)."""
+
+    def __init__(self, name: str = "Login", password_service_name: str = "Pw", **kwargs):
+        groups = kwargs.pop("groups", None) or GroupService()
+        groups.create_group("secure")
+        groups.create_group("hosts")
+        super().__init__(name, groups=groups, **kwargs)
+        self._pw_name = password_service_name
+        rdl = LOGIN_RDL.replace("Pw.", f"{password_service_name}.")
+        self.add_rolefile("main", rdl)
+
+    # -- host classification -------------------------------------------------
+
+    def add_secure_host(self, host: str) -> None:
+        self.groups.add_member("secure", host)
+        self.groups.add_member("hosts", host)
+
+    def add_known_host(self, host: str) -> None:
+        self.groups.add_member("hosts", host)
+
+    # -- login ------------------------------------------------------------------
+
+    def login(
+        self,
+        client: ClientId,
+        passwd_cert=None,
+        level: Optional[int] = None,
+        user: Optional[str] = None,
+    ):
+        """Log a client in at the maximum (or an explicitly requested)
+        level.  ``passwd_cert`` is a Pw.Passwd certificate; a visitor
+        login (level 0) instead supplies an unchecked ``user`` claim."""
+        host = client.host
+        if passwd_cert is None:
+            if level not in (None, VISITOR):
+                raise ValueError("levels above 0 require a password certificate")
+            uid = self._visitor_uid(user or "anonymous")
+            return self.enter_role(client, "Login", (VISITOR, uid, host))
+        credentials = (passwd_cert,)
+        uid = passwd_cert.args[0]
+        if level is not None:
+            return self.enter_role(
+                client, "Login", (level, uid, host), credentials=credentials
+            )
+        return self.enter_role(
+            client, "Login", (None, uid, host), credentials=credentials
+        )
+
+    def logout(self, login_cert) -> None:
+        self.exit_role(login_cert)
+
+    def level_of(self, login_cert) -> int:
+        self.validate(login_cert, required_role="Login")
+        return login_cert.args[0]
+
+    def _visitor_uid(self, user: str):
+        if self.registry is not None and self._pw_name in self.registry:
+            return self.registry.lookup(self._pw_name).parsename("userid", user)
+        from repro.core.types import ObjectRef
+        return ObjectRef(f"{self._pw_name}.userid", user.encode("utf-8"))

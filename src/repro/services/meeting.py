@@ -1,0 +1,89 @@
+"""The open meeting (sections 3.4.2 and 3.3.2).
+
+Requirements from the paper:
+
+* the meeting has a Chair;
+* any member of staff may join;
+* any member may invite someone else to join (unrestricted recursive
+  delegation);
+* the Chair may eject anyone — including members they did not elect —
+  via role-based revocation on the intermediate ``Candidate`` role, so
+  the ``Member`` role's interface need not change.
+
+RDL (with the paper's intermediate-role trick):
+
+.. code-block:: text
+
+    Chair         <- Login.Login(l, u, h) : u == <chair user>
+    Candidate(u)  <- Login.Login(l, u, h)* : (u in staff)*
+    Candidate(u)  <- Login.Login(l, u, h)* <|* Member(e)
+    Member(u)     <- Candidate(u)* |> Chair
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.groups import GroupService
+from repro.core.identifiers import ClientId
+from repro.core.service import OasisService
+
+
+def meeting_rdl(chair_user: str, login_service: str = "Login") -> str:
+    return f"""
+Chair <- {login_service}.Login(l, u, h) : u == "{chair_user}"
+Candidate(u) <- {login_service}.Login(l, u, h)* : (u in staff)*
+Candidate(u) <- {login_service}.Login(l, u, h)* <|* Member(e)
+Member(u) <- Candidate(u)* |> Chair
+"""
+
+
+class MeetingService(OasisService):
+    """One meeting instance; its rolefile defines its scope (section 2.10)."""
+
+    def __init__(
+        self,
+        name: str,
+        chair_user: str,
+        staff: Optional[set] = None,
+        login_service: str = "Login",
+        **kwargs,
+    ):
+        groups = kwargs.pop("groups", None) or GroupService()
+        groups.create_group("staff", staff or set())
+        super().__init__(name, groups=groups, **kwargs)
+        self.chair_user = chair_user
+        self.add_rolefile("main", meeting_rdl(chair_user, login_service))
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def join_as_chair(self, client: ClientId, login_cert):
+        return self.enter_roles(client, ["Chair"], credentials=(login_cert,))
+
+    def join(self, client: ClientId, login_cert):
+        """A staff member joins directly."""
+        return self.enter_role(client, "Member", credentials=(login_cert,))
+
+    def invite(self, member_cert, expires_in: Optional[float] = None):
+        """Any member may invite someone else (recursive delegation).
+        Returns (delegation, revocation) certificates to hand over."""
+        return self.delegate(
+            member_cert, "Candidate", expires_in=expires_in
+        )
+
+    def accept_invitation(self, client: ClientId, delegation, login_cert):
+        candidate = self.enter_delegated_role(
+            client, delegation, credentials=(login_cert,)
+        )
+        return self.enter_role(
+            client, "Member", credentials=(login_cert, candidate)
+        )
+
+    def eject(self, chair_cert, user) -> int:
+        """The Chair ejects a member by user identity — role-based
+        revocation on the Candidate instance (section 3.3.2)."""
+        revoked = self.revoke_role_instance(chair_cert, "Member", (user,))
+        return revoked
+
+    def readmit(self, chair_cert, user) -> None:
+        self.reinstate_role_instance(chair_cert, "Member", (user,))

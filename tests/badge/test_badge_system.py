@@ -1,0 +1,210 @@
+"""Tests for the active badge system (section 6.3)."""
+
+import pytest
+
+from repro.badge.hardware import Badge, BadgeWorld
+from repro.badge.intersite import SiteDirectory
+from repro.badge.site import Site
+from repro.events.model import Event, Var, WILDCARD, template
+from repro.runtime.clock import SimClock
+from repro.runtime.simulator import Simulator
+
+
+class World:
+    """Two sites (cambridge, parc) with rooms and a couple of badges."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.clock = SimClock(self.sim)
+        self.directory = SiteDirectory()
+        self.cam = Site("cambridge", self.directory, clock=self.clock, simulator=self.sim)
+        self.parc = Site("parc", self.directory, clock=self.clock, simulator=self.sim)
+        self.world = BadgeWorld(self.sim)
+        for room in ("T14", "T15"):
+            self.world.add_room(room, "cambridge")
+            self.cam.add_sensor(f"sensor-{room}", room)
+        for room in ("P1", "P2"):
+            self.world.add_room(room, "parc")
+            self.parc.add_sensor(f"sensor-{room}", room)
+        self.cam.attach_hardware(self.world)
+        self.parc.attach_hardware(self.world)
+        self.rjh = Badge("badge-rjh", "cambridge")
+        self.world.add_badge(self.rjh)
+        self.cam.register_home_badge("badge-rjh", "rjh21")
+
+
+@pytest.fixture
+def w():
+    return World()
+
+
+class TestIntraSite:
+    def test_sighting_signals_seen_event(self, w):
+        got = []
+        session = w.cam.master.broker.establish_session(
+            lambda e, h: got.append(e) if e else None
+        )
+        w.cam.master.broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        w.world.move("badge-rjh", "T14")
+        assert [e.args for e in got] == [("badge-rjh", "sensor-T14")]
+
+    def test_sighting_cache_tracks_current_badges(self, w):
+        w.world.move("badge-rjh", "T14")
+        assert w.cam.cache.current_badges() == {"badge-rjh"}
+        assert w.cam.cache.last_sensor("badge-rjh") == "sensor-T14"
+
+    def test_new_badge_signalled_once(self, w):
+        got = []
+        session = w.cam.cache.broker.establish_session(
+            lambda e, h: got.append(e) if e else None
+        )
+        w.cam.cache.broker.register(session, template("NewBadge", WILDCARD))
+        w.world.move("badge-rjh", "T14")
+        w.world.move("badge-rjh", "T15")
+        assert len(got) == 1
+
+    def test_namer_lookups(self, w):
+        assert w.cam.namer.badge_of("rjh21") == "badge-rjh"
+        assert w.cam.namer.user_of("badge-rjh") == "rjh21"
+        assert w.cam.namer.room_of("sensor-T14") == "T14"
+
+    def test_namer_signals_updates(self, w):
+        got = []
+        session = w.cam.namer.broker.establish_session(
+            lambda e, h: got.append(e) if e else None
+        )
+        w.cam.namer.broker.register(session, template("OwnsBadge", WILDCARD, WILDCARD))
+        w.cam.namer.insert("OwnsBadge", ("jmb", "badge-jmb"))
+        assert [e.args for e in got] == [("jmb", "badge-jmb")]
+
+    def test_badge_replacement(self, w):
+        """Section 6.3.3: changing the badge associated with a user."""
+        w.cam.namer.replace("OwnsBadge", ("rjh21",), ("rjh21", "badge-new"))
+        assert w.cam.namer.badge_of("rjh21") == "badge-new"
+
+    def test_db_register_closes_the_race(self, w):
+        """The atomic lookup+register of section 6.3.3: existing tuples
+        arrive as events, and later inserts too — nothing is lost."""
+        got = []
+        session = w.cam.namer.broker.establish_session(
+            lambda e, h: got.append(e) if e else None
+        )
+        replay, registration = w.cam.namer.db_register(
+            session, template("OwnsBadge", "rjh21", Var("b"))
+        )
+        assert [e.args for e in replay] == [("rjh21", "badge-rjh")]
+        # the database changes: the event arrives through the same session
+        w.cam.namer.replace("OwnsBadge", ("rjh21",), ("rjh21", "badge-new"))
+        assert ("rjh21", "badge-new") in [e.args for e in got]
+
+    def test_db_register_unknown_relation(self, w):
+        from repro.errors import EventError
+        session = w.cam.namer.broker.establish_session(lambda e, h: None)
+        with pytest.raises(EventError):
+            w.cam.namer.db_register(session, template("Nope", WILDCARD))
+
+
+class TestInterSite:
+    def test_foreign_badge_acquires_naming_info(self, w):
+        w.world.move("badge-rjh", "P1")
+        assert w.parc.knows_badge("badge-rjh")
+        assert w.parc.namer.user_of("badge-rjh") == "rjh21"
+        assert w.parc.namer.select("BadgeSite", ("badge-rjh", None)) == [
+            ("badge-rjh", "cambridge")
+        ]
+
+    def test_home_site_always_knows_location(self, w):
+        w.world.move("badge-rjh", "T14")
+        assert w.cam.location_of("badge-rjh") == "cambridge"
+        w.world.move("badge-rjh", "P1")
+        assert w.cam.location_of("badge-rjh") == "parc"
+
+    def test_moved_site_event_signalled(self, w):
+        got = []
+        session = w.cam.broker.establish_session(
+            lambda e, h: got.append(e) if e else None
+        )
+        w.cam.broker.register(session, template("MovedSite", WILDCARD, WILDCARD, WILDCARD))
+        w.world.move("badge-rjh", "T14")
+        w.world.move("badge-rjh", "P1")
+        assert [e.args for e in got] == [("badge-rjh", "cambridge", "parc")]
+
+    def test_old_site_deletes_naming_info(self, w):
+        """Fig 6.2(b): naming info at the previous site is deleted when
+        the badge is seen at a third site."""
+        directory = w.directory
+        oxford = Site("oxford", directory, clock=w.clock, simulator=w.sim)
+        w.world.add_room("O1", "oxford")
+        oxford.attach_hardware(w.world)
+        w.world.move("badge-rjh", "P1")
+        assert w.parc.knows_badge("badge-rjh")
+        w.world.move("badge-rjh", "O1")
+        assert not w.parc.knows_badge("badge-rjh")
+        assert oxford.knows_badge("badge-rjh")
+        assert w.cam.location_of("badge-rjh") == "oxford"
+
+    def test_return_home_cleans_up_remote(self, w):
+        w.world.move("badge-rjh", "P1")
+        w.world.move("badge-rjh", "T14")
+        assert not w.parc.knows_badge("badge-rjh")
+        assert w.cam.location_of("badge-rjh") == "cambridge"
+        # the home site keeps its own naming info
+        assert w.cam.namer.user_of("badge-rjh") == "rjh21"
+
+    def test_private_site_withholds_owner(self, w):
+        secret = Site("secret", w.directory, clock=w.clock, simulator=w.sim,
+                      publish_owners=False)
+        w.world.add_room("S1", "secret")
+        secret.attach_hardware(w.world)
+        w.world.add_badge(Badge("badge-spy", "secret"))
+        secret.register_home_badge("badge-spy", "agent007")
+        w.world.move("badge-spy", "T14")
+        # cambridge sees the badge but learns no user name
+        assert w.cam.cache.last_sensor("badge-spy") == "sensor-T14"
+        assert w.cam.namer.user_of("badge-spy") is None
+
+
+class TestCompositeOverBadges:
+    def test_enters_event_via_detector(self, w):
+        from repro.events.composite.detector import CompositeEventDetector
+
+        detector = CompositeEventDetector(clock=w.clock)
+        detector.connect(w.cam.master.broker)
+        entries = []
+        detector.watch(
+            '$Seen("badge-rjh", s1); Seen("badge-rjh", s2) - Seen("badge-rjh", s1)',
+            callback=lambda t, env: entries.append(env["s2"]),
+        )
+        def beat():
+            w.cam.heartbeat()
+            w.sim.schedule(1.0, beat)
+        w.sim.schedule(0.5, beat)
+        w.world.move_at(1.0, "badge-rjh", "T14")
+        w.world.move_at(2.0, "badge-rjh", "T15")
+        w.world.move_at(3.0, "badge-rjh", "T14")
+        w.sim.run_until(10.0)
+        assert entries == ["sensor-T15", "sensor-T14"]
+
+    def test_trapped_after_fire_alarm(self, w):
+        """The Trapped(P) example: alarm, then sightings before AllClear,
+        named through the active database."""
+        from repro.events.composite.detector import CompositeEventDetector
+
+        detector = CompositeEventDetector(clock=w.clock)
+        detector.connect(w.cam.master.broker)
+        detector.connect_database(w.cam.namer)   # DBRegister integration
+        alarm_broker = w.cam.broker   # reuse the site broker for Alarm
+        detector.connect(alarm_broker)
+        trapped = []
+        detector.watch(
+            "Alarm(); (Seen(B, S) - AllClear()); OwnsBadge(P, B)",
+            callback=lambda t, env: trapped.append(env["P"]),
+        )
+        w.sim.schedule(1.0, lambda: alarm_broker.signal(Event("Alarm", ())))
+        w.world.move_at(2.0, "badge-rjh", "T14")
+        def beat():
+            w.cam.heartbeat()
+            w.sim.schedule(1.0, beat)
+        w.sim.schedule(0.5, beat)
+        w.sim.run_until(10.0)
+        assert "rjh21" in trapped

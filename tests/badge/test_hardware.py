@@ -1,0 +1,94 @@
+"""Tests for the simulated badge hardware (section 6.3's substrate)."""
+
+import pytest
+
+from repro.badge.hardware import Badge, BadgeWorld
+from repro.runtime.simulator import Simulator
+
+
+def make_world(beacon_period=0.0):
+    sim = Simulator()
+    world = BadgeWorld(sim, beacon_period=beacon_period)
+    world.add_room("T14", "lab")
+    world.add_room("T15", "lab")
+    world.add_badge(Badge("b1", "lab"))
+    sightings = []
+    world.attach_site("lab", lambda badge, sensor: sightings.append((badge, sensor)))
+    return sim, world, sightings
+
+
+def test_move_produces_immediate_sighting():
+    sim, world, sightings = make_world()
+    world.move("b1", "T14")
+    assert sightings == [("b1", "sensor-T14")]
+
+
+def test_location_tracked():
+    sim, world, sightings = make_world()
+    assert world.location("b1") is None
+    world.move("b1", "T14")
+    assert world.location("b1") == "T14"
+    world.remove("b1")
+    assert world.location("b1") is None
+
+
+def test_periodic_beacon_while_stationary():
+    """Like the hardware: a stationary badge keeps broadcasting."""
+    sim, world, sightings = make_world(beacon_period=1.0)
+    world.move("b1", "T14")
+    sim.run_until(5.5)
+    assert len(sightings) >= 5
+    assert all(s == ("b1", "sensor-T14") for s in sightings)
+
+
+def test_beacon_stops_after_leaving():
+    sim, world, sightings = make_world(beacon_period=1.0)
+    world.move("b1", "T14")
+    sim.run_until(2.5)
+    world.remove("b1")
+    count = len(sightings)
+    sim.run_until(10.0)
+    assert len(sightings) == count
+
+
+def test_beacon_follows_badge_between_rooms():
+    sim, world, sightings = make_world(beacon_period=1.0)
+    world.move("b1", "T14")
+    sim.run_until(1.5)
+    world.move("b1", "T15")
+    sim.run_until(4.0)
+    rooms = {sensor for _, sensor in sightings}
+    assert rooms == {"sensor-T14", "sensor-T15"}
+    # no stale T14 beacons after the move
+    late = [s for s in sightings if s[1] == "sensor-T14"]
+    assert len(late) <= 2
+
+
+def test_interrogate_home():
+    sim, world, sightings = make_world()
+    assert world.interrogate_home("b1") == "lab"
+
+
+def test_unknown_badge_and_room_rejected():
+    sim, world, sightings = make_world()
+    with pytest.raises(KeyError):
+        world.move("ghost", "T14")
+    with pytest.raises(KeyError):
+        world.move("b1", "nowhere")
+
+
+def test_move_at_schedules_on_simulator():
+    sim, world, sightings = make_world()
+    world.move_at(3.0, "b1", "T14")
+    assert sightings == []
+    sim.run()
+    assert sightings == [("b1", "sensor-T14")]
+    assert sim.now == 3.0
+
+
+def test_move_at_without_simulator_rejected():
+    world = BadgeWorld()
+    world.add_room("T14", "lab")
+    world.add_badge(Badge("b1", "lab"))
+    with pytest.raises(RuntimeError):
+        world.move_at(1.0, "b1", "T14")

@@ -1,0 +1,60 @@
+"""Shared fixtures: the Login + Conference world used throughout ch. 3-4."""
+
+import pytest
+
+from repro.core import GroupService, HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.core.types import ObjectType
+from repro.runtime.clock import ManualClock
+
+LOGIN_RDL = """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+"""
+
+CONF_RDL = """
+import Login.userid
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+"""
+
+
+class World:
+    """A small universe: a Login service, a Conference service, two hosts."""
+
+    def __init__(self):
+        self.clock = ManualClock()
+        self.registry = ServiceRegistry()
+        self.linkage = LocalLinkage()
+        self.login = OasisService(
+            "Login", registry=self.registry, linkage=self.linkage, clock=self.clock
+        )
+        self.login.export_type(ObjectType("Login.userid"), "userid")
+        self.login.add_rolefile("main", LOGIN_RDL)
+        self.groups = GroupService()
+        self.groups.create_group("staff", {self.uid("jmb"), self.uid("dm")})
+        self.conf = OasisService(
+            "Conf",
+            registry=self.registry,
+            linkage=self.linkage,
+            clock=self.clock,
+            groups=self.groups,
+        )
+        self.conf.add_rolefile("main", CONF_RDL)
+        self.host = HostOS("ely")
+        self.jmb = self.host.create_domain()
+        self.dm = self.host.create_domain()
+        self.jmb_login = self.login.enter_role(
+            self.jmb.client_id, "LoggedOn", ("jmb", "ely")
+        )
+        self.dm_login = self.login.enter_role(
+            self.dm.client_id, "LoggedOn", ("dm", "ely")
+        )
+
+    def uid(self, name):
+        return self.login.parsename("userid", name)
+
+
+@pytest.fixture
+def world():
+    return World()

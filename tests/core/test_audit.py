@@ -1,0 +1,52 @@
+"""Direct tests for the audit log (section 4.13)."""
+
+from repro.core.audit import AuditKind, AuditLog
+
+
+def test_record_and_query_by_kind():
+    log = AuditLog()
+    log.record(1.0, AuditKind.ROLE_ENTERED, "c1", "entered Member", ("Member",))
+    log.record(2.0, AuditKind.FAIL_FRAUD, "c2", "forged")
+    assert len(log.entries(AuditKind.ROLE_ENTERED)) == 1
+    assert len(log.entries()) == 2
+
+
+def test_failures_collects_all_three_classes():
+    log = AuditLog()
+    log.record(1.0, AuditKind.FAIL_FRAUD, "c", "x")
+    log.record(2.0, AuditKind.FAIL_MISUSE, "c", "x")
+    log.record(3.0, AuditKind.FAIL_REVOKED, "c", "x")
+    log.record(4.0, AuditKind.VALIDATION_OK, "c", "x")
+    assert len(log.failures()) == 3
+
+
+def test_capacity_drops_and_counts():
+    log = AuditLog(capacity=2)
+    for i in range(5):
+        log.record(float(i), AuditKind.VALIDATION_OK, "c", "x")
+    assert len(log) == 2
+    assert log.dropped == 3
+
+
+def test_current_members_replay():
+    log = AuditLog()
+    log.record(1.0, AuditKind.ROLE_ENTERED, "c1", "", ("Member", "dm"))
+    log.record(2.0, AuditKind.ROLE_ENTERED, "c2", "", ("Member", "jmb"))
+    log.record(3.0, AuditKind.ROLE_EXITED, "c1", "", ("Member", "dm"))
+    holders = log.current_members()
+    assert holders == {("Member", ("jmb",)): ["c2"]}
+
+
+def test_role_revoked_removes_holder():
+    log = AuditLog()
+    log.record(1.0, AuditKind.ROLE_ENTERED, "c1", "", ("Member", "dm"))
+    log.record(2.0, AuditKind.ROLE_REVOKED, "c1", "", ("Member", "dm"))
+    assert log.current_members() == {}
+
+
+def test_fraud_by_client_tally():
+    log = AuditLog()
+    for _ in range(2):
+        log.record(1.0, AuditKind.FAIL_FRAUD, "mallory", "forged")
+    log.record(1.0, AuditKind.FAIL_FRAUD, "eve", "stolen")
+    assert log.fraud_by_client() == {"mallory": 2, "eve": 1}

@@ -1,0 +1,427 @@
+"""Unit + property tests for credential records (sections 4.6-4.9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credentials import (
+    CredentialRecordTable,
+    RecordOp,
+    RecordState,
+    pack_ref,
+    unpack_ref,
+)
+from repro.errors import OasisError
+
+T, F, U = RecordState.TRUE, RecordState.FALSE, RecordState.UNKNOWN
+
+
+def test_pack_unpack_ref_roundtrip():
+    assert unpack_ref(pack_ref(12345, 678)) == (12345, 678)
+
+
+class TestSources:
+    def test_create_and_read(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T)
+        assert table.state_of(record.ref) is T
+
+    def test_set_state(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T)
+        table.set_state(record.ref, F)
+        assert table.state_of(record.ref) is F
+
+    def test_set_on_gate_rejected(self):
+        table = CredentialRecordTable()
+        src = table.create_source()
+        gate = table.create_and([src.ref])
+        with pytest.raises(OasisError):
+            table.set_state(gate.ref, F)
+
+    def test_permanent_blocks_changes(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T)
+        table.set_state(record.ref, F, permanent=True)
+        table.set_state(record.ref, T)
+        assert table.state_of(record.ref) is F
+
+    def test_missing_record_reads_false(self):
+        table = CredentialRecordTable()
+        assert table.state_of(pack_ref(99, 0)) is F
+
+
+class TestGates:
+    def test_and_truth_table(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        b = table.create_source(state=T)
+        gate = table.create_and([a.ref, b.ref])
+        assert gate.state is T
+        table.set_state(b.ref, F)
+        assert table.state_of(gate.ref) is F
+        table.set_state(b.ref, T)
+        assert table.state_of(gate.ref) is T
+
+    def test_or_gate(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=F)
+        b = table.create_source(state=F)
+        gate = table.create_gate(RecordOp.OR, [(a.ref, False), (b.ref, False)])
+        assert gate.state is F
+        table.set_state(a.ref, T)
+        assert table.state_of(gate.ref) is T
+
+    def test_nand_nor(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        nand = table.create_gate(RecordOp.NAND, [(a.ref, False)])
+        nor = table.create_gate(RecordOp.NOR, [(a.ref, False)])
+        assert nand.state is F
+        assert nor.state is F
+        table.set_state(a.ref, F)
+        assert table.state_of(nand.ref) is T
+        assert table.state_of(nor.ref) is T
+
+    def test_negated_edge(self):
+        """'not' as a distinguished parent->child reference (section 4.7)."""
+        table = CredentialRecordTable()
+        a = table.create_source(state=F)
+        gate = table.create_gate(RecordOp.AND, [(a.ref, True)])
+        assert gate.state is T
+        table.set_state(a.ref, T)
+        assert table.state_of(gate.ref) is F
+
+    def test_unknown_propagates_through_and(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        b = table.create_source(state=T)
+        gate = table.create_and([a.ref, b.ref])
+        table.set_state(a.ref, U)
+        assert table.state_of(gate.ref) is U
+        table.set_state(b.ref, F)  # false dominates unknown in AND
+        assert table.state_of(gate.ref) is F
+
+    def test_unknown_in_or(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=U)
+        b = table.create_source(state=F)
+        gate = table.create_gate(RecordOp.OR, [(a.ref, False), (b.ref, False)])
+        assert gate.state is U
+        table.set_state(b.ref, T)  # true dominates unknown in OR
+        assert table.state_of(gate.ref) is T
+
+    def test_deep_cascade(self):
+        """Fig 4.5: revoking one record kills an entire delegation tree."""
+        table = CredentialRecordTable()
+        root = table.create_source(state=T)
+        layer = [root.ref]
+        leaves = []
+        for _depth in range(5):
+            nxt = []
+            for parent in layer:
+                for _ in range(2):
+                    gate = table.create_and([parent])
+                    nxt.append(gate.ref)
+            layer = nxt
+            leaves = nxt
+        assert all(table.state_of(ref) is T for ref in leaves)
+        table.revoke(root.ref)
+        assert all(table.state_of(ref) is F for ref in leaves)
+
+    def test_missing_parent_counts_permanently_false(self):
+        table = CredentialRecordTable()
+        gate = table.create_and([pack_ref(404, 0)])
+        assert gate.state is F
+        assert gate.permanent
+
+    def test_revoke_gate_directly(self):
+        """Fig 4.6 optimisation: the conjunction record is itself the
+        delegation record and may be revoked directly."""
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        gate = table.create_and([a.ref])
+        assert table.revoke(gate.ref)
+        assert table.state_of(gate.ref) is F
+        table.set_state(a.ref, F)
+        table.set_state(a.ref, T)
+        assert table.state_of(gate.ref) is F  # still revoked
+
+    def test_revoke_missing_returns_false(self):
+        table = CredentialRecordTable()
+        assert table.revoke(pack_ref(7, 3)) is False
+
+
+class TestPermanence:
+    def test_permanent_false_parent_fixes_and_gate(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        b = table.create_source(state=T)
+        gate = table.create_and([a.ref, b.ref])
+        table.set_state(a.ref, F, permanent=True)
+        assert table.get(gate.ref).permanent
+        assert table.state_of(gate.ref) is F
+
+    def test_true_gates_never_auto_permanent(self):
+        """A TRUE gate can always still be revoked, so parent permanence
+        must not freeze it (the fig 4.6 conjunction record stays
+        revocable)."""
+        table = CredentialRecordTable()
+        a = table.create_source(state=T, permanent=True)
+        b = table.create_source(state=T, permanent=True)
+        gate = table.create_and([a.ref, b.ref])
+        assert gate.state is T
+        assert not gate.permanent
+        assert table.revoke(gate.ref)
+        assert table.state_of(gate.ref) is F
+
+    def test_all_false_parents_fix_or_gate(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=F, permanent=True)
+        b = table.create_source(state=F, permanent=True)
+        gate = table.create_gate(RecordOp.OR, [(a.ref, False), (b.ref, False)])
+        assert gate.state is F
+        assert gate.permanent
+
+    def test_revocation_cascades_through_true_gate_chain(self):
+        """Regression: an empty AND gate (no membership rules) must still
+        propagate a forced revocation to its children."""
+        table = CredentialRecordTable()
+        top = table.create_gate(RecordOp.AND, [], direct_use=True)
+        mid = table.create_and([top.ref])
+        leaf = table.create_and([mid.ref])
+        assert leaf.state is T
+        table.revoke(top.ref)
+        assert table.state_of(mid.ref) is F
+        assert table.state_of(leaf.ref) is F
+
+
+class TestWatches:
+    def test_watch_fires_on_change(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T)
+        events = []
+        table.watch(record.ref, lambda r, old, new: events.append((old, new)))
+        table.set_state(record.ref, F)
+        assert events == [(T, F)]
+
+    def test_watch_fires_in_cascade_order(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        gate = table.create_and([a.ref])
+        order = []
+        table.watch(a.ref, lambda r, o, n: order.append("src"))
+        table.watch(gate.ref, lambda r, o, n: order.append("gate"))
+        table.set_state(a.ref, F)
+        assert order == ["gate", "src"]  # children settle before source fires
+
+    def test_watch_all(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        changes = []
+        table.watch_all(lambda r, o, n: changes.append(r.ref))
+        table.set_state(a.ref, F)
+        assert changes == [a.ref]
+
+
+class TestExternals:
+    def test_external_surrogate_updates(self):
+        table = CredentialRecordTable()
+        ext = table.create_external("Login", 1234)
+        table.update_external("Login", 1234, F)
+        assert table.state_of(ext.ref) is F
+
+    def test_external_reuse(self):
+        table = CredentialRecordTable()
+        a = table.create_external("Login", 1)
+        b = table.create_external("Login", 1)
+        assert a.ref == b.ref
+
+    def test_mark_service_unknown(self):
+        """Section 4.10: a missed heartbeat marks external records
+        Unknown, which propagates to children."""
+        table = CredentialRecordTable()
+        ext = table.create_external("Login", 1)
+        gate = table.create_and([ext.ref])
+        changed = table.mark_service_unknown("Login")
+        assert changed == 1
+        assert table.state_of(gate.ref) is U
+
+    def test_restore_after_unknown(self):
+        table = CredentialRecordTable()
+        ext = table.create_external("Login", 1)
+        table.mark_service_unknown("Login")
+        table.update_external("Login", 1, T)
+        assert table.state_of(ext.ref) is T
+
+
+class TestGarbageCollection:
+    def test_revoked_leaf_collected(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T, direct_use=True)
+        table.revoke(record.ref)
+        deleted = table.sweep()
+        assert deleted == 1
+        assert table.get(record.ref) is None
+        assert table.state_of(record.ref) is F  # still reads revoked
+
+    def test_live_direct_use_kept(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T, permanent=True, direct_use=True)
+        assert table.sweep() == 0
+        assert table.get(record.ref) is not None
+
+    def test_uninteresting_permanent_true_collected(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T, permanent=True)
+        assert table.sweep() == 1
+
+    def test_subscribed_record_kept(self):
+        table = CredentialRecordTable()
+        record = table.create_source(state=T)
+        table.revoke(record.ref)
+        table_record = table.get(record.ref)
+        table_record.subscribers.add("peer")
+        assert table.sweep() == 0
+
+    def test_magic_prevents_stale_refs(self):
+        """(table index, Magic) is unique over the service lifetime."""
+        table = CredentialRecordTable()
+        old = table.create_source(state=T, direct_use=True)
+        old_ref = old.ref
+        table.revoke(old_ref)
+        table.sweep()
+        fresh = table.create_source(state=T)   # reuses the row
+        assert fresh.index == old.index
+        assert fresh.magic == old.magic + 1
+        assert table.get(old_ref) is None      # stale ref does not resolve
+        assert table.state_of(old_ref) is F
+        assert table.get(fresh.ref) is fresh
+
+    def test_permanent_parents_unlinked(self):
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        gate = table.create_and([a.ref], direct_use=True)
+        table.set_state(a.ref, T, permanent=True)
+        table.sweep()
+        assert table.get(a.ref) is None        # collected
+        assert table.state_of(gate.ref) is T   # child unaffected
+
+
+# ---------------------------------------------------------------- properties
+
+
+@st.composite
+def _graph_ops(draw):
+    """A random sequence of graph-building and state-flipping operations."""
+    n_sources = draw(st.integers(min_value=1, max_value=6))
+    n_gates = draw(st.integers(min_value=0, max_value=8))
+    gates = []
+    for _ in range(n_gates):
+        op = draw(st.sampled_from([RecordOp.AND, RecordOp.OR, RecordOp.NAND, RecordOp.NOR]))
+        arity = draw(st.integers(min_value=1, max_value=3))
+        parents = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n_sources + len(gates) - 1),
+                    st.booleans(),
+                ),
+                min_size=arity,
+                max_size=arity,
+            )
+        )
+        gates.append((op, parents))
+    flips = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_sources - 1),
+                st.sampled_from([T, F, U]),
+            ),
+            max_size=10,
+        )
+    )
+    return n_sources, gates, flips
+
+
+def _model_eval(op, parent_states, edges):
+    effective = []
+    for state, negate in zip(parent_states, edges):
+        if negate and state is not U:
+            state = F if state is T else T
+        effective.append(state)
+    if op in (RecordOp.AND, RecordOp.NAND):
+        if F in effective:
+            base = F
+        elif U in effective:
+            base = U
+        else:
+            base = T
+        flip = op is RecordOp.NAND
+    else:
+        if T in effective:
+            base = T
+        elif U in effective:
+            base = U
+        else:
+            base = F
+        flip = op in (RecordOp.NOR,)
+    if flip and base is not U:
+        base = F if base is T else T
+    return base
+
+
+@given(_graph_ops())
+@settings(max_examples=200, deadline=None)
+def test_incremental_propagation_matches_model(ops):
+    """INVARIANT: after any sequence of source flips, every gate's state
+    equals a from-scratch evaluation of the DAG (the counter-based
+    incremental scheme of section 4.8 is exact)."""
+    n_sources, gate_specs, flips = ops
+    table = CredentialRecordTable()
+    sources = [table.create_source(state=T) for _ in range(n_sources)]
+    nodes = list(sources)
+    specs = []  # (op, [(node_idx, negate)])
+    for op, parents in gate_specs:
+        refs = [(nodes[i].ref, neg) for i, neg in parents]
+        gate = table.create_gate(op, refs)
+        specs.append((op, parents))
+        nodes.append(gate)
+
+    source_states = [T] * n_sources
+    for idx, new_state in flips:
+        table.set_state(sources[idx].ref, new_state)
+        source_states[idx] = new_state
+
+    # from-scratch model evaluation in creation order (a DAG by construction)
+    model = list(source_states)
+    for op, parents in specs:
+        parent_states = [model[i] for i, _ in parents]
+        edges = [neg for _, neg in parents]
+        model.append(_model_eval(op, parent_states, edges))
+
+    for node, expected in zip(nodes, model):
+        assert table.state_of(node.ref) is expected
+
+
+@given(st.lists(st.sampled_from(["flip", "revoke", "sweep"]), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_sweep_never_resurrects_revoked(ops):
+    """INVARIANT: once revoked, a ref reads FALSE forever, across any
+    interleaving of flips, revocations and sweeps (name-space reuse is
+    protected by the magic field)."""
+    table = CredentialRecordTable()
+    source = table.create_source(state=T)
+    gate = table.create_and([source.ref], direct_use=True)
+    revoked_refs = []
+    state = T
+    for op in ops:
+        if op == "flip":
+            state = F if state is T else T
+            table.set_state(source.ref, state)
+        elif op == "revoke":
+            table.revoke(gate.ref)
+            revoked_refs.append(gate.ref)
+            gate = table.create_and([source.ref], direct_use=True)
+        else:
+            table.sweep()
+        for ref in revoked_refs:
+            assert table.state_of(ref) is F

@@ -1,0 +1,144 @@
+"""Direct unit tests for the role-entry engine (no service shell)."""
+
+import pytest
+
+from repro.core.engine import CertDep, Membership, RoleEntryEngine
+from repro.core.rdl.parser import parse_rolefile
+from repro.core.rdl.typecheck import TypeChecker
+from repro.core.types import INTEGER, STRING
+from repro.errors import EntryDenied
+
+
+def make_engine(source, service="S", group_lookup=None, functions=None,
+                external=None):
+    rolefile = parse_rolefile(source)
+    checker = TypeChecker(
+        rolefile,
+        resolver=lambda svc, role: (external or {}).get((svc, role)),
+    )
+    checker.check()
+
+    def signatures(svc, role):
+        if svc is None or svc == service:
+            try:
+                return checker.signature(role)
+            except Exception:
+                return None
+        return (external or {}).get((svc, role))
+
+    return RoleEntryEngine(
+        rolefile, service, signatures,
+        group_lookup=group_lookup, functions=functions,
+    )
+
+
+def membership(service, role, args, crr=1):
+    return Membership(
+        service=service, roles=frozenset({role}), args=args,
+        deps=(CertDep(service, crr),),
+    )
+
+
+class TestMatching:
+    def test_variable_shared_between_conditions(self):
+        engine = make_engine("def A(x)  x: integer\ndef B(x)  x: integer\n"
+                             "Both(x) <- A(x) & B(x)")
+        result = engine.evaluate(
+            "Both",
+            credentials=[membership("S", "A", (1,)), membership("S", "B", (1,))],
+        )
+        assert result.membership.args == (1,)
+
+    def test_variable_conflict_fails(self):
+        engine = make_engine("def A(x)  x: integer\ndef B(x)  x: integer\n"
+                             "Both(x) <- A(x) & B(x)")
+        with pytest.raises(EntryDenied):
+            engine.evaluate(
+                "Both",
+                credentials=[membership("S", "A", (1,)), membership("S", "B", (2,))],
+            )
+
+    def test_literal_condition_argument(self):
+        engine = make_engine("def A(x)  x: integer\nSpecial <- A(42)")
+        with pytest.raises(EntryDenied):
+            engine.evaluate("Special", credentials=[membership("S", "A", (41,))])
+        result = engine.evaluate("Special", credentials=[membership("S", "A", (42,))])
+        assert result.membership.roles == frozenset({"Special"})
+
+    def test_external_role_reference(self):
+        engine = make_engine(
+            "Member(u) <- Login.LoggedOn(u, h)",
+            external={("Login", "LoggedOn"): [STRING, STRING]},
+        )
+        result = engine.evaluate(
+            "Member", credentials=[membership("Login", "LoggedOn", ("dm", "ely"))]
+        )
+        assert result.membership.args == ("dm",)
+
+    def test_wrong_service_not_matched(self):
+        engine = make_engine(
+            "Member(u) <- Login.LoggedOn(u, h)",
+            external={("Login", "LoggedOn"): [STRING, STRING]},
+        )
+        with pytest.raises(EntryDenied):
+            engine.evaluate(
+                "Member",
+                credentials=[membership("Imposter", "LoggedOn", ("dm", "ely"))],
+            )
+
+    def test_requested_args_wildcards(self):
+        """None in the request is a wild card for *matching*; a bootstrap
+        statement still needs every head variable bound somewhere."""
+        engine = make_engine(
+            "def A(x)  x: integer\ndef B(x, y)  x: integer  y: integer\n"
+            "A(x) <- \nB(x, 5) <- A(x)"
+        )
+        a = engine.evaluate("A", (3,)).membership
+        result = engine.evaluate(
+            "B", (None, None),
+            credentials=[membership("S", "A", a.args)],
+        )
+        assert result.membership.args == (3, 5)
+
+    def test_starred_condition_contributes_deps(self):
+        engine = make_engine("def A(x)  x: integer\nM(x) <- A(x)*")
+        result = engine.evaluate("M", credentials=[membership("S", "A", (1,), crr=99)])
+        assert CertDep("S", 99) in result.membership.deps
+
+    def test_unstarred_condition_contributes_no_deps(self):
+        engine = make_engine("def A(x)  x: integer\nM(x) <- A(x)")
+        result = engine.evaluate("M", credentials=[membership("S", "A", (1,), crr=99)])
+        assert result.membership.deps == ()
+
+    def test_backtracking_across_three_conditions(self):
+        engine = make_engine(
+            "def R(e)  e: integer\n"
+            "Q <- R(a)* & R(b)* & R(c)* : a != b and b != c and a != c"
+        )
+        creds = [membership("S", "R", (i,), crr=i) for i in (1, 1, 2, 3)]
+        result = engine.evaluate("Q", credentials=creds)
+        assert len(result.membership.deps) == 3
+
+    def test_functions_in_head_arguments(self):
+        engine = make_engine(
+            "def A(x)  x: integer\ndef M(y)  y: integer\nM(double(x)) <- A(x)",
+            functions={"double": lambda v: v * 2},
+        )
+        result = engine.evaluate("M", credentials=[membership("S", "A", (21,))])
+        assert result.membership.args == (42,)
+
+    def test_applied_statements_recorded(self):
+        engine = make_engine(
+            "def A(x)  x: integer\nMid(x) <- A(x)\nTop(x) <- Mid(x)"
+        )
+        result = engine.evaluate("Top", credentials=[membership("S", "A", (1,))])
+        assert [s.head.name for s in result.applied] == ["Mid", "Top"]
+
+    def test_group_lookup_used(self):
+        engine = make_engine(
+            "def A(x)  x: string\nM(x) <- A(x) : x in vips",
+            group_lookup=lambda value, group: value == "dm" and group == "vips",
+        )
+        engine.evaluate("M", credentials=[membership("S", "A", ("dm",))])
+        with pytest.raises(EntryDenied):
+            engine.evaluate("M", credentials=[membership("S", "A", ("guest",))])

@@ -1,0 +1,114 @@
+"""Unit tests for client identifiers and VCIs (sections 2.7-2.8)."""
+
+import pytest
+
+from repro.core.identifiers import ClientId, HostOS
+from repro.errors import OasisError
+
+
+def test_client_id_unique_per_domain():
+    host = HostOS("ely")
+    a = host.create_domain()
+    b = host.create_domain()
+    assert a.client_id != b.client_id
+    assert a.client_id.host == "ely"
+
+
+def test_boot_time_keeps_ids_unique_forever():
+    host = HostOS("ely")
+    before = host.create_domain().client_id
+    host.boot()
+    after = host.create_domain().client_id
+    assert before != after
+    assert after.boot_time > before.boot_time
+
+
+def test_boot_kills_existing_domains():
+    host = HostOS("ely")
+    domain = host.create_domain()
+    host.boot()
+    assert not domain.alive
+
+
+def test_authenticate():
+    host = HostOS("ely")
+    domain = host.create_domain()
+    assert host.authenticate(domain, domain.client_id)
+    assert not host.authenticate(domain, ClientId("ely", 999, 1))
+
+
+def test_authenticate_fails_after_exit():
+    host = HostOS("ely")
+    domain = host.create_domain()
+    claimed = domain.client_id
+    domain.exit()
+    assert not host.authenticate(domain, claimed)
+
+
+class TestVCIs:
+    def test_new_vci_owned(self):
+        host = HostOS("ely")
+        domain = host.create_domain()
+        vci = domain.new_vci()
+        assert domain.may_use(vci)
+
+    def test_other_domain_may_not_use(self):
+        host = HostOS("ely")
+        a = host.create_domain()
+        b = host.create_domain()
+        vci = a.new_vci()
+        assert not b.may_use(vci)
+
+    def test_explicit_delegation(self):
+        host = HostOS("ely")
+        a = host.create_domain()
+        b = host.create_domain()
+        vci = a.new_vci()
+        a.delegate_vci(vci, b)
+        assert b.may_use(vci)
+
+    def test_cannot_delegate_unheld_vci(self):
+        host = HostOS("ely")
+        a = host.create_domain()
+        b = host.create_domain()
+        vci = b.new_vci()
+        with pytest.raises(OasisError):
+            a.delegate_vci(vci, b)
+
+    def test_vci_meaningless_across_hosts(self):
+        a = HostOS("ely").create_domain()
+        b = HostOS("cam").create_domain()
+        vci = a.new_vci()
+        with pytest.raises(OasisError):
+            a.delegate_vci(vci, b)
+
+    def test_fork_passes_selected_vcis_only(self):
+        """The login-process pattern of section 2.8.1: a child receives
+        credentials for VCI x but cannot use VCI y, even if stolen."""
+        host = HostOS("ely")
+        parent = host.create_domain()
+        vci_x = parent.new_vci()
+        vci_y = parent.new_vci()
+        child = parent.fork(pass_vcis={vci_x})
+        assert child.may_use(vci_x)
+        assert not child.may_use(vci_y)
+        assert child.client_id != parent.client_id
+
+    def test_exit_clears_vcis(self):
+        host = HostOS("ely")
+        domain = host.create_domain()
+        vci = domain.new_vci()
+        domain.exit()
+        assert not domain.may_use(vci)
+        with pytest.raises(OasisError):
+            domain.new_vci()
+
+    def test_exited_domain_cannot_fork(self):
+        host = HostOS("ely")
+        domain = host.create_domain()
+        domain.exit()
+        with pytest.raises(OasisError):
+            domain.fork()
+
+    def test_client_id_str(self):
+        assert str(ClientId("ely", 3, 2)) == "ely/3@2"

@@ -1,0 +1,194 @@
+"""Unit tests for the RDL lexer and parser (chapter 3 grammar)."""
+
+import pytest
+
+from repro.core.rdl.ast import (
+    BoolFunc,
+    Comparison,
+    FuncCall,
+    GroupTest,
+    Literal,
+    LogicOp,
+    NotOp,
+    RoleRef,
+    Variable,
+)
+from repro.core.rdl.lexer import tokenize
+from repro.core.rdl.parser import parse_rolefile
+from repro.errors import RDLSyntaxError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('Chair <- Login.LoggedOn("jmb", h)')]
+        assert kinds == [
+            "IDENT", "<-", "IDENT", ".", "IDENT", "(", "STRING", ",",
+            "IDENT", ")", "NEWLINE", "EOF",
+        ]
+
+    def test_election_symbols(self):
+        kinds = [t.kind for t in tokenize("A <- B <|* C")]
+        assert "<|*" in kinds
+
+    def test_revoke_symbol(self):
+        kinds = [t.kind for t in tokenize("A <- B |> C")]
+        assert "|>" in kinds
+
+    def test_latex_conjunction_alias(self):
+        kinds = [t.kind for t in tokenize(r"A <- B /\ C")]
+        assert kinds.count("&") == 1
+
+    def test_set_literal(self):
+        tokens = tokenize("Rights({ae}) <- Author")
+        assert any(t.kind == "SET" and t.text == "ae" for t in tokens)
+
+    def test_comment_ignored(self):
+        tokens = tokenize("# nothing here\nA <- B\n")
+        assert tokens[0].kind == "IDENT"
+
+    def test_newline_suppressed_in_parens(self):
+        tokens = tokenize("A <- B(x,\n  y)")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count("NEWLINE") == 1  # only the final one
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'A <- B("a\"b")')
+        assert any(t.kind == "STRING" and t.text == 'a"b' for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(RDLSyntaxError):
+            tokenize('A <- B("oops')
+
+    def test_error_carries_position(self):
+        with pytest.raises(RDLSyntaxError) as err:
+            tokenize("A <- B\nC <- @")
+        assert err.value.line == 2
+
+    def test_negative_integer(self):
+        tokens = tokenize("A(-5) <- B")
+        assert any(t.kind == "INT" and t.text == "-5" for t in tokens)
+
+
+class TestParser:
+    def test_simple_entry(self):
+        rf = parse_rolefile('Chair <- Login.LoggedOn("jmb", h)')
+        stmt = rf.statements[0]
+        assert stmt.head == RoleRef(None, "Chair")
+        assert stmt.conditions[0].service == "Login"
+        assert stmt.conditions[0].name == "LoggedOn"
+        assert stmt.conditions[0].args == (Literal("jmb"), Variable("h"))
+
+    def test_starred_condition(self):
+        rf = parse_rolefile("A <- B(x)* & C(y)")
+        assert rf.statements[0].conditions[0].starred
+        assert not rf.statements[0].conditions[1].starred
+
+    def test_election_form(self):
+        rf = parse_rolefile("Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*")
+        stmt = rf.statements[0]
+        assert stmt.is_election
+        assert stmt.delegation_starred
+        assert stmt.elector.name == "Chair"
+        constraint = stmt.constraint
+        assert isinstance(constraint, GroupTest)
+        assert constraint.group == "staff"
+        assert constraint.starred
+
+    def test_plain_election(self):
+        rf = parse_rolefile("Member <- Person <| Member")
+        stmt = rf.statements[0]
+        assert stmt.is_election
+        assert not stmt.delegation_starred
+
+    def test_role_based_revocation(self):
+        rf = parse_rolefile("Member(p) <- Person(p) |> Chair")
+        stmt = rf.statements[0]
+        assert stmt.revoker is not None
+        assert stmt.revoker.name == "Chair"
+
+    def test_def_statement(self):
+        rf = parse_rolefile("def Login(l, u)  l: integer  u: userid")
+        decl = rf.decls[0]
+        assert decl.name == "Login"
+        assert decl.params == ("l", "u")
+        assert dict(decl.types) == {"l": "integer", "u": "userid"}
+
+    def test_def_with_set_type(self):
+        rf = parse_rolefile("def Rights(r)  r: {eaf}")
+        assert dict(rf.decls[0].types)["r"] == "{eaf}"
+
+    def test_import(self):
+        rf = parse_rolefile("import Login.userid")
+        assert rf.imports[0].qualified == "Login.userid"
+
+    def test_empty_body(self):
+        rf = parse_rolefile("LoggedOn(u, h) <- ")
+        stmt = rf.statements[0]
+        assert stmt.conditions == ()
+        assert stmt.constraint is None
+
+    def test_constraint_comparison(self):
+        rf = parse_rolefile("A(r) <- B(u) : r = unixacl(\"x=rwx\", u)")
+        constraint = rf.statements[0].constraint
+        assert isinstance(constraint, Comparison)
+        assert constraint.op == "="
+        assert isinstance(constraint.right, FuncCall)
+        assert constraint.right.name == "unixacl"
+
+    def test_constraint_boolean_logic(self):
+        rf = parse_rolefile("A <- B(x) & C(y) : x != y and (x in g or y in g)")
+        constraint = rf.statements[0].constraint
+        assert isinstance(constraint, LogicOp)
+        assert constraint.op == "and"
+        assert isinstance(constraint.operands[1], LogicOp)
+        assert constraint.operands[1].op == "or"
+
+    def test_constraint_not(self):
+        rf = parse_rolefile("A <- B(x) : not (x in banned)*")
+        constraint = rf.statements[0].constraint
+        assert isinstance(constraint, NotOp)
+        assert constraint.operand.starred
+
+    def test_constraint_bool_func(self):
+        rf = parse_rolefile('A <- B(f, d) : InDir(f, d)')
+        constraint = rf.statements[0].constraint
+        assert isinstance(constraint, BoolFunc)
+        assert constraint.call.name == "InDir"
+
+    def test_multiple_statements_order_preserved(self):
+        rf = parse_rolefile("Bas(2) <- Foo\nBar(1) <- Bas(2)\nBar(2) <- Foo\n")
+        assert [s.head.name for s in rf.statements] == ["Bas", "Bar", "Bar"]
+        assert rf.roles_defined() == ["Bas", "Bar"]
+        assert len(rf.statements_for("Bar")) == 2
+
+    def test_starred_head_rejected(self):
+        with pytest.raises(RDLSyntaxError):
+            parse_rolefile("A* <- B")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(RDLSyntaxError):
+            parse_rolefile("A B C")
+
+    def test_duplicate_def_params_rejected(self):
+        with pytest.raises(RDLSyntaxError):
+            parse_rolefile("def A(x, x)")
+
+    def test_unknown_def_param_type_rejected(self):
+        with pytest.raises(RDLSyntaxError):
+            parse_rolefile("def A(x)  y: integer")
+
+    def test_roundtrip_through_str(self):
+        source = 'Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*'
+        rf1 = parse_rolefile(source)
+        rf2 = parse_rolefile(str(rf1))
+        assert str(rf1) == str(rf2)
+
+    def test_golf_club_quorum(self):
+        """The section 3.4.5 example parses: two distinct recommenders."""
+        rf = parse_rolefile(
+            "Recommend(p, e) <- Candidate(p) <| Member(e)\n"
+            "Member(p) <- Recommend(p, e1)* & Recommend(p, e2)* : e1 != e2\n"
+        )
+        member = rf.statements_for("Member")[0]
+        assert len(member.conditions) == 2
+        assert member.constraint.op == "!="

@@ -1,0 +1,111 @@
+"""Service lifecycle: secret rolling, certificate lifetimes, sweeps
+(sections 4.2, 5.5.1) and their interaction."""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.errors import FraudError, RevokedError
+from repro.runtime.clock import ManualClock
+
+
+def make_service(**kwargs):
+    clock = ManualClock()
+    svc = OasisService("S", clock=clock, **kwargs)
+    svc.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+    client = HostOS("h").create_domain().client_id
+    return clock, svc, client
+
+
+def test_tick_rolls_secrets_on_period():
+    clock, svc, client = make_service()
+    index = svc.secrets.current_index
+    clock.advance(svc.secrets.roll_period + 1)
+    svc.tick()
+    assert svc.secrets.current_index == index + 1
+
+
+def test_certificates_survive_secret_roll():
+    """Fig 4.1 + 5.5.1: older secrets stay valid for verification until
+    their lifetime ends."""
+    clock, svc, client = make_service()
+    cert = svc.enter_role(client, "Anon", (1,))
+    clock.advance(svc.secrets.roll_period + 1)
+    svc.tick()
+    svc.validate(cert)   # old secret still live
+
+
+def test_certificate_dies_with_its_secret():
+    """A certificate signed with an expired secret fails the signature
+    recomputation — indistinguishable from forgery, which is why the
+    paper pairs secret lifetimes with certificate timeouts."""
+    clock, svc, client = make_service(secret_lifetime=100.0)
+    cert = svc.enter_role(client, "Anon", (1,))
+    svc.secrets.roll()
+    clock.advance(101.0)
+    svc._signature_cache.clear()
+    with pytest.raises(FraudError):
+        svc.validate(cert)
+
+
+def test_cert_lifetime_and_secret_lifetime_paired():
+    """With cert_lifetime <= secret_lifetime the expiry fires first and
+    the failure is correctly classified as revocation, not fraud."""
+    clock, svc2, client = None, None, None
+    clock = ManualClock()
+    svc = OasisService("S2", clock=clock, cert_lifetime=50.0, secret_lifetime=100.0)
+    svc.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+    client = HostOS("h").create_domain().client_id
+    cert = svc.enter_role(client, "Anon", (1,))
+    clock.advance(60.0)
+    with pytest.raises(RevokedError):
+        svc.validate(cert)
+
+
+def test_compromise_response_invalidate_all():
+    """Section 5.5.1: on suspected compromise, drop every secret; all
+    outstanding certificates become unverifiable at once."""
+    clock, svc, client = make_service()
+    certs = [svc.enter_role(client, "Anon", (i,)) for i in range(5)]
+    svc.secrets.invalidate_all()
+    svc._signature_cache.clear()
+    for cert in certs:
+        with pytest.raises(FraudError):
+            svc.validate(cert)
+    # new issues work immediately with the fresh secret
+    fresh = svc.enter_role(client, "Anon", (9,))
+    svc.validate(fresh)
+
+
+def test_tick_sweeps_revoked_records():
+    clock, svc, client = make_service()
+    certs = [svc.enter_role(client, "Anon", (i,)) for i in range(20)]
+    for cert in certs:
+        svc.exit_role(cert)
+    before = svc.credentials.live_count()
+    svc.tick()
+    assert svc.credentials.live_count() < before
+
+
+def test_delegation_expiry_via_tick():
+    clock, svc, client = make_service()
+    svc.add_rolefile("extra", """
+def Person(p)  p: string
+def Helper(p)  p: string
+Person(p) <-
+Helper(p) <- Person(p) <|* Person
+""")
+    boss = HostOS("h2").create_domain().client_id
+    boss_person = svc.enter_role(boss, "Person", ("boss",), rolefile_id="extra")
+    delegation, _ = svc.delegate(
+        boss_person, "Helper", expires_in=10.0, rolefile_id="extra"
+    )
+    helper = HostOS("h3").create_domain().client_id
+    helper_person = svc.enter_role(helper, "Person", ("helper",), rolefile_id="extra")
+    helper_cert = svc.enter_delegated_role(
+        helper, delegation, credentials=(helper_person,), rolefile_id="extra"
+    )
+    clock.advance(11.0)
+    expired = svc.tick()
+    assert expired == 1
+    with pytest.raises(RevokedError):
+        svc.validate(helper_cert)

@@ -1,0 +1,188 @@
+"""Unit tests for the RDL type system and marshalling (sections 3.2.1, 4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import (
+    INTEGER,
+    STRING,
+    ObjectRef,
+    ObjectType,
+    SetType,
+    TypeTable,
+    infer_type_of_value,
+    marshal_args,
+    unmarshal_args,
+)
+from repro.errors import RDLTypeError
+
+
+class TestIntegerType:
+    def test_roundtrip(self):
+        assert INTEGER.unmarshal(INTEGER.marshal(42)) == 42
+
+    def test_negative(self):
+        assert INTEGER.unmarshal(INTEGER.marshal(-7)) == -7
+
+    def test_rejects_bool(self):
+        with pytest.raises(RDLTypeError):
+            INTEGER.marshal(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(RDLTypeError):
+            INTEGER.marshal("3")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RDLTypeError):
+            INTEGER.marshal(2**63)
+
+    def test_parse_literal(self):
+        assert INTEGER.parse_literal("123") == 123
+        with pytest.raises(RDLTypeError):
+            INTEGER.parse_literal("abc")
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        assert INTEGER.unmarshal(INTEGER.marshal(value)) == value
+
+
+class TestStringType:
+    def test_roundtrip(self):
+        assert STRING.unmarshal(STRING.marshal("hello")) == "hello"
+
+    def test_unicode(self):
+        assert STRING.unmarshal(STRING.marshal("naïve λ")) == "naïve λ"
+
+    def test_rejects_int(self):
+        with pytest.raises(RDLTypeError):
+            STRING.marshal(3)
+
+    @given(st.text(max_size=200))
+    def test_roundtrip_property(self, value):
+        assert STRING.unmarshal(STRING.marshal(value)) == value
+
+
+class TestSetType:
+    def test_roundtrip(self):
+        rwx = SetType("rwx")
+        assert rwx.unmarshal(rwx.marshal(frozenset("rw"))) == frozenset("rw")
+
+    def test_empty_set(self):
+        rwx = SetType("rwx")
+        assert rwx.unmarshal(rwx.marshal(frozenset())) == frozenset()
+
+    def test_bitset_subset_test_on_wire(self):
+        """Section 4.3: sets marshal to bit-sets allowing subset tests."""
+        rwx = SetType("rwx")
+        small = rwx.to_bits(frozenset("r"))
+        large = rwx.to_bits(frozenset("rw"))
+        assert small & large == small          # subset
+        assert rwx.to_bits(frozenset("x")) & large == 0
+
+    def test_rejects_foreign_characters(self):
+        with pytest.raises(RDLTypeError):
+            SetType("rwx").marshal(frozenset("rz"))
+
+    def test_rejects_duplicate_alphabet(self):
+        with pytest.raises(RDLTypeError):
+            SetType("rr")
+
+    def test_parse_literal(self):
+        assert SetType("eaf").parse_literal("ae") == frozenset("ae")
+
+    def test_equality_by_alphabet(self):
+        assert SetType("rwx") == SetType("rwx")
+        assert SetType("rwx") != SetType("rw")
+
+    @given(st.sets(st.sampled_from("rwxad")))
+    def test_roundtrip_property(self, value):
+        t = SetType("rwxad")
+        assert t.unmarshal(t.marshal(frozenset(value))) == frozenset(value)
+
+
+class TestObjectType:
+    def test_default_parser(self):
+        uid = ObjectType("Login.userid")
+        ref = uid.parse_literal("jmb")
+        assert ref == ObjectRef("Login.userid", b"jmb")
+
+    def test_roundtrip(self):
+        uid = ObjectType("Login.userid")
+        ref = ObjectRef("Login.userid", b"\x01\x02")
+        assert uid.unmarshal(uid.marshal(ref)) == ref
+
+    def test_type_mismatch_rejected(self):
+        uid = ObjectType("Login.userid")
+        with pytest.raises(RDLTypeError):
+            uid.marshal(ObjectRef("Other.fileid", b"x"))
+
+    def test_custom_parser(self):
+        uid = ObjectType("t", parser=lambda s: ObjectRef("t", s.upper().encode()))
+        assert uid.parse_literal("ab").identity == b"AB"
+
+    def test_equality_only_comparison(self):
+        a = ObjectRef("t", b"a")
+        b = ObjectRef("t", b"a")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTypeTable:
+    def test_builtin_lookup(self):
+        table = TypeTable()
+        assert table.lookup("integer") is INTEGER
+        assert table.lookup("string") is STRING
+        assert table.lookup("{rwx}") == SetType("rwx")
+
+    def test_register_and_alias(self):
+        table = TypeTable()
+        uid = ObjectType("Login.userid")
+        table.register(uid, "userid")
+        assert table.lookup("Login.userid") is uid
+        assert table.lookup("userid") is uid
+
+    def test_unknown_raises(self):
+        with pytest.raises(RDLTypeError):
+            TypeTable().lookup("nonsense")
+
+    def test_has(self):
+        table = TypeTable()
+        assert table.has("integer")
+        assert not table.has("nonsense")
+
+
+class TestMarshalArgs:
+    def test_roundtrip_mixed(self):
+        types = [INTEGER, STRING, SetType("rwx")]
+        values = (5, "x", frozenset("rw"))
+        wire = marshal_args(types, values)
+        assert unmarshal_args(types, wire) == values
+
+    def test_deterministic(self):
+        types = [STRING, INTEGER]
+        assert marshal_args(types, ("a", 1)) == marshal_args(types, ("a", 1))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(RDLTypeError):
+            marshal_args([INTEGER], (1, 2))
+
+    def test_wire_arity_check(self):
+        wire = marshal_args([INTEGER], (1,))
+        with pytest.raises(RDLTypeError):
+            unmarshal_args([INTEGER, INTEGER], wire)
+
+
+class TestInference:
+    def test_int(self):
+        assert infer_type_of_value(3) is INTEGER
+
+    def test_str(self):
+        assert infer_type_of_value("a") is STRING
+
+    def test_bool_rejected(self):
+        with pytest.raises(RDLTypeError):
+            infer_type_of_value(True)
+
+    def test_objref(self):
+        t = infer_type_of_value(ObjectRef("x", b"y"))
+        assert t.name == "x"

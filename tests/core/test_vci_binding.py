@@ -1,0 +1,101 @@
+"""VCI-bound credentials (section 2.8.1, integrated with the service).
+
+"Whenever a protection domain obtains a credential, the credential is
+associated with a particular VCI, and can therefore only be used by
+protection domains who may name themselves using the VCI."  The login
+process pattern: create a VCI per user task, acquire credentials against
+it, fork children holding only the relevant VCI.
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.errors import FraudError
+
+
+@pytest.fixture
+def world():
+    svc = OasisService("S")
+    svc.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+    host = HostOS("ws")
+    return svc, host
+
+
+def test_vci_bound_certificate_usable_by_holder(world):
+    svc, host = world
+    domain = host.create_domain()
+    vci = domain.new_vci()
+    cert = svc.enter_role(domain.client_id, "Anon", (1,), vci=vci)
+    svc.validate(cert, domain=domain)
+
+
+def test_vci_binding_is_signed(world):
+    import dataclasses
+    svc, host = world
+    domain = host.create_domain()
+    other = host.create_domain()
+    vci = domain.new_vci()
+    stolen_vci = other.new_vci()
+    cert = svc.enter_role(domain.client_id, "Anon", (1,), vci=vci)
+    forged = dataclasses.replace(cert, vci=stolen_vci)
+    with pytest.raises(FraudError):
+        svc.validate(forged, domain=other)
+
+
+def test_domain_without_the_vci_cannot_use(world):
+    """The 2.8.1 scenario: credentials A,B on VCI x; a child given only
+    VCI y cannot use them 'even if it stole these from its parent'."""
+    svc, host = world
+    parent = host.create_domain()
+    vci_x = parent.new_vci()
+    vci_y = parent.new_vci()
+    cert_on_x = svc.enter_role(parent.client_id, "Anon", (1,), vci=vci_x)
+    child = parent.fork(pass_vcis={vci_y})
+    with pytest.raises(FraudError, match="may not use"):
+        svc.validate(cert_on_x, domain=child)
+
+
+def test_child_with_delegated_vci_may_use(world):
+    svc, host = world
+    parent = host.create_domain()
+    vci = parent.new_vci()
+    cert = svc.enter_role(parent.client_id, "Anon", (1,), vci=vci)
+    child = parent.fork(pass_vcis={vci})
+    svc.validate(cert, domain=child)
+
+
+def test_unbound_certificate_unaffected(world):
+    svc, host = world
+    domain = host.create_domain()
+    cert = svc.enter_role(domain.client_id, "Anon", (1,))
+    assert cert.vci is None
+    svc.validate(cert, domain=host.create_domain())   # no VCI check applies
+
+
+def test_exited_domain_loses_vci_credentials(world):
+    svc, host = world
+    domain = host.create_domain()
+    vci = domain.new_vci()
+    cert = svc.enter_role(domain.client_id, "Anon", (1,), vci=vci)
+    domain.exit()
+    with pytest.raises(FraudError):
+        svc.validate(cert, domain=domain)
+
+
+def test_login_process_pattern(world):
+    """One login process serving two users keeps their credentials apart
+    by VCI."""
+    svc, host = world
+    login_proc = host.create_domain()
+    vci_alice = login_proc.new_vci()
+    vci_bob = login_proc.new_vci()
+    alice_cert = svc.enter_role(login_proc.client_id, "Anon", (1,), vci=vci_alice)
+    bob_cert = svc.enter_role(login_proc.client_id, "Anon", (2,), vci=vci_bob)
+    alice_shell = login_proc.fork(pass_vcis={vci_alice})
+    bob_shell = login_proc.fork(pass_vcis={vci_bob})
+    svc.validate(alice_cert, domain=alice_shell)
+    svc.validate(bob_cert, domain=bob_shell)
+    with pytest.raises(FraudError):
+        svc.validate(bob_cert, domain=alice_shell)
+    with pytest.raises(FraudError):
+        svc.validate(alice_cert, domain=bob_shell)

@@ -1,0 +1,293 @@
+"""Tests for aggregation (sections 6.9-6.11): the two-section queue, the
+toy language and the built-in aggregators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AggregationError
+from repro.events.aggregation.functions import Count, First, Maximum, Once, attach
+from repro.events.aggregation.language import parse_aggregation
+from repro.events.aggregation.queue import TwoSectionQueue
+
+
+class TestTwoSectionQueue:
+    def test_items_sorted_by_timestamp(self):
+        q = TwoSectionQueue()
+        q.insert(3.0, "c")
+        q.insert(1.0, "a")
+        q.insert(2.0, "b")
+        assert [i.payload for i in q.variable_items()] == ["a", "b", "c"]
+
+    def test_fix_up_to_moves_boundary(self):
+        q = TwoSectionQueue()
+        q.insert(1.0, "a")
+        q.insert(2.0, "b")
+        q.insert(3.0, "c")
+        newly = q.fix_up_to(2.0)
+        assert [i.payload for i in newly] == ["a", "b"]
+        assert [i.payload for i in q.fixed_items()] == ["a", "b"]
+        assert [i.payload for i in q.variable_items()] == ["c"]
+
+    def test_late_insert_into_variable_ok(self):
+        """Fig 6.6: a delayed event is inserted at the appropriate point
+        of the variable section."""
+        q = TwoSectionQueue()
+        q.insert(5.0, "late-ish")
+        q.fix_up_to(2.0)
+        q.insert(3.0, "delayed")  # above the boundary: fine
+        assert [i.payload for i in q.variable_items()] == ["delayed", "late-ish"]
+
+    def test_insert_below_boundary_rejected(self):
+        q = TwoSectionQueue()
+        q.fix_up_to(5.0)
+        with pytest.raises(AggregationError):
+            q.insert(4.0, "too late")
+        assert q.late_rejections == 1
+
+    def test_on_fixed_fires_in_order(self):
+        seen = []
+        q = TwoSectionQueue(on_fixed=lambda i: seen.append(i.payload))
+        q.insert(2.0, "b")
+        q.insert(1.0, "a")
+        q.fix_up_to(10.0)
+        assert seen == ["a", "b"]
+
+    def test_on_boundary_meta_event(self):
+        boundaries = []
+        q = TwoSectionQueue(on_boundary=boundaries.append)
+        q.fix_up_to(1.0)
+        q.fix_up_to(3.0)
+        q.fix_up_to(2.0)  # regression: ignored
+        assert boundaries == [1.0, 3.0]
+
+    def test_pop_fixed(self):
+        q = TwoSectionQueue()
+        q.insert(1.0, "a")
+        q.fix_up_to(2.0)
+        assert q.pop_fixed().payload == "a"
+        with pytest.raises(AggregationError):
+            q.pop_fixed()
+
+    def test_equal_timestamps_keep_insertion_order(self):
+        q = TwoSectionQueue()
+        q.insert(1.0, "first")
+        q.insert(1.0, "second")
+        q.fix_up_to(1.0)
+        assert [i.payload for i in q.fixed_items()] == ["first", "second"]
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_prefix_always_sorted_and_stable(self, stamps):
+        """INVARIANT: the fixed section is totally ordered and its
+        contents never change once fixed."""
+        q = TwoSectionQueue()
+        snapshots = []
+        horizon = -1.0
+        for i, stamp in enumerate(stamps):
+            if stamp > horizon:
+                q.insert(stamp, i)
+            if i % 3 == 2:
+                horizon = max(horizon, stamp - 1.0)
+                q.fix_up_to(horizon)
+                fixed = [x.payload for x in q.fixed_items()]
+                snapshots.append(fixed)
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert later[: len(earlier)] == earlier
+        times = [x.timestamp for x in q.fixed_items()]
+        assert times == sorted(times)
+
+
+class TestAggregationLanguage:
+    def test_counting(self):
+        """Section 6.11.1: count deposits between open and close."""
+        agg = parse_aggregation("""
+        {
+            int n = 0;
+            expr: Deposit(x) - Close
+            event: n = n + 1;
+            term: signal(n);
+        }
+        """)
+        for i in range(4):
+            agg.offer(float(i + 1), {"x": 10 * i})
+        agg.advance(10.0)
+        agg.terminate()
+        assert agg.signals == [(4,)]
+
+    def test_summing_with_new(self):
+        agg = parse_aggregation("""
+        {
+            int t = 0;
+            expr: Deposit(x) - Close
+            event: t = t + new.x;
+            term: signal(t);
+        }
+        """)
+        agg.offer(1.0, {"x": 5})
+        agg.offer(2.0, {"x": 7})
+        agg.advance(10.0)
+        agg.terminate()
+        assert agg.signals == [(12,)]
+
+    def test_maximum(self):
+        """Section 6.11.2."""
+        agg = parse_aggregation("""
+        {
+            int m = 0;
+            expr: Withdraw(z)
+            event: if (new.z > m) m = new.z;
+            term: signal(m);
+        }
+        """)
+        for t, z in [(1.0, 5), (2.0, 90), (3.0, 30)]:
+            agg.offer(t, {"z": z})
+        agg.advance(10.0)
+        agg.terminate()
+        assert agg.signals == [(90,)]
+
+    def test_first_signals_only_when_fixed(self):
+        """Section 6.11.3: 'first' needs to know nothing earlier can
+        still arrive."""
+        agg = parse_aggregation("""
+        {
+            int done = 0;
+            expr: A | B
+            event: if (done == 0) { done = 1; signal(new.time); }
+        }
+        """)
+        agg.offer(5.0, {})
+        assert agg.signals == []          # not fixed yet
+        agg.offer(3.0, {})                # a delayed, earlier event
+        agg.advance(10.0)
+        assert agg.signals == [(3.0,)]    # the true first
+
+    def test_terminate_statement_stops_processing(self):
+        agg = parse_aggregation("""
+        {
+            int n = 0;
+            expr: A
+            event: n = n + 1; signal(n); terminate();
+        }
+        """)
+        agg.offer(1.0, {})
+        agg.offer(2.0, {})
+        agg.advance(10.0)
+        assert agg.signals == [(1,)]
+
+    def test_var_section_sees_boundary(self):
+        agg = parse_aggregation("""
+        {
+            float b = 0.0;
+            expr: A
+            var: b = boundary;
+        }
+        """)
+        agg.offer(1.0, {})
+        agg.advance(7.5)
+        assert agg.vars["b"] == 7.5
+
+    def test_events_processed_in_timestamp_order(self):
+        agg = parse_aggregation("""
+        {
+            int last = 0;
+            int ordered = 1;
+            expr: A(x)
+            event: if (new.x < last) ordered = 0; last = new.x;
+        }
+        """)
+        agg.offer(2.0, {"x": 2})
+        agg.offer(1.0, {"x": 1})
+        agg.offer(3.0, {"x": 3})
+        agg.advance(10.0)
+        assert agg.vars["ordered"] == 1
+
+    def test_expr_source_recovered(self):
+        agg = parse_aggregation("{ expr: Deposit(x) - Close(y) \n term: signal(1); }")
+        assert agg.expr_source == "Deposit(x) - Close(y)"
+
+    def test_undeclared_variable_rejected(self):
+        agg = parse_aggregation("{ expr: A \n event: q = 1; }")
+        with pytest.raises(AggregationError):
+            agg.offer(1.0, {})
+            agg.advance(10.0)
+
+    def test_on_signal_callback(self):
+        got = []
+        agg = parse_aggregation(
+            "{ int n = 0; expr: A \n event: n = n + 1; \n term: signal(n); }",
+            on_signal=lambda *a: got.append(a),
+        )
+        agg.offer(1.0, {})
+        agg.advance(2.0)
+        agg.terminate()
+        assert got == [(1,)]
+
+    def test_arithmetic(self):
+        agg = parse_aggregation("""
+        {
+            int a = 0;
+            expr: E
+            event: a = (2 + 3) * 4 - 6 / 2;
+        }
+        """)
+        agg.offer(1.0, {})
+        agg.advance(2.0)
+        assert agg.vars["a"] == 17
+
+
+class TestBuiltins:
+    def test_count(self):
+        count = Count()
+        for t in (1.0, 2.0, 3.0):
+            count.offer(t)
+        count.advance(10.0)
+        count.terminate()
+        assert count.signals == [(3,)]
+
+    def test_count_running(self):
+        count = Count(running=True)
+        count.offer(1.0)
+        count.offer(2.0)
+        count.advance(10.0)
+        assert count.signals == [(1,), (2,)]
+
+    def test_maximum(self):
+        maximum = Maximum("z")
+        for t, z in [(1.0, 10), (2.0, 99), (3.0, 50)]:
+            maximum.offer(t, {"z": z})
+        maximum.advance(10.0)
+        maximum.terminate()
+        assert maximum.signals == [(99,)]
+
+    def test_first_with_delayed_earlier_event(self):
+        first = First()
+        first.offer(5.0, {"who": "late"})
+        first.advance(2.0)       # boundary below 5.0: not yet decidable
+        assert first.signals == []
+        first.offer(3.0, {"who": "early"})
+        first.advance(10.0)
+        assert first.signals[0][0] == 3.0
+        assert first.signals[0][1] == {"who": "early"}
+
+    def test_once_collapses_bursts(self):
+        """The squash end-of-point: several conditions fire together but
+        only one point ends."""
+        once = Once(window=5.0)
+        once.offer(10.0, {})
+        once.offer(10.1, {})
+        once.offer(10.2, {})
+        once.offer(20.0, {})
+        once.advance(30.0)
+        assert [s[0] for s in once.signals] == [10.0, 20.0]
+
+    def test_attach_to_detector_watch(self):
+        from repro.events.composite.detector import CompositeEventDetector
+        from repro.events.model import Event
+
+        detector = CompositeEventDetector()
+        watch = detector.watch("$Deposit(x)")
+        count = attach(Count(running=True), watch, tracker=detector.horizons)
+        detector.post(Event("Deposit", (5,), timestamp=1.0))
+        detector.post(Event("Deposit", (6,), timestamp=2.0))
+        detector.update_horizon("bank", 10.0)
+        assert count.signals == [(1,), (2,)]

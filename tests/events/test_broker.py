@@ -1,0 +1,221 @@
+"""Tests for the event broker (sections 6.2.2 and 6.8.1)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.events.broker import EventBroker
+from repro.events.horizon import HorizonTracker
+from repro.events.model import WILDCARD, Event, Var, template
+from repro.runtime.clock import ManualClock, SimClock
+from repro.runtime.simulator import Simulator
+
+
+def make_broker(**kwargs):
+    clock = ManualClock(1.0)
+    return clock, EventBroker("P", clock=clock, **kwargs)
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+        self.horizons = []
+
+    def __call__(self, event, horizon):
+        if event is not None:
+            self.events.append(event)
+        self.horizons.append(horizon)
+
+
+class TestRegistration:
+    def test_matching_event_notified(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.register(session, template("Finished", 27))
+        broker.signal(Event("Finished", (27,)))
+        broker.signal(Event("Finished", (28,)))
+        assert [e.args for e in got.events] == [(27,)]
+
+    def test_wildcard_registration(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.register(session, template("Finished", WILDCARD))
+        broker.signal(Event("Finished", (1,)))
+        broker.signal(Event("Finished", (2,)))
+        assert len(got.events) == 2
+
+    def test_deregister_stops_notifications(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        registration = broker.register(session, template("Finished", WILDCARD))
+        broker.deregister(registration)
+        broker.signal(Event("Finished", (1,)))
+        assert got.events == []
+
+    def test_closed_session_rejected(self):
+        clock, broker = make_broker()
+        session = broker.establish_session(Collector())
+        broker.close_session(session)
+        with pytest.raises(RegistrationError):
+            broker.register(session, template("Finished", WILDCARD))
+
+    def test_events_stamped_with_source_clock(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.register(session, template("E"))
+        clock.advance(4.0)
+        broker.signal(Event("E", ()))
+        assert got.events[0].timestamp == 5.0
+        assert got.events[0].source == "P"
+
+    def test_admission_control_hook(self):
+        def admission(info):
+            if info.get("user") != "dm":
+                raise PermissionError("no")
+
+        clock, broker = make_broker(admission=admission)
+        broker.establish_session(Collector(), info={"user": "dm"})
+        with pytest.raises(PermissionError):
+            broker.establish_session(Collector(), info={"user": "eve"})
+
+    def test_notification_filter(self):
+        clock, broker = make_broker(
+            notification_filter=lambda session, event: event.args[0] != "secret"
+        )
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.register(session, template("E", WILDCARD))
+        broker.signal(Event("E", ("public",)))
+        broker.signal(Event("E", ("secret",)))
+        assert [e.args for e in got.events] == [("public",)]
+        assert broker.stats.suppressed_by_filter == 1
+
+
+class TestPreRegistration:
+    def test_preregistration_buffers_without_notifying(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.preregister(session, template("Seen", WILDCARD))
+        broker.signal(Event("Seen", ("b1",)))
+        assert got.events == []
+        assert broker.buffered() == 1
+
+    def test_retrospective_registration_replays(self):
+        """The section 6.8.1 race: events between lookup and registration
+        must not be lost."""
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b")))
+        clock.advance(1.0)            # t=2
+        broker.signal(Event("Seen", ("b1",)))
+        clock.advance(1.0)            # t=3
+        broker.signal(Event("Seen", ("b2",)))
+        replay = broker.retro_register(pre, since=2.0)
+        assert [e.args for e in replay] == [("b1",), ("b2",)]
+        assert [e.args for e in got.events] == [("b1",), ("b2",)]
+        # now live: future events notified directly
+        broker.signal(Event("Seen", ("b3",)))
+        assert got.events[-1].args == ("b3",)
+
+    def test_retrospective_respects_since(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", WILDCARD))
+        broker.signal(Event("Seen", ("old",)))
+        clock.advance(5.0)
+        broker.signal(Event("Seen", ("new",)))
+        replay = broker.retro_register(pre, since=3.0)
+        assert [e.args for e in replay] == [("new",)]
+
+    def test_narrowing(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", WILDCARD, WILDCARD))
+        broker.narrow(pre, template("Seen", "b1", WILDCARD))
+        broker.signal(Event("Seen", ("b1", "T14")))
+        broker.signal(Event("Seen", ("b2", "T15")))
+        replay = broker.retro_register(pre, since=0.0)
+        assert [e.args for e in replay] == [("b1", "T14")]
+
+    def test_retention_bound(self):
+        """A service only buffers for a bounded period (section 6.8.1)."""
+        clock, broker = make_broker(retention=10.0)
+        session = broker.establish_session(Collector())
+        pre = broker.preregister(session, template("E", WILDCARD))
+        broker.signal(Event("E", (1,)))
+        clock.advance(20.0)
+        broker.signal(Event("E", (2,)))
+        replay = broker.retro_register(pre, since=0.0)
+        assert [e.args for e in replay] == [(2,)]
+
+
+class TestHeartbeatsAndHorizon:
+    def test_heartbeat_carries_horizon(self):
+        clock, broker = make_broker()
+        got = Collector()
+        broker.establish_session(got)
+        clock.advance(4.0)
+        broker.heartbeat()
+        # the horizon is a *strict* lower bound, just below clock.now
+        assert got.horizons == [pytest.approx(5.0)]
+        assert got.horizons[0] < 5.0
+
+    def test_notifications_carry_horizon(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        broker.register(session, template("E"))
+        broker.signal(Event("E", ()))
+        assert got.horizons == [pytest.approx(1.0)]
+        assert got.horizons[0] < 1.0
+
+    def test_simulated_delivery_delay(self):
+        sim = Simulator()
+        broker = EventBroker("P", clock=SimClock(sim), simulator=sim)
+        got = Collector()
+        session = broker.establish_session(got, delay=0.5)
+        broker.register(session, template("E"))
+        sim.schedule(1.0, lambda: broker.signal(Event("E", ())))
+        sim.run()
+        assert got.events[0].timestamp == 1.0   # stamped at source
+        assert sim.now == 1.5                    # delivered after delay
+
+
+class TestHorizonTracker:
+    def test_global_is_minimum(self):
+        tracker = HorizonTracker()
+        tracker.update("a", 5.0)
+        tracker.update("b", 3.0)
+        assert tracker.global_horizon() == 3.0
+
+    def test_expected_source_pins_horizon(self):
+        tracker = HorizonTracker()
+        tracker.update("a", 5.0)
+        tracker.expect_source("b")
+        assert tracker.global_horizon() == float("-inf")
+
+    def test_advance_callbacks(self):
+        tracker = HorizonTracker()
+        advances = []
+        tracker.on_advance(advances.append)
+        tracker.update("a", 1.0)
+        tracker.update("a", 2.0)
+        tracker.update("a", 1.5)   # regression ignored
+        assert advances == [1.0, 2.0]
+
+    def test_forget_source_unpins(self):
+        tracker = HorizonTracker()
+        tracker.update("a", 5.0)
+        tracker.expect_source("b")
+        tracker.forget_source("b")
+        assert tracker.global_horizon() == 5.0
+
+    def test_empty_tracker(self):
+        assert HorizonTracker().global_horizon() == float("-inf")

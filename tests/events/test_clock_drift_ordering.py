@@ -1,0 +1,85 @@
+"""Tests for the probabilistic-ordering extension (section 6.8.4).
+
+With drifting clocks, two stamps close together cannot be ordered
+reliably.  ``A - B {prob = p}`` translates the requested minimum
+ordering confidence into a timestamp margin ("these specifications may
+be translated into modifications in the acceptable time stamps ... no
+additional run time overhead").
+"""
+
+import pytest
+
+from repro.events.composite.machine import Machine
+from repro.events.composite.parser import parse_expression
+from repro.events.model import Event
+
+
+def run(source, events, skew):
+    signals = []
+    machine = Machine(
+        parse_expression(source), lambda t, e: signals.append(t),
+        start=0.0, clock_skew=skew,
+    )
+    for event in events:
+        machine.post(event)
+    machine.advance_horizon(float("inf"))
+    return signals
+
+
+B_SLIGHTLY_AFTER = [Event("A", (), timestamp=10.0), Event("B", (), timestamp=10.3)]
+B_SLIGHTLY_BEFORE = [Event("B", (), timestamp=9.7), Event("A", (), timestamp=10.0)]
+B_CLEARLY_BEFORE = [Event("B", (), timestamp=5.0), Event("A", (), timestamp=10.0)]
+
+
+def test_default_uses_raw_timestamp_order():
+    """No annotation: 'time stamp order will always give the most
+    probable order'."""
+    assert run("A - B", B_SLIGHTLY_AFTER, skew=1.0) == [10.0]
+    assert run("A - B", B_SLIGHTLY_BEFORE, skew=1.0) == []
+
+
+def test_high_confidence_suppresses_ambiguous_order():
+    """'Signal if A almost certainly occurred before B': with skew 1.0
+    and B stamped only 0.3 later, the order is uncertain — no signal."""
+    assert run("A - B {prob = 0.95}", B_SLIGHTLY_AFTER, skew=1.0) == []
+
+
+def test_high_confidence_passes_clear_order():
+    events = [Event("A", (), timestamp=10.0), Event("B", (), timestamp=15.0)]
+    assert run("A - B {prob = 0.95}", events, skew=1.0) == [10.0]
+
+
+def test_low_confidence_signals_despite_earlier_stamp():
+    """'Signal if A might possibly have occurred before B': B's stamp is
+    only 0.3 earlier, which drift could explain — A passes."""
+    assert run("A - B {prob = 0.05}", B_SLIGHTLY_BEFORE, skew=1.0) == [10.0]
+
+
+def test_low_confidence_still_blocked_by_clear_blocker():
+    assert run("A - B {prob = 0.05}", B_CLEARLY_BEFORE, skew=1.0) == []
+
+
+def test_neutral_probability_equals_raw_order():
+    """p = 0.5 is exactly raw stamp comparison."""
+    for trace in (B_SLIGHTLY_AFTER, B_SLIGHTLY_BEFORE, B_CLEARLY_BEFORE):
+        assert run("A - B {prob = 0.5}", trace, skew=1.0) == run("A - B", trace, skew=1.0)
+
+
+def test_zero_skew_ignores_probability():
+    """Perfectly synchronised clocks: the annotation costs nothing."""
+    assert run("A - B {prob = 0.95}", B_SLIGHTLY_AFTER, skew=0.0) == [10.0]
+
+
+def test_margin_from_drifting_clock_model():
+    """The margin can be derived from the DriftingClock model of
+    section 6.8.4 via max_clock_skew."""
+    from repro.runtime.clock import DriftingClock, max_clock_skew
+    from repro.runtime.simulator import Simulator
+
+    sim = Simulator()
+    clocks = [DriftingClock(sim, drift=+0.001), DriftingClock(sim, drift=-0.001)]
+    skew = max_clock_skew(clocks, horizon=1000.0)
+    assert skew == pytest.approx(2.0)
+    # events stamped 1s apart by these clocks cannot be ordered with
+    # high confidence over a 1000s run
+    assert run("A - B {prob = 0.95}", B_SLIGHTLY_AFTER, skew=skew) == []

@@ -1,0 +1,146 @@
+"""Tests for the composite event expression parser."""
+
+import pytest
+
+from repro.errors import CompositeSyntaxError
+from repro.events.composite.ast import (
+    CAbsTime,
+    CNull,
+    COr,
+    CSeq,
+    CTemplate,
+    CWhenever,
+    CWithout,
+)
+from repro.events.composite.parser import parse_expression
+from repro.events.model import Var, WILDCARD
+
+
+def test_template_with_variables_and_literals():
+    node = parse_expression('Seen(b, "T14", 3, *)')
+    assert isinstance(node, CTemplate)
+    assert node.template.name == "Seen"
+    assert node.template.params == (Var("b"), "T14", 3, WILDCARD)
+
+
+def test_sequence_is_loosest():
+    node = parse_expression("A; B | C")
+    assert isinstance(node, CSeq)
+    assert isinstance(node.right, COr)
+
+
+def test_without_binds_tighter_than_or():
+    node = parse_expression("A | B - C")
+    assert isinstance(node, COr)
+    assert isinstance(node.right, CWithout)
+
+
+def test_whenever_binds_tightest():
+    node = parse_expression("$A - B")
+    assert isinstance(node, CWithout)
+    assert isinstance(node.left, CWhenever)
+
+
+def test_parentheses():
+    node = parse_expression("(A; B) - C")
+    assert isinstance(node, CWithout)
+    assert isinstance(node.left, CSeq)
+
+
+def test_null():
+    assert isinstance(parse_expression("null"), CNull)
+
+
+def test_abstime():
+    node = parse_expression("AbsTime(t)")
+    assert isinstance(node, CAbsTime)
+    assert node.expr == ("var", "t")
+
+
+def test_side_expression_comparison():
+    node = parse_expression('Seen(x, y) {x != "rjh21"}')
+    assert isinstance(node, CTemplate)
+    clause = node.sides[0]
+    assert (clause.var, clause.op) == ("x", "!=")
+    assert clause.expr == ("lit", "rjh21")
+
+
+def test_side_expression_assignment_with_now():
+    node = parse_expression("Alarm() {t = @ + 60}")
+    clause = node.sides[0]
+    assert clause.op == "="
+    assert clause.expr == ("+", ("now",), ("lit", 60))
+
+
+def test_multiple_side_clauses():
+    node = parse_expression("Withdraw(z, a) {z > 500, a != 0}")
+    assert len(node.sides) == 2
+
+
+def test_delay_annotation_on_without():
+    node = parse_expression("A - B {delay = 2.5}")
+    assert isinstance(node, CWithout)
+    assert node.delay == 2.5
+
+
+def test_probability_annotation():
+    node = parse_expression("A - B {prob = 0.9}")
+    assert node.probability == 0.9
+
+
+def test_side_clause_on_right_operand_of_without():
+    node = parse_expression("hit(s) - hit(i) {i != s}")
+    assert isinstance(node, CWithout)
+    assert node.delay is None
+    assert isinstance(node.right, CTemplate)
+    assert node.right.sides[0].op == "!="
+
+
+def test_paper_example_enters():
+    """$Seen(B, R1); Seen(B, R) - Seen(B, R1) — the Enters event."""
+    node = parse_expression("$Seen(B, R1); Seen(B, R) - Seen(B, R1)")
+    assert isinstance(node, CSeq)
+    assert isinstance(node.left, CWhenever)
+    assert isinstance(node.right, CWithout)
+
+
+def test_paper_example_squash():
+    source = """
+        $serve(s); (((floor | wall | hit(i)) - front)
+        | ($front; ((floor; floor) | front) - hit(i))
+        | ($hit(i); (floor | hit(j)) - front)
+        | (hit(s) - hit(i) {i != s})
+        | ($hit(i); hit(i) - hit(j) {j != i}))
+    """.strip().replace("\n", " ")
+    node = parse_expression(source)
+    assert isinstance(node, CSeq)
+
+
+def test_empty_parens_event():
+    node = parse_expression("Alarm()")
+    assert node.template.params == ()
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(CompositeSyntaxError):
+        parse_expression("(A; B")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(CompositeSyntaxError):
+        parse_expression("A B")
+
+
+def test_bad_side_clause_rejected():
+    with pytest.raises(CompositeSyntaxError):
+        parse_expression("A {5 = x}")
+
+
+def test_mixing_delay_and_side_clauses_rejected():
+    with pytest.raises(CompositeSyntaxError):
+        parse_expression("A - B {delay = 1, x != 2}")
+
+
+def test_sides_only_on_templates():
+    with pytest.raises(CompositeSyntaxError):
+        parse_expression("A - (B; C) {x != 2}")

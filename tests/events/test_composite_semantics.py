@@ -1,0 +1,236 @@
+"""Tests for the denotational semantics Φ (section 6.5), including the
+paper's worked examples."""
+
+import pytest
+
+from repro.events.composite.parser import parse_expression
+from repro.events.composite.semantics import evaluate
+from repro.events.model import Event
+
+
+def trace(*items):
+    """items: (name, args, timestamp)"""
+    return [Event(name, tuple(args), timestamp=t) for name, args, t in items]
+
+
+def times(occurrences):
+    return sorted(t for t, _ in occurrences)
+
+
+def envs(occurrences):
+    return sorted(tuple(sorted(dict(e).items())) for _, e in occurrences)
+
+
+class TestBaseCases:
+    def test_template_first_match_only(self):
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0))
+        occ = evaluate(parse_expression("A(x)"), tr, start=0.0)
+        assert occ == {(1.0, frozenset({("x", 1)}))}
+
+    def test_template_respects_start(self):
+        tr = trace(("A", (), 1.0), ("A", (), 5.0))
+        occ = evaluate(parse_expression("A"), tr, start=1.0)
+        assert times(occ) == [5.0]   # strictly after start
+
+    def test_template_literal_filter(self):
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0))
+        occ = evaluate(parse_expression("A(2)"), tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_bound_variable_constrains(self):
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0))
+        occ = evaluate(parse_expression("A(x)"), tr, start=0.0, env={"x": 2})
+        assert times(occ) == [2.0]
+
+    def test_side_expression_filters(self):
+        tr = trace(("W", (100,), 1.0), ("W", (600,), 2.0))
+        occ = evaluate(parse_expression("W(z) {z > 500}"), tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_side_assignment_binds(self):
+        tr = trace(("Alarm", (), 10.0),)
+        occ = evaluate(parse_expression("Alarm() {t = @ + 60}"), tr, start=0.0)
+        [(t, env)] = occ
+        assert dict(env)["t"] == 70.0
+
+    def test_null(self):
+        occ = evaluate(parse_expression("null"), [], start=5.0)
+        assert times(occ) == [5.0]
+
+    def test_abstime(self):
+        occ = evaluate(parse_expression("AbsTime(t)"), [], start=0.0, env={"t": 9.0})
+        assert times(occ) == [9.0]
+
+    def test_abstime_in_past_fires_at_start(self):
+        occ = evaluate(parse_expression("AbsTime(t)"), [], start=10.0, env={"t": 3.0})
+        assert times(occ) == [10.0]
+
+
+class TestOperators:
+    def test_sequence(self):
+        tr = trace(("A", (), 1.0), ("B", (), 2.0))
+        occ = evaluate(parse_expression("A; B"), tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_sequence_not_immediate(self):
+        """';' does not mean *immediately* following (section 6.5)."""
+        tr = trace(("A", (), 1.0), ("X", (), 1.5), ("B", (), 2.0))
+        occ = evaluate(parse_expression("A; B"), tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_sequence_shares_bindings(self):
+        tr = trace(("A", (7,), 1.0), ("B", (7,), 2.0), ("B", (8,), 3.0))
+        occ = evaluate(parse_expression("A(x); B(x)"), tr, start=0.0)
+        assert occ == {(2.0, frozenset({("x", 7)}))}
+
+    def test_or_union(self):
+        tr = trace(("A", (), 1.0), ("B", (), 2.0))
+        occ = evaluate(parse_expression("A | B"), tr, start=0.0)
+        assert times(occ) == [1.0, 2.0]
+
+    def test_without_passes_when_no_blocker(self):
+        tr = trace(("A", (), 2.0),)
+        occ = evaluate(parse_expression("A - B"), tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_without_blocked(self):
+        tr = trace(("B", (), 1.0), ("A", (), 2.0))
+        occ = evaluate(parse_expression("A - B"), tr, start=0.0)
+        assert occ == set()
+
+    def test_without_blocker_after_is_fine(self):
+        tr = trace(("A", (), 1.0), ("B", (), 2.0))
+        occ = evaluate(parse_expression("A - B"), tr, start=0.0)
+        assert times(occ) == [1.0]
+
+    def test_without_simultaneous_blocks(self):
+        """Φ: t1 <= t — an equal-stamp C2 kills C1."""
+        tr = trace(("B", (), 2.0), ("A", (), 2.0))
+        occ = evaluate(parse_expression("A - B"), tr, start=0.0)
+        assert occ == set()
+
+    def test_whenever_repeats_with_fresh_bindings(self):
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0), ("A", (3,), 3.0))
+        occ = evaluate(parse_expression("$A(x)"), tr, start=0.0)
+        assert times(occ) == [1.0, 2.0, 3.0]
+        assert envs(occ) == [(("x", 1),), (("x", 2),), (("x", 3),)]
+
+    def test_plain_template_vs_whenever(self):
+        """Without $, a sequence of A's with different parameters only
+        matches once — the section 6.4.2 motivation for 'whenever'."""
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0))
+        assert len(evaluate(parse_expression("A(x)"), tr, start=0.0)) == 1
+        assert len(evaluate(parse_expression("$A(x)"), tr, start=0.0)) == 2
+
+    def test_whenever_null_is_least_solution(self):
+        occ = evaluate(parse_expression("$null"), [], start=4.0)
+        assert occ == {(4.0, frozenset())}
+
+    def test_whenever_for_each_semantics(self):
+        """$A(x); B(x): one evaluation of B per distinct A occurrence."""
+        tr = trace(
+            ("A", (1,), 1.0), ("A", (2,), 2.0),
+            ("B", (2,), 3.0), ("B", (1,), 4.0),
+        )
+        occ = evaluate(parse_expression("$A(x); B(x)"), tr, start=0.0)
+        assert times(occ) == [3.0, 4.0]
+
+
+class TestPaperExamples:
+    def test_enters(self):
+        """Enters(B, R) = $Seen(B, R1); Seen(B, R) - Seen(B, R1):
+        a badge enters a room when seen there after being seen elsewhere."""
+        expr = parse_expression("$Seen(B, R1); Seen(B, R) - Seen(B, R1)")
+        tr = trace(
+            ("Seen", ("b", "T14"), 1.0),
+            ("Seen", ("b", "T15"), 2.0),   # enters T15
+            ("Seen", ("b", "T15"), 3.0),   # still in T15 (repeat sighting)
+            ("Seen", ("b", "T16"), 4.0),   # enters T16
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        entries = {(t, dict(e)["R"]) for t, e in occ if dict(e).get("R") != dict(e).get("R1")}
+        assert (2.0, "T15") in entries
+        assert (4.0, "T16") in entries
+
+    def test_together(self):
+        """Two people in the same room (the fig 6.4 scenario)."""
+        expr = parse_expression(
+            "($Seen(A, R); $Seen(B, R) - Seen(A, R1) {R1 != R})"
+        )
+        tr = trace(
+            ("Seen", ("roger", "T14"), 1.0),
+            ("Seen", ("giles", "T14"), 2.0),    # together in T14
+            ("Seen", ("roger", "T15"), 3.0),
+            ("Seen", ("giles", "T15"), 4.0),    # together in T15
+        )
+        occ = evaluate(expr, tr, start=0.0, env={"A": "roger", "B": "giles"})
+        assert 2.0 in times(occ)
+        assert 4.0 in times(occ)
+
+    def test_trapped_fire_alarm(self):
+        """Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)."""
+        expr = parse_expression("Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)")
+        tr = trace(
+            ("Seen", ("b9",), 0.5),             # before the alarm: ignored
+            ("Alarm", (), 1.0),
+            ("Seen", ("b1",), 2.0),
+            ("OwnsBadge", ("b1", "fred"), 2.5),  # the active-DB lookup reply
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        assert any(dict(e).get("P") == "fred" for _, e in occ)
+
+    def test_trapped_all_clear_stops_detection(self):
+        expr = parse_expression("Alarm(); (Seen(B) - AllClear())")
+        tr = trace(
+            ("Alarm", (), 1.0),
+            ("AllClear", (), 1.5),
+            ("Seen", ("b1",), 2.0),
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        assert occ == set()
+
+    def test_squash_end_of_point_serve_fault(self):
+        """After the serve, the ball fails to hit the front wall first."""
+        expr = parse_expression("$serve(s); ((floor | wall | hit(i)) - front)")
+        tr = trace(("serve", (1,), 1.0), ("floor", (), 2.0))
+        occ = evaluate(expr, tr, start=0.0)
+        assert times(occ) == [2.0]
+
+    def test_squash_good_serve_not_flagged(self):
+        expr = parse_expression("$serve(s); ((floor | wall | hit(i)) - front)")
+        tr = trace(("serve", (1,), 1.0), ("front", (), 1.5), ("floor", (), 2.0))
+        occ = evaluate(expr, tr, start=0.0)
+        assert occ == set()
+
+    def test_squash_double_bounce(self):
+        """After the front wall, the ball bounces twice before a hit."""
+        expr = parse_expression("$serve(s); ($front; (floor; floor) - hit(i))")
+        tr = trace(
+            ("serve", (1,), 1.0),
+            ("front", (), 2.0),
+            ("floor", (), 3.0),
+            ("floor", (), 4.0),
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        assert 4.0 in times(occ)
+
+    def test_squash_player_fails_to_alternate(self):
+        expr = parse_expression("$serve(s); ($hit(i); hit(i) - hit(j) {j != i})")
+        tr = trace(
+            ("serve", (1,), 1.0),
+            ("hit", (2,), 2.0),
+            ("hit", (2,), 3.0),    # same player twice
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        assert 3.0 in times(occ)
+
+    def test_squash_alternating_ok(self):
+        expr = parse_expression("$serve(s); ($hit(i); hit(i) - hit(j) {j != i})")
+        tr = trace(
+            ("serve", (1,), 1.0),
+            ("hit", (1,), 2.0),
+            ("hit", (2,), 3.0),
+            ("hit", (1,), 4.0),
+        )
+        occ = evaluate(expr, tr, start=0.0)
+        assert occ == set()

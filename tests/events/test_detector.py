@@ -1,0 +1,131 @@
+"""Tests for the composite event detector (sections 6.7-6.8, fig 6.4)."""
+
+import pytest
+
+from repro.events.broker import EventBroker
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.model import Event
+from repro.runtime.clock import SimClock
+from repro.runtime.simulator import Simulator
+
+
+def test_watch_collects_occurrences():
+    detector = CompositeEventDetector()
+    watch = detector.watch("A; B")
+    detector.post(Event("A", (), timestamp=1.0))
+    detector.post(Event("B", (), timestamp=2.0))
+    assert [t for t, _ in watch.occurrences] == [2.0]
+
+
+def test_watch_callback():
+    detector = CompositeEventDetector()
+    hits = []
+    detector.watch("$A(x)", callback=lambda t, env: hits.append((t, env["x"])))
+    detector.post(Event("A", (1,), timestamp=1.0))
+    detector.post(Event("A", (2,), timestamp=2.0))
+    assert hits == [(1.0, 1), (2.0, 2)]
+
+
+def test_cancel_watch():
+    detector = CompositeEventDetector()
+    watch = detector.watch("A")
+    watch.cancel()
+    detector.post(Event("A", (), timestamp=1.0))
+    assert watch.occurrences == []
+
+
+def test_connected_broker_feeds_detector():
+    sim = Simulator()
+    clock = SimClock(sim)
+    broker = EventBroker("badges", clock=clock, simulator=sim)
+    detector = CompositeEventDetector(clock=clock)
+    detector.connect(broker)
+    watch = detector.watch("Seen(b, r)")
+    sim.schedule(1.0, lambda: broker.signal(Event("Seen", ("b1", "T14"))))
+    sim.run()
+    assert [t for t, _ in watch.occurrences] == [1.0]
+    assert watch.occurrences[0][1]["b"] == "b1"
+
+
+def test_horizon_from_broker_heartbeats_decides_without():
+    sim = Simulator()
+    clock = SimClock(sim)
+    broker = EventBroker("src", clock=clock, simulator=sim)
+    detector = CompositeEventDetector(clock=clock)
+    detector.connect(broker)
+    watch = detector.watch("A - B")
+    sim.schedule(1.0, lambda: broker.signal(Event("A", ())))
+    sim.run()
+    assert watch.occurrences == []       # held: horizon still at 1.0
+    sim.schedule(0.0, broker.heartbeat)  # now sim.now is past 1.0? schedule ahead
+    sim.schedule(1.0, broker.heartbeat)
+    sim.run()
+    assert [t for t, _ in watch.occurrences] == [1.0]
+
+
+class TestFig64DelayScenario:
+    """Fig 6.4: Roger and Giles are seen first in room T14 (whose sensor
+    is delayed), then in room T15.  A monitoring application watches each
+    room.  The independent detector signals the T15 meeting as soon as
+    its events arrive; the global-view detector must process events in
+    timestamp order, so the delayed T14 sensor blocks *everything* and
+    the first meeting is (eventually) detected first.  Both ultimately
+    return the same results."""
+
+    def scenario(self, mode):
+        sim = Simulator()
+        clock = SimClock(sim)
+        t14 = EventBroker("T14", clock=clock, simulator=sim)   # delayed sensor
+        t15 = EventBroker("T15", clock=clock, simulator=sim)
+        detector = CompositeEventDetector(clock=clock, mode=mode)
+        detector.connect(t14, delay=10.0)
+        detector.connect(t15, delay=0.01)
+        detections = []   # (room, detected_at_wallclock)
+        for room in ("T14", "T15"):
+            detector.watch(
+                f'Seen("roger", "{room}"); Seen("giles", "{room}")',
+                callback=lambda t, env, room=room: detections.append((room, sim.now)),
+            )
+        sim.schedule(1.0, lambda: t14.signal(Event("Seen", ("roger", "T14"))))
+        sim.schedule(2.0, lambda: t14.signal(Event("Seen", ("giles", "T14"))))
+        sim.schedule(3.0, lambda: t15.signal(Event("Seen", ("roger", "T15"))))
+        sim.schedule(4.0, lambda: t15.signal(Event("Seen", ("giles", "T15"))))
+
+        def beat():
+            t14.heartbeat()
+            t15.heartbeat()
+            sim.schedule(1.0, beat)
+
+        sim.schedule(0.5, beat)
+        sim.run_until(40.0)
+        return dict(reversed(detections)), [room for room, _ in detections]
+
+    def test_independent_mode_detects_second_meeting_first(self):
+        at, order = self.scenario("independent")
+        assert order == ["T15", "T14"]
+        assert at["T15"] < 5.0            # promptly, despite T14's delay
+        assert at["T14"] >= 11.0          # once the delayed events arrive
+
+    def test_global_view_detects_first_meeting_first(self):
+        at, order = self.scenario("global-view")
+        assert order == ["T14", "T15"]
+        assert at["T15"] > 10.0           # blocked on the slow sensor
+
+    def test_both_modes_return_the_same_results(self):
+        _, independent = self.scenario("independent")
+        _, global_view = self.scenario("global-view")
+        assert set(independent) == set(global_view) == {"T14", "T15"}
+
+
+def test_tick_drives_delay_budget():
+    from repro.runtime.clock import ManualClock
+    clock = ManualClock(0.0)
+    detector = CompositeEventDetector(clock=clock)
+    watch = detector.watch("A - B {delay = 5.0}")
+    clock.advance(1.0)
+    detector.tick()
+    detector.post(Event("A", (), timestamp=1.0))
+    assert watch.occurrences == []
+    clock.advance(10.0)
+    detector.tick()
+    assert [t for t, _ in watch.occurrences] == [1.0]

@@ -1,0 +1,264 @@
+"""Tests for the push-down bead machine (section 6.7).
+
+The key property: fed events in timestamp order (with the horizon trailing
+behind), the machine signals exactly the occurrence set of the
+denotational semantics Φ.  A hypothesis test generates random expressions
+and traces and checks the equivalence.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events.composite.machine import Machine
+from repro.events.composite.parser import parse_expression
+from repro.events.composite.semantics import evaluate
+from repro.events.model import Event
+
+
+def run_machine(source, events, env=None, final_horizon=None):
+    """Feed events (in list order), advancing the horizon after each, then
+    push the horizon past everything.  Returns the signal set."""
+    signals = set()
+    machine = Machine(
+        parse_expression(source),
+        lambda t, e: signals.add((t, frozenset(e.items()))),
+        start=0.0,
+        env=env,
+    )
+    for event in events:
+        machine.post(event)
+        machine.advance_horizon(event.timestamp)
+    machine.advance_horizon(
+        final_horizon if final_horizon is not None else float("inf")
+    )
+    return signals, machine
+
+
+def trace(*items):
+    return [Event(name, tuple(args), timestamp=t) for name, args, t in items]
+
+
+def oracle(source, events, env=None):
+    return evaluate(parse_expression(source), events, start=0.0, env=env)
+
+
+class TestBasics:
+    def test_template_signal(self):
+        tr = trace(("A", (5,), 1.0))
+        signals, _ = run_machine("A(x)", tr)
+        assert signals == {(1.0, frozenset({("x", 5)}))}
+
+    def test_template_only_first(self):
+        tr = trace(("A", (1,), 1.0), ("A", (2,), 2.0))
+        signals, _ = run_machine("A(x)", tr)
+        assert len(signals) == 1
+
+    def test_sequence(self):
+        tr = trace(("A", (), 1.0), ("B", (), 2.0))
+        signals, _ = run_machine("A; B", tr)
+        assert {t for t, _ in signals} == {2.0}
+
+    def test_or_both_sides(self):
+        tr = trace(("A", (), 1.0), ("B", (), 2.0))
+        signals, _ = run_machine("A | B", tr)
+        assert {t for t, _ in signals} == {1.0, 2.0}
+
+    def test_whenever(self):
+        tr = trace(*[("A", (i,), float(i)) for i in range(1, 4)])
+        signals, _ = run_machine("$A(x)", tr)
+        assert {t for t, _ in signals} == {1.0, 2.0, 3.0}
+
+    def test_without_passes(self):
+        tr = trace(("A", (), 1.0))
+        signals, _ = run_machine("A - B", tr)
+        assert {t for t, _ in signals} == {1.0}
+
+    def test_without_blocked(self):
+        tr = trace(("B", (), 1.0), ("A", (), 2.0))
+        signals, _ = run_machine("A - B", tr)
+        assert signals == set()
+
+    def test_without_waits_for_horizon(self):
+        """The completion is held until the horizon rules out an earlier-
+        stamped blocker (section 6.8.2)."""
+        signals = set()
+        machine = Machine(
+            parse_expression("A - B"),
+            lambda t, e: signals.add(t),
+            start=0.0,
+        )
+        machine.post(Event("A", (), timestamp=5.0))
+        assert signals == set()           # held: B@<=5 might still arrive
+        machine.advance_horizon(4.0)
+        assert signals == set()
+        machine.advance_horizon(5.0)
+        assert signals == {5.0}
+
+    def test_without_late_blocker_suppresses(self):
+        """A delayed B with an earlier stamp must still suppress A."""
+        signals = set()
+        machine = Machine(
+            parse_expression("A - B"), lambda t, e: signals.add(t), start=0.0
+        )
+        machine.post(Event("A", (), timestamp=5.0))
+        machine.post(Event("B", (), timestamp=3.0))   # arrives late
+        machine.advance_horizon(10.0)
+        assert signals == set()
+
+    def test_without_delay_budget_trades_correctness(self):
+        """Section 6.8.3: with {delay = d} the machine assumes ¬B after d
+        seconds of local time even without horizon progress."""
+        signals = set()
+        machine = Machine(
+            parse_expression("A - B {delay = 2.0}"),
+            lambda t, e: signals.add(t),
+            start=0.0,
+        )
+        machine.advance_time(10.0)
+        machine.post(Event("A", (), timestamp=10.0))
+        assert signals == set()
+        machine.advance_time(11.0)
+        assert signals == set()
+        machine.advance_time(12.0)
+        assert signals == {10.0}
+
+    def test_abstime_fires_on_clock(self):
+        signals = set()
+        machine = Machine(
+            parse_expression("Alarm() {t = @ + 60}; AbsTime(t)"),
+            lambda t, e: signals.add(t),
+            start=0.0,
+        )
+        machine.post(Event("Alarm", (), timestamp=10.0))
+        machine.advance_time(50.0)
+        assert signals == set()
+        machine.advance_time(70.0)
+        assert signals == {70.0}
+
+    def test_null_completes_immediately(self):
+        signals = set()
+        Machine(parse_expression("null"), lambda t, e: signals.add(t), start=3.0)
+        assert signals == {3.0}
+
+
+class TestRegistrationMinimisation:
+    def test_only_interesting_templates_registered(self):
+        """Section 6.7: 'Only events that are truly of interest are ever
+        registered' — B's template is merged with the environment bound
+        by A before registration."""
+        machine = Machine(parse_expression("A(x); B(x)"), lambda t, e: None, start=0.0)
+        [waiting] = machine.waiting_templates()
+        assert waiting.name == "A"
+        machine.post(Event("A", (7,), timestamp=1.0))
+        [waiting] = machine.waiting_templates()
+        assert waiting.name == "B"
+        assert waiting.params == (7,)
+
+    def test_without_cleanup_deregisters_sibling(self):
+        """The walkthrough's bead deletion: once A-B decides, the B
+        watcher dies."""
+        machine = Machine(parse_expression("A - B"), lambda t, e: None, start=0.0)
+        assert len(machine.waiting_templates()) == 2
+        machine.post(Event("A", (), timestamp=1.0))
+        machine.advance_horizon(2.0)
+        assert machine.waiting_templates() == []
+        assert machine.exhausted
+
+    def test_whenever_keeps_one_live_registration(self):
+        machine = Machine(parse_expression("$A(x)"), lambda t, e: None, start=0.0)
+        for i in range(5):
+            machine.post(Event("A", (i,), timestamp=float(i + 1)))
+        assert len(machine.waiting_templates()) == 1
+
+
+class TestWalkthrough:
+    """The extended example of section 6.7: Enter(A,R); Enter(B,R) - Leaves(A,R)."""
+
+    EXPR = "Enter(A, R); Enter(B, R) - Leaves(A, R)"
+
+    def test_second_person_enters(self):
+        tr = trace(
+            ("Enter", ("rjh21", "T14"), 1.0),
+            ("Enter", ("tjm15", "T14"), 2.0),
+        )
+        signals, _ = run_machine(self.EXPR, tr, env={"A": "rjh21"})
+        assert {t for t, _ in signals} == {2.0}
+        [(_, env)] = [(t, dict(e)) for t, e in signals]
+        assert env["B"] == "tjm15"
+        assert env["R"] == "T14"
+
+    def test_person_leaves_first(self):
+        tr = trace(
+            ("Enter", ("rjh21", "T14"), 1.0),
+            ("Leaves", ("rjh21", "T14"), 2.0),
+            ("Enter", ("tjm15", "T14"), 3.0),
+        )
+        signals, _ = run_machine(self.EXPR, tr, env={"A": "rjh21"})
+        assert signals == set()
+
+    def test_oracle_agreement(self):
+        tr = trace(
+            ("Enter", ("rjh21", "T14"), 1.0),
+            ("Leaves", ("rjh21", "T14"), 2.0),
+            ("Enter", ("rjh21", "T15"), 3.0),
+            ("Enter", ("tjm15", "T15"), 4.0),
+        )
+        signals, _ = run_machine(self.EXPR, tr, env={"A": "rjh21"})
+        assert signals == oracle(self.EXPR, tr, env={"A": "rjh21"})
+
+
+# -------------------------------------------------------- machine == Φ oracle
+
+_EVENT_NAMES = ["A", "B", "C"]
+
+
+@st.composite
+def _traces(draw):
+    n = draw(st.integers(min_value=0, max_value=8))
+    events = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+        name = draw(st.sampled_from(_EVENT_NAMES))
+        arg = draw(st.integers(min_value=1, max_value=3))
+        events.append(Event(name, (arg,), timestamp=round(t, 3)))
+    return events
+
+
+@st.composite
+def _expressions(draw, depth=0):
+    if depth >= 3:
+        choices = ["template", "null"]
+    else:
+        choices = ["template", "null", "seq", "or", "without", "whenever", "template"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "template":
+        name = draw(st.sampled_from(_EVENT_NAMES))
+        param = draw(
+            st.one_of(
+                st.sampled_from(["x", "y"]),              # variable
+                st.integers(min_value=1, max_value=3),     # literal
+                st.just("*"),
+            )
+        )
+        param_text = param if isinstance(param, str) else str(param)
+        return f"{name}({param_text})"
+    if kind == "null":
+        return "null"
+    if kind == "seq":
+        return f"({draw(_expressions(depth + 1))}; {draw(_expressions(depth + 1))})"
+    if kind == "or":
+        return f"({draw(_expressions(depth + 1))} | {draw(_expressions(depth + 1))})"
+    if kind == "without":
+        return f"({draw(_expressions(depth + 1))} - {draw(_expressions(depth + 1))})"
+    return f"$({draw(_expressions(depth + 1))})"
+
+
+@given(_expressions(), _traces())
+@settings(max_examples=300, deadline=None)
+def test_machine_equals_denotational_semantics(source, events):
+    """INVARIANT: in-order delivery with trailing horizon makes the bead
+    machine signal exactly Φ's occurrence set."""
+    expected = oracle(source, events)
+    signals, _ = run_machine(source, events)
+    assert signals == expected

@@ -1,0 +1,116 @@
+"""Further property-based tests for the composite event subsystem.
+
+* the parser round-trips through the AST's string rendering;
+* the GLOBAL-VIEW detector matches Φ under *any* arrival permutation
+  (it buffers and releases in timestamp order — so misordered delivery
+  must not change the outcome);
+* machine history pruning never affects results once frames are settled.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.composite.parser import parse_expression
+from repro.events.composite.semantics import evaluate
+from repro.events.model import Event
+from repro.runtime.clock import ManualClock
+
+_EVENT_NAMES = ["A", "B", "C"]
+
+
+@st.composite
+def _expressions(draw, depth=0):
+    if depth >= 3:
+        choices = ["template", "null"]
+    else:
+        choices = ["template", "template", "null", "seq", "or", "without", "whenever"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "template":
+        name = draw(st.sampled_from(_EVENT_NAMES))
+        param = draw(st.one_of(
+            st.sampled_from(["x", "y"]),
+            st.integers(min_value=1, max_value=3),
+        ))
+        return f"{name}({param})"
+    if kind == "null":
+        return "null"
+    if kind == "seq":
+        return f"({draw(_expressions(depth + 1))}; {draw(_expressions(depth + 1))})"
+    if kind == "or":
+        return f"({draw(_expressions(depth + 1))} | {draw(_expressions(depth + 1))})"
+    if kind == "without":
+        return f"({draw(_expressions(depth + 1))} - {draw(_expressions(depth + 1))})"
+    return f"$({draw(_expressions(depth + 1))})"
+
+
+@st.composite
+def _traces_with_permutation(draw):
+    n = draw(st.integers(min_value=0, max_value=7))
+    events = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+        name = draw(st.sampled_from(_EVENT_NAMES))
+        arg = draw(st.integers(min_value=1, max_value=3))
+        events.append(Event(name, (arg,), timestamp=round(t, 3)))
+    permutation = draw(st.permutations(range(n)))
+    return events, list(permutation)
+
+
+@given(_expressions())
+@settings(max_examples=200, deadline=None)
+def test_parser_roundtrip_through_str(source):
+    """PROPERTY: parse(str(parse(s))) == parse(s)."""
+    node = parse_expression(source)
+    again = parse_expression(str(node))
+    assert again == node
+
+
+@given(_expressions(), _traces_with_permutation())
+@settings(max_examples=150, deadline=None)
+def test_global_view_detector_is_order_insensitive(source, trace_perm):
+    """PROPERTY: the global-view detector signals exactly Φ regardless of
+    the order in which events arrive across sources."""
+    events, permutation = trace_perm
+    expected = evaluate(parse_expression(source), events, start=0.0)
+
+    clock = ManualClock(0.0)
+    detector = CompositeEventDetector(clock=clock, mode="global-view")
+    signals = set()
+    detector.watch(source, callback=lambda t, e: signals.add((t, frozenset(e.items()))))
+    # deliver in the permuted order; the horizon only advances to the
+    # minimum stamp not yet delivered (as real per-source horizons would)
+    delivered = set()
+    for index in permutation:
+        detector.post(events[index])
+        delivered.add(index)
+        undelivered = [e.timestamp for i, e in enumerate(events) if i not in delivered]
+        horizon = min(undelivered) - 1e-9 if undelivered else float("inf")
+        detector.update_horizon("src", horizon)
+    detector.update_horizon("src", float("inf"))
+    assert signals == expected
+
+
+@given(_expressions(), _traces_with_permutation())
+@settings(max_examples=100, deadline=None)
+def test_history_pruning_after_settlement_is_safe(source, trace_perm):
+    """PROPERTY: pruning the machine's replay history below the horizon
+    after everything settled never changes or destroys past signals."""
+    from repro.events.composite.machine import Machine
+
+    events, _ = trace_perm
+    signals = set()
+    machine = Machine(parse_expression(source),
+                      lambda t, e: signals.add((t, frozenset(e.items()))),
+                      start=0.0)
+    for event in events:
+        machine.post(event)
+        machine.advance_horizon(event.timestamp)
+        machine.prune_history(machine.horizon - 10.0)
+    machine.advance_horizon(float("inf"))
+    snapshot = set(signals)
+    machine.prune_history(float("inf"))
+    assert signals == snapshot
+    expected = evaluate(parse_expression(source), events, start=0.0)
+    assert signals == expected

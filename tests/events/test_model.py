@@ -1,0 +1,143 @@
+"""Unit tests for events, types and template matching (section 6.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EventError
+from repro.events.idl import Interface, parse_idl
+from repro.events.model import WILDCARD, Event, EventType, Template, Var, template
+
+
+class TestEventType:
+    def test_make_and_decode(self):
+        finished = EventType("Finished", ("jobno",))
+        event = finished.make(27, timestamp=3.0, source="P")
+        assert event.name == "Finished"
+        assert finished.decode(event) == (27,)
+        assert event.timestamp == 3.0
+
+    def test_arity_checked(self):
+        finished = EventType("Finished", ("jobno",))
+        with pytest.raises(ValueError):
+            finished.make(1, 2)
+
+    def test_decode_wrong_type(self):
+        finished = EventType("Finished", ("jobno",))
+        with pytest.raises(ValueError):
+            finished.decode(Event("Other", (1,)))
+
+
+class TestTemplateMatching:
+    def test_literal_match(self):
+        t = template("Finished", 27)
+        assert t.match(Event("Finished", (27,))) == {}
+        assert t.match(Event("Finished", (28,))) is None
+
+    def test_wildcard_matches_anything(self):
+        t = template("Finished", WILDCARD)
+        assert t.match(Event("Finished", (99,))) == {}
+
+    def test_type_name_must_match(self):
+        t = template("Finished", WILDCARD)
+        assert t.match(Event("Started", (99,))) is None
+
+    def test_arity_must_match(self):
+        t = template("E", WILDCARD)
+        assert t.match(Event("E", (1, 2))) is None
+
+    def test_variable_binds(self):
+        t = template("Seen", Var("b"), Var("r"))
+        env = t.match(Event("Seen", ("badge12", "T14")))
+        assert env == {"b": "badge12", "r": "T14"}
+
+    def test_bound_variable_must_agree(self):
+        t = template("Seen", Var("b"), Var("r"))
+        assert t.match(Event("Seen", ("b1", "T14")), {"b": "b1"}) is not None
+        assert t.match(Event("Seen", ("b2", "T14")), {"b": "b1"}) is None
+
+    def test_repeated_variable_within_template(self):
+        t = template("Pair", Var("x"), Var("x"))
+        assert t.match(Event("Pair", (1, 1))) == {"x": 1}
+        assert t.match(Event("Pair", (1, 2))) is None
+
+    def test_env_not_mutated(self):
+        t = template("E", Var("x"))
+        env = {}
+        t.match(Event("E", (5,)), env)
+        assert env == {}
+
+    def test_substitute(self):
+        t = template("Seen", Var("b"), Var("r"))
+        ground = t.substitute({"b": "badge12"})
+        assert ground.params == ("badge12", Var("r"))
+
+    def test_is_ground(self):
+        assert template("E", 1, "a").is_ground()
+        assert not template("E", Var("x")).is_ground()
+        assert not template("E", WILDCARD).is_ground()
+
+    def test_overlaps(self):
+        assert template("E", 1, Var("x")).overlaps(template("E", Var("y"), 2))
+        assert not template("E", 1).overlaps(template("E", 2))
+        assert not template("E", 1).overlaps(template("F", 1))
+
+    @given(st.tuples(st.integers(), st.integers()))
+    def test_match_then_substitute_is_ground_match(self, args):
+        t = template("E", Var("x"), Var("y"))
+        event = Event("E", args)
+        env = t.match(event)
+        ground = t.substitute(env)
+        assert ground.is_ground()
+        assert ground.match(event) == {}
+
+
+class TestInterface:
+    def test_printer_interface(self):
+        printer = Interface(
+            "Printer",
+            operations={"Print": ("file",), "Cancel": ("jobno",)},
+            events={"Finished": ("jobno",), "Jammed": ()},
+        )
+        assert printer.has_events
+        make = printer.constructor("Finished")
+        decode = printer.destructor("Finished")
+        event = make(27)
+        assert decode(event) == (27,)
+        assert make.__name__ == "Printer_Finished"
+        assert decode.__name__ == "Decode_Printer_Finished"
+
+    def test_unknown_event_rejected(self):
+        printer = Interface("P", events={"Done": ()})
+        with pytest.raises(EventError):
+            printer.constructor("Nope")
+
+    def test_operation_check(self):
+        printer = Interface("P", operations={"Print": ("file",)})
+        printer.check_operation("Print", ("thesis",))
+        with pytest.raises(EventError):
+            printer.check_operation("Print", ())
+        with pytest.raises(EventError):
+            printer.check_operation("Nope", ())
+
+    def test_parse_idl(self):
+        iface = parse_idl("""
+            interface Printer {
+                operation Print(file)
+                operation Cancel(jobno)
+                event Finished(jobno)
+                event Jammed()
+            }
+        """)
+        assert iface.name == "Printer"
+        assert set(iface.operations) == {"Print", "Cancel"}
+        assert set(iface.event_types) == {"Finished", "Jammed"}
+        assert iface.event_types["Finished"].params == ("jobno",)
+        assert iface.event_types["Jammed"].params == ()
+
+    def test_parse_idl_rejects_garbage(self):
+        with pytest.raises(EventError):
+            parse_idl("interface X {\n  blah blah\n}")
+
+    def test_parse_idl_requires_interface(self):
+        with pytest.raises(EventError):
+            parse_idl("operation F()")

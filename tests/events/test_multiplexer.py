@@ -1,0 +1,135 @@
+"""Tests for event multiplexing/forwarding (sections 6.2.3, 4.10)."""
+
+import pytest
+
+from repro.events.broker import EventBroker
+from repro.events.model import Event, Var, WILDCARD, template
+from repro.events.multiplexer import EventMultiplexer
+from repro.runtime.clock import ManualClock
+
+
+def make_world():
+    clock = ManualClock(1.0)
+    up_a = EventBroker("site-a", clock=clock)
+    up_b = EventBroker("site-b", clock=clock)
+    mux = EventMultiplexer("mux", clock=clock)
+    mux.connect_upstream(up_a)
+    mux.connect_upstream(up_b)
+    return clock, up_a, up_b, mux
+
+
+def collector():
+    events, horizons = [], []
+
+    def notify(event, horizon):
+        horizons.append(horizon)
+        if event is not None:
+            events.append(event)
+
+    return events, horizons, notify
+
+
+def test_events_from_all_upstreams_forwarded():
+    clock, up_a, up_b, mux = make_world()
+    events, horizons, notify = collector()
+    session = mux.broker.establish_session(notify)
+    mux.broker.register(session, template("Seen", WILDCARD, WILDCARD))
+    up_a.signal(Event("Seen", ("b1", "s1")))
+    up_b.signal(Event("Seen", ("b2", "s2")))
+    assert [e.args[0] for e in events] == ["b1", "b2"]
+    assert mux.forwarded == 2
+
+
+def test_original_stamps_and_sources_preserved():
+    clock, up_a, up_b, mux = make_world()
+    events, horizons, notify = collector()
+    session = mux.broker.establish_session(notify)
+    mux.broker.register(session, template("Seen", WILDCARD, WILDCARD))
+    clock.advance(4.0)
+    up_a.signal(Event("Seen", ("b1", "s1")))
+    assert events[0].timestamp == 5.0
+    assert events[0].source == "site-a"      # not rewritten to 'mux'
+
+
+def test_downstream_filtering_still_works():
+    clock, up_a, up_b, mux = make_world()
+    events, horizons, notify = collector()
+    session = mux.broker.establish_session(notify)
+    mux.broker.register(session, template("Seen", "b1", WILDCARD))
+    up_a.signal(Event("Seen", ("b1", "s1")))
+    up_a.signal(Event("Seen", ("b2", "s1")))
+    assert len(events) == 1
+
+
+def test_indirect_horizon_is_minimum_upstream():
+    """Section 4.10: guarantees about indirect events are only as strong
+    as the slowest upstream's promise."""
+    clock, up_a, up_b, mux = make_world()
+    assert mux.indirect_horizon() == float("-inf")   # nothing promised yet
+    clock.advance(9.0)                                # now 10.0
+    up_a.heartbeat()
+    assert mux.indirect_horizon() == float("-inf")   # site-b still silent
+    up_b.heartbeat()
+    assert mux.indirect_horizon() == pytest.approx(10.0)
+    clock.advance(5.0)
+    up_a.heartbeat()                                  # a alone advances
+    assert mux.indirect_horizon() == pytest.approx(10.0)  # still bound by b
+
+
+def test_downstream_notifications_carry_indirect_horizon():
+    clock, up_a, up_b, mux = make_world()
+    events, horizons, notify = collector()
+    session = mux.broker.establish_session(notify)
+    mux.broker.register(session, template("E"))
+    clock.advance(9.0)
+    up_a.heartbeat()
+    up_b.heartbeat()
+    up_a.signal(Event("E", ()))
+    # the event's notification carries the *indirect* horizon (~10),
+    # not the local clock
+    assert horizons[-1] == pytest.approx(10.0)
+
+
+def test_upstream_heartbeats_forwarded():
+    clock, up_a, up_b, mux = make_world()
+    events, horizons, notify = collector()
+    mux.broker.establish_session(notify)
+    up_a.heartbeat()
+    assert len(horizons) == 1   # the guarantee propagated downstream
+
+
+def test_transform_can_rename_and_drop():
+    """A value-adding forwarder: anonymise sightings, drop the rest."""
+    clock = ManualClock(1.0)
+    upstream = EventBroker("raw", clock=clock)
+
+    def anonymise(event):
+        if event.name != "Seen":
+            return None
+        return Event("Presence", (event.args[1],), event.timestamp, event.source)
+
+    mux = EventMultiplexer("anon", clock=clock, transform=anonymise)
+    mux.connect_upstream(upstream)
+    events, horizons, notify = collector()
+    session = mux.broker.establish_session(notify)
+    mux.broker.register(session, template("Presence", WILDCARD))
+    upstream.signal(Event("Seen", ("badge-rjh", "s1")))
+    upstream.signal(Event("Gossip", ("secret",)))
+    assert [e.name for e in events] == ["Presence"]
+    assert events[0].args == ("s1",)
+    assert mux.dropped_by_transform == 1
+
+
+def test_composite_detection_over_multiplexed_feed():
+    """A detector on the mux behaves as if connected to both sites."""
+    from repro.events.composite.detector import CompositeEventDetector
+
+    clock, up_a, up_b, mux = make_world()
+    detector = CompositeEventDetector(clock=clock)
+    detector.connect(mux.broker)
+    watch = detector.watch('Seen("b1", s); Seen("b2", s)')
+    clock.advance(1.0)
+    up_a.signal(Event("Seen", ("b1", "room")))
+    clock.advance(1.0)
+    up_b.signal(Event("Seen", ("b2", "room")))
+    assert len(watch.occurrences) == 1

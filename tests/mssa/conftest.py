@@ -1,0 +1,65 @@
+"""Fixtures: a Login world plus wired custode stacks."""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.core.types import ObjectType
+from repro.mssa.acl import Acl
+from repro.mssa.byte_segment import ByteSegmentCustode
+from repro.mssa.flat_file import FlatFileCustode
+from repro.runtime.clock import ManualClock
+
+USER_GROUPS = {
+    "dm": {"staff"},
+    "jmb": {"staff"},
+    "student1": {"students"},
+}
+
+
+class MssaWorld:
+    def __init__(self):
+        self.clock = ManualClock()
+        self.registry = ServiceRegistry()
+        self.linkage = LocalLinkage()
+        self.login = OasisService(
+            "Login", registry=self.registry, linkage=self.linkage, clock=self.clock
+        )
+        self.login.export_type(ObjectType("Login.userid"), "userid")
+        self.login.add_rolefile(
+            "main", "def LoggedOn(u, h)  u: userid  h: string\nLoggedOn(u, h) <- "
+        )
+        self.host = HostOS("ws1")
+        self._domains = {}
+        self.bsc = self.make_custode(ByteSegmentCustode, "bsc")
+        self.ffc = self.make_custode(FlatFileCustode, "ffc")
+        self.ffc.wire_below(self.bsc, self.login_cert_for_custode(self.ffc))
+
+    def make_custode(self, cls, name, **kwargs):
+        return cls(
+            name,
+            registry=self.registry,
+            linkage=self.linkage,
+            clock=self.clock,
+            user_groups=lambda u: USER_GROUPS.get(u, set()),
+            **kwargs,
+        )
+
+    def login_user(self, user):
+        domain = self._domains.get(user)
+        if domain is None:
+            domain = self.host.create_domain()
+            self._domains[user] = domain
+        cert = self.login.enter_role(domain.client_id, "LoggedOn", (user, "ws1"))
+        return domain.client_id, cert
+
+    def login_cert_for_custode(self, custode):
+        """Custodes are clients too: log their identity on."""
+        return self.login.enter_role(
+            custode.identity, "LoggedOn", (f"custode:{custode.name}", custode.identity.host)
+        )
+
+
+@pytest.fixture
+def mssa():
+    return MssaWorld()

@@ -1,0 +1,40 @@
+"""Tests for accounting integrated into custodes (sections 5.3.1, 4.13)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mssa.acl import Acl
+
+
+def test_files_accounted_into_containers(mssa):
+    acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+    mssa.ffc.create(acl, b"abc", container="project-x")
+    mssa.ffc.create(acl, b"defg", container="project-x")
+    report = mssa.ffc.accounting.usage_report()
+    assert report["project-x"]["files"] == 2
+
+
+def test_operations_charged(mssa):
+    acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+    fid = mssa.ffc.create(acl, b"x", container="project-x")
+    client, login = mssa.login_user("dm")
+    cert = mssa.ffc.enter_use_acl(client, acl, login)
+    for _ in range(3):
+        mssa.ffc.read(cert, fid)
+    assert mssa.ffc.accounting.usage_report()["project-x"]["operations"] >= 3
+    assert mssa.ffc.accounting.bill("system") >= 3
+
+
+def test_quota_enforced_on_create(mssa):
+    mssa.ffc.accounting.create_container("tiny", account="dm", quota_files=1)
+    acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+    mssa.ffc.create(acl, b"first", container="tiny")
+    with pytest.raises(StorageError, match="file quota"):
+        mssa.ffc.create(acl, b"second", container="tiny")
+
+
+def test_container_listing_via_custode(mssa):
+    acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+    fid = mssa.ffc.create(acl, b"x", container="proj")
+    assert fid in mssa.ffc.files_in("proj")
+    assert "proj" in mssa.ffc.accounting.containers()

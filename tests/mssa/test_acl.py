@@ -1,0 +1,109 @@
+"""Tests for the ACL format and the G/P evaluation algorithm (5.4.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.mssa.acl import Acl, AclEntry, unixacl
+
+
+class TestGPAlgorithm:
+    def test_positive_entry_grants(self):
+        acl = Acl.parse("bob=+rw")
+        assert acl.evaluate("bob") == frozenset("rw")
+        assert acl.evaluate("alice") == frozenset()
+
+    def test_negative_entry_restricts_later_grants(self):
+        """The paper's motivating case: 'Students may not have write
+        access' is different from 'students may have only read access'."""
+        acl = Acl.parse("@students=-w *=+rw")
+        assert acl.evaluate("bob", {"students"}) == frozenset("r")
+        assert acl.evaluate("staffer") == frozenset("rw")
+
+    def test_negative_entry_removes_earlier_grant(self):
+        acl = Acl.parse("*=+rw @students=-w")
+        # P loses 'w' and G loses 'w' too: earlier grants are clipped
+        assert acl.evaluate("bob", {"students"}) == frozenset("r")
+
+    def test_order_matters(self):
+        grant_first = Acl.parse("bob=+w bob=-w")
+        deny_first = Acl.parse("bob=-w bob=+w")
+        assert grant_first.evaluate("bob") == frozenset()
+        assert deny_first.evaluate("bob") == frozenset()
+        # but a later grant of a *different* right still works
+        acl = Acl.parse("bob=-w bob=+r")
+        assert acl.evaluate("bob") == frozenset("r")
+
+    def test_paper_conflict_example(self):
+        """'Bob(Read/Write), student(Read)' with Bob a student: ordered
+        entries make the semantics explicit, no 'difficult cases'."""
+        acl = Acl.parse("bob=+rw @students=+r")
+        assert acl.evaluate("bob", {"students"}) == frozenset("rw")
+        assert acl.evaluate("carol", {"students"}) == frozenset("r")
+
+    def test_wildcard_subject(self):
+        acl = Acl.parse("*=+r")
+        assert acl.evaluate("anyone") == frozenset("r")
+
+    def test_group_subject(self):
+        acl = Acl.parse("@staff=+rwx")
+        assert acl.evaluate("dm", {"staff"}) == frozenset("rwx")
+        assert acl.evaluate("dm", set()) == frozenset()
+
+    def test_empty_acl_grants_nothing(self):
+        assert Acl([]).evaluate("anyone") == frozenset()
+
+    def test_render_parse_roundtrip(self):
+        acl = Acl.parse("bob=+rw @students=-w *=+r")
+        again = Acl.parse(acl.render())
+        assert again == acl
+
+    def test_rights_outside_alphabet_rejected(self):
+        with pytest.raises(StorageError):
+            Acl.parse("bob=+z", alphabet="rw")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(StorageError):
+            Acl.parse("bob+rw")
+        with pytest.raises(StorageError):
+            Acl.parse("bob=rw")   # missing +/-
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["bob", "@students", "*"]),
+                st.sets(st.sampled_from("rwxad")),
+                st.booleans(),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_granted_never_exceeds_possible(self, raw_entries):
+        """INVARIANT: G ⊆ P at every step, i.e. a negative entry is
+        final for the rights it names (no later grant resurrects them)."""
+        entries = [AclEntry(s, frozenset(r), n) for s, r, n in raw_entries]
+        acl = Acl(entries)
+        granted = acl.evaluate("bob", {"students"})
+        # recompute the possible set at the end
+        possible = set("rwxad")
+        for entry in entries:
+            if entry.matches("bob", {"students"}) and entry.negative:
+                possible -= set(entry.rights)
+        assert granted <= possible
+
+
+class TestUnixAcl:
+    def test_most_closely_binding(self):
+        """Section 3.3.3: the entry directly naming the user wins."""
+        text = "rjh21=rwx staff=r-x other=r--"
+        assert unixacl(text, "rjh21") == frozenset("rwx")
+        assert unixacl(text, "dm", {"staff"}) == frozenset("rx")
+        assert unixacl(text, "guest") == frozenset("r")
+
+    def test_unknown_user_no_other(self):
+        assert unixacl("rjh21=rwx", "guest") == frozenset()
+
+    def test_malformed(self):
+        with pytest.raises(StorageError):
+            unixacl("garbage", "x")

@@ -1,0 +1,83 @@
+"""Tests for containers and accounting (sections 5.3.1 / 4.13)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mssa.containers import ContainerRegistry
+from repro.mssa.ids import FileId
+
+
+@pytest.fixture
+def registry():
+    reg = ContainerRegistry("ffc")
+    reg.create_container("home-dm", account="dm", quota_files=3, quota_bytes=100)
+    reg.create_container("scratch", account="dept")
+    return reg
+
+
+def fid(n):
+    return FileId("ffc", n)
+
+
+class TestContainers:
+    def test_create_and_list(self, registry):
+        assert registry.containers() == ["home-dm", "scratch"]
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(StorageError):
+            registry.create_container("scratch", account="x")
+
+    def test_unknown_rejected(self, registry):
+        with pytest.raises(StorageError):
+            registry.container("nope")
+
+    def test_file_quota(self, registry):
+        for i in range(3):
+            registry.add_file("home-dm", fid(i))
+        with pytest.raises(StorageError, match="file quota"):
+            registry.add_file("home-dm", fid(9))
+
+    def test_byte_quota(self, registry):
+        registry.add_file("home-dm", fid(1), size=80)
+        with pytest.raises(StorageError, match="byte quota"):
+            registry.add_file("home-dm", fid(2), size=30)
+
+    def test_unquota_container_unbounded(self, registry):
+        for i in range(100):
+            registry.add_file("scratch", fid(i), size=1000)
+        assert registry.container("scratch").bytes_used == 100_000
+
+    def test_remove_releases_quota(self, registry):
+        registry.add_file("home-dm", fid(1), size=80)
+        registry.remove_file("home-dm", fid(1), size=80)
+        registry.add_file("home-dm", fid(2), size=90)
+
+    def test_resize_respects_quota(self, registry):
+        registry.add_file("home-dm", fid(1), size=50)
+        registry.resize_file("home-dm", 40)
+        with pytest.raises(StorageError):
+            registry.resize_file("home-dm", 40)
+        registry.resize_file("home-dm", -60)
+        assert registry.container("home-dm").bytes_used == 30
+
+
+class TestAccounting:
+    def test_operations_charged_to_container_account(self, registry):
+        for _ in range(5):
+            registry.charge_operation("home-dm")
+        assert registry.bill("dm") == 5
+        assert registry.bill("dept") == 0
+
+    def test_certificate_account_overrides(self, registry):
+        """Section 4.13: the account may come from the certificate."""
+        registry.charge_operation("scratch", account="visiting-project")
+        assert registry.bill("visiting-project") == 1
+        assert registry.bill("dept") == 0
+
+    def test_usage_report(self, registry):
+        registry.add_file("home-dm", fid(1), size=10)
+        registry.charge_operation("home-dm")
+        report = registry.usage_report()
+        assert report["home-dm"] == {
+            "account": "dm", "files": 1, "bytes": 10, "operations": 1,
+        }

@@ -1,0 +1,342 @@
+"""Integration tests for custodes and shared ACLs (chapter 5)."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    PlacementError,
+    RevokedError,
+    StorageError,
+)
+from repro.mssa.acl import Acl
+from repro.mssa.bypass import BypassRoute
+from repro.mssa.continuous import ContinuousMediaCustode
+from repro.mssa.ids import FileId
+from repro.mssa.structured import StructuredFileCustode
+from repro.mssa.vac import BankAccountCustode, IndexedFlatFileCustode
+
+
+def test_file_id_roundtrip():
+    fid = FileId("ffc", 42)
+    assert FileId.parse(str(fid)) == fid
+    with pytest.raises(StorageError):
+        FileId.parse("garbage")
+
+
+class TestSharedAcls:
+    def test_use_acl_certificate_grants_access(self, mssa):
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"hello")
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        assert mssa.ffc.read(cert, fid) == b"hello"
+        mssa.ffc.write(cert, fid, b"world")
+        assert mssa.ffc.read(cert, fid) == b"world"
+
+    def test_one_acl_protects_many_files(self, mssa):
+        """Fig 5.2(b): files are logically grouped; one certificate
+        covers them all."""
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        fids = [mssa.ffc.create(acl, bytes([i])) for i in range(10)]
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        for i, fid in enumerate(fids):
+            assert mssa.ffc.read(cert, fid) == bytes([i])
+        assert len(mssa.ffc.files_protected_by(acl)) == 10
+
+    def test_rights_limited_by_acl(self, mssa):
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"data")
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        with pytest.raises(AccessDenied):
+            mssa.ffc.write(cert, fid, b"nope")
+
+    def test_unlisted_user_denied_entry(self, mssa):
+        from repro.errors import EntryDenied, RevokedError
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        client, login = mssa.login_user("student1")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        # entry succeeds but with an empty rights set: no operation works
+        fid = mssa.ffc.create(acl, b"x")
+        with pytest.raises(AccessDenied):
+            mssa.ffc.read(cert, fid)
+
+    def test_group_entries(self, mssa):
+        acl = mssa.ffc.create_acl(Acl.parse("@staff=+rw", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"x")
+        client, login = mssa.login_user("jmb")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        assert mssa.ffc.read(cert, fid) == b"x"
+
+    def test_wrong_acl_certificate_rejected(self, mssa):
+        acl_a = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        acl_b = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        fid = mssa.ffc.create(acl_b, b"x")
+        client, login = mssa.login_user("dm")
+        cert_a = mssa.ffc.enter_use_acl(client, acl_a, login)
+        with pytest.raises(AccessDenied, match="governed by"):
+            mssa.ffc.read(cert_a, fid)
+
+    def test_regroup_file_under_other_acl(self, mssa):
+        acl_a = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        acl_b = mssa.ffc.create_acl(Acl.parse("jmb=+r", alphabet="rwad"))
+        fid = mssa.ffc.create(acl_a, b"x")
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, acl_a, login)
+        mssa.ffc.set_acl_of(cert, fid, acl_b)
+        with pytest.raises(AccessDenied):
+            mssa.ffc.read(cert, fid)   # dm's old cert is for the old group
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = mssa.ffc.enter_use_acl(jclient, acl_b, jlogin)
+        assert mssa.ffc.read(jcert, fid) == b"x"
+
+    def test_admin_statement_grants_full_rights(self, mssa):
+        mssa.ffc.add_admin(mssa.login.parsename("userid", "root"))
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"x")
+        client, login = mssa.login_user("root")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        mssa.ffc.write(cert, fid, b"admin was here")
+
+
+class TestVolatileAcls:
+    def test_acl_modification_revokes_certificates(self, mssa):
+        """Section 5.5.2: certificates issued against the old ACL version
+        are revoked through the per-ACL credential record."""
+        meta = mssa.ffc.create_acl(Acl.parse("dm=+rw", alphabet="rwad"))
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad jmb=+r", alphabet="rwad"),
+                                  protecting_acl_id=meta)
+        fid = mssa.ffc.create(acl, b"x")
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = mssa.ffc.enter_use_acl(jclient, acl, jlogin)
+        assert mssa.ffc.read(jcert, fid) == b"x"
+        # dm edits the ACL to remove jmb
+        dclient, dlogin = mssa.login_user("dm")
+        dmeta_cert = mssa.ffc.enter_use_acl(dclient, meta, dlogin)
+        mssa.ffc.modify_acl(dmeta_cert, acl, Acl.parse("dm=+rwad", alphabet="rwad"))
+        with pytest.raises(RevokedError):
+            mssa.ffc.read(jcert, fid)
+        # jmb cannot re-enter either
+        fresh = mssa.ffc.enter_use_acl(jclient, acl, jlogin)
+        with pytest.raises(AccessDenied):
+            mssa.ffc.read(fresh, fid)
+
+    def test_client_refreshes_transparently(self, mssa):
+        """Non-fatal revocation: still-entitled clients re-apply."""
+        meta = mssa.ffc.create_acl(Acl.parse("dm=+rw", alphabet="rwad"))
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad jmb=+r", alphabet="rwad"),
+                                  protecting_acl_id=meta)
+        fid = mssa.ffc.create(acl, b"x")
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, acl, dlogin)
+        dmeta = mssa.ffc.enter_use_acl(dclient, meta, dlogin)
+        mssa.ffc.modify_acl(dmeta, acl, Acl.parse("dm=+rwad", alphabet="rwad"))
+        with pytest.raises(RevokedError):
+            mssa.ffc.read(dcert, fid)
+        refreshed = mssa.ffc.enter_use_acl(dclient, acl, dlogin)
+        assert mssa.ffc.read(refreshed, fid) == b"x"
+
+
+class TestMetaAccessControl:
+    def test_acl_read_requires_protecting_acl_rights(self, mssa):
+        meta = mssa.ffc.create_acl(Acl.parse("dm=+rw", alphabet="rwad"))
+        acl = mssa.ffc.create_acl(Acl.parse("jmb=+r", alphabet="rwad"),
+                                  protecting_acl_id=meta)
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = mssa.ffc.enter_use_acl(jclient, meta, jlogin)
+        with pytest.raises(AccessDenied):
+            mssa.ffc.read_acl(jcert, acl)
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, meta, dlogin)
+        assert mssa.ffc.read_acl(dcert, acl).render() == "jmb=+r"
+
+    def test_modify_requires_write_on_protecting_acl(self, mssa):
+        meta = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        acl = mssa.ffc.create_acl(Acl.parse("jmb=+r", alphabet="rwad"),
+                                  protecting_acl_id=meta)
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, meta, dlogin)
+        with pytest.raises(AccessDenied):
+            mssa.ffc.modify_acl(dcert, acl, Acl.parse("dm=+r", alphabet="rwad"))
+
+    def test_placement_constraint_enforced(self, mssa):
+        """Section 5.4.2: the ACL protecting an ACL must be local."""
+        remote_acl = mssa.bsc.create_acl(Acl.parse("dm=+rw", alphabet="rw"))
+        with pytest.raises(PlacementError):
+            mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"),
+                                protecting_acl_id=remote_acl)
+
+    def test_remote_acl_for_ordinary_file_is_fine(self, mssa):
+        """Ordinary files may be protected by remote ACLs — only the
+        meta-level is constrained (fig 5.5)."""
+        meta = mssa.bsc.create_acl(Acl.parse("custode:ffc=+r", alphabet="rw"))
+        # the remote ACL lives on the BSC but governs FFC files, so it is
+        # authored in the FFC's rights alphabet
+        remote_acl = mssa.bsc.create_acl(
+            Acl.parse("dm=+rwad", alphabet="rwad"), protecting_acl_id=meta
+        )
+        fid = mssa.ffc.create_file(b"x", remote_acl)
+        client, login = mssa.login_user("dm")
+        before = mssa.ffc.remote_acl_reads
+        cert = mssa.ffc.enter_use_acl(client, remote_acl, login)
+        assert mssa.ffc.remote_acl_reads == before + 1   # exactly one remote call
+
+
+class TestDelegation:
+    def test_use_file_delegation(self, mssa):
+        """Section 5.4.3: a UseAcl holder delegates single-file access."""
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"secret")
+        other = mssa.ffc.create(acl, b"other")
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, acl, dlogin)
+        deleg, revoc = mssa.ffc.delegate_use_file(dcert, fid, frozenset("r"))
+        sclient, slogin = mssa.login_user("student1")
+        scert = mssa.ffc.accept_use_file(sclient, deleg, slogin)
+        assert mssa.ffc.read(scert, fid) == b"secret"
+        with pytest.raises(AccessDenied):
+            mssa.ffc.read(scert, other)      # file-specific
+        with pytest.raises(AccessDenied):
+            mssa.ffc.write(scert, fid, b"")  # rights-limited
+
+    def test_delegated_rights_must_be_subset(self, mssa):
+        from repro.errors import EntryDenied
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"x")
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, acl, dlogin)
+        deleg, _ = mssa.ffc.delegate_use_file(dcert, fid, frozenset("rw"))
+        sclient, slogin = mssa.login_user("student1")
+        with pytest.raises(EntryDenied):
+            mssa.ffc.accept_use_file(sclient, deleg, slogin)
+
+    def test_revocation_certificate(self, mssa):
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"x")
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = mssa.ffc.enter_use_acl(dclient, acl, dlogin)
+        deleg, revoc = mssa.ffc.delegate_use_file(dcert, fid, frozenset("r"))
+        sclient, slogin = mssa.login_user("student1")
+        scert = mssa.ffc.accept_use_file(sclient, deleg, slogin)
+        mssa.ffc.service.revoke(revoc)
+        with pytest.raises(RevokedError):
+            mssa.ffc.read(scert, fid)
+
+
+class TestTypedCustodes:
+    def test_structured_files_and_compound_documents(self, mssa):
+        sfc = mssa.make_custode(StructuredFileCustode, "sfc")
+        acl = sfc.create_acl(Acl.parse("dm=+rw", alphabet="rw"))
+        client, login = mssa.login_user("dm")
+        cert = sfc.enter_use_acl(client, acl, login)
+        doc = sfc.create_node(acl, {"title": "thesis"})
+        chapter = sfc.create_node(acl, {"title": "ch1"})
+        sfc.add_ref(cert, doc, chapter)
+        # a cross-custode reference (compound document)
+        ffc_acl = mssa.ffc.create_acl(Acl.parse("dm=+r", alphabet="rwad"))
+        figure = mssa.ffc.create(ffc_acl, b"png")
+        sfc.add_ref(cert, doc, figure)
+        assert sfc.get_field(cert, doc, "title") == "thesis"
+        assert sfc.refs(cert, doc) == [chapter, figure]
+        assert figure in sfc.transitive_refs(cert, doc)
+
+    def test_continuous_media_play_record_rights(self, mssa):
+        cmc = mssa.make_custode(ContinuousMediaCustode, "cmc")
+        acl_play = cmc.create_acl(Acl.parse("dm=+p jmb=+pc", alphabet="pc"))
+        stream = cmc.create_stream(acl_play)
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = cmc.enter_use_acl(jclient, acl_play, jlogin)
+        cmc.record(jcert, stream, [b"f1", b"f2", b"f3"])
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = cmc.enter_use_acl(dclient, acl_play, dlogin)
+        assert cmc.play(dcert, stream, 1) == [b"f2", b"f3"]
+        with pytest.raises(AccessDenied):
+            cmc.record(dcert, stream, [b"f4"])   # dm may only play
+
+    def test_indexed_ffc_lookup(self, mssa):
+        ifc = mssa.make_custode(IndexedFlatFileCustode, "ifc")
+        ifc.wire_below(mssa.ffc, mssa.login_cert_for_custode(ifc))
+        acl = ifc.create_acl(Acl.parse("dm=+rwadl", alphabet="rwadl"))
+        fid = ifc.create(acl)
+        client, login = mssa.login_user("dm")
+        cert = ifc.enter_use_acl(client, acl, login)
+        ifc.write_record(cert, fid, "alpha", b"AAAA")
+        ifc.write_record(cert, fid, "beta", b"BB")
+        assert ifc.lookup(cert, fid, "alpha") == b"AAAA"
+        assert ifc.lookup(cert, fid, "beta") == b"BB"
+        assert ifc.keys(cert, fid) == ["alpha", "beta"]
+        assert ifc.read(cert, fid) == b"AAAABB"
+
+    def test_bank_account(self, mssa):
+        bank = mssa.make_custode(BankAccountCustode, "bank")
+        bank.wire_below(mssa.ffc, mssa.login_cert_for_custode(bank))
+        acl = bank.create_acl(Acl.parse("dm=+dwq jmb=+d", alphabet="dwq"))
+        account = bank.open_account(acl)
+        dclient, dlogin = mssa.login_user("dm")
+        dcert = bank.enter_use_acl(dclient, acl, dlogin)
+        assert bank.deposit(dcert, account, 100) == 100
+        assert bank.withdraw(dcert, account, 30) == 70
+        assert bank.balance(dcert, account) == 70
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = bank.enter_use_acl(jclient, acl, jlogin)
+        bank.deposit(jcert, account, 5)
+        with pytest.raises(AccessDenied):
+            bank.withdraw(jcert, account, 1)   # jmb may only deposit
+        with pytest.raises(AccessDenied):
+            bank.withdraw(dcert, account, 10_000)  # insufficient funds
+
+
+class TestBypassing:
+    def make_stack(self, mssa):
+        ifc = mssa.make_custode(IndexedFlatFileCustode, "ifc")
+        ifc.wire_below(mssa.ffc, mssa.login_cert_for_custode(ifc))
+        acl = ifc.create_acl(Acl.parse("dm=+rwadl", alphabet="rwadl"))
+        fid = ifc.create(acl)
+        client, login = mssa.login_user("dm")
+        cert = ifc.enter_use_acl(client, acl, login)
+        ifc.write_record(cert, fid, "k", b"hello")
+        return ifc, acl, fid, cert
+
+    def test_bypassed_read_returns_same_data(self, mssa):
+        ifc, acl, fid, cert = self.make_stack(mssa)
+        route = BypassRoute.resolve(ifc, "read")
+        assert route.bottom is mssa.ffc
+        assert route.read(cert, fid) == ifc.read(cert, fid)
+
+    def test_bypass_skips_the_vac(self, mssa):
+        ifc, acl, fid, cert = self.make_stack(mssa)
+        route = BypassRoute.resolve(ifc, "read")
+        before = ifc.ops
+        route.read(cert, fid)
+        assert ifc.ops == before          # the VAC took no part
+        assert mssa.ffc.bypassed_ops == 1
+
+    def test_bypass_validates_via_callback(self, mssa):
+        ifc, acl, fid, cert = self.make_stack(mssa)
+        route = BypassRoute.resolve(ifc, "read")
+        before = ifc.service.stats.validations
+        route.read(cert, fid)
+        assert ifc.service.stats.validations == before + 1  # the callback
+
+    def test_bypass_respects_revocation(self, mssa):
+        ifc, acl, fid, cert = self.make_stack(mssa)
+        route = BypassRoute.resolve(ifc, "read")
+        ifc.service.exit_role(cert)
+        with pytest.raises(RevokedError):
+            route.read(cert, fid)
+
+    def test_bypass_respects_rights(self, mssa):
+        ifc, acl, fid, _ = self.make_stack(mssa)
+        client, login = mssa.login_user("student1")
+        # issue a certificate with no rights at all
+        weak = ifc.enter_use_acl(client, acl, login)
+        route = BypassRoute.resolve(ifc, "read")
+        with pytest.raises(AccessDenied):
+            route.read(weak, fid)
+
+    def test_specialised_op_not_bypassable(self, mssa):
+        from repro.errors import MisuseError
+        ifc, acl, fid, cert = self.make_stack(mssa)
+        with pytest.raises(MisuseError):
+            BypassRoute.resolve(ifc, "lookup")

@@ -1,0 +1,90 @@
+"""Unit tests for clocks and drift modelling (paper section 6.8.4)."""
+
+import pytest
+
+from repro.runtime.clock import DriftingClock, ManualClock, SimClock, max_clock_skew
+from repro.runtime.simulator import Simulator
+
+
+def test_manual_clock_advances():
+    clock = ManualClock(10.0)
+    clock.advance(2.5)
+    assert clock.now() == 12.5
+
+
+def test_manual_clock_set():
+    clock = ManualClock()
+    clock.set(7.0)
+    assert clock.now() == 7.0
+
+
+def test_manual_clock_rejects_backwards():
+    clock = ManualClock(5.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+    with pytest.raises(ValueError):
+        clock.set(4.0)
+
+
+def test_sim_clock_tracks_virtual_time():
+    sim = Simulator()
+    clock = SimClock(sim)
+    assert clock.now() == 0.0
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert clock.now() == 3.0
+
+
+def test_drifting_clock_offset_only():
+    sim = Simulator()
+    clock = DriftingClock(sim, offset=1.5)
+    assert clock.now() == 1.5
+
+
+def test_drifting_clock_linear_drift():
+    sim = Simulator()
+    clock = DriftingClock(sim, drift=0.01)
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    assert clock.now() == pytest.approx(101.0)
+
+
+def test_drifting_clock_error_at():
+    sim = Simulator()
+    clock = DriftingClock(sim, offset=0.5, drift=0.001)
+    assert clock.error_at(1000.0) == pytest.approx(1.5)
+
+
+def test_max_clock_skew_bounds_pairwise_error():
+    sim = Simulator()
+    fast = DriftingClock(sim, drift=0.001)
+    slow = DriftingClock(sim, drift=-0.001)
+    skew = max_clock_skew([fast, slow], horizon=1000.0)
+    assert skew == pytest.approx(2.0)
+
+
+def test_max_clock_skew_empty():
+    assert max_clock_skew([], horizon=10.0) == 0.0
+
+
+def test_drifting_clocks_disagree_on_event_order():
+    """Two events 1ms apart can be mis-ordered by drifted stamps; this is
+    exactly the hazard section 6.8.4 describes."""
+    sim = Simulator()
+    clock_a = DriftingClock(sim, offset=0.01)   # 10ms fast
+    clock_b = DriftingClock(sim, offset=0.0)
+    stamps = {}
+    sim.schedule(1.000, lambda: stamps.__setitem__("first", clock_b.now()))
+    sim.schedule(1.001, lambda: stamps.__setitem__("second", clock_a.now()))
+    sim.run()
+    # true order: first < second, but stamped order reverses
+    assert stamps["second"] > stamps["first"]  # offset pushes it later here
+    # and with the offset on the *earlier* event instead:
+    sim2 = Simulator()
+    stamps2 = {}
+    ca = DriftingClock(sim2, offset=0.01)
+    cb = DriftingClock(sim2, offset=0.0)
+    sim2.schedule(1.000, lambda: stamps2.__setitem__("first", ca.now()))
+    sim2.schedule(1.001, lambda: stamps2.__setitem__("second", cb.now()))
+    sim2.run()
+    assert stamps2["first"] > stamps2["second"]

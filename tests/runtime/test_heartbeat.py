@@ -1,0 +1,119 @@
+"""Unit tests for the heartbeat protocol of section 4.10."""
+
+import pytest
+
+from repro.runtime.heartbeat import connect_heartbeat
+from repro.runtime.network import Link, Network
+from repro.runtime.simulator import Simulator
+
+
+def make_world(period=1.0, **monitor_kwargs):
+    sim = Simulator()
+    net = Network(sim, seed=11)
+    sender, monitor = connect_heartbeat(net, "svc", "cli", period, **monitor_kwargs)
+    return sim, net, sender, monitor
+
+
+def test_heartbeats_flow_when_idle():
+    sim, net, sender, monitor = make_world(period=1.0)
+    sender.start()
+    sim.run_until(10.0)
+    assert sender.stats.heartbeats_sent >= 9
+    assert not monitor.suspect
+
+
+def test_payloads_delivered_in_order():
+    got = []
+    sim, net, sender, monitor = make_world(
+        period=1.0, on_payload=lambda p, h: got.append(p)
+    )
+    sender.start()
+    sim.schedule(0.5, sender.send_payload, "a")
+    sim.schedule(0.6, sender.send_payload, "b")
+    sim.run_until(5.0)
+    assert got == ["a", "b"]
+
+
+def test_silence_triggers_suspicion_within_grace():
+    suspected = []
+    sim, net, sender, monitor = make_world(
+        period=1.0, grace=2.0, on_suspect=lambda: suspected.append(sim.now)
+    )
+    sender.start()
+    sim.run_until(5.0)
+    net.partition({"svc"}, {"cli"})
+    sim.run_until(20.0)
+    assert monitor.suspect
+    assert suspected
+    # detection within grace*period + one watchdog period of the cut at t=5
+    assert suspected[0] <= 5.0 + 2.0 * 1.0 + 1.0 + 1e-9
+
+
+def test_restore_after_heal():
+    restored = []
+    sim, net, sender, monitor = make_world(
+        period=1.0, on_restore=lambda: restored.append(sim.now)
+    )
+    sender.start()
+    sim.run_until(3.0)
+    net.partition({"svc"}, {"cli"})
+    sim.run_until(10.0)
+    assert monitor.suspect
+    net.heal({"svc"}, {"cli"})
+    sim.run_until(15.0)
+    assert not monitor.suspect
+    assert restored
+
+
+def test_lost_payload_is_resent_via_nack():
+    got = []
+    sim, net, sender, monitor = make_world(
+        period=1.0, on_payload=lambda p, h: got.append(p)
+    )
+    sender.start()
+    # drop exactly the window around the payload send
+    sim.schedule(4.9, net.partition, {"svc"}, {"cli"})
+    sim.schedule(5.0, sender.send_payload, "precious")
+    sim.schedule(5.1, net.heal, {"svc"}, {"cli"})
+    sim.run_until(30.0)
+    assert "precious" in got
+    assert monitor.stats.gaps_detected >= 1
+    assert sender.stats.resends >= 1
+
+
+def test_horizon_advances_with_heartbeats():
+    horizons = []
+    sim, net, sender, monitor = make_world(
+        period=1.0, on_horizon=lambda h: horizons.append(h)
+    )
+    sender.start()
+    sim.run_until(5.0)
+    assert horizons == sorted(horizons)
+    assert monitor.horizon >= 3.0
+
+
+def test_acks_prune_sender_state():
+    sim, net, sender, monitor = make_world(period=1.0, ack_every=2)
+    sender.start()
+    for i in range(6):
+        sim.schedule(0.1 * i + 0.05, sender.send_payload, i)
+    sim.run_until(10.0)
+    assert len(sender._unacked) == 0
+
+
+def test_detection_latency_scales_with_period():
+    """Slower heartbeats -> later detection (the sec 6.8.3 trade-off)."""
+    latencies = {}
+    for period in (0.5, 4.0):
+        suspected = []
+        sim = Simulator()
+        net = Network(sim, seed=5)
+        sender, monitor = connect_heartbeat(
+            net, "svc", "cli", period, on_suspect=lambda: suspected.append(sim.now)
+        )
+        sender.start()
+        sim.run_until(20.0)
+        net.partition({"svc"}, {"cli"})
+        sim.run_until(100.0)
+        latencies[period] = suspected[0] - 20.0
+    assert latencies[0.5] < latencies[4.0]

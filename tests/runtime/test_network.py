@@ -1,0 +1,131 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.runtime.network import Link, Network
+from repro.runtime.simulator import Simulator
+
+
+def make_net(**kwargs):
+    sim = Simulator()
+    return sim, Network(sim, seed=1, **kwargs)
+
+
+def test_basic_delivery():
+    sim, net = make_net()
+    got = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: got.append(m))
+    net.send("a", "b", "ping", {"x": 1})
+    sim.run()
+    assert len(got) == 1
+    assert got[0].payload == {"x": 1}
+    assert got[0].source == "a"
+    assert got[0].kind == "ping"
+
+
+def test_delivery_is_delayed_by_link():
+    sim, net = make_net()
+    times = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: times.append(sim.now))
+    net.set_link("a", "b", Link(base_delay=0.25))
+    net.send("a", "b", "ping", None)
+    sim.run()
+    assert times == [0.25]
+
+
+def test_jitter_is_seeded_and_bounded():
+    sim, net = make_net()
+    times = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: times.append(sim.now))
+    net.set_link("a", "b", Link(base_delay=0.1, jitter=0.05))
+    for _ in range(50):
+        net.send("a", "b", "ping", None)
+    sim.run()
+    assert all(0.1 <= t <= 0.15 for t in times)
+    assert len(set(times)) > 1  # jitter actually varies
+
+
+def test_loss_probability_drops_messages():
+    sim, net = make_net()
+    got = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: got.append(m))
+    net.set_link("a", "b", Link(loss_probability=1.0))
+    assert net.send("a", "b", "ping", None) is None
+    sim.run()
+    assert got == []
+    assert net.messages_lost == 1
+
+
+def test_partition_and_heal():
+    sim, net = make_net()
+    got = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: got.append(m.payload))
+    net.partition({"a"}, {"b"})
+    net.send("a", "b", "ping", 1)
+    sim.run()
+    assert got == []
+    net.heal({"a"}, {"b"})
+    net.send("a", "b", "ping", 2)
+    sim.run()
+    assert got == [2]
+
+
+def test_send_to_unknown_node_raises():
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.send("a", "nowhere", "ping", None)
+
+
+def test_duplicate_address_rejected():
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.add_node("a", lambda m: None)
+
+
+def test_down_node_drops_silently():
+    sim, net = make_net()
+    got = []
+    net.add_node("a", lambda m: None)
+    node_b = net.add_node("b", lambda m: got.append(m))
+    node_b.up = False
+    net.send("a", "b", "ping", None)
+    sim.run()
+    assert got == []
+    assert node_b.dropped_while_down == 1
+
+
+def test_messages_carry_monotone_seq():
+    sim, net = make_net()
+    seqs = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: seqs.append(m.seq))
+    for _ in range(3):
+        net.send("a", "b", "ping", None)
+    sim.run()
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 3
+
+
+def test_same_seed_same_behaviour():
+    def run(seed):
+        sim = Simulator()
+        net = Network(sim, seed=seed)
+        times = []
+        net.add_node("a", lambda m: None)
+        net.add_node("b", lambda m: times.append(round(sim.now, 9)))
+        net.set_link("a", "b", Link(base_delay=0.01, jitter=0.02, loss_probability=0.3))
+        for _ in range(100):
+            net.send("a", "b", "ping", None)
+        sim.run()
+        return times
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

@@ -1,0 +1,123 @@
+"""Unit tests for the RPC layer."""
+
+import pytest
+
+from repro.runtime.network import Link, Network
+from repro.runtime.rpc import RpcEndpoint, RpcError
+from repro.runtime.simulator import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    net = Network(sim, seed=3)
+    server = RpcEndpoint(net, "server")
+    client = RpcEndpoint(net, "client")
+    return sim, net, server, client
+
+
+def test_roundtrip():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    future = client.call("server", "add", 2, 3)
+    assert not future.done
+    sim.run()
+    assert future.result() == 5
+
+
+def test_kwargs_passed():
+    sim, net, server, client = make_pair()
+    server.register("greet", lambda name, punct="!": f"hi {name}{punct}")
+    future = client.call("server", "greet", "bob", punct="?")
+    sim.run()
+    assert future.result() == "hi bob?"
+
+
+def test_unknown_method_fails():
+    sim, net, server, client = make_pair()
+    future = client.call("server", "nope")
+    sim.run()
+    assert future.failed
+    with pytest.raises(RpcError, match="unknown method"):
+        future.result()
+
+
+def test_remote_exception_propagates():
+    sim, net, server, client = make_pair()
+
+    def boom():
+        raise ValueError("bad input")
+
+    server.register("boom", boom)
+    future = client.call("server", "boom")
+    sim.run()
+    with pytest.raises(RpcError, match="ValueError: bad input"):
+        future.result()
+
+
+def test_timeout_fires_when_partitioned():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    net.partition({"client"}, {"server"})
+    future = client.call("server", "add", 1, 1, timeout=2.0)
+    sim.run()
+    assert future.failed
+    with pytest.raises(RpcError, match="timeout"):
+        future.result()
+
+
+def test_timeout_cancelled_on_success():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    future = client.call("server", "add", 1, 1, timeout=60.0)
+    sim.run()
+    assert future.result() == 2
+    assert sim.now < 1.0  # did not wait for the timeout
+
+
+def test_result_before_done_raises():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    future = client.call("server", "add", 1, 1)
+    with pytest.raises(RpcError, match="not yet complete"):
+        future.result()
+
+
+def test_on_done_callback():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    results = []
+    future = client.call("server", "add", 4, 4)
+    future.on_done(lambda f: results.append(f.result()))
+    sim.run()
+    assert results == [8]
+
+
+def test_on_done_after_completion_fires_immediately():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    future = client.call("server", "add", 4, 4)
+    sim.run()
+    results = []
+    future.on_done(lambda f: results.append(f.result()))
+    assert results == [8]
+
+
+def test_one_way_event_notification():
+    sim, net, server, client = make_pair()
+    got = []
+    client.on_event("news", lambda src, payload: got.append((src, payload)))
+    server.notify("client", "news", {"headline": "x"})
+    sim.run()
+    assert got == [("server", {"headline": "x"})]
+
+
+def test_rpc_latency_matches_link():
+    sim, net, server, client = make_pair()
+    net.set_link("client", "server", Link(base_delay=0.1))
+    net.set_link("server", "client", Link(base_delay=0.2))
+    server.register("noop", lambda: None)
+    future = client.call("server", "noop")
+    done_at = []
+    future.on_done(lambda f: done_at.append(sim.now))
+    sim.run()
+    assert done_at[0] == pytest.approx(0.3)

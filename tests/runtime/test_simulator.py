@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_schedule_during_event_runs_later():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(3.0, lambda: order.append("third"))
+    sim.run()
+    assert order == ["first", "nested", "third"]
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    ran = []
+    handle = sim.schedule(1.0, ran.append, "x")
+    assert sim.cancel(handle) is True
+    assert sim.cancel(handle) is False
+    sim.run()
+    assert ran == []
+
+
+def test_cancel_after_run_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.cancel(handle) is False
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(3.0, order.append, "c")
+    sim.run_until(2.0)
+    assert order == ["a", "b"]
+    assert sim.now == 2.0
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_for_advances_relative():
+    sim = Simulator(start_time=10.0)
+    sim.schedule(5.0, lambda: None)
+    sim.run_for(2.0)
+    assert sim.now == 12.0
+    assert sim.pending() == 1
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_run_backwards_rejected():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(1.0)
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(h1)
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    sim.cancel(h1)
+    assert sim.pending() == 1
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_run_returns_event_count():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(float(i), lambda: None)
+    assert sim.run() == 7
+    assert sim.events_processed == 7
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)

@@ -1,0 +1,235 @@
+"""Tests for event security (chapter 7): ERDL, admission control,
+notification filtering and remote-policy proxies, using the badge-system
+policies of section 7.5."""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.errors import AccessDenied, RevokedError
+from repro.events.model import Event, Var, WILDCARD, template
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import parse_erdl
+from repro.security.proxy import PolicyProxy
+
+# the local policy of section 7.5.1/7.5.2, rendered in our ERDL syntax:
+# - administrators see every sighting;
+# - a logged-on user sees sightings of their *own* badge;
+# - visitors see nothing.
+BADGE_POLICY = """
+allow Admin(u) : Seen(b, s)
+allow LoggedOn(u) : Seen(b, s) : owns(u, b)
+deny  Visitor(u) : Seen(b, s)
+allow LoggedOn(u) : MovedSite(b, o, n) : owns(u, b)
+"""
+
+BADGE_OWNERS = {"rjh21": "badge-rjh", "jmb": "badge-jmb"}
+
+
+def owns(user, badge):
+    return BADGE_OWNERS.get(user) == badge
+
+
+@pytest.fixture
+def world():
+    oasis = OasisService("BadgeSec")
+    oasis.add_rolefile("main", """
+def Admin(u)  u: string
+def LoggedOn(u)  u: string
+def Visitor(u)  u: string
+Admin(u) <-  : u == "root"
+LoggedOn(u) <-
+Visitor(u) <-
+""")
+    policy = parse_erdl(BADGE_POLICY, predicates={"owns": owns})
+    broker = SecureEventBroker("badges", oasis, policy)
+    host = HostOS("h")
+    return oasis, broker, host
+
+
+def collector():
+    events = []
+
+    def notify(event, horizon):
+        if event is not None:
+            events.append(event)
+
+    return events, notify
+
+
+class TestErdlParsing:
+    def test_statements_parsed_in_order(self):
+        policy = parse_erdl(BADGE_POLICY, predicates={"owns": owns})
+        assert [s.allow for s in policy.statements] == [True, True, False, True]
+        assert policy.statements[0].role == "Admin"
+        assert policy.statements[1].conditions[0].op_or_name == "owns"
+
+    def test_literal_role_params(self):
+        policy = parse_erdl('allow Login(3, u) : Seen(b, s)')
+        assert policy.statements[0].role_params[0] == 3
+
+    def test_comparison_condition(self):
+        policy = parse_erdl("allow Reader(lvl) : Doc(c) : lvl >= c")
+        stmt = policy.statements[0]
+        assert stmt.conditions[0].kind == "cmp"
+
+    def test_bad_keyword_rejected(self):
+        from repro.errors import RDLSyntaxError
+        with pytest.raises(RDLSyntaxError):
+            parse_erdl("permit X : E(a)")
+
+
+class TestAdmissionAndFiltering:
+    def test_admin_sees_everything(self, world):
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "Admin", ("root",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        broker.signal(Event("Seen", ("badge-jmb", "s2")))
+        assert len(events) == 2
+
+    def test_user_sees_only_own_badge(self, world):
+        """Section 7.5: location information is sensitive; a user may
+        monitor their own badge only."""
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        broker.signal(Event("Seen", ("badge-jmb", "s2")))
+        assert [e.args[0] for e in events] == ["badge-rjh"]
+
+    def test_visitor_session_rejected(self, world):
+        """A role the policy can never satisfy is refused at admission."""
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "Visitor", ("guest",))
+        with pytest.raises(AccessDenied):
+            broker.establish_session(lambda e, h: None, cert)
+        assert broker.rejected_sessions == 1
+
+    def test_forged_certificate_rejected(self, world):
+        import dataclasses
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        forged = dataclasses.replace(cert, args=("root",))
+        from repro.errors import FraudError
+        with pytest.raises(FraudError):
+            broker.establish_session(lambda e, h: None, forged)
+
+    def test_hopeless_registration_rejected(self, world):
+        """Admission control during registration (glossary): the server
+        refuses to monitor for events the client can never receive."""
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        with pytest.raises(AccessDenied):
+            broker.register(session, template("Payroll", WILDCARD))
+        assert broker.rejected_registrations == 1
+
+    def test_revocation_tears_down_session(self, world):
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        oasis.exit_role(cert)
+        broker.signal(Event("Seen", ("badge-rjh", "s2")))
+        assert len(events) == 1
+        assert not session.open
+
+    def test_default_deny(self, world):
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        # MovedSite of someone else's badge: no statement allows it
+        broker.register(session, template("MovedSite", WILDCARD, WILDCARD, WILDCARD))
+        broker.signal(Event("MovedSite", ("badge-jmb", "a", "b")))
+        assert events == []
+
+    def test_filter_specialisation_amortised(self, world):
+        """Fig 7.1: per-notification work is just template match + any
+        residual condition; the policy is compiled once per session."""
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        events, notify = collector()
+        session = broker.establish_session(notify, cert)
+        session_filter = broker._filters[session.id]
+        # the Admin and Visitor statements were dropped at specialisation:
+        # only the two LoggedOn statements remain
+        assert all(
+            tpl.name in ("Seen", "MovedSite") for _, tpl, _, _ in session_filter.compiled
+        )
+        assert len(session_filter.compiled) == 2
+
+
+class TestPolicyProxy:
+    def test_remote_consumer_gets_filtered_feed(self, world):
+        """Fig 7.3: the proxy applies local policy before events cross to
+        the remote site."""
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        received = []
+        proxy = PolicyProxy(
+            broker, cert, deliver=lambda e, h: received.append(e) if e else None
+        )
+        proxy.register(template("Seen", WILDCARD, WILDCARD))
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        broker.signal(Event("Seen", ("badge-jmb", "s2")))
+        assert [e.args[0] for e in received] == ["badge-rjh"]
+        assert proxy.forwarded == 1
+
+    def test_proxy_cannot_over_register(self, world):
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        proxy = PolicyProxy(broker, cert, deliver=lambda e, h: None)
+        with pytest.raises(AccessDenied):
+            proxy.register(template("Payroll", WILDCARD))
+
+    def test_proxy_closes(self, world):
+        oasis, broker, host = world
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        received = []
+        proxy = PolicyProxy(
+            broker, cert, deliver=lambda e, h: received.append(e) if e else None
+        )
+        proxy.register(template("Seen", WILDCARD, WILDCARD))
+        proxy.close()
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        assert received == []
+
+    def test_proxy_forwards_over_network(self, world):
+        from repro.runtime.network import Network
+        from repro.runtime.simulator import Simulator
+
+        oasis, broker, host = world
+        sim = Simulator()
+        net = Network(sim, seed=4)
+        remote_got = []
+        net.add_node("remote-site", lambda m: remote_got.append(m.payload["event"]))
+        net.add_node("local-proxy", lambda m: None)
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "Admin", ("root",))
+        proxy = PolicyProxy(
+            broker, cert, deliver=lambda e, h: None,
+            network=net, local_address="local-proxy", remote_address="remote-site",
+        )
+        proxy.register(template("Seen", WILDCARD, WILDCARD))
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        sim.run()
+        assert len(remote_got) == 1

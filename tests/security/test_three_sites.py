@@ -1,0 +1,128 @@
+"""The three-site policy scenario of section 7.5 / fig 7.2.
+
+Three badge sites publish their sighting events under different local
+policies, and a remote monitoring application (running at a fourth
+organisation) consumes all three through policy proxies — each site's
+own policy is enforced *at that site* (fig 7.3), so the application sees
+exactly the union of what each site is willing to disclose.
+
+* **open-lab** — any logged-on user may see every sighting;
+* **office**  — a user may see only their own badge's sightings;
+* **vault**   — only site administrators see anything; ordinary users'
+  sessions are refused outright.
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.errors import AccessDenied
+from repro.events.model import Event, WILDCARD, template
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import parse_erdl
+from repro.security.proxy import PolicyProxy
+
+OWNERS = {"rjh21": "badge-rjh", "kgm": "badge-kgm"}
+
+
+def owns(user, badge):
+    return OWNERS.get(user) == badge
+
+
+def make_site(name, policy_text):
+    oasis = OasisService(f"{name}-sec")
+    oasis.add_rolefile("main", """
+def LoggedOn(u)  u: string
+def Admin(u)  u: string
+LoggedOn(u) <-
+Admin(u) <- : u == "root"
+""")
+    policy = parse_erdl(policy_text, predicates={"owns": owns})
+    broker = SecureEventBroker(f"{name}-badges", oasis, policy)
+    return oasis, broker
+
+
+@pytest.fixture
+def sites():
+    open_lab = make_site("open-lab", "allow LoggedOn(u) : Seen(b, s)")
+    office = make_site("office", "allow LoggedOn(u) : Seen(b, s) : owns(u, b)")
+    vault = make_site("vault", "allow Admin(u) : Seen(b, s)")
+    return {"open-lab": open_lab, "office": office, "vault": vault}
+
+
+def test_fig72_local_policies_differ(sites):
+    """The same user at each site sees different slices of the events."""
+    host = HostOS("ws")
+    results = {}
+    for name, (oasis, broker) in sites.items():
+        client = host.create_domain().client_id
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        got = []
+        try:
+            session = broker.establish_session(
+                lambda e, h: got.append(e.args[0]) if e else None, cert
+            )
+            broker.register(session, template("Seen", WILDCARD, WILDCARD))
+        except AccessDenied:
+            results[name] = "refused"
+            continue
+        broker.signal(Event("Seen", ("badge-rjh", "s1")))
+        broker.signal(Event("Seen", ("badge-kgm", "s2")))
+        results[name] = got
+    assert results["open-lab"] == ["badge-rjh", "badge-kgm"]
+    assert results["office"] == ["badge-rjh"]
+    assert results["vault"] == "refused"
+
+
+def test_fig73_remote_application_through_proxies(sites):
+    """A remote monitoring application consumes all three sites through
+    proxies; each site's disclosure is decided locally."""
+    host = HostOS("remote-org")
+    client = host.create_domain().client_id
+    received = {}
+    proxies = {}
+    for name, (oasis, broker) in sites.items():
+        cert = oasis.enter_role(client, "LoggedOn", ("rjh21",))
+        received[name] = []
+        try:
+            proxy = PolicyProxy(
+                broker, cert,
+                deliver=lambda e, h, name=name: received[name].append(e.args[0]) if e else None,
+            )
+            proxy.register(template("Seen", WILDCARD, WILDCARD))
+            proxies[name] = proxy
+        except AccessDenied:
+            received[name] = "refused"
+    for name, (oasis, broker) in sites.items():
+        broker.signal(Event("Seen", ("badge-rjh", f"{name}-s1")))
+        broker.signal(Event("Seen", ("badge-kgm", f"{name}-s2")))
+    assert received["open-lab"] == ["badge-rjh", "badge-kgm"]
+    assert received["office"] == ["badge-rjh"]
+    assert received["vault"] == "refused"
+
+
+def test_vault_admin_via_proxy(sites):
+    """The vault discloses to its administrator, even remotely."""
+    oasis, broker = sites["vault"]
+    client = HostOS("hq").create_domain().client_id
+    cert = oasis.enter_role(client, "Admin", ("root",))
+    got = []
+    proxy = PolicyProxy(broker, cert,
+                        deliver=lambda e, h: got.append(e) if e else None)
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    broker.signal(Event("Seen", ("badge-rjh", "vault-s1")))
+    assert len(got) == 1
+
+
+def test_remote_site_cannot_widen_policy(sites):
+    """The proxy runs at the owning site: a compromised remote site gains
+    nothing by asking for more (fig 7.3's point)."""
+    oasis, broker = sites["office"]
+    client = HostOS("evil-org").create_domain().client_id
+    cert = oasis.enter_role(client, "LoggedOn", ("kgm",))
+    got = []
+    proxy = PolicyProxy(broker, cert,
+                        deliver=lambda e, h: got.append(e) if e else None)
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    broker.signal(Event("Seen", ("badge-rjh", "s1")))   # not kgm's badge
+    assert got == []
+    assert proxy.forwarded == 0

@@ -1,0 +1,39 @@
+"""Fixtures: password + login + hosts, shared by the service tests."""
+
+import pytest
+
+from repro.core import HostOS, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.runtime.clock import ManualClock
+from repro.services.login import LoginService
+from repro.services.password import PasswordService
+
+
+class AuthWorld:
+    def __init__(self):
+        self.clock = ManualClock()
+        self.registry = ServiceRegistry()
+        self.linkage = LocalLinkage()
+        self.pw = PasswordService(
+            registry=self.registry, linkage=self.linkage, clock=self.clock
+        )
+        self.login = LoginService(
+            registry=self.registry, linkage=self.linkage, clock=self.clock
+        )
+        self.pw.set_password("dm", "hunter2")
+        self.pw.set_password("jmb", "correcthorse")
+        self.login.add_secure_host("console")
+        self.login.add_known_host("office")
+        self.console = HostOS("console")
+        self.office = HostOS("office")
+        self.cafe = HostOS("cafe")
+
+    def login_user(self, host_os, user, password):
+        domain = host_os.create_domain()
+        pw_cert = self.pw.authenticate(domain.client_id, user, password)
+        return domain, self.login.login(domain.client_id, pw_cert)
+
+
+@pytest.fixture
+def auth():
+    return AuthWorld()

@@ -1,0 +1,143 @@
+"""Tests for interworking with non-Oasis mechanisms (section 4.12)."""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.core.types import ObjectType
+from repro.errors import AccessDenied, EntryDenied, RevokedError
+from repro.services.legacy import (
+    LegacyRoleSystem,
+    NfsStyleServer,
+    OrganisationalRoleAdapter,
+)
+
+
+@pytest.fixture
+def org_world():
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+    legacy = LegacyRoleSystem()
+    legacy.assign("alice", "Manager")
+    adapter = OrganisationalRoleAdapter(
+        "OrgRoles", legacy, registry=registry, linkage=linkage
+    )
+    host = HostOS("h")
+    return registry, linkage, legacy, adapter, host
+
+
+class TestOrganisationalRoleAdapter:
+    def test_held_legacy_role_issues_certificate(self, org_world):
+        registry, linkage, legacy, adapter, host = org_world
+        client = host.create_domain().client_id
+        cert = adapter.enter_legacy_role(client, "alice", "Manager")
+        assert cert.names_role("Manager")
+        adapter.validate(cert, claimed_client=client)
+
+    def test_unheld_legacy_role_denied(self, org_world):
+        registry, linkage, legacy, adapter, host = org_world
+        client = host.create_domain().client_id
+        with pytest.raises(EntryDenied):
+            adapter.enter_legacy_role(client, "bob", "Manager")
+
+    def test_unadapted_role_denied(self, org_world):
+        registry, linkage, legacy, adapter, host = org_world
+        client = host.create_domain().client_id
+        with pytest.raises(EntryDenied):
+            adapter.enter_legacy_role(client, "alice", "Janitor")
+
+    def test_legacy_retraction_revokes(self, org_world):
+        """The two schemes interwork: firing Alice in the legacy system
+        revokes her Oasis certificate."""
+        registry, linkage, legacy, adapter, host = org_world
+        client = host.create_domain().client_id
+        cert = adapter.enter_legacy_role(client, "alice", "Manager")
+        legacy.retract("alice", "Manager")
+        with pytest.raises(RevokedError):
+            adapter.validate(cert)
+
+    def test_retraction_cascades_into_oasis_services(self, org_world):
+        """A downstream Oasis service built on adapted roles revokes too."""
+        registry, linkage, legacy, adapter, host = org_world
+        approvals = OasisService("Approvals", registry=registry, linkage=linkage)
+        approvals.add_rolefile("main", "Approver(u) <- OrgRoles.Manager(u)*\n")
+        client = host.create_domain().client_id
+        manager = adapter.enter_legacy_role(client, "alice", "Manager")
+        approver = approvals.enter_role(client, "Approver", credentials=(manager,))
+        approvals.validate(approver)
+        legacy.retract("alice", "Manager")
+        with pytest.raises(RevokedError):
+            approvals.validate(approver)
+
+    def test_reassignment_allows_fresh_certificate(self, org_world):
+        registry, linkage, legacy, adapter, host = org_world
+        client = host.create_domain().client_id
+        adapter.enter_legacy_role(client, "alice", "Manager")
+        legacy.retract("alice", "Manager")
+        legacy.assign("alice", "Manager")
+        fresh = adapter.enter_legacy_role(client, "alice", "Manager")
+        adapter.validate(fresh)
+
+
+class TestNfsStyleServer:
+    @pytest.fixture
+    def nfs_world(self):
+        registry = ServiceRegistry()
+        linkage = LocalLinkage()
+        login = OasisService("Login", registry=registry, linkage=linkage)
+        login.export_type(ObjectType("Login.userid"), "userid")
+        login.add_rolefile(
+            "main", "def LoggedOn(u, h)  u: userid  h: string\nLoggedOn(u, h) <- "
+        )
+        nfs = NfsStyleServer(
+            "nfs", login, user_groups=lambda u: {"staff"} if u in ("dm",) else set()
+        )
+        nfs.export("/home/rjh21/thesis", "rjh21=rw staff=r other=-", b"chapter 1")
+        host = HostOS("ws")
+        return login, nfs, host
+
+    def login_as(self, login, host, user):
+        client = host.create_domain().client_id
+        return client, login.enter_role(client, "LoggedOn", (user, "ws"))
+
+    def test_owner_reads_and_writes(self, nfs_world):
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "rjh21")
+        assert nfs.read(cert, "/home/rjh21/thesis", client=client) == b"chapter 1"
+        nfs.write(cert, "/home/rjh21/thesis", b"chapter 2", client=client)
+
+    def test_group_member_read_only(self, nfs_world):
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "dm")
+        assert nfs.read(cert, "/home/rjh21/thesis") == b"chapter 1"
+        with pytest.raises(AccessDenied):
+            nfs.write(cert, "/home/rjh21/thesis", b"vandalism")
+
+    def test_other_denied(self, nfs_world):
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "guest")
+        with pytest.raises(AccessDenied):
+            nfs.read(cert, "/home/rjh21/thesis")
+
+    def test_oasis_revocation_reaches_legacy_server(self, nfs_world):
+        """The legacy server benefits from Oasis revocation for free:
+        validation goes through the issuing service."""
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "rjh21")
+        login.exit_role(cert)
+        with pytest.raises(RevokedError):
+            nfs.read(cert, "/home/rjh21/thesis")
+
+    def test_stolen_certificate_rejected(self, nfs_world):
+        from repro.errors import FraudError
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "rjh21")
+        thief = host.create_domain().client_id
+        with pytest.raises(FraudError):
+            nfs.read(cert, "/home/rjh21/thesis", client=thief)
+
+    def test_unknown_export(self, nfs_world):
+        login, nfs, host = nfs_world
+        client, cert = self.login_as(login, host, "rjh21")
+        with pytest.raises(AccessDenied):
+            nfs.read(cert, "/nope")

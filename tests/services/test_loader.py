@@ -1,0 +1,114 @@
+"""Tests for the loader service and high score table policy (section 3.4.1)."""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.errors import EntryDenied, RevokedError
+from repro.services.loader import ClientLoader, LoaderService
+
+GAME_IMAGE = b"\x7fELF...the game binary..."
+
+
+def make_world():
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+    loader = LoaderService(registry=registry, linkage=linkage)
+    loader.trust_host("arcade")
+    loader.publish_image("game", GAME_IMAGE)
+    host = HostOS("arcade")
+    client_loader = ClientLoader("arcade")
+    return registry, linkage, loader, host, client_loader
+
+
+def test_certify_trusted_load():
+    registry, linkage, loader, host, cl = make_world()
+    proc = host.create_domain()
+    report = cl.load(proc.client_id, "game", GAME_IMAGE)
+    cert = loader.certify(report)
+    assert cert.names_role("Running")
+    assert cert.args[1] == "arcade"
+    loader.validate(cert, claimed_client=proc.client_id)
+
+
+def test_untrusted_host_rejected():
+    registry, linkage, loader, host, cl = make_world()
+    rogue_host = HostOS("basement")
+    rogue_loader = ClientLoader("basement")
+    proc = rogue_host.create_domain()
+    report = rogue_loader.load(proc.client_id, "game", GAME_IMAGE)
+    with pytest.raises(EntryDenied, match="not trusted"):
+        loader.certify(report)
+
+
+def test_tampered_image_rejected():
+    registry, linkage, loader, host, cl = make_world()
+    proc = host.create_domain()
+    report = cl.load(proc.client_id, "game", GAME_IMAGE + b"\x90\x90")
+    with pytest.raises(EntryDenied, match="digest mismatch"):
+        loader.certify(report)
+
+
+def test_unpublished_program_rejected():
+    registry, linkage, loader, host, cl = make_world()
+    proc = host.create_domain()
+    report = cl.load(proc.client_id, "virus", b"bad")
+    with pytest.raises(EntryDenied, match="no published image"):
+        loader.certify(report)
+
+
+def test_mismatched_report_host_rejected():
+    """A trusted host cannot vouch for processes on another machine."""
+    registry, linkage, loader, host, cl = make_world()
+    other = HostOS("elsewhere").create_domain()
+    report = cl.load(other.client_id, "game", GAME_IMAGE)
+    with pytest.raises(EntryDenied, match="does not match"):
+        loader.certify(report)
+
+
+def test_process_exit_revokes():
+    registry, linkage, loader, host, cl = make_world()
+    proc = host.create_domain()
+    cert = loader.certify(cl.load(proc.client_id, "game", GAME_IMAGE))
+    loader.process_exited(proc.client_id)
+    with pytest.raises(RevokedError):
+        loader.validate(cert)
+
+
+def test_high_score_table_policy():
+    """The full section 3.4.1 scenario: only the game writes the table,
+    any logged-in user reads it."""
+    registry = ServiceRegistry()
+    linkage = LocalLinkage()
+    loader = LoaderService(registry=registry, linkage=linkage)
+    loader.trust_host("arcade")
+    loader.publish_image("game", GAME_IMAGE)
+
+    from repro.core.types import ObjectType
+    login = OasisService("Login", registry=registry, linkage=linkage)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", "def LoggedOn(u, h)  u: userid  h: string\nLoggedOn(u, h) <- ")
+
+    scores = OasisService("Scores", registry=registry, linkage=linkage)
+    scores.add_rolefile("main", """
+import Loader.program
+import Login.userid
+Writer <- Loader.Running("game", h)
+Reader <- Login.LoggedOn(u, h)
+""")
+
+    host = HostOS("arcade")
+    cl = ClientLoader("arcade")
+    game_proc = host.create_domain()
+    game_cert = loader.certify(cl.load(game_proc.client_id, "game", GAME_IMAGE))
+    writer = scores.enter_role(game_proc.client_id, "Writer", credentials=(game_cert,))
+    assert writer.names_role("Writer")
+
+    user_proc = host.create_domain()
+    user_cert = login.enter_role(user_proc.client_id, "LoggedOn", ("dm", "arcade"))
+    reader = scores.enter_role(user_proc.client_id, "Reader", credentials=(user_cert,))
+    assert reader.names_role("Reader")
+
+    # an ordinary user may not become a Writer
+    with pytest.raises(EntryDenied):
+        scores.enter_role(user_proc.client_id, "Writer", credentials=(user_cert,))

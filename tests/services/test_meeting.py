@@ -1,0 +1,157 @@
+"""Tests for the open meeting (sections 3.4.2 and 3.3.2)."""
+
+import pytest
+
+from repro.errors import EntryDenied, MisuseError, RevokedError
+from repro.services.meeting import MeetingService
+
+
+@pytest.fixture
+def meeting_world(auth):
+    staff = {
+        auth.pw.parsename("userid", "dm"),
+        auth.pw.parsename("userid", "jmb"),
+    }
+    meeting = MeetingService(
+        "Weekly",
+        chair_user="jmb",
+        staff=staff,
+        registry=auth.registry,
+        linkage=auth.linkage,
+        clock=auth.clock,
+    )
+    return auth, meeting
+
+
+def test_chair_joins(meeting_world):
+    auth, meeting = meeting_world
+    _, jmb_login = auth.login_user(auth.console, "jmb", "correcthorse")
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    assert chair.names_role("Chair")
+
+
+def test_non_chair_user_cannot_chair(meeting_world):
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.console, "dm", "hunter2")
+    with pytest.raises(EntryDenied):
+        meeting.join_as_chair(dm_login.client, dm_login)
+
+
+def test_staff_join_directly(meeting_world):
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+    assert member.names_role("Member")
+
+
+def test_non_staff_cannot_join_directly(meeting_world):
+    auth, meeting = meeting_world
+    auth.pw.set_password("guest", "pw")
+    _, guest_login = auth.login_user(auth.cafe, "guest", "pw")
+    with pytest.raises(EntryDenied):
+        meeting.join(guest_login.client, guest_login)
+
+
+def test_any_member_invites_outsider(meeting_world):
+    """Unrestricted recursive delegation: members invite non-staff."""
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+
+    auth.pw.set_password("guest", "pw")
+    _, guest_login = auth.login_user(auth.cafe, "guest", "pw")
+    invitation, _ = meeting.invite(member)
+    guest_member = meeting.accept_invitation(
+        guest_login.client, invitation, guest_login
+    )
+    assert guest_member.names_role("Member")
+
+
+def test_invitation_is_recursive(meeting_world):
+    """An invited member may invite someone else in turn."""
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+
+    for name in ("g1", "g2", "g3"):
+        auth.pw.set_password(name, "pw")
+        _, new_login = auth.login_user(auth.cafe, name, "pw")
+        invitation, _ = meeting.invite(member)
+        member = meeting.accept_invitation(new_login.client, invitation, new_login)
+    assert member.names_role("Member")
+
+
+def test_chair_ejects_any_member(meeting_world):
+    """Section 3.3.2: the Chair ejects members they did not elect."""
+    auth, meeting = meeting_world
+    _, jmb_login = auth.login_user(auth.console, "jmb", "correcthorse")
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+
+    revoked = meeting.eject(chair, auth.pw.parsename("userid", "dm"))
+    assert revoked >= 1
+    with pytest.raises(RevokedError):
+        meeting.validate(member)
+
+
+def test_ejected_member_cannot_rejoin(meeting_world):
+    auth, meeting = meeting_world
+    _, jmb_login = auth.login_user(auth.console, "jmb", "correcthorse")
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    meeting.join(dm_login.client, dm_login)
+    meeting.eject(chair, auth.pw.parsename("userid", "dm"))
+    with pytest.raises(EntryDenied):
+        meeting.join(dm_login.client, dm_login)
+
+
+def test_readmission(meeting_world):
+    auth, meeting = meeting_world
+    _, jmb_login = auth.login_user(auth.console, "jmb", "correcthorse")
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    meeting.join(dm_login.client, dm_login)
+    dm_uid = auth.pw.parsename("userid", "dm")
+    meeting.eject(chair, dm_uid)
+    meeting.readmit(chair, dm_uid)
+    fresh = meeting.join(dm_login.client, dm_login)
+    meeting.validate(fresh)
+
+
+def test_member_cannot_eject(meeting_world):
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+    with pytest.raises(MisuseError):
+        meeting.eject(member, auth.pw.parsename("userid", "jmb"))
+
+
+def test_logout_cascades_to_membership(meeting_world):
+    auth, meeting = meeting_world
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    member = meeting.join(dm_login.client, dm_login)
+    auth.login.logout(dm_login)
+    with pytest.raises(RevokedError):
+        meeting.validate(member)
+
+
+def test_inviter_ejection_cascades_to_invitee(meeting_world):
+    """The invitation chain is starred (<|*), so ejecting the inviter
+    revokes memberships derived from their delegation, but the chair's own
+    ejection database tracks the invitee separately."""
+    auth, meeting = meeting_world
+    _, jmb_login = auth.login_user(auth.console, "jmb", "correcthorse")
+    chair = meeting.join_as_chair(jmb_login.client, jmb_login)
+    _, dm_login = auth.login_user(auth.office, "dm", "hunter2")
+    dm_member = meeting.join(dm_login.client, dm_login)
+    auth.pw.set_password("guest", "pw")
+    _, guest_login = auth.login_user(auth.cafe, "guest", "pw")
+    invitation, _ = meeting.invite(dm_member, )
+    guest_member = meeting.accept_invitation(guest_login.client, invitation, guest_login)
+
+    # eject the guest directly
+    meeting.eject(chair, auth.pw.parsename("userid", "guest"))
+    with pytest.raises(RevokedError):
+        meeting.validate(guest_member)
+    meeting.validate(dm_member)  # the inviter is unaffected

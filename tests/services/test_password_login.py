@@ -1,0 +1,103 @@
+"""Tests for the password and multi-level login services (section 3.4.3)."""
+
+import pytest
+
+from repro.errors import EntryDenied, RevokedError
+from repro.services.login import KNOWN, SECURE, UNKNOWN_HOST, VISITOR
+
+
+class TestPasswordService:
+    def test_correct_password_issues_certificate(self, auth):
+        domain = auth.console.create_domain()
+        cert = auth.pw.authenticate(domain.client_id, "dm", "hunter2")
+        assert cert.names_role("Passwd")
+        assert cert.args[1] == "Login"
+        auth.pw.validate(cert)
+
+    def test_wrong_password_denied(self, auth):
+        domain = auth.console.create_domain()
+        with pytest.raises(EntryDenied, match="bad password"):
+            auth.pw.authenticate(domain.client_id, "dm", "wrong")
+        assert auth.pw.failed_attempts == 1
+
+    def test_unknown_user_denied(self, auth):
+        domain = auth.console.create_domain()
+        with pytest.raises(EntryDenied, match="unknown user"):
+            auth.pw.authenticate(domain.client_id, "nobody", "x")
+
+    def test_purpose_parameter(self, auth):
+        domain = auth.console.create_domain()
+        cert = auth.pw.authenticate(domain.client_id, "dm", "hunter2", purpose="Mail")
+        assert cert.args[1] == "Mail"
+
+    def test_change_password(self, auth):
+        auth.pw.change_password("dm", "hunter2", "newpass")
+        domain = auth.console.create_domain()
+        with pytest.raises(EntryDenied):
+            auth.pw.authenticate(domain.client_id, "dm", "hunter2")
+        auth.pw.authenticate(domain.client_id, "dm", "newpass")
+
+    def test_change_password_requires_old(self, auth):
+        with pytest.raises(EntryDenied):
+            auth.pw.change_password("dm", "wrong", "newpass")
+
+    def test_passwords_not_stored_in_clear(self, auth):
+        stored = repr(auth.pw._passwords)
+        assert "hunter2" not in stored
+
+
+class TestLoginLevels:
+    def test_secure_console_gets_level_3(self, auth):
+        _, cert = auth.login_user(auth.console, "dm", "hunter2")
+        assert auth.login.level_of(cert) == SECURE
+
+    def test_known_host_gets_level_2(self, auth):
+        _, cert = auth.login_user(auth.office, "dm", "hunter2")
+        assert auth.login.level_of(cert) == KNOWN
+
+    def test_unknown_host_gets_level_1(self, auth):
+        _, cert = auth.login_user(auth.cafe, "dm", "hunter2")
+        assert auth.login.level_of(cert) == UNKNOWN_HOST
+
+    def test_first_matching_rule_wins(self, auth):
+        """A secure host is also in 'hosts'; the level-3 rule fires first
+        (the paper's note about rule ordering)."""
+        _, cert = auth.login_user(auth.console, "jmb", "correcthorse")
+        assert cert.args[0] == SECURE
+
+    def test_explicit_lower_level_honoured(self, auth):
+        domain = auth.console.create_domain()
+        pw_cert = auth.pw.authenticate(domain.client_id, "dm", "hunter2")
+        cert = auth.login.login(domain.client_id, pw_cert, level=1)
+        assert auth.login.level_of(cert) == 1
+
+    def test_visitor_login_needs_no_password(self, auth):
+        domain = auth.cafe.create_domain()
+        cert = auth.login.login(domain.client_id, user="guest")
+        assert auth.login.level_of(cert) == VISITOR
+
+    def test_visitor_cannot_claim_higher_level(self, auth):
+        domain = auth.cafe.create_domain()
+        with pytest.raises(ValueError):
+            auth.login.login(domain.client_id, level=2, user="guest")
+
+    def test_logout_revokes(self, auth):
+        _, cert = auth.login_user(auth.console, "dm", "hunter2")
+        auth.login.logout(cert)
+        with pytest.raises(RevokedError):
+            auth.login.validate(cert)
+
+    def test_password_cert_revocation_cascades_to_login(self, auth):
+        """The Passwd credential is starred in the login rules, so
+        revoking it at the password service revokes the login."""
+        domain = auth.console.create_domain()
+        pw_cert = auth.pw.authenticate(domain.client_id, "dm", "hunter2")
+        login_cert = auth.login.login(domain.client_id, pw_cert)
+        auth.pw.exit_role(pw_cert)
+        with pytest.raises(RevokedError):
+            auth.login.validate(login_cert)
+
+    def test_visitor_login_survives_nothing_to_revoke(self, auth):
+        domain = auth.cafe.create_domain()
+        cert = auth.login.login(domain.client_id, user="guest")
+        auth.login.validate(cert)

@@ -1,0 +1,196 @@
+"""The grand tour: every subsystem of the reproduction in one scenario.
+
+A university runs: a password service, a multi-level login, an MSSA
+custode stack for storage, a badge site with composite event detection,
+and ERDL-secured event delivery.  A visiting researcher gets delegated
+access; their departure (logout) cascades through every layer.
+
+This is the "secure interworking" the title promises, demonstrated
+end to end.
+"""
+
+import pytest
+
+from repro.badge.hardware import Badge, BadgeWorld
+from repro.badge.intersite import SiteDirectory
+from repro.badge.site import Site
+from repro.core import HostOS, ServiceRegistry
+from repro.core.linkage import LocalLinkage
+from repro.errors import AccessDenied, EntryDenied, RevokedError
+from repro.events.composite.detector import CompositeEventDetector
+from repro.events.model import Event, WILDCARD, template
+from repro.mssa.acl import Acl
+from repro.mssa.byte_segment import ByteSegmentCustode
+from repro.mssa.flat_file import FlatFileCustode
+from repro.runtime.clock import SimClock
+from repro.runtime.simulator import Simulator
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import parse_erdl
+from repro.services.login import LoginService
+from repro.services.meeting import MeetingService
+from repro.services.password import PasswordService
+
+
+class University:
+    def __init__(self):
+        self.sim = Simulator()
+        self.clock = SimClock(self.sim)
+        self.registry = ServiceRegistry()
+        self.linkage = LocalLinkage()
+
+        # authentication stack
+        self.pw = PasswordService(registry=self.registry, linkage=self.linkage,
+                                  clock=self.clock)
+        self.login = LoginService(registry=self.registry, linkage=self.linkage,
+                                  clock=self.clock)
+        self.login.add_secure_host("lab-console")
+        self.pw.set_password("rjh21", "thesis!")
+        self.pw.set_password("visitor", "hello")
+
+        # storage
+        self.bsc = ByteSegmentCustode("bsc", registry=self.registry,
+                                      linkage=self.linkage, clock=self.clock,
+                                      login_service="Login", login_role="Login")
+        self.ffc = FlatFileCustode("ffc", registry=self.registry,
+                                   linkage=self.linkage, clock=self.clock,
+                                   login_service="Login", login_role="Login")
+        ffc_login = self.login.login(
+            self.ffc.identity,
+            self.pw.authenticate(self.ffc.identity, *self._custode_creds("ffc")),
+        )
+        self.ffc.wire_below(self.bsc, ffc_login)
+
+        # a meeting
+        self.meeting = MeetingService(
+            "Colloquium", chair_user="rjh21",
+            staff={self.pw.parsename("userid", "rjh21")},
+            registry=self.registry, linkage=self.linkage, clock=self.clock,
+        )
+
+        # badges
+        self.directory = SiteDirectory()
+        self.site = Site("lab", self.directory, clock=self.clock, simulator=self.sim)
+        self.world = BadgeWorld(self.sim)
+        for room in ("T14", "T15"):
+            self.world.add_room(room, "lab")
+            self.site.add_sensor(f"sensor-{room}", room)
+        self.site.attach_hardware(self.world)
+
+        self.host = HostOS("lab-console")
+
+    def _custode_creds(self, name):
+        self.pw.set_password(f"custode:{name}", f"{name}-secret")
+        return f"custode:{name}", f"{name}-secret"
+
+    def log_in(self, user, password):
+        domain = self.host.create_domain()
+        passwd = self.pw.authenticate(domain.client_id, user, password)
+        return domain.client_id, self.login.login(domain.client_id, passwd)
+
+
+@pytest.fixture
+def uni():
+    return University()
+
+
+def test_grand_tour(uni):
+    # --- the resident researcher logs in at the secure console ------------
+    rjh, rjh_login = uni.log_in("rjh21", "thesis!")
+    assert uni.login.level_of(rjh_login) == 3
+
+    # --- stores thesis chapters under a shared ACL -------------------------
+    acl = uni.ffc.create_acl(Acl.parse("rjh21=+rwad", alphabet="rwad"))
+    thesis = uni.ffc.create(acl, b"Chapter 1: Naming")
+    rjh_files = uni.ffc.enter_use_acl(rjh, acl, rjh_login)
+    assert uni.ffc.read(rjh_files, thesis) == b"Chapter 1: Naming"
+
+    # --- chairs the colloquium and invites a visitor -----------------------
+    chair = uni.meeting.join_as_chair(rjh, rjh_login)
+    visitor, visitor_login = uni.log_in("visitor", "hello")
+    invitation, _ = uni.meeting.invite(
+        uni.meeting.enter_roles(rjh, ["Member"], credentials=(rjh_login,))
+        if False else chair_member(uni, rjh, rjh_login, chair)
+    )
+    visitor_member = uni.meeting.accept_invitation(visitor, invitation, visitor_login)
+    uni.meeting.validate(visitor_member)
+
+    # --- delegates read access to one chapter ------------------------------
+    delegation, revocation = uni.ffc.delegate_use_file(
+        rjh_files, thesis, frozenset("r")
+    )
+    visitor_file = uni.ffc.accept_use_file(visitor, delegation, visitor_login)
+    assert uni.ffc.read(visitor_file, thesis) == b"Chapter 1: Naming"
+    with pytest.raises(AccessDenied):
+        uni.ffc.write(visitor_file, thesis, b"edits")
+
+    # --- badge monitoring with a composite event ---------------------------
+    uni.world.add_badge(Badge("badge-rjh", "lab"))
+    uni.site.register_home_badge("badge-rjh", "rjh21")
+    detector = CompositeEventDetector(clock=uni.clock)
+    detector.connect(uni.site.master.broker)
+    entries = []
+    detector.watch(
+        '$Seen("badge-rjh", s1); Seen("badge-rjh", s2) - Seen("badge-rjh", s1)',
+        callback=lambda t, env: entries.append(env["s2"]),
+    )
+
+    def beat():
+        uni.site.heartbeat()
+        uni.sim.schedule(1.0, beat)
+
+    uni.sim.schedule(0.5, beat)
+    uni.world.move_at(1.0, "badge-rjh", "T14")
+    uni.world.move_at(2.0, "badge-rjh", "T15")
+    uni.sim.run_until(6.0)
+    assert entries == ["sensor-T15"]
+
+    # --- sightings are delivered under ERDL policy -------------------------
+    policy = parse_erdl(
+        "allow Login(l, u, h) : Seen(b, s) : owns(u, b)",
+        predicates={"owns": lambda u, b: (getattr(u, "identity", b"") == b"rjh21"
+                                          and b == "badge-rjh")},
+    )
+    secure = SecureEventBroker("secure-badges", uni.login, policy)
+    rjh_events = []
+    session = secure.establish_session(
+        lambda e, h: rjh_events.append(e) if e else None, rjh_login
+    )
+    secure.register(session, template("Seen", WILDCARD, WILDCARD))
+    secure.signal(Event("Seen", ("badge-rjh", "sensor-T15")))
+    secure.signal(Event("Seen", ("badge-other", "sensor-T15")))
+    assert [e.args[0] for e in rjh_events] == ["badge-rjh"]
+
+    # --- the visitor leaves: logout cascades everywhere --------------------
+    uni.login.logout(visitor_login)
+    with pytest.raises(RevokedError):
+        uni.meeting.validate(visitor_member)       # meeting membership gone
+    with pytest.raises(RevokedError):
+        uni.ffc.read(visitor_file, thesis)         # file access gone
+
+    # --- and the resident's world still works ------------------------------
+    uni.meeting.validate(chair)
+    assert uni.ffc.read(rjh_files, thesis) == b"Chapter 1: Naming"
+    uni.login.validate(rjh_login)
+
+
+def chair_member(uni, rjh, rjh_login, chair):
+    """The chair also joins as a member so they can invite (any member
+    may invite; the Chair role alone is not a Member)."""
+    return uni.meeting.join(rjh, rjh_login)
+
+
+def test_departure_cascade_reaches_secure_broker(uni):
+    """Logging out also tears down ERDL event sessions."""
+    rjh, rjh_login = uni.log_in("rjh21", "thesis!")
+    policy = parse_erdl("allow Login(l, u, h) : Seen(b, s)")
+    secure = SecureEventBroker("sb", uni.login, policy)
+    got = []
+    session = secure.establish_session(
+        lambda e, h: got.append(e) if e else None, rjh_login
+    )
+    secure.register(session, template("Seen", WILDCARD, WILDCARD))
+    secure.signal(Event("Seen", ("b", "s")))
+    uni.login.logout(rjh_login)
+    secure.signal(Event("Seen", ("b", "s")))
+    assert len(got) == 1
+    assert not session.open

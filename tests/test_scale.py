@@ -1,0 +1,128 @@
+"""Scale tests: the architecture's claims exercised at larger sizes."""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.core.credentials import CredentialRecordTable, RecordState
+from repro.errors import RevokedError
+
+
+def test_wide_delegation_tree_cascade_is_complete():
+    """A 3-level tree, fan-out 10 (1110 certificates): revoking the root
+    login revokes every descendant, none survive."""
+    svc = OasisService("S")
+    svc.add_rolefile("main", """
+def Agent(n)  n: integer
+def Sub(n)  n: integer
+Agent(n) <-
+Sub(n) <- Agent(n)* <|* Sub
+Sub(n) <- Agent(n)* <|* Agent
+""")
+    host = HostOS("h")
+    root_client = host.create_domain().client_id
+    root = svc.enter_role(root_client, "Agent", (0,))
+
+    level = [root]
+    all_certs = [root]
+    counter = [0]
+    for _depth in range(2):
+        next_level = []
+        for parent in level:
+            for _ in range(10):
+                counter[0] += 1
+                # revoke_on_exit ties each delegation to the delegator's
+                # own membership, chaining the whole tree to the root
+                delegation, _ = svc.delegate(
+                    parent, "Sub", role_args=(counter[0],), revoke_on_exit=True
+                )
+                child_id = host.create_domain().client_id
+                child_base = svc.enter_role(child_id, "Agent", (counter[0],))
+                child = svc.enter_delegated_role(
+                    child_id, delegation, credentials=(child_base,)
+                )
+                next_level.append(child)
+                all_certs.append(child)
+        level = next_level
+    assert len(all_certs) == 1 + 10 + 100
+
+    svc.exit_role(root)
+    revoked = 0
+    for cert in all_certs:
+        try:
+            svc.validate(cert)
+        except RevokedError:
+            revoked += 1
+    assert revoked == len(all_certs)
+
+
+def test_ten_thousand_certificates_validate_flat():
+    """Per-validation cost does not grow with the number of outstanding
+    certificates (hash-table table, cached signatures)."""
+    svc = OasisService("S")
+    svc.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+    host = HostOS("h")
+    client = host.create_domain().client_id
+    certs = [svc.enter_role(client, "Anon", (i,)) for i in range(10_000)]
+    # validate a sample spread across the population
+    for cert in certs[::1000]:
+        svc.validate(cert)
+    assert svc.stats.validations >= 10
+
+
+def test_credential_table_handles_deep_chain():
+    table = CredentialRecordTable()
+    record = table.create_source(state=RecordState.TRUE)
+    refs = [record.ref]
+    current = record
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(20_000)
+    try:
+        for _ in range(5_000):
+            current = table.create_and([current.ref])
+            refs.append(current.ref)
+        assert table.state_of(refs[-1]) is RecordState.TRUE
+        table.revoke(refs[0])
+        assert table.state_of(refs[-1]) is RecordState.FALSE
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def test_group_change_fans_out_to_thousand_members():
+    """One group flip revokes a thousand certificates in one propagation
+    pass."""
+    from repro.core import GroupService
+
+    groups = GroupService()
+    groups.create_group("staff", {"dm"})
+    svc = OasisService("S", groups=groups)
+    svc.add_rolefile("main", """
+def Who(u)  u: string
+Who(u) <-
+Member(u) <- Who(u) : (u in staff)*
+""")
+    host = HostOS("h")
+    certs = []
+    for i in range(1_000):
+        client = host.create_domain().client_id
+        who = svc.enter_role(client, "Who", ("dm",))
+        certs.append(svc.enter_role(client, "Member", credentials=(who,)))
+    groups.remove_member("staff", "dm")
+    for cert in certs[::100]:
+        with pytest.raises(RevokedError):
+            svc.validate(cert)
+
+
+def test_broker_with_thousand_registrations():
+    from repro.events.broker import EventBroker
+    from repro.events.model import Event, template
+
+    broker = EventBroker("big")
+    hits = []
+    for i in range(1_000):
+        session = broker.establish_session(
+            lambda e, h, i=i: hits.append(i) if e else None
+        )
+        broker.register(session, template("E", i))
+    broker.signal(Event("E", (567,)))
+    assert hits == [567]
