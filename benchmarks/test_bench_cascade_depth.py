@@ -1,0 +1,133 @@
+"""E4b: propagation cost vs delegation depth, old engine shape vs new.
+
+The original propagation was mutually recursive (`_after_change` /
+`_propagate_permanence`): one Python frame per DAG level, so deep
+delegation chains needed `sys.setrecursionlimit` and still died with a
+stack overflow well before the paper's "arbitrary depth" claim.  The
+worklist engine settles the same DAG with an explicit deque.
+
+Two comparisons:
+
+* at shallow depth (where the recursive shape can run at all under the
+  default interpreter limit) the two engines are timed head to head on
+  identical chains — the worklist costs no more than the recursion it
+  replaced;
+* the iterative engine alone is then pushed to depths the recursive
+  shape cannot reach (100k frames would need a ~100x recursion limit
+  raise and megabytes of C stack).
+
+The recursive reference below is deliberately minimal: same counter
+updates, same settle rule, just depth-first recursion instead of the
+worklist.  It exists only as a measuring stick and fires no watches.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.credentials import (
+    CredentialRecordTable,
+    RecordState,
+    _count,
+    _effective,
+)
+
+RECURSION_SAFE_DEPTHS = [200, 600]   # < default limit even under pytest
+ITERATIVE_ONLY_DEPTHS = [10_000, 100_000]
+
+
+def build_chain(depth):
+    table = CredentialRecordTable()
+    current = table.create_source(state=RecordState.TRUE)
+    refs = [current.ref]
+    for _ in range(depth):
+        current = table.create_and([current.ref])
+        refs.append(current.ref)
+    return table, refs
+
+
+def _recursive_propagate(table, record, old_state, perm_gained):
+    """The pre-worklist engine shape: one stack frame per DAG level."""
+    for child_index, negate in record.children:
+        child = table._rows[child_index]
+        if child is None:
+            continue
+        if old_state is not record.state:
+            _count(child, _effective(old_state, negate), -1)
+            _count(child, _effective(record.state, negate), +1)
+        if perm_gained:
+            effective = _effective(record.state, negate)
+            if effective is RecordState.TRUE:
+                child.n_perm_true += 1
+            elif effective is RecordState.FALSE:
+                child.n_perm_false += 1
+        if child.permanent:
+            continue
+        new_state = child.compute_state()
+        new_perm = child.compute_permanent()
+        if new_state is not child.state or new_perm:
+            child_old = child.state
+            child.state = new_state
+            child.permanent = new_perm
+            _recursive_propagate(table, child, child_old, new_perm)
+
+
+def revoke_recursive(table, ref):
+    recd = table.get(ref)
+    old = recd.state
+    recd.state = RecordState.FALSE
+    recd.permanent = True
+    _recursive_propagate(table, recd, old, True)
+
+
+@pytest.mark.parametrize("depth", RECURSION_SAFE_DEPTHS)
+@pytest.mark.parametrize("engine", ["recursive-reference", "iterative"])
+def test_e4b_depth_cost_old_vs_new(benchmark, engine, depth):
+    """Head-to-head at depths the recursive shape survives."""
+    benchmark.group = f"cascade-depth-{depth}"
+
+    def setup():
+        return build_chain(depth), {}
+
+    def run_recursive(table, refs):
+        revoke_recursive(table, refs[0])
+        return table
+
+    def run_iterative(table, refs):
+        table.revoke(refs[0])
+        return table
+
+    run = run_recursive if engine == "recursive-reference" else run_iterative
+    table = benchmark.pedantic(run, setup=setup, rounds=10)
+    # identical outcome either way: the whole chain is permanently FALSE
+    assert all(
+        row.state is RecordState.FALSE and row.permanent
+        for row in table._rows
+        if row is not None
+    )
+    record(benchmark, engine=engine, depth=depth)
+
+
+@pytest.mark.parametrize("depth", ITERATIVE_ONLY_DEPTHS)
+def test_e4b_iterative_scales_past_recursion_limit(benchmark, depth):
+    """The worklist engine at depths no recursive scheme could settle."""
+    benchmark.group = "cascade-depth-deep"
+
+    def setup():
+        return build_chain(depth), {}
+
+    def run(table, refs):
+        table.revoke(refs[0])
+        return table
+
+    table = benchmark.pedantic(run, setup=setup, rounds=3)
+    stats = table.last_cascade
+    assert stats.max_depth == depth
+    assert stats.records_visited == depth + 1
+    assert table._rows[-1].state is RecordState.FALSE
+    mean = benchmark.stats.stats.mean if benchmark.stats else 0.0
+    record(
+        benchmark,
+        depth=depth,
+        records_visited=stats.records_visited,
+        per_record_us=round(mean / stats.records_visited * 1e6, 3),
+    )

@@ -13,7 +13,7 @@ from repro.core.certificates import (
     RevocationCertificate,
     RoleMembershipCertificate,
 )
-from repro.core.credentials import CredentialRecordTable, RecordState
+from repro.core.credentials import CascadeStats, CredentialRecordTable, RecordState
 from repro.core.groups import GroupService
 from repro.core.identifiers import ClientId, HostOS, ProtectionDomain
 from repro.core.registry import ServiceRegistry
@@ -26,6 +26,7 @@ __all__ = [
     "RoleMembershipCertificate",
     "DelegationCertificate",
     "RevocationCertificate",
+    "CascadeStats",
     "CredentialRecordTable",
     "RecordState",
     "GroupService",

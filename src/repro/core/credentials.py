@@ -30,6 +30,7 @@ Implementation points taken from the paper:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -150,13 +151,47 @@ class CredentialRecord:
 ChangeCallback = Callable[[CredentialRecord, RecordState, RecordState], None]
 
 
+@dataclass
+class CascadeStats:
+    """Metrics for one revocation/state-change cascade.
+
+    One cascade is one settling of the credential-record DAG, however
+    many seed records it started from (``revoke_many`` of N records is
+    still a single cascade).  Callback-triggered follow-up mutations
+    (e.g. the service latching a direct-use record) fold into the same
+    cascade rather than starting new ones.
+    """
+
+    records_visited: int = 0      # worklist items processed
+    records_changed: int = 0      # records whose state net-changed
+    max_depth: int = 0            # longest seed -> descendant chain settled
+    callbacks_fired: int = 0      # watch / watch_all invocations
+    permanence_unlinks: int = 0   # records newly permanent (edges now dead)
+
+    def accumulate(self, other: "CascadeStats") -> None:
+        self.records_visited += other.records_visited
+        self.records_changed += other.records_changed
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.callbacks_fired += other.callbacks_fired
+        self.permanence_unlinks += other.permanence_unlinks
+
+
 class CredentialRecordTable:
     """The per-service credential record store, with change propagation.
 
-    ``on_change`` callbacks (and per-record watches) fire *after* a
-    record's state has settled, in topological (cascade) order, so a
-    service can revoke certificates and emit Modified events to remote
-    subscribers.
+    Propagation is an iterative, deque-based worklist ("the cascade"):
+    it never grows the Python stack, so delegation chains are bounded by
+    memory, not the interpreter recursion limit.  ``on_change`` callbacks
+    (and per-record watches) fire once per net-changed record, *after*
+    the whole cascade has settled, in deterministic cascade order —
+    deeper (descendant) records before the records that caused them to
+    change — so a service can revoke certificates and emit Modified
+    events to remote subscribers knowing no state is still in flux.
+
+    Batched mutations (:meth:`set_states`, :meth:`revoke_many`,
+    :meth:`mark_service_unknown`) settle all their seeds in one cascade;
+    per-cascade metrics land on :attr:`last_cascade` and accumulate in
+    :attr:`cascade_totals`.
     """
 
     def __init__(self, service_name: str = "") -> None:
@@ -170,7 +205,15 @@ class CredentialRecordTable:
         self._externals_by_service: dict[str, set[int]] = {}
         self.records_created = 0
         self.records_deleted = 0
-        self.propagations = 0
+        self.propagations = 0          # number of cascades run
+        self.last_cascade = CascadeStats()
+        self.cascade_totals = CascadeStats()
+        self._cascading = False
+        # seeds queued by mutations arriving from inside cascade callbacks
+        self._seed_queue: deque = deque()
+        self._batch_depth = 0
+        # (begin, end) pairs bracketing every top-level cascade
+        self._cascade_hooks: list[tuple[Callable[[], None], Callable[[], None]]] = []
 
     # -- creation -------------------------------------------------------------
 
@@ -236,7 +279,10 @@ class CredentialRecordTable:
 
         The caller is responsible for registering interest in
         ``Modified(remote_ref, *)`` with the remote service and feeding
-        updates in via :meth:`update_external`.
+        updates in via :meth:`update_external`.  Until that first update
+        arrives the surrogate reads **Unknown** — we have no evidence
+        about the remote fact yet, and sections 4.9/4.10 require failing
+        closed, never open.
         """
         for index in self._externals_by_service.get(service, ()):
             row = self._rows[index]
@@ -245,7 +291,7 @@ class CredentialRecordTable:
         record = self._alloc(RecordOp.SOURCE)
         record.external_service = service
         record.external_ref = remote_ref
-        record.state = RecordState.TRUE
+        record.state = RecordState.UNKNOWN
         self._externals_by_service.setdefault(service, set()).add(record.index)
         return record
 
@@ -288,12 +334,31 @@ class CredentialRecordTable:
 
     def set_state(self, ref: int, state: RecordState, permanent: bool = False) -> None:
         """Set a source record's state (group change, external update...)."""
-        record = self.get(ref)
-        if record is None:
-            return
-        if record.op is not RecordOp.SOURCE:
-            raise OasisError("only source records may be set directly")
-        self._apply(record, state, permanent)
+        self.set_states([(ref, state)], permanent=permanent)
+
+    def set_states(
+        self, updates: Iterable[tuple[int, RecordState]], permanent: bool = False
+    ) -> CascadeStats:
+        """Set many source records in one cascade (batched group flips,
+        bulk external updates).  Permanent records are left untouched;
+        returns the metrics of the single cascade that settled the batch.
+        """
+        seeds = []
+        for ref, state in updates:
+            record = self.get(ref)
+            if record is None:
+                continue
+            if record.op is not RecordOp.SOURCE:
+                raise OasisError("only source records may be set directly")
+            if record.permanent:
+                continue
+            old = record.state
+            if state is old and not permanent:
+                continue
+            record.state = state
+            record.permanent = permanent
+            seeds.append((record, old, state, permanent, 0))
+        return self._start_cascade(seeds)
 
     def revoke(self, ref: int) -> bool:
         """Force a record permanently FALSE (explicit revocation).
@@ -305,25 +370,53 @@ class CredentialRecordTable:
         record = self.get(ref)
         if record is None:
             return False
-        self._force(record, RecordState.FALSE, permanent=True)
+        self.revoke_many([ref])
         return True
+
+    def revoke_many(self, refs: Iterable[int]) -> int:
+        """Revoke many records in one cascade (fig 4.5 at batch scale:
+        a service failure or group purge kills N delegation trees with a
+        single settling pass over the DAG).  Returns the number of live
+        records found; already-permanent records are no-ops (FALSE is
+        absorbing, and a record marked permanent can never change)."""
+        seeds = []
+        found = 0
+        for ref in refs:
+            record = self.get(ref)
+            if record is None:
+                continue
+            found += 1
+            if record.permanent:
+                continue
+            old = record.state
+            record.state = RecordState.FALSE
+            record.permanent = True
+            seeds.append((record, old, RecordState.FALSE, True, 0))
+        self._start_cascade(seeds)
+        return found
 
     def update_external(self, service: str, remote_ref: int, state: RecordState) -> None:
         """Apply a Modified(CRR, newstate) notification from ``service``."""
-        for index in self._externals_by_service.get(service, ()):
-            row = self._rows[index]
-            if row is not None and row.external_ref == remote_ref:
-                self._apply(row, state, permanent=False)
+        refs = [
+            row.ref
+            for index in self._externals_by_service.get(service, ())
+            if (row := self._rows[index]) is not None and row.external_ref == remote_ref
+        ]
+        self.set_states([(ref, state) for ref in refs])
 
     def mark_service_unknown(self, service: str) -> int:
-        """Heartbeat from ``service`` missed: all its surrogates -> UNKNOWN."""
-        changed = 0
+        """Heartbeat from ``service`` missed: all its surrogates -> UNKNOWN.
+
+        One cascade regardless of how many surrogates the silent service
+        backs; returns how many were marked (cascade metrics are on
+        :attr:`last_cascade`)."""
+        updates = []
         for index in list(self._externals_by_service.get(service, ())):
             row = self._rows[index]
             if row is not None and row.state is not RecordState.UNKNOWN and not row.permanent:
-                self._apply(row, RecordState.UNKNOWN, permanent=False)
-                changed += 1
-        return changed
+                updates.append((row.ref, RecordState.UNKNOWN))
+        self.set_states(updates)
+        return len(updates)
 
     def externals_of(self, service: str) -> list[CredentialRecord]:
         out = []
@@ -356,76 +449,139 @@ class CredentialRecordTable:
             record.subscribers.discard(subscriber)
 
     # -- propagation ---------------------------------------------------------------
+    #
+    # The cascade is an explicit worklist, not recursion: a seed is a record
+    # whose (state, permanent) the caller has already mutated, and each
+    # worklist item carries the delta still to be pushed to that record's
+    # children — (record, old_state, new_state, permanence_gained, depth).
+    # Settling is breadth-first over the DAG, so stack use is O(1) at any
+    # delegation depth; callbacks fire only after every record has settled.
 
-    def _apply(self, record: CredentialRecord, state: RecordState, permanent: bool) -> None:
-        if record.permanent:
-            return
-        old = record.state
-        record.permanent = permanent or record.permanent
-        if state is old:
-            if permanent:
-                self._propagate_permanence(record)
-            return
-        record.state = state
-        self._after_change(record, old)
+    def begin_batch(self) -> None:
+        """Open a batch window: subsequent ``set_states``/``revoke_many``
+        calls enqueue their seeds instead of cascading, and everything
+        settles in one cascade when the window closes.  Windows nest."""
+        self._batch_depth += 1
 
-    def _force(self, record: CredentialRecord, state: RecordState, permanent: bool) -> None:
-        """Like _apply but works on gates (used for explicit revocation)."""
-        if record.permanent and record.state is state:
-            return
-        old = record.state
-        record.state = state
-        record.permanent = permanent
-        if old is not state:
-            self._after_change(record, old)
-        elif permanent:
-            self._propagate_permanence(record)
+    def end_batch(self) -> None:
+        """Close a batch window; the outermost close runs the cascade."""
+        if self._batch_depth > 0:
+            self._batch_depth -= 1
+        if self._batch_depth == 0 and self._seed_queue and not self._cascading:
+            seeds = list(self._seed_queue)
+            self._seed_queue.clear()
+            self._start_cascade(seeds)
 
-    def _after_change(self, record: CredentialRecord, old: RecordState) -> None:
+    def on_cascade(
+        self, begin: Callable[[], None], end: Callable[[], None]
+    ) -> None:
+        """Bracket every top-level cascade on this table with callbacks.
+
+        Used to keep a *mirror* table coherent in one cascade: a bridge
+        registers the mirror's ``begin_batch``/``end_batch`` here, so all
+        the per-record forwarding its watches do during one cascade on
+        this table settles as one cascade over there too."""
+        self._cascade_hooks.append((begin, end))
+
+    def _start_cascade(self, seeds: list) -> CascadeStats:
+        """Run (or join) a cascade settling ``seeds``.
+
+        Mutations arriving from inside a watch callback — or inside an
+        open batch window — join the cascade in progress instead of
+        nesting, so callback-triggered follow-ups (e.g. the service
+        latching a revoked record) neither grow the stack nor count as
+        extra cascades."""
+        if self._cascading or self._batch_depth:
+            self._seed_queue.extend(seeds)
+            return self.last_cascade
+        if not seeds:
+            return CascadeStats()
+        self._cascading = True
+        stats = CascadeStats()
+        self.last_cascade = stats
+        self._seed_queue.extend(seeds)
+        for begin, _ in self._cascade_hooks:
+            begin()
+        try:
+            while self._seed_queue:
+                work = self._seed_queue
+                self._seed_queue = deque()
+                settled = self._settle(work, stats)
+                self._fire_settled(settled, stats)
+        finally:
+            self._cascading = False
+            for _, end in self._cascade_hooks:
+                end()
         self.propagations += 1
-        # update children counters and recurse
-        for child_index, negate in list(record.children):
-            child = self._rows[child_index]
-            if child is None:
+        self.cascade_totals.accumulate(stats)
+        return stats
+
+    def _settle(self, work: deque, stats: CascadeStats) -> dict:
+        """Drain the worklist until no record's state or permanence can
+        change.  Returns ``{index: [record, first_old_state, depth, seq]}``
+        for every record touched, in settling order."""
+        rows = self._rows
+        changed: dict[int, list] = {}
+        seq = 0
+        while work:
+            record, old_state, new_state, perm_gained, depth = work.popleft()
+            stats.records_visited += 1
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+            entry = changed.get(record.index)
+            if entry is None:
+                changed[record.index] = [record, old_state, depth, seq]
+                seq += 1
+            elif depth > entry[2]:
+                entry[2] = depth  # fire after its deepest settling
+            if perm_gained:
+                stats.permanence_unlinks += 1
+            state_delta = old_state is not new_state
+            if not state_delta and not perm_gained:
                 continue
-            _count(child, _effective(old, negate), -1)
-            _count(child, _effective(record.state, negate), +1)
-            if record.permanent:
-                if _effective(record.state, negate) is RecordState.TRUE:
-                    child.n_perm_true += 1
-                elif _effective(record.state, negate) is RecordState.FALSE:
-                    child.n_perm_false += 1
-            if not child.permanent:
-                new_state = child.compute_state()
-                new_perm = child.compute_permanent()
-                if new_state is not child.state:
+            for child_index, negate in record.children:
+                child = rows[child_index]
+                if child is None:
+                    continue
+                if state_delta:
+                    _count(child, _effective(old_state, negate), -1)
+                    _count(child, _effective(new_state, negate), +1)
+                if perm_gained:
+                    effective = _effective(new_state, negate)
+                    if effective is RecordState.TRUE:
+                        child.n_perm_true += 1
+                    elif effective is RecordState.FALSE:
+                        child.n_perm_false += 1
+                if child.permanent:
+                    continue
+                child_new = child.compute_state()
+                child_perm = child.compute_permanent()
+                if child_new is not child.state or child_perm:
                     child_old = child.state
-                    child.state = new_state
-                    child.permanent = new_perm
-                    self._after_change(child, child_old)
-                elif new_perm and not child.permanent:
-                    child.permanent = True
-                    self._propagate_permanence(child)
-        self._fire(record, old)
+                    child.state = child_new
+                    child.permanent = child_perm
+                    work.append((child, child_old, child_new, child_perm, depth + 1))
+        return changed
 
-    def _propagate_permanence(self, record: CredentialRecord) -> None:
-        for child_index, negate in list(record.children):
-            child = self._rows[child_index]
-            if child is None or child.permanent:
-                continue
-            if _effective(record.state, negate) is RecordState.TRUE:
-                child.n_perm_true += 1
-            elif _effective(record.state, negate) is RecordState.FALSE:
-                child.n_perm_false += 1
-            if child.compute_permanent():
-                child.permanent = True
-                self._propagate_permanence(child)
-
-    def _fire(self, record: CredentialRecord, old: RecordState) -> None:
-        for callback in self._watches.get(record.index, []):
-            callback(record, old, record.state)
-        for callback in self._global_watch:
-            callback(record, old, record.state)
+    def _fire_settled(self, settled: dict, stats: CascadeStats) -> None:
+        """Fire watches for net-changed records, children before the
+        records that changed them (deepest settling first, then settling
+        order) — the deterministic cascade order the class promises."""
+        if not settled:
+            return
+        entries = sorted(settled.values(), key=lambda e: (-e[2], e[3]))
+        for record, first_old, _depth, _seq in entries:
+            if record.state is first_old:
+                continue  # flip-flopped back: no net change to report
+            if self._rows[record.index] is not record:
+                continue  # deleted by an earlier callback in this round
+            stats.records_changed += 1
+            for callback in self._watches.get(record.index, ()):
+                stats.callbacks_fired += 1
+                callback(record, first_old, record.state)
+            for callback in self._global_watch:
+                stats.callbacks_fired += 1
+                callback(record, first_old, record.state)
 
     # -- garbage collection (section 4.8) -------------------------------------------
 

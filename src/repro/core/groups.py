@@ -14,9 +14,14 @@ services away (section 3.2.3 example).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterable, Optional
 
-from repro.core.credentials import CredentialRecordTable, CredentialRecord, RecordState
+from repro.core.credentials import (
+    CascadeStats,
+    CredentialRecord,
+    CredentialRecordTable,
+    RecordState,
+)
 
 
 def _key(principal: Any) -> Hashable:
@@ -57,18 +62,52 @@ class GroupService:
         return set(self._members.get(group, set()))
 
     def add_member(self, group: str, principal: Any) -> None:
-        key = _key(principal)
-        self._members.setdefault(group, set()).add(key)
-        ref = self._interesting.get((key, group))
-        if ref is not None:
-            self.credentials.set_state(ref, RecordState.TRUE)
+        self.add_members(group, [principal])
 
     def remove_member(self, group: str, principal: Any) -> None:
-        key = _key(principal)
-        self._members.setdefault(group, set()).discard(key)
-        ref = self._interesting.get((key, group))
-        if ref is not None:
-            self.credentials.set_state(ref, RecordState.FALSE)
+        self.remove_members(group, [principal])
+
+    def add_members(self, group: str, principals: Iterable[Any]) -> None:
+        """Add many members; all interesting records flip in one cascade."""
+        self._flip(group, principals, joined=True)
+
+    def remove_members(self, group: str, principals: Iterable[Any]) -> None:
+        """Remove many members in one cascade — a purge revokes every
+        dependent certificate with a single settling pass, not N."""
+        self._flip(group, principals, joined=False)
+
+    def replace_members(self, group: str, members: Iterable[Any]) -> None:
+        """Make the group's membership exactly ``members``: additions and
+        removals are diffed and settle together in one cascade."""
+        target = {_key(m) for m in members}
+        current = self._members.setdefault(group, set())
+        leaving = current - target
+        joining = target - current
+        current -= leaving
+        current |= joining
+        updates = []
+        for key, state in [(k, RecordState.FALSE) for k in leaving] + [
+            (k, RecordState.TRUE) for k in joining
+        ]:
+            ref = self._interesting.get((key, group))
+            if ref is not None:
+                updates.append((ref, state))
+        self.credentials.set_states(updates)
+
+    def _flip(self, group: str, principals: Iterable[Any], joined: bool) -> None:
+        members = self._members.setdefault(group, set())
+        state = RecordState.TRUE if joined else RecordState.FALSE
+        updates = []
+        for principal in principals:
+            key = _key(principal)
+            if joined:
+                members.add(key)
+            else:
+                members.discard(key)
+            ref = self._interesting.get((key, group))
+            if ref is not None:
+                updates.append((ref, state))
+        self.credentials.set_states(updates)
 
     # -- queries -------------------------------------------------------------------
 
@@ -98,3 +137,8 @@ class GroupService:
         return sum(
             1 for ref in self._interesting.values() if self.credentials.get(ref) is not None
         )
+
+    @property
+    def cascade_stats(self) -> CascadeStats:
+        """Metrics of the most recent cascade a membership change ran."""
+        return self.credentials.last_cascade

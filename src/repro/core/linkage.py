@@ -159,14 +159,17 @@ class SimLinkage(Linkage):
         subscriber_addr = self.address_of(subscriber.name)
 
         def on_suspect():
+            # one cascade marks every surrogate of the silent service
             subscriber.credentials.mark_service_unknown(issuer.name)
 
         def on_restore():
-            # re-read every surrogate's true state from the issuer
+            # re-read every surrogate's true state from the issuer and
+            # settle the whole batch in a single cascade
+            updates = []
             for record in subscriber.credentials.externals_of(issuer.name):
                 assert record.external_ref is not None
-                state = issuer.credentials.state_of(record.external_ref)
-                subscriber.credentials.update_external(issuer.name, record.external_ref, state)
+                updates.append((record.ref, issuer.credentials.state_of(record.external_ref)))
+            subscriber.credentials.set_states(updates)
 
         sender = HeartbeatSender(self.network, issuer_addr, subscriber_addr, period)
         monitor = HeartbeatMonitor(

@@ -22,7 +22,7 @@ revocable delegation, matching the costs claimed in section 4.7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.core.audit import AuditKind, AuditLog
 from repro.core.certificates import (
@@ -33,6 +33,7 @@ from repro.core.certificates import (
     role_bitmask,
 )
 from repro.core.credentials import (
+    CascadeStats,
     CredentialRecord,
     CredentialRecordTable,
     RecordOp,
@@ -109,6 +110,9 @@ class OasisService:
         self.secrets = RollingSecretTable(clock=self.clock, lifetime=secret_lifetime)
         self.signer = Signer(self.secrets, signature_length=signature_length)
         self.credentials = CredentialRecordTable(name)
+        # foreign group tables whose cascades batch into ours (one window
+        # per table, however many membership records are bridged)
+        self._bridged_group_tables: set = set()
         self.audit = AuditLog()
         self.types = TypeTable()
         self.stats = ServiceStats()
@@ -358,7 +362,17 @@ class OasisService:
                 if dep.service == self.name:
                     parents.append((dep.crr, False))
                 else:
-                    parents.append((self._external_parent(dep.service, dep.crr), False))
+                    # the credential was validated with its issuer moments
+                    # ago (_credential_membership), so the issuer has
+                    # vouched TRUE for this record
+                    parents.append(
+                        (
+                            self._external_parent(
+                                dep.service, dep.crr, vouched=RecordState.TRUE
+                            ),
+                            False,
+                        )
+                    )
             elif isinstance(dep, DelegationDep):
                 parents.append((dep.crr, False))
             elif isinstance(dep, GroupDep):
@@ -386,18 +400,26 @@ class OasisService:
 
     def external_record_for(self, service: str, remote_ref: int) -> int:
         """Public helper: the local surrogate record tracking a remote
-        credential record (creates and subscribes on first use)."""
+        credential record (creates and subscribes on first use).  The
+        surrogate reads UNKNOWN until the issuer's first notification
+        arrives — fail closed, sections 4.9/4.10."""
         return self._external_parent(service, remote_ref)
 
-    def _external_parent(self, service: str, remote_ref: int) -> int:
+    def _external_parent(
+        self, service: str, remote_ref: int, vouched: Optional[RecordState] = None
+    ) -> int:
         record = self.credentials.create_external(service, remote_ref)
         state = self.linkage.subscribe(self, service, remote_ref)
-        if state is RecordState.UNKNOWN:
-            # Asynchronous linkage: the subscription reply is in flight.
-            # The credential was validated with its issuer moments ago, so
-            # start TRUE; the reply (or a heartbeat loss) corrects us.
-            state = RecordState.TRUE
-        self.credentials.update_external(service, remote_ref, state)
+        if state is RecordState.UNKNOWN and vouched is not None:
+            # Asynchronous linkage: the subscription reply is in flight,
+            # but the caller holds fresher authoritative knowledge (the
+            # issuer just validated the backing certificate).  Feed that
+            # in as the first notification; the reply (or a heartbeat
+            # loss) corrects us.  Without a voucher the surrogate stays
+            # UNKNOWN — never optimistically TRUE.
+            state = vouched
+        if state is not RecordState.UNKNOWN:
+            self.credentials.update_external(service, remote_ref, state)
         return record.ref
 
     def _group_parent(self, dep: GroupDep) -> int:
@@ -417,6 +439,14 @@ class OasisService:
             self.credentials.update_external(group_name, changed.ref, new)
 
         group_table.watch(record.ref, forward)
+        if group_table not in self._bridged_group_tables:
+            # bracket the group table's cascades with a batch window on
+            # ours: a batched membership purge is then one cascade in
+            # both tables, not one per forwarded record
+            self._bridged_group_tables.add(group_table)
+            group_table.on_cascade(
+                self.credentials.begin_batch, self.credentials.end_batch
+            )
         return surrogate.ref
 
     def _revoker_parent(self, dep: RevokerDep, rolefile_id: str) -> int:
@@ -692,10 +722,13 @@ class OasisService:
                 f"holders of {sorted(revoker_cert.roles)} may not revoke {role!r}"
             )
         key = (rolefile_id, role, args)
-        revoked = 0
-        for revoker_role, ref in self._revocation_db.pop(key, []):
-            if revoker_role in revoker_cert.roles and self.credentials.revoke(ref):
-                revoked += 1
+        refs = [
+            ref
+            for revoker_role, ref in self._revocation_db.pop(key, [])
+            if revoker_role in revoker_cert.roles
+        ]
+        # every live membership of role(args) dies in one cascade
+        revoked = self.credentials.revoke_many(refs)
         self._revoked_forever.add(key)
         self.audit.record(
             self.clock.now(), AuditKind.ROLE_REVOKED, str(revoker_cert.client),
@@ -721,31 +754,47 @@ class OasisService:
     def exit_role(self, cert: RoleMembershipCertificate) -> None:
         """A client voluntarily gives up a membership (e.g. logging off).
         Delegations flagged revoke-on-exit cascade automatically."""
-        self.validate(cert)
-        self.credentials.revoke(cert.crr)
+        self.exit_roles([cert])
+
+    def exit_roles(self, certs: Iterable[RoleMembershipCertificate]) -> int:
+        """Exit many memberships in one cascade (a host shutting down, a
+        session group logging off).  Each certificate is validated; the
+        backing records are then revoked with a single settling pass.
+        Returns the number of memberships exited."""
+        validated = [self.validate(cert) for cert in certs]
+        self.credentials.revoke_many([cert.crr for cert in validated])
         now = self.clock.now()
-        for role in cert.roles:
-            self.audit.record(
-                now, AuditKind.ROLE_EXITED, str(cert.client),
-                f"exited {role}", (role,) + cert.args,
-            )
+        for cert in validated:
+            for role in cert.roles:
+                self.audit.record(
+                    now, AuditKind.ROLE_EXITED, str(cert.client),
+                    f"exited {role}", (role,) + cert.args,
+                )
+        return len(validated)
 
     def tick(self) -> int:
         """Periodic maintenance: expire delegations, roll secrets, sweep
         the credential table.  Returns delegations expired."""
         now = self.clock.now()
-        expired = 0
+        due: list[int] = []
         remaining: list[tuple[float, int]] = []
         for expires_at, ref in self._delegation_expiries:
             if now >= expires_at:
-                if self.credentials.revoke(ref):
-                    expired += 1
+                due.append(ref)
             else:
                 remaining.append((expires_at, ref))
         self._delegation_expiries = remaining
+        # all delegations expiring this tick fall in one cascade
+        expired = self.credentials.revoke_many(due)
         self.secrets.maybe_roll()
         self.credentials.sweep()
         return expired
+
+    @property
+    def cascade_stats(self) -> CascadeStats:
+        """Metrics of the most recent revocation/state-change cascade
+        through this service's credential records."""
+        return self.credentials.last_cascade
 
     # ------------------------------------------------------------------ events
 

@@ -63,7 +63,12 @@ class Acl:
                 )
 
     def evaluate(self, user: str, groups: Iterable[str] = ()) -> Rights:
-        """The G/P algorithm of section 5.4.4."""
+        """The G/P algorithm of section 5.4.4.
+
+        A negative entry removes rights from the *possible* set only
+        (``P <- P - R``): it bars later grants but does not claw back
+        rights already granted by an earlier entry — entry order carries
+        the policy, exactly as the paper specifies."""
         granted: set = set()
         possible: set = set(self.alphabet)
         for entry in self.entries:
@@ -71,7 +76,6 @@ class Acl:
                 continue
             if entry.negative:
                 possible -= set(entry.rights)
-                granted -= set(entry.rights)
             else:
                 granted |= possible & set(entry.rights)
         return frozenset(granted)
@@ -95,6 +99,11 @@ class Acl:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Acl) and other.entries == self.entries
+
+    def __hash__(self) -> int:
+        # consistent with __eq__ (entries only); without this the custom
+        # __eq__ silently made Acl unhashable
+        return hash(tuple(self.entries))
 
     def __repr__(self) -> str:
         return f"Acl({self.render()!r})"

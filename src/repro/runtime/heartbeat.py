@@ -108,6 +108,17 @@ class HeartbeatSender:
             if record is not None:
                 self.stats.resends += 1
                 self._transmit(record)
+            elif 0 < seq <= self._seq:
+                # the lost message was a bare heartbeat: resend it as a
+                # filler so the receiver can close the gap and resume
+                # in-order payload delivery
+                self.stats.resends += 1
+                self.network.send(
+                    self.address,
+                    self.dest,
+                    "heartbeat",
+                    {"seq": seq, "horizon": self._horizon()},
+                )
 
     def _transmit(self, record: _Outgoing) -> None:
         self._last_sent_at = self.sim.now
@@ -172,11 +183,16 @@ class HeartbeatMonitor:
         self.on_horizon = on_horizon
         self.on_suspect = on_suspect
         self.on_restore = on_restore
-        self._expected_seq = 1
+        # sequence tracking: everything in 1.._contiguous has been
+        # received; _received holds out-of-order arrivals beyond it.
+        self._contiguous = 0
+        self._max_seen = 0
+        self._received: set[int] = set()
         self._since_ack = 0
         self._last_heard = network.simulator.now
         self._suspect = False
-        self._buffer: dict[int, Any] = {}
+        self._buffer: dict[int, Any] = {}   # undelivered payloads by seq
+        self._deliver_next = 1              # next seq eligible for delivery
         self.horizon = float("-inf")
         self.stats = HeartbeatStats()
         self._watchdog()
@@ -189,17 +205,20 @@ class HeartbeatMonitor:
         """Feed a 'heartbeat' or 'heartbeat-payload' message body in."""
         self._heard()
         seq = body["seq"]
-        if seq > self._expected_seq:
+        if seq > self._max_seen + 1:
             # a previous message was lost or is still in flight
             self.stats.gaps_detected += 1
-            missing = list(range(self._expected_seq, seq))
+            missing = list(range(self._max_seen + 1, seq))
             self.network.send(self.address, self.source, "heartbeat-nack", {"missing": missing})
-        if seq >= self._expected_seq:
+        if seq > self._max_seen:
+            self._max_seen = seq
+        if seq > self._contiguous and seq not in self._received:
+            self._received.add(seq)
             if kind == "heartbeat-payload":
                 self._buffer[seq] = body["payload"]
-            self._expected_seq = seq + 1
-        elif kind == "heartbeat-payload":
-            self._buffer.setdefault(seq, body["payload"])
+            while self._contiguous + 1 in self._received:
+                self._contiguous += 1
+                self._received.remove(self._contiguous)
         self._drain()
         horizon = body.get("horizon", float("-inf"))
         if horizon > self.horizon:
@@ -210,14 +229,21 @@ class HeartbeatMonitor:
         if self._since_ack >= self.ack_every:
             self._since_ack = 0
             self.stats.acks_sent += 1
+            # ack only the last *contiguous* sequence number: anything
+            # beyond a gap must stay in the sender's buffer so a pending
+            # nack can still be honoured
             self.network.send(
-                self.address, self.source, "heartbeat-ack", {"ack": self._expected_seq - 1}
+                self.address, self.source, "heartbeat-ack", {"ack": self._contiguous}
             )
 
     def _drain(self) -> None:
-        for seq in sorted(self._buffer):
-            payload = self._buffer.pop(seq)
-            if self.on_payload is not None:
+        # deliver strictly in sequence order, holding at the first
+        # missing message: a resent payload must not arrive after its
+        # successors
+        while self._deliver_next <= self._contiguous:
+            payload = self._buffer.pop(self._deliver_next, None)
+            self._deliver_next += 1
+            if payload is not None and self.on_payload is not None:
                 self.on_payload(payload, self.horizon)
 
     def _heard(self) -> None:
@@ -235,6 +261,18 @@ class HeartbeatMonitor:
             self.stats.suspicions += 1
             if self.on_suspect is not None:
                 self.on_suspect()
+        # re-nack outstanding gaps: the original nack (or its resend) may
+        # itself have been lost
+        if self._contiguous < self._max_seen:
+            missing = [
+                s
+                for s in range(self._contiguous + 1, self._max_seen)
+                if s not in self._received
+            ]
+            if missing:
+                self.network.send(
+                    self.address, self.source, "heartbeat-nack", {"missing": missing}
+                )
         self.sim.schedule(self.period, self._watchdog, name="hb-watchdog")
 
 

@@ -224,6 +224,13 @@ class TestWatches:
 
 
 class TestExternals:
+    def test_surrogate_starts_unknown(self):
+        """Sections 4.9/4.10: before the first Modified notification we
+        have no evidence about the remote fact — fail closed, not open."""
+        table = CredentialRecordTable()
+        ext = table.create_external("Login", 1234)
+        assert table.state_of(ext.ref) is U
+
     def test_external_surrogate_updates(self):
         table = CredentialRecordTable()
         ext = table.create_external("Login", 1234)
@@ -241,7 +248,9 @@ class TestExternals:
         Unknown, which propagates to children."""
         table = CredentialRecordTable()
         ext = table.create_external("Login", 1)
+        table.update_external("Login", 1, T)
         gate = table.create_and([ext.ref])
+        assert gate.state is T
         changed = table.mark_service_unknown("Login")
         assert changed == 1
         assert table.state_of(gate.ref) is U
@@ -305,6 +314,51 @@ class TestGarbageCollection:
         table.sweep()
         assert table.get(a.ref) is None        # collected
         assert table.state_of(gate.ref) is T   # child unaffected
+
+
+class TestCascadeBatching:
+    def test_set_states_batch_is_one_cascade(self):
+        table = CredentialRecordTable()
+        sources = [table.create_source(state=T) for _ in range(3)]
+        gate = table.create_and([s.ref for s in sources])
+        fired = []
+        table.watch(gate.ref, lambda r, old, new: fired.append((old, new)))
+        before = table.propagations
+        table.set_states([(s.ref, F) for s in sources])
+        assert table.propagations == before + 1
+        assert fired == [(T, F)]  # gate notified once, not once per source
+
+    def test_flip_flop_fires_nothing(self):
+        """A record that changes and changes back while the cascade settles
+        has no *net* change, so its watches stay silent."""
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        c = table.create_and([a.ref])
+        # b = a̅ AND c: starts FALSE; a's revocation flips the negated edge
+        # true first (b transiently TRUE), then c's fall flips b back
+        b = table.create_gate(RecordOp.AND, [(a.ref, True), (c.ref, False)])
+        assert b.state is F
+        fired = []
+        table.watch_all(lambda r, old, new: fired.append(r.index))
+        table.revoke(a.ref)
+        assert b.state is F and b.permanent      # settled back, absorbed
+        assert fired == [c.index, a.index]       # b never reported
+
+    def test_callback_mutation_joins_active_cascade(self):
+        """A revoke issued from inside a watch callback (e.g. the service
+        latching a dependent credential) extends the running cascade
+        instead of nesting a second one."""
+        table = CredentialRecordTable()
+        a = table.create_source(state=T)
+        x = table.create_source(state=T)
+        gate = table.create_and([a.ref])
+        x_fired = []
+        table.watch(gate.ref, lambda r, old, new: table.revoke(x.ref))
+        table.watch(x.ref, lambda r, old, new: x_fired.append((old, new)))
+        before = table.propagations
+        table.revoke(a.ref)
+        assert table.propagations == before + 1
+        assert table.state_of(x.ref) is F and x_fired == [(T, F)]
 
 
 # ---------------------------------------------------------------- properties
@@ -425,3 +479,208 @@ def test_sweep_never_resurrects_revoked(ops):
             table.sweep()
         for ref in revoked_refs:
             assert table.state_of(ref) is F
+
+
+def _model_perm(op, parent_states, parent_perms, edges, state):
+    """From-scratch permanence, mirroring compute_permanent on a gate."""
+    if state is not F:
+        return False
+    eff = []
+    for s, neg in zip(parent_states, edges):
+        if neg and s is not U:
+            s = F if s is T else T
+        eff.append(s)
+    p_false = sum(1 for s, p in zip(eff, parent_perms) if p and s is F)
+    p_true = sum(1 for s, p in zip(eff, parent_perms) if p and s is T)
+    n = len(edges)
+    if op is RecordOp.AND:
+        return p_false > 0
+    if op is RecordOp.NAND:
+        return p_true == n
+    if op is RecordOp.OR:
+        return p_false == n
+    return p_true > 0  # NOR
+
+
+@st.composite
+def _dag_with_revokes(draw):
+    n_sources = draw(st.integers(min_value=1, max_value=5))
+    n_gates = draw(st.integers(min_value=0, max_value=7))
+    gates = []
+    for _ in range(n_gates):
+        op = draw(st.sampled_from([RecordOp.AND, RecordOp.OR, RecordOp.NAND, RecordOp.NOR]))
+        arity = draw(st.integers(min_value=1, max_value=3))
+        parents = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n_sources + len(gates) - 1),
+                    st.booleans(),
+                ),
+                min_size=arity,
+                max_size=arity,
+            )
+        )
+        gates.append((op, parents))
+    n_nodes = n_sources + n_gates
+    actions = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("flip"),
+                    st.integers(min_value=0, max_value=n_sources - 1),
+                    st.sampled_from([T, F, U]),
+                ),
+                st.tuples(st.just("revoke"), st.integers(min_value=0, max_value=n_nodes - 1)),
+                st.tuples(
+                    st.just("revoke_many"),
+                    st.lists(
+                        st.integers(min_value=0, max_value=n_nodes - 1), max_size=4
+                    ),
+                ),
+            ),
+            max_size=12,
+        )
+    )
+    return n_sources, gates, actions
+
+
+@given(_dag_with_revokes())
+@settings(max_examples=200, deadline=None)
+def test_cascade_matches_brute_force_with_revokes(ops):
+    """INVARIANT: after any interleaving of flips, single revokes and
+    batched revokes, every record's (state, permanent) pair equals a
+    from-scratch evaluation of the DAG — with revoked records pinned
+    permanently FALSE — and each cascade's watch callbacks report exactly
+    the net-changed records with the correct (old, new) transitions."""
+    n_sources, gate_specs, actions = ops
+    table = CredentialRecordTable()
+    sources = [table.create_source(state=T) for _ in range(n_sources)]
+    nodes = list(sources)
+    for op, parents in gate_specs:
+        nodes.append(table.create_gate(op, [(nodes[i].ref, neg) for i, neg in parents]))
+
+    fired = []
+    table.watch_all(lambda r, old, new: fired.append((r.index, old, new)))
+
+    source_state = [T] * n_sources
+    revoked = [False] * len(nodes)
+    for action in actions:
+        snapshot = {n.index: n.state for n in nodes}
+        fired.clear()
+        if action[0] == "flip":
+            _, idx, new_state = action
+            table.set_state(sources[idx].ref, new_state)
+            if not revoked[idx]:
+                source_state[idx] = new_state
+        elif action[0] == "revoke":
+            _, idx = action
+            table.revoke(nodes[idx].ref)
+            revoked[idx] = True
+        else:
+            _, idxs = action
+            table.revoke_many([nodes[i].ref for i in idxs])
+            for i in idxs:
+                revoked[i] = True
+        # each action is one cascade: callbacks == exact net state changes
+        expected = {
+            (n.index, snapshot[n.index], n.state)
+            for n in nodes
+            if n.state is not snapshot[n.index]
+        }
+        assert set(fired) == expected
+        assert len(fired) == len(expected)  # and each fires exactly once
+
+    # from-scratch recompute in creation order (a DAG by construction)
+    states, perms = [], []
+    for i in range(n_sources):
+        states.append(F if revoked[i] else source_state[i])
+        perms.append(revoked[i])
+    for j, (op, parents) in enumerate(gate_specs):
+        if revoked[n_sources + j]:
+            states.append(F)
+            perms.append(True)
+            continue
+        parent_states = [states[i] for i, _ in parents]
+        edges = [neg for _, neg in parents]
+        state = _model_eval(op, parent_states, edges)
+        states.append(state)
+        perms.append(_model_perm(op, parent_states, [perms[i] for i, _ in parents], edges, state))
+
+    for node, state, perm in zip(nodes, states, perms):
+        assert node.state is state
+        assert node.permanent is perm
+
+
+@st.composite
+def _random_tree(draw):
+    n_gates = draw(st.integers(min_value=1, max_value=10))
+    gates = []
+    for i in range(n_gates):
+        op = draw(st.sampled_from([RecordOp.AND, RecordOp.OR, RecordOp.NAND, RecordOp.NOR]))
+        parent = draw(st.integers(min_value=0, max_value=i))  # any earlier node
+        gates.append((op, parent))
+    target = draw(st.integers(min_value=0, max_value=n_gates))
+    return gates, target
+
+
+@given(_random_tree())
+@settings(max_examples=200, deadline=None)
+def test_tree_cascade_fires_descendants_before_ancestors(ops):
+    """INVARIANT (callback order): on a tree — where every record has one
+    parent, so settling depth equals distance from the revoked node — a
+    record's watch always fires before its ancestors'. The service layer
+    relies on this: dependents are torn down before the credential that
+    doomed them reports its own change."""
+    gate_specs, target = ops
+    table = CredentialRecordTable()
+    nodes = [table.create_source(state=T)]
+    parent_of = {0: None}
+    for op, parent in gate_specs:
+        gate = table.create_gate(op, [(nodes[parent].ref, False)])
+        parent_of[len(nodes)] = parent
+        nodes.append(gate)
+
+    fired = []
+    table.watch_all(lambda r, old, new: fired.append(r.index))
+    table.revoke(nodes[target].ref)
+
+    index_to_pos = {nodes[i].index: i for i in range(len(nodes))}
+    position = {idx: pos for pos, idx in enumerate(fired)}
+    for idx in fired:
+        node_pos = index_to_pos[idx]
+        ancestor = parent_of[node_pos]
+        while ancestor is not None:
+            anc_index = nodes[ancestor].index
+            if anc_index in position:
+                assert position[idx] < position[anc_index]
+            ancestor = parent_of[ancestor]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5), min_size=2, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_recycled_rows_never_serve_stale_refs(batch_sizes):
+    """INVARIANT: sweep() recycles table rows, but the magic field keeps
+    every pre-sweep CRR dead forever — a stale ref never resolves to the
+    new occupant of its row, even as rows are reused round after round."""
+    table = CredentialRecordTable()
+    dead_refs = []
+    reused = False
+    for n in batch_sizes:
+        live = [table.create_source(state=T, direct_use=True) for _ in range(n)]
+        dead_indices = {unpack_ref(d)[0] for d in dead_refs}
+        reused = reused or any(r.index in dead_indices for r in live)
+        # the new occupants answer for themselves...
+        for record in live:
+            assert table.get(record.ref) is record
+            assert table.state_of(record.ref) is T
+        # ...while every stale ref stays dead
+        for ref in dead_refs:
+            assert table.get(ref) is None
+            assert table.state_of(ref) is F
+        table.revoke_many([r.ref for r in live])
+        table.sweep()
+        dead_refs.extend(r.ref for r in live)
+    assert reused  # the free list actually recycled rows under us
+    for ref in dead_refs:
+        assert table.get(ref) is None
+        assert table.state_of(ref) is F

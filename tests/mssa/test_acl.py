@@ -20,19 +20,32 @@ class TestGPAlgorithm:
         assert acl.evaluate("bob", {"students"}) == frozenset("r")
         assert acl.evaluate("staffer") == frozenset("rw")
 
-    def test_negative_entry_removes_earlier_grant(self):
+    def test_negative_entry_does_not_claw_back_earlier_grant(self):
+        """Section 5.4.4: a negative entry is ``P <- P - R`` *only* — it
+        bars later grants but an earlier grant stands (entry order is the
+        policy)."""
         acl = Acl.parse("*=+rw @students=-w")
-        # P loses 'w' and G loses 'w' too: earlier grants are clipped
-        assert acl.evaluate("bob", {"students"}) == frozenset("r")
+        assert acl.evaluate("bob", {"students"}) == frozenset("rw")
+        # a later member of students gains nothing new from a later grant
+        acl2 = Acl.parse("@students=-w *=+rw")
+        assert acl2.evaluate("bob", {"students"}) == frozenset("r")
 
     def test_order_matters(self):
+        """Grant-then-restrict vs restrict-then-grant are distinct
+        policies under the ordered G/P algorithm."""
         grant_first = Acl.parse("bob=+w bob=-w")
         deny_first = Acl.parse("bob=-w bob=+w")
-        assert grant_first.evaluate("bob") == frozenset()
-        assert deny_first.evaluate("bob") == frozenset()
-        # but a later grant of a *different* right still works
+        assert grant_first.evaluate("bob") == frozenset("w")   # grant stands
+        assert deny_first.evaluate("bob") == frozenset()       # grant barred
+        # a later grant of a *different* right still works
         acl = Acl.parse("bob=-w bob=+r")
         assert acl.evaluate("bob") == frozenset("r")
+
+    def test_restriction_only_narrows_possible_set(self):
+        # restrict, grant the restricted right plus another: only the
+        # other survives, and a second restriction cannot remove it
+        acl = Acl.parse("@students=-w @students=+rw @students=-r")
+        assert acl.evaluate("bob", {"students"}) == frozenset("r")
 
     def test_paper_conflict_example(self):
         """'Bob(Read/Write), student(Read)' with Bob a student: ordered
@@ -79,18 +92,30 @@ class TestGPAlgorithm:
         )
     )
     @settings(max_examples=200, deadline=None)
-    def test_granted_never_exceeds_possible(self, raw_entries):
-        """INVARIANT: G ⊆ P at every step, i.e. a negative entry is
-        final for the rights it names (no later grant resurrects them)."""
+    def test_first_mention_of_each_right_decides(self, raw_entries):
+        """INVARIANT equivalent to the G/P fold, derived per right: a
+        right is granted iff the *first* matching entry naming it is
+        positive — an earlier restriction removes it from P forever, and
+        a later restriction cannot claw back an earlier grant."""
         entries = [AclEntry(s, frozenset(r), n) for s, r, n in raw_entries]
         acl = Acl(entries)
         granted = acl.evaluate("bob", {"students"})
-        # recompute the possible set at the end
-        possible = set("rwxad")
-        for entry in entries:
-            if entry.matches("bob", {"students"}) and entry.negative:
-                possible -= set(entry.rights)
-        assert granted <= possible
+        for right in "rwxad":
+            mentions = [
+                e
+                for e in entries
+                if e.matches("bob", {"students"}) and right in e.rights
+            ]
+            expected = bool(mentions) and not mentions[0].negative
+            assert (right in granted) == expected
+
+    def test_hashable_consistent_with_eq(self):
+        a = Acl.parse("bob=+rw @students=-w")
+        b = Acl.parse("bob=+rw @students=-w")
+        c = Acl.parse("bob=+r")
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+        assert {a: "policy"}[b] == "policy"
 
 
 class TestUnixAcl:

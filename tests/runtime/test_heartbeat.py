@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.heartbeat import connect_heartbeat
+from repro.runtime.heartbeat import HeartbeatMonitor, connect_heartbeat
 from repro.runtime.network import Link, Network
 from repro.runtime.simulator import Simulator
 
@@ -99,6 +99,102 @@ def test_acks_prune_sender_state():
         sim.schedule(0.1 * i + 0.05, sender.send_payload, i)
     sim.run_until(10.0)
     assert len(sender._unacked) == 0
+
+
+def make_bare_monitor(on_payload=None, ack_every=1):
+    """A monitor fed by hand, with the sender side captured for inspection."""
+    sim = Simulator()
+    net = Network(sim, seed=1)
+    to_sender = []
+    net.add_node("svc", lambda m: to_sender.append((m.kind, m.payload)))
+    monitor = HeartbeatMonitor(
+        net, "cli", "svc", period=1.0, ack_every=ack_every, on_payload=on_payload
+    )
+    net.add_node("cli", lambda m: monitor.handle_message(m.kind, m.payload))
+    return sim, monitor, to_sender
+
+
+def test_ack_is_last_contiguous_not_last_seen():
+    """Regression: acking past an unfilled gap lets the sender discard
+    the very records the pending nack needs — the lost payload would be
+    dropped forever.  The ack must stop at the contiguous prefix."""
+    sim, monitor, to_sender = make_bare_monitor()
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 3, "payload": "c", "horizon": 0.0})
+    sim.run_until(0.5)
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert acks[-1] == 1  # seq 2 outstanding: 3 must stay buffered at the sender
+    nacks = [p["missing"] for k, p in to_sender if k == "heartbeat-nack"]
+    assert [2] in nacks
+
+
+def test_ack_advances_once_gap_fills():
+    sim, monitor, to_sender = make_bare_monitor()
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 3, "payload": "c", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 2, "payload": "b", "horizon": 0.0})
+    sim.run_until(0.5)
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert acks[-1] == 3
+
+
+def test_delivery_holds_at_gap_and_resumes_in_order():
+    """Regression: buffered payloads past an unfilled gap must not be
+    delivered early — a resent message would arrive after its
+    successors."""
+    got = []
+    sim, monitor, to_sender = make_bare_monitor(on_payload=lambda p, h: got.append(p))
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 3, "payload": "c", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 4, "payload": "d", "horizon": 0.0})
+    assert got == ["a"]  # c and d held: 2 is missing
+    monitor.handle_message("heartbeat-payload", {"seq": 2, "payload": "b", "horizon": 0.0})
+    assert got == ["a", "b", "c", "d"]
+
+
+def test_duplicate_resends_deliver_once():
+    got = []
+    sim, monitor, to_sender = make_bare_monitor(on_payload=lambda p, h: got.append(p))
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 2, "payload": "b", "horizon": 0.0})
+    assert got == ["a", "b"]
+
+
+def test_lost_bare_heartbeat_does_not_stall_delivery():
+    """A nacked gap left by a bare heartbeat (no payload) is filled by
+    the sender's filler resend, so later payloads still deliver."""
+    got = []
+    sim, net, sender, monitor = make_world(period=1.0, on_payload=lambda p, h: got.append(p))
+    sender.start()
+    # drop only the t=2.0 heartbeat, then send a payload afterwards
+    sim.schedule(1.9, net.partition, {"svc"}, {"cli"})
+    sim.schedule(2.1, net.heal, {"svc"}, {"cli"})
+    sim.schedule(2.5, sender.send_payload, "after-gap")
+    sim.run_until(20.0)
+    assert got == ["after-gap"]
+
+
+def test_lossy_network_delivers_all_payloads_in_order():
+    """End-to-end under sustained random loss in both directions: every
+    payload arrives, exactly once, in send order (nack + watchdog re-nack
+    + contiguous acks)."""
+    got = []
+    sim = Simulator()
+    net = Network(sim, seed=7)
+    sender, monitor = connect_heartbeat(
+        net, "svc", "cli", 1.0, ack_every=2, on_payload=lambda p, h: got.append(p)
+    )
+    net.set_link("svc", "cli", Link(base_delay=0.01, loss_probability=0.3))
+    net.set_link("cli", "svc", Link(base_delay=0.01, loss_probability=0.3))
+    sender.start()
+    for i in range(30):
+        sim.schedule(0.3 * i + 0.05, sender.send_payload, i)
+    sim.run_until(400.0)
+    assert got == list(range(30))
+    assert monitor.stats.gaps_detected >= 1
+    assert sender.stats.resends >= 1
+    assert len(sender._unacked) == 0  # everything eventually acked contiguously
 
 
 def test_detection_latency_scales_with_period():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import HostOS, OasisService
-from repro.core.credentials import CredentialRecordTable, RecordState
+from repro.core.credentials import CredentialRecordTable, RecordOp, RecordState
 from repro.errors import RevokedError
 
 
@@ -69,23 +69,83 @@ def test_ten_thousand_certificates_validate_flat():
     assert svc.stats.validations >= 10
 
 
-def test_credential_table_handles_deep_chain():
+def test_credential_table_handles_100k_deep_chain():
+    """The worklist cascade never grows the Python stack: a 100,000-link
+    delegation chain revokes end to end with no recursion-limit games."""
     table = CredentialRecordTable()
     record = table.create_source(state=RecordState.TRUE)
     refs = [record.ref]
     current = record
-    import sys
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(20_000)
-    try:
-        for _ in range(5_000):
-            current = table.create_and([current.ref])
-            refs.append(current.ref)
-        assert table.state_of(refs[-1]) is RecordState.TRUE
-        table.revoke(refs[0])
-        assert table.state_of(refs[-1]) is RecordState.FALSE
-    finally:
-        sys.setrecursionlimit(old_limit)
+    for _ in range(100_000):
+        current = table.create_and([current.ref])
+        refs.append(current.ref)
+    assert table.state_of(refs[-1]) is RecordState.TRUE
+    table.revoke(refs[0])
+    assert table.state_of(refs[-1]) is RecordState.FALSE
+    stats = table.last_cascade
+    assert stats.max_depth == 100_000
+    assert stats.records_visited == 100_001
+
+
+def test_credential_table_handles_50k_wide_fanout():
+    """One revocation kills 50,000 direct dependants in a single cascade."""
+    table = CredentialRecordTable()
+    root = table.create_source(state=RecordState.TRUE)
+    gates = [table.create_and([root.ref]) for _ in range(50_000)]
+    table.revoke(root.ref)
+    assert all(g.state is RecordState.FALSE for g in gates[::5000])
+    stats = table.last_cascade
+    assert stats.records_visited == 50_001
+    assert stats.max_depth == 1
+
+
+def test_revoke_many_shared_fanin_is_one_cascade():
+    """Batched revocation: N sources feeding a shared fan-in settle in
+    ONE cascade, and the fan-in's watch fires exactly once."""
+    table = CredentialRecordTable()
+    sources = [table.create_source(state=RecordState.TRUE) for _ in range(1_000)]
+    fan_in = table.create_gate(
+        RecordOp.OR, [(s.ref, False) for s in sources], direct_use=True
+    )
+    fired = []
+    table.watch(fan_in.ref, lambda r, old, new: fired.append((old, new)))
+    before = table.propagations
+    found = table.revoke_many([s.ref for s in sources])
+    assert found == 1_000
+    assert table.propagations == before + 1           # one cascade, not N
+    assert table.state_of(fan_in.ref) is RecordState.FALSE
+    assert fired == [(RecordState.TRUE, RecordState.FALSE)]  # fired once, settled
+    assert table.last_cascade.records_visited >= 1_000
+
+
+def test_group_purge_is_one_cascade_in_both_tables():
+    """A batched membership purge through a *foreign* group service is
+    one cascade in the group table AND one in the service's mirror table
+    (the bridge brackets the forwarded updates in a batch window)."""
+    from repro.core import GroupService
+
+    groups = GroupService()
+    groups.create_group("staff", {f"u{i}" for i in range(100)})
+    svc = OasisService("S", groups=groups)
+    svc.add_rolefile("main", """
+def Who(u)  u: string
+Who(u) <-
+Member(u) <- Who(u) : (u in staff)*
+""")
+    host = HostOS("h")
+    certs = []
+    for i in range(100):
+        client = host.create_domain().client_id
+        who = svc.enter_role(client, "Who", (f"u{i}",))
+        certs.append(svc.enter_role(client, "Member", credentials=(who,)))
+    group_before = groups.credentials.propagations
+    svc_before = svc.credentials.propagations
+    groups.replace_members("staff", set())
+    assert groups.credentials.propagations == group_before + 1
+    assert svc.credentials.propagations == svc_before + 1
+    for cert in certs[::10]:
+        with pytest.raises(RevokedError):
+            svc.validate(cert)
 
 
 def test_group_change_fans_out_to_thousand_members():
