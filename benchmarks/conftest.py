@@ -6,6 +6,9 @@ Each benchmark reproduces one experiment id from DESIGN.md section 4
 and printed for eyeballing against EXPERIMENTS.md.
 """
 
+import json
+import os
+
 import pytest
 
 from repro.core import GroupService, HostOS, OasisService, ServiceRegistry
@@ -47,3 +50,42 @@ def record(benchmark, **series):
         benchmark.extra_info[key] = value
     line = ", ".join(f"{k}={v}" for k, v in series.items())
     print(f"\n  [{benchmark.name}] {line}")
+
+
+# --------------------------------------------- hot-path results (BENCH_hotpath)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def hotpath_out_path():
+    return os.environ.get(
+        "BENCH_HOTPATH_OUT", os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
+    )
+
+
+def bench_quick():
+    """CI smoke mode: shrink the big cases so the job stays fast.  The
+    asymptotic assertions (counters, ratios) hold at every size."""
+    return os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def record_hotpath(name, **data):
+    """Merge one experiment's results into BENCH_hotpath.json.
+
+    Each hot-path benchmark calls this once; the file accumulates a
+    ``{experiment: {series...}}`` mapping that CI uploads as an artifact,
+    so results stay machine-readable across separate pytest runs."""
+    path = hotpath_out_path()
+    results = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                results = json.load(fh)
+        except (OSError, ValueError):
+            results = {}
+    results[name] = data
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    line = ", ".join(f"{k}={v}" for k, v in data.items())
+    print(f"\n  [hotpath:{name}] {line}")

@@ -32,7 +32,7 @@ def test_a1_validation_without_cache(benchmark, bench_world):
     login = bench_world.login
 
     def validate_uncached():
-        login._signature_cache.clear()
+        login.clear_validation_caches()
         return login.validate(cert)
 
     benchmark(validate_uncached)

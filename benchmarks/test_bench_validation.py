@@ -27,7 +27,7 @@ def test_e5_validation_cold_cache(benchmark, bench_world):
     login = bench_world.login
 
     def cold_validate():
-        login._signature_cache.clear()
+        login.clear_validation_caches()
         return login.validate(cert)
 
     benchmark(cold_validate)
@@ -46,7 +46,7 @@ def test_e5_signature_length_tradeoff(benchmark, sig_len):
     cert = service.enter_role(client, "Anon", (1,))
 
     def cold_validate():
-        service._signature_cache.clear()
+        service.clear_validation_caches()
         return service.validate(cert)
 
     benchmark(cold_validate)

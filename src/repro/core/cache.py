@@ -1,0 +1,80 @@
+"""A small bounded LRU map for the request hot paths.
+
+The paper allows a service to cache the outcome of expensive validation
+work ("the integrity of the certificate may be cached, and recomputation
+avoided", section 4.2) but a production service cannot let such caches
+grow with the number of certificates ever seen.  Every cache in the
+validation path is therefore an :class:`LRUCache`: bounded, O(1) per
+operation, with hit/miss/eviction counters the owner surfaces through
+its stats object.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    ``on_evict`` (if given) is called once per evicted entry, letting the
+    owner fold eviction counts into its own stats object.
+    """
+
+    __slots__ = ("maxsize", "on_evict", "hits", "misses", "evictions", "_data")
+
+    def __init__(
+        self, maxsize: int, on_evict: Optional[Callable[[], None]] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("LRUCache needs room for at least one entry")
+        self.maxsize = maxsize
+        self.on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; a hit refreshes the entry's recency."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict()
+
+    def add(self, key: Hashable) -> None:
+        """Set-style insertion (the value is irrelevant)."""
+        self.put(key, True)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop ``key`` if present; returns whether it was."""
+        return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._data.clear()

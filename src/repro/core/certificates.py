@@ -89,7 +89,15 @@ class RoleMembershipCertificate:
 
     def signed_text(self) -> bytes:
         """Deterministic bytes covered by the signature (fig 4.1: the
-        certificate text, client id and rolefile are all bound in)."""
+        certificate text, client id and rolefile are all bound in).
+
+        Memoised per certificate object: validation recomputes signatures
+        over this text on every presentation, and the encoding is a pure
+        function of the (frozen) fields.  The cache slot is not a
+        dataclass field, so equality and hashing are untouched."""
+        cached = getattr(self, "_signed_text", None)
+        if cached is not None:
+            return cached
         parts = [
             b"RMC1",
             _encode_str(self.issuer),
@@ -108,7 +116,9 @@ class RoleMembershipCertificate:
         else:
             parts.append(b"\x01" + _encode_str(self.vci.host)
                          + struct.pack(">q", self.vci.number))
-        return b"".join(parts)
+        text = b"".join(parts)
+        object.__setattr__(self, "_signed_text", text)
+        return text
 
     def with_signature(self, secret_index: int, signature: bytes) -> "RoleMembershipCertificate":
         return replace(self, secret_index=secret_index, signature=signature)
@@ -142,6 +152,9 @@ class DelegationCertificate:
     signature: bytes = b""
 
     def signed_text(self) -> bytes:
+        cached = getattr(self, "_signed_text", None)
+        if cached is not None:
+            return cached
         parts = [
             b"DLG1",
             _encode_str(self.issuer),
@@ -162,7 +175,9 @@ class DelegationCertificate:
         parts.append(struct.pack(">d", -1.0 if self.expires_at is None else self.expires_at))
         parts.append(b"\x01" if self.revoke_on_exit else b"\x00")
         parts.append(struct.pack(">d", self.issued_at))
-        return b"".join(parts)
+        text = b"".join(parts)
+        object.__setattr__(self, "_signed_text", text)
+        return text
 
     def with_signature(self, secret_index: int, signature: bytes) -> "DelegationCertificate":
         return replace(self, secret_index=secret_index, signature=signature)

@@ -123,6 +123,73 @@ class EntryResult:
 SignatureLookup = Callable[[Optional[str], str], Optional[list[RdlType]]]
 
 
+# ------------------------------------------------------------ compiled plans
+
+
+class _NotLiteral:
+    """Sentinel: this argument position holds a variable or function call."""
+
+
+class _Never:
+    """Sentinel: this literal can never coerce to the signature type, so
+    the condition can never match."""
+
+
+_NOT_LITERAL = _NotLiteral()
+_NEVER = _Never()
+
+
+@dataclass
+class _DeferredCoercion:
+    """A literal whose compile-time coercion raised; the error is replayed
+    only if evaluation actually reaches the position (matching the lazy
+    failure point of the uncompiled engine)."""
+
+    exc: Exception
+
+
+@dataclass
+class _CompiledStatement:
+    """One rolefile statement with every per-request-invariant lookup done
+    once: the head signature, per-condition signatures, and pre-coerced
+    literal arguments (``coerce_literal`` of a source literal against a
+    fixed signature always yields the same value)."""
+
+    stmt: EntryStatement
+    head_sig: Optional[list[RdlType]]
+    # per head-arg position: coerced literal value, _NOT_LITERAL, _NEVER
+    # or a _DeferredCoercion
+    head_literals: tuple
+    # per condition: its signature and the same literal pre-coercion
+    cond_sigs: tuple
+    cond_literals: tuple
+    elector_sig: Optional[list[RdlType]] = None
+
+
+@dataclass
+class EntryPlan:
+    """The compiled hot path for one requested role: the subset of
+    statements that can contribute to it (directly or through an
+    intermediate membership), in rolefile order, plus the request's own
+    argument signature."""
+
+    role: str
+    candidates: list[_CompiledStatement]
+    request_sig: Optional[list[RdlType]]
+
+
+@dataclass
+class EngineStats:
+    """Counters for the compiled-plan cache (one engine per rolefile;
+    the cache dies with the engine on rolefile reload)."""
+
+    plans_compiled: int = 0
+    plan_hits: int = 0
+    evaluations: int = 0
+    statements_considered: int = 0
+    statements_skipped: int = 0
+
+
 class RoleEntryEngine:
     """Evaluates role-entry requests against one rolefile."""
 
@@ -143,6 +210,11 @@ class RoleEntryEngine:
         self.functions = functions or {}
         self.watchable = watchable or {}
         self.object_parser = object_parser
+        self.stats = EngineStats()
+        # compiled-plan caches; see invalidate_plans()
+        self._sig_cache: dict[tuple[Optional[str], str], Optional[list[RdlType]]] = {}
+        self._compiled_all: Optional[list[_CompiledStatement]] = None
+        self._plans: dict[str, EntryPlan] = {}
 
     # -- public -----------------------------------------------------------------
 
@@ -153,19 +225,38 @@ class RoleEntryEngine:
         credentials: Optional[list[Membership]] = None,
         delegation: Optional[DelegationCertificate] = None,
     ) -> EntryResult:
-        """Apply every statement in order and return the first membership
-        matching the request, or raise :class:`EntryDenied`."""
+        """Apply every candidate statement in rolefile order and return
+        the first membership matching the request, or raise
+        :class:`EntryDenied`.
+
+        Standard-form requests run against the compiled per-role plan:
+        only statements that can contribute to the requested role are
+        applied.  Election-form requests (a delegation certificate is
+        supplied) run against the full statement list, because the
+        delegation's ``required_roles`` may reference any local role.
+        """
+        self.stats.evaluations += 1
+        compiled_all = self._compile_all()
+        if delegation is None:
+            plan = self._plan_for(requested_role)
+            candidates = plan.candidates
+            request_sig = plan.request_sig
+        else:
+            candidates = compiled_all
+            request_sig = self._sig(None, requested_role)
+        self.stats.statements_considered += len(candidates)
+        self.stats.statements_skipped += len(compiled_all) - len(candidates)
         if requested_args is not None:
-            requested_args = self._coerce_request(requested_role, requested_args)
+            requested_args = self._coerce_request(request_sig, requested_args)
         memberships: list[Membership] = list(credentials or [])
         applied: list[EntryStatement] = []
-        for stmt in self.rolefile.statements:
+        for compiled in candidates:
             produced = self._try_apply(
-                stmt, memberships, requested_role, requested_args, delegation
+                compiled, memberships, requested_role, requested_args, delegation
             )
             if produced is not None:
                 memberships.append(produced)
-                applied.append(stmt)
+                applied.append(compiled.stmt)
         for membership in memberships:
             if membership.service != self.service_name:
                 continue
@@ -181,10 +272,86 @@ class RoleEntryEngine:
             f"to the supplied credentials"
         )
 
-    def _coerce_request(self, role: str, args: tuple) -> tuple:
+    # -- plan compilation ---------------------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop every compiled plan and cached signature lookup.  Called
+        when anything a plan was compiled against may have changed (the
+        service reloading a rolefile builds a fresh engine, which is the
+        same thing)."""
+        self._sig_cache.clear()
+        self._compiled_all = None
+        self._plans.clear()
+
+    def _sig(self, service: Optional[str], role: str) -> Optional[list[RdlType]]:
+        key = (service, role)
+        if key not in self._sig_cache:
+            self._sig_cache[key] = self.signatures(service, role)
+        return self._sig_cache[key]
+
+    def _compile_all(self) -> list[_CompiledStatement]:
+        if self._compiled_all is None:
+            self._compiled_all = [
+                self._compile_statement(stmt) for stmt in self.rolefile.statements
+            ]
+        return self._compiled_all
+
+    def _compile_statement(self, stmt: EntryStatement) -> _CompiledStatement:
+        head_sig = self._sig(None, stmt.head.name)
+        elector_sig = None
+        if stmt.elector is not None and stmt.elector.args:
+            elector_sig = self._sig(stmt.elector.service, stmt.elector.name)
+        return _CompiledStatement(
+            stmt=stmt,
+            head_sig=head_sig,
+            head_literals=_precoerce(stmt.head.args, head_sig),
+            cond_sigs=tuple(
+                self._sig(ref.service, ref.name) for ref in stmt.conditions
+            ),
+            cond_literals=tuple(
+                _precoerce(ref.args, self._sig(ref.service, ref.name),
+                           never_on_error=True)
+                for ref in stmt.conditions
+            ),
+            elector_sig=elector_sig,
+        )
+
+    def _plan_for(self, role: str) -> EntryPlan:
+        plan = self._plans.get(role)
+        if plan is not None:
+            self.stats.plan_hits += 1
+            return plan
+        compiled_all = self._compile_all()
+        # fixpoint over the local role-dependency graph: a statement is a
+        # candidate if its head is the requested role or a (transitive)
+        # local condition of a candidate statement
+        relevant = {role}
+        changed = True
+        while changed:
+            changed = False
+            for compiled in compiled_all:
+                if compiled.stmt.head.name not in relevant:
+                    continue
+                for ref in compiled.stmt.conditions:
+                    if ref.service is not None and ref.service != self.service_name:
+                        continue  # only supplied credentials can match
+                    if ref.name not in relevant:
+                        relevant.add(ref.name)
+                        changed = True
+        plan = EntryPlan(
+            role=role,
+            candidates=[c for c in compiled_all if c.stmt.head.name in relevant],
+            request_sig=self._sig(None, role),
+        )
+        self._plans[role] = plan
+        self.stats.plans_compiled += 1
+        return plan
+
+    def _coerce_request(
+        self, sig: Optional[list[RdlType]], args: tuple
+    ) -> tuple:
         """Coerce request argument literals to the role's signature types
         (e.g. a userid string becomes the service's ObjectRef)."""
-        sig = self.signatures(None, role)
         if sig is None:
             return args
         coerced = []
@@ -198,12 +365,13 @@ class RoleEntryEngine:
 
     def _try_apply(
         self,
-        stmt: EntryStatement,
+        compiled: _CompiledStatement,
         memberships: list[Membership],
         requested_role: str,
         requested_args: Optional[tuple],
         delegation: Optional[DelegationCertificate],
     ) -> Optional[Membership]:
+        stmt = compiled.stmt
         env: dict[str, Any] = {}
         deps: list[Dep] = []
 
@@ -211,7 +379,7 @@ class RoleEntryEngine:
         # ``Login(0, u) <-`` (no conditions) can be satisfied, and so an
         # explicit parameter request selects the right rule.
         if stmt.head.name == requested_role and requested_args is not None:
-            if not self._prebind_head(stmt.head, requested_args, env):
+            if not self._prebind_head(compiled, requested_args, env):
                 return None
 
         # Election-form statements only apply when a matching delegation
@@ -219,7 +387,7 @@ class RoleEntryEngine:
         if stmt.is_election:
             if delegation is None:
                 return None
-            if not self._delegation_matches(stmt, delegation, memberships, env, deps):
+            if not self._delegation_matches(compiled, delegation, memberships, env, deps):
                 return None
 
         # Match candidate conditions against held memberships.  Matching
@@ -227,7 +395,7 @@ class RoleEntryEngine:
         # used") but backtracks when a later condition or the constraint
         # cannot be satisfied — required for quorum policies such as the
         # golf club's two-distinct-recommenders rule (sec 3.4.5, e1 != e2).
-        solution = self._solve_conditions(stmt, memberships, env)
+        solution = self._solve_conditions(compiled, memberships, env)
         if solution is None:
             return None
         env, condition_deps = solution
@@ -235,7 +403,7 @@ class RoleEntryEngine:
 
         # Head arguments must now all be bound
         head_args = []
-        head_sig = self.signatures(None, stmt.head.name)
+        head_sig = compiled.head_sig
         for i, term in enumerate(stmt.head.args):
             try:
                 value = self._term_value(term, env)
@@ -255,20 +423,23 @@ class RoleEntryEngine:
             deps=tuple(deps),
         )
 
-    def _prebind_head(self, head: RoleRef, requested_args: tuple, env: dict) -> bool:
+    def _prebind_head(
+        self, compiled: _CompiledStatement, requested_args: tuple, env: dict
+    ) -> bool:
+        head = compiled.stmt.head
         if len(requested_args) != len(head.args):
             return False
-        sig = self.signatures(None, head.name)
+        sig = compiled.head_sig
         for i, (term, wanted) in enumerate(zip(head.args, requested_args)):
             if wanted is None:
                 continue
             if sig is not None and i < len(sig):
                 wanted = coerce_literal(wanted, sig[i])
-            if isinstance(term, Literal):
-                value = term.value
-                if sig is not None and i < len(sig):
-                    value = coerce_literal(value, sig[i])
-                if value != wanted:
+            pre = compiled.head_literals[i]
+            if pre is not _NOT_LITERAL:
+                if isinstance(pre, _DeferredCoercion):
+                    raise pre.exc
+                if pre != wanted:
                     return False
             elif isinstance(term, Variable):
                 if term.name in env and env[term.name] != wanted:
@@ -278,12 +449,13 @@ class RoleEntryEngine:
 
     def _delegation_matches(
         self,
-        stmt: EntryStatement,
+        compiled: _CompiledStatement,
         delegation: DelegationCertificate,
         memberships: list[Membership],
         env: dict,
         deps: list[Dep],
     ) -> bool:
+        stmt = compiled.stmt
         assert stmt.elector is not None
         if delegation.role != stmt.head.name:
             return False
@@ -291,13 +463,13 @@ class RoleEntryEngine:
             return False
         # the delegator may fix head arguments in the certificate
         if delegation.role_args:
-            if not self._prebind_head(stmt.head, delegation.role_args, env):
+            if not self._prebind_head(compiled, delegation.role_args, env):
                 return False
         # unify the elector reference's arguments with the delegator's;
         # an argument-less elector reference matches any instance
         if stmt.elector.args:
-            elector_sig = self.signatures(stmt.elector.service, stmt.elector.name)
-            if not _unify_args(stmt.elector.args, delegation.elector_args, env, elector_sig):
+            if not _unify_args(stmt.elector.args, delegation.elector_args, env,
+                               compiled.elector_sig):
                 return False
         # the delegator's extra "required roles" must be held by the candidate
         for template in delegation.required_roles:
@@ -313,13 +485,14 @@ class RoleEntryEngine:
 
     def _solve_conditions(
         self,
-        stmt: EntryStatement,
+        compiled: _CompiledStatement,
         memberships: list[Membership],
         env: dict,
     ) -> Optional[tuple[dict, list[Dep]]]:
         """Depth-first search over condition matches: each condition tries
         memberships in list order; on failure of a later condition or the
         constraint, earlier choices are revisited."""
+        stmt = compiled.stmt
         conditions = stmt.conditions
 
         def check_constraint(bound_env: dict) -> Optional[tuple[dict, list[Dep]]]:
@@ -348,7 +521,7 @@ class RoleEntryEngine:
                 return final_env, deps + constraint_deps
             ref = conditions[index]
             target_service = ref.service or self.service_name
-            sig = self.signatures(ref.service, ref.name)
+            precoerced = compiled.cond_literals[index]
             for membership in memberships:
                 if membership.service != target_service:
                     continue
@@ -357,7 +530,7 @@ class RoleEntryEngine:
                 if len(ref.args) != len(membership.args):
                     continue
                 trial = dict(bound_env)
-                if not _unify_args(ref.args, membership.args, trial, sig):
+                if not _unify_precoerced(ref.args, precoerced, membership.args, trial):
                     continue
                 next_deps = deps + (list(_validity_deps(membership)) if ref.starred else [])
                 result = search(index + 1, trial, next_deps)
@@ -375,6 +548,59 @@ class RoleEntryEngine:
             object_parser=self.object_parser,
         )
         return eval_term(term, ctx)
+
+
+def _precoerce(
+    terms: tuple[Term, ...],
+    sig: Optional[list[RdlType]],
+    never_on_error: bool = False,
+) -> tuple:
+    """Coerce the literal terms of an argument list against a fixed
+    signature once, at plan-compile time.
+
+    Returns one entry per position: the coerced value for a literal,
+    ``_NOT_LITERAL`` otherwise.  A failing coercion becomes ``_NEVER``
+    (the position can never match) when ``never_on_error`` is set, or a
+    :class:`_DeferredCoercion` that re-raises at the same point the
+    uncompiled engine would have."""
+    out = []
+    for i, term in enumerate(terms):
+        if not isinstance(term, Literal):
+            out.append(_NOT_LITERAL)
+            continue
+        value = term.value
+        if sig is not None and i < len(sig):
+            try:
+                value = coerce_literal(value, sig[i])
+            except RDLError as exc:
+                out.append(_NEVER if never_on_error else _DeferredCoercion(exc))
+                continue
+        out.append(value)
+    return tuple(out)
+
+
+def _unify_precoerced(
+    terms: tuple[Term, ...],
+    precoerced: tuple,
+    values: tuple,
+    env: dict,
+) -> bool:
+    """:func:`_unify_args` with the literal coercions already done."""
+    if len(terms) != len(values):
+        return False
+    for term, pre, value in zip(terms, precoerced, values):
+        if pre is not _NOT_LITERAL:
+            if pre is _NEVER or isinstance(pre, _DeferredCoercion) or pre != value:
+                return False
+        elif isinstance(term, Variable):
+            if term.name in env:
+                if env[term.name] != value:
+                    return False
+            else:
+                env[term.name] = value
+        elif isinstance(term, FuncCall):
+            return False  # function calls are not patterns
+    return True
 
 
 def _unify_args(

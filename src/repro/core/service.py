@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 from repro.core.audit import AuditKind, AuditLog
+from repro.core.cache import LRUCache
 from repro.core.certificates import (
     DelegationCertificate,
     RevocationCertificate,
@@ -76,12 +77,28 @@ class _RolefileState:
     role_order: list[str]
 
 
+def _bump(stats: "ServiceStats", counter: str) -> None:
+    setattr(stats, counter, getattr(stats, counter) + 1)
+
+
+def _expiry_bucket(cert: RoleMembershipCertificate) -> float:
+    """The expiry component of a validity-cache key: entries for
+    certificates with different lifetimes never alias, and an expired
+    certificate's entry is dead on arrival."""
+    return -1.0 if cert.expires_at is None else cert.expires_at
+
+
 @dataclass
 class ServiceStats:
     certificates_issued: int = 0
     validations: int = 0
     signature_cache_hits: int = 0
+    signature_cache_evictions: int = 0
     entries_denied: int = 0
+    # the (crr, expiry-bucket) short-circuit cache over full validations
+    validity_cache_hits: int = 0
+    validity_cache_evictions: int = 0
+    validity_cache_invalidations: int = 0   # dropped by a record cascade
 
 
 class OasisService:
@@ -100,6 +117,8 @@ class OasisService:
         secret_lifetime: float = 3600.0,
         functions: Optional[dict[str, Callable[..., Any]]] = None,
         watchable: Optional[dict[str, Callable[..., tuple[Any, Any]]]] = None,
+        signature_cache_size: int = 4096,
+        validity_cache_size: int = 4096,
     ):
         self.name = name
         self.clock = clock or ManualClock()
@@ -119,7 +138,20 @@ class OasisService:
         self.functions = functions or {}
         self.watchable = watchable or {}
         self._rolefiles: dict[str, _RolefileState] = {}
-        self._signature_cache: set[tuple[bytes, int, bytes]] = set()
+        # integrity cache (section 4.2): passed signature checks, bounded
+        self._signature_cache = LRUCache(
+            signature_cache_size,
+            on_evict=lambda: _bump(self.stats, "signature_cache_evictions"),
+        )
+        # validity short-circuit: crr -> (secret_index, signature,
+        # expiry bucket).  A warm certificate skips text encoding and
+        # HMAC recomputation entirely; the credential-record cascade
+        # invalidates entries on state change (see _on_record_change)
+        # so a revocation fails validation on the very next call.
+        self._validity_cache = LRUCache(
+            validity_cache_size,
+            on_evict=lambda: _bump(self.stats, "validity_cache_evictions"),
+        )
         self._delegation_expiries: list[tuple[float, int]] = []
         # role-based revocation (fig 4.9): (rolefile, role, args) -> entries
         self._revocation_db: dict[tuple[str, str, tuple], list[tuple[str, int]]] = {}
@@ -162,11 +194,26 @@ class OasisService:
         # declared-only roles (issued outside RDL, section 4.12) get bits too
         role_order = [d.name for d in rolefile.decls]
         role_order += [r for r in rolefile.roles_defined() if r not in role_order]
+        reload = rolefile_id in self._rolefiles
         self._rolefiles[rolefile_id] = _RolefileState(rolefile, checker, engine, role_order)
+        if reload:
+            # entry plans recompile automatically (the fresh engine has an
+            # empty plan cache); cached validations against the replaced
+            # policy must not survive it
+            self.clear_validation_caches()
         return rolefile
 
     def remove_rolefile(self, rolefile_id: str) -> None:
-        self._rolefiles.pop(rolefile_id, None)
+        if self._rolefiles.pop(rolefile_id, None) is not None:
+            self.clear_validation_caches()
+
+    def clear_validation_caches(self) -> None:
+        """Drop every cached validation outcome (signature and validity).
+        Correctness never requires calling this — caches are invalidated
+        by the events that stale them — but benchmarks and operational
+        tooling use it to force the cold path."""
+        self._signature_cache.clear()
+        self._validity_cache.clear()
 
     def _build_type_table(self, rolefile: Rolefile) -> TypeTable:
         table = TypeTable()
@@ -534,33 +581,38 @@ class OasisService:
                     f"certificate bound to {cert.vci}, which the presenting "
                     f"domain may not use"
                 )
-            # 2/3. forged, modified or stolen -> signature recomputation
-            cache_key = (cert.signed_text(), cert.secret_index, cert.signature)
-            if cache_key in self._signature_cache:
-                self.stats.signature_cache_hits += 1
-            else:
-                self.signer.require_valid(*cache_key)
-                # the signature covers the marshalled arguments; the
-                # convenience ``args`` field must agree with the wire form
-                primary = sorted(cert.roles)[0]
-                sig_types = self._rolefiles[cert.rolefile_id].checker.signature(primary)
-                try:
-                    rewired = marshal_args(sig_types, cert.args)
-                except Exception:
-                    raise FraudError("argument values cannot be marshalled") from None
-                if rewired != cert.args_wire:
-                    raise FraudError("argument values do not match signed wire form")
-                self._signature_cache.add(cache_key)
-            # 6. revocation: expiry and the credential record
-            if cert.expires_at is not None and now > cert.expires_at:
-                raise RevokedError("certificate has expired")
-            record_state = self.credentials.state_of(cert.crr)
-            if record_state is RecordState.FALSE:
-                raise RevokedError("certificate has been revoked")
-            if record_state is RecordState.UNKNOWN:
-                raise RevokedError(
-                    "certificate may have been revoked (issuer unreachable)",
-                    uncertain=True,
+            if not self._validity_fast_path(cert, now):
+                # 2/3. forged, modified or stolen -> signature recomputation
+                cache_key = (cert.signed_text(), cert.secret_index, cert.signature)
+                if cache_key in self._signature_cache and self._secret_live(cert.secret_index):
+                    self.stats.signature_cache_hits += 1
+                else:
+                    self.signer.require_valid(*cache_key)
+                    # the signature covers the marshalled arguments; the
+                    # convenience ``args`` field must agree with the wire form
+                    primary = sorted(cert.roles)[0]
+                    sig_types = self._rolefiles[cert.rolefile_id].checker.signature(primary)
+                    try:
+                        rewired = marshal_args(sig_types, cert.args)
+                    except Exception:
+                        raise FraudError("argument values cannot be marshalled") from None
+                    if rewired != cert.args_wire:
+                        raise FraudError("argument values do not match signed wire form")
+                    self._signature_cache.add(cache_key)
+                # 6. revocation: expiry and the credential record
+                if cert.expires_at is not None and now > cert.expires_at:
+                    raise RevokedError("certificate has expired")
+                record_state = self.credentials.state_of(cert.crr)
+                if record_state is RecordState.FALSE:
+                    raise RevokedError("certificate has been revoked")
+                if record_state is RecordState.UNKNOWN:
+                    raise RevokedError(
+                        "certificate may have been revoked (issuer unreachable)",
+                        uncertain=True,
+                    )
+                self._validity_cache.put(
+                    cert.crr,
+                    (cert.secret_index, cert.signature, _expiry_bucket(cert)),
                 )
             # 5. sufficient rights for the operation
             if required_role is not None and required_role not in cert.roles:
@@ -578,6 +630,39 @@ class OasisService:
             raise
         self.audit.record(now, AuditKind.VALIDATION_OK, str(cert.client), "ok")
         return cert
+
+    def _validity_fast_path(self, cert: RoleMembershipCertificate, now: float) -> bool:
+        """The short-circuit validity check: a certificate whose previous
+        full validation is still cached (and whose credential record has
+        not changed since — the cascade invalidates on change) skips text
+        encoding, HMAC recomputation and argument re-marshalling.
+
+        Per-call checks (client binding, VCI, required role) always run
+        in :meth:`validate`; this only covers the per-certificate work."""
+        entry = self._validity_cache.get(cert.crr)
+        if entry is None:
+            return False
+        if entry != (cert.secret_index, cert.signature, _expiry_bucket(cert)):
+            return False  # different certificate behind the same record
+        if cert.expires_at is not None and now > cert.expires_at:
+            self._validity_cache.discard(cert.crr)
+            return False
+        if not self._secret_live(cert.secret_index):
+            # the signing secret rolled past its lifetime: the certificate
+            # must fail the recomputation check, not ride the cache
+            self._validity_cache.discard(cert.crr)
+            return False
+        if self.credentials.state_of(cert.crr) is not RecordState.TRUE:
+            # the cascade invalidates on change; this guards the window
+            # where a watch callback validates mid-cascade
+            self._validity_cache.discard(cert.crr)
+            return False
+        self.stats.validity_cache_hits += 1
+        self.stats.signature_cache_hits += 1   # recomputation was avoided
+        return True
+
+    def _secret_live(self, index: int) -> bool:
+        return self.secrets.get(index) is not None
 
     # ------------------------------------------------------------- delegation
 
@@ -799,6 +884,10 @@ class OasisService:
     # ------------------------------------------------------------------ events
 
     def _on_record_change(self, record: CredentialRecord, old: RecordState, new: RecordState) -> None:
+        # Any state change stales a cached validity decision for this
+        # record — drop it before anything else observes the new state.
+        if self._validity_cache.discard(record.ref):
+            self.stats.validity_cache_invalidations += 1
         # A certificate-backing record that goes FALSE is revoked for good:
         # the client must request a replacement (section 5.5.2, "non-fatal
         # revocation").  UNKNOWN does not latch — it recovers when the

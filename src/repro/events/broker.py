@@ -21,12 +21,14 @@ driven.
 from __future__ import annotations
 
 import itertools
+import math
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import RegistrationError
-from repro.events.model import Event, Template
+from repro.events.model import WILDCARD, Event, Template, Var
 from repro.runtime.clock import Clock, ManualClock
 from repro.runtime.simulator import Simulator
 
@@ -47,6 +49,8 @@ class Session:
     delay: float = 0.0           # simulated network delay to this client
     open: bool = True
     notifications: int = 0
+    # ids of this session's registrations, so close_session is O(own regs)
+    registrations: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -64,6 +68,56 @@ class BrokerStats:
     suppressed_by_filter: int = 0
     replayed: int = 0
     heartbeats: int = 0
+    # routing-index effectiveness: registrations examined by signal()
+    # versus registrations the index let signal() skip entirely
+    routing_candidates: int = 0
+    routing_skipped: int = 0
+    # retro-replay index: buffered events examined vs skipped by the
+    # per-name timestamp bisect
+    replay_scanned: int = 0
+    replay_skipped: int = 0
+
+
+class _NameBuffer:
+    """Retained occurrences of one event type, in signal order.
+
+    Backed by a list with a moving head (amortised O(1) popleft without
+    losing random access, which the timestamp bisect needs).  Timestamps
+    are non-decreasing in the common case; a regressed explicit stamp
+    flips ``sorted_ok`` and scans fall back to linear.
+    """
+
+    __slots__ = ("events", "head", "sorted_ok")
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self.head = 0
+        self.sorted_ok = True
+
+    def __len__(self) -> int:
+        return len(self.events) - self.head
+
+    def append(self, event: Event) -> None:
+        if self.events and len(self) > 0 and event.timestamp < self.events[-1].timestamp:
+            self.sorted_ok = False
+        self.events.append(event)
+
+    def popleft_if(self, event: Event) -> None:
+        """Drop ``event`` if it is the oldest retained occurrence (expiry
+        walks the shared buffer front, which mirrors per-name order)."""
+        if self.head < len(self.events) and self.events[self.head] is event:
+            self.head += 1
+            if self.head > 64 and self.head * 2 >= len(self.events):
+                del self.events[: self.head]
+                self.head = 0
+
+    def tail_from(self, since: float) -> list[Event]:
+        """Retained occurrences with ``timestamp >= since``, oldest first."""
+        if self.sorted_ok:
+            lo = bisect_left(self.events, since, lo=self.head,
+                             key=lambda e: e.timestamp)
+            return self.events[lo:]
+        return [e for e in self.events[self.head:] if e.timestamp >= since]
 
 
 class EventBroker:
@@ -94,6 +148,19 @@ class EventBroker:
         self._registrations: dict[int, Registration] = {}
         self._ids = itertools.count(1)
         self._buffer: deque[Event] = deque()
+        # routing index (the tentpole of the signal() hot path): every
+        # registration lives in exactly one bucket.  Templates whose
+        # first parameter is a hashable literal go in a (name, literal)
+        # sub-bucket and are only examined for events carrying that
+        # exact first argument; everything else buckets by type name.
+        self._index_by_name: dict[str, dict[int, Registration]] = {}
+        self._index_by_literal: dict[tuple[str, Any], dict[int, Registration]] = {}
+        # Template subclasses (e.g. the detector's catch-all feed) may
+        # override match() with semantics the name index cannot see;
+        # they are examined for every event.
+        self._index_catchall: dict[int, Registration] = {}
+        # per-name view of the retro buffer for O(log n) replay lookup
+        self._buffer_by_name: dict[str, _NameBuffer] = {}
         self.stats = BrokerStats()
 
     # -- sessions -----------------------------------------------------------
@@ -112,33 +179,45 @@ class EventBroker:
     def close_session(self, session: Session) -> None:
         session.open = False
         self._sessions.pop(session.id, None)
-        for reg_id in [r.id for r in self._registrations.values() if r.session is session]:
-            del self._registrations[reg_id]
+        for reg_id in list(session.registrations):
+            registration = self._registrations.pop(reg_id, None)
+            if registration is not None:
+                self._index_remove(registration)
+        session.registrations.clear()
 
     # -- registration ----------------------------------------------------------
 
     def register(self, session: Session, template: Template) -> Registration:
         """Register interest in events matching ``template``."""
-        self._require_open(session)
-        registration = Registration(next(self._ids), session, template, live=True)
-        self._registrations[registration.id] = registration
-        return registration
+        return self._add_registration(session, template, live=True)
 
     def deregister(self, registration: Registration) -> None:
-        self._registrations.pop(registration.id, None)
+        if self._registrations.pop(registration.id, None) is not None:
+            self._index_remove(registration)
+            registration.session.registrations.discard(registration.id)
 
     def preregister(self, session: Session, template: Template) -> Registration:
         """Indicate future interest: matching events are retained but not
         notified (section 6.8.1)."""
+        return self._add_registration(session, template, live=False)
+
+    def _add_registration(
+        self, session: Session, template: Template, live: bool
+    ) -> Registration:
         self._require_open(session)
-        registration = Registration(next(self._ids), session, template, live=False)
+        registration = Registration(next(self._ids), session, template, live=live)
         self._registrations[registration.id] = registration
+        session.registrations.add(registration.id)
+        self._index_add(registration)
         return registration
 
     def narrow(self, registration: Registration, template: Template) -> None:
         """Repeatedly narrow a pre-registration as parameters become
         known (section 6.8.1)."""
+        self._index_remove(registration)
         registration.template = template
+        if registration.id in self._registrations:
+            self._index_add(registration)
 
     def retro_register(
         self, registration: Registration, since: float
@@ -150,12 +229,21 @@ class EventBroker:
             raise RegistrationError("registration is no longer active")
         self._expire_buffer()
         registration.live = True
-        replay = [
-            event
-            for event in self._buffer
-            if event.timestamp >= since
-            and registration.template.match(event) is not None
-        ]
+        if type(registration.template) is not Template:
+            # a custom template may match any event name: scan everything
+            candidates = [e for e in self._buffer if e.timestamp >= since]
+        else:
+            name_buffer = self._buffer_by_name.get(registration.template.name)
+            if name_buffer is None:
+                candidates = []
+            else:
+                candidates = name_buffer.tail_from(since)
+                self.stats.replay_skipped += len(name_buffer) - len(candidates)
+        replay = []
+        for event in candidates:
+            self.stats.replay_scanned += 1
+            if event.timestamp >= since and registration.template.match(event) is not None:
+                replay.append(event)
         for event in replay:
             self._notify(registration.session, event)
             self.stats.replayed += 1
@@ -165,16 +253,37 @@ class EventBroker:
 
     def signal(self, event: Event) -> int:
         """A service signals an event occurrence; returns notifications
-        initiated."""
+        initiated.
+
+        Only *candidate* registrations are examined: the bucket for the
+        event's type name plus, when the event has arguments, the
+        sub-bucket of templates pinned to that exact first argument."""
         if event.timestamp == 0.0 and self.clock.now() != 0.0:
             event = event.stamped(self.clock.now(), self.name)
         elif not event.source:
             event = event.stamped(event.timestamp or self.clock.now(), self.name)
         self.stats.events_signalled += 1
         self._buffer.append(event)
+        self._buffer_by_name.setdefault(event.name, _NameBuffer()).append(event)
         self._expire_buffer()
+        candidates: list[Registration] = []
+        if self._index_catchall:
+            candidates.extend(self._index_catchall.values())
+        generic = self._index_by_name.get(event.name)
+        if generic:
+            candidates.extend(generic.values())
+        if event.args:
+            literal = None
+            try:
+                literal = self._index_by_literal.get((event.name, event.args[0]))
+            except TypeError:
+                pass  # unhashable first argument: no literal bucket to probe
+            if literal:
+                candidates.extend(literal.values())
+        self.stats.routing_candidates += len(candidates)
+        self.stats.routing_skipped += len(self._registrations) - len(candidates)
         sent = 0
-        for registration in list(self._registrations.values()):
+        for registration in candidates:
             if not registration.live:
                 continue
             if registration.template.match(event) is None:
@@ -195,8 +304,37 @@ class EventBroker:
         now on carry stamps >= clock.now, so anything <= just-below-now
         can never arrive.  (Strictness matters: an event and a heartbeat
         in the same instant must not race.)"""
-        import math
         return math.nextafter(self.clock.now(), float("-inf"))
+
+    # -- routing index ---------------------------------------------------------------
+
+    def _index_add(self, registration: Registration) -> None:
+        if type(registration.template) is not Template:
+            self._index_catchall[registration.id] = registration
+            return
+        bucket = _bucket_of(registration.template)
+        if bucket is None:
+            table = self._index_by_name.setdefault(registration.template.name, {})
+        else:
+            table = self._index_by_literal.setdefault(bucket, {})
+        table[registration.id] = registration
+
+    def _index_remove(self, registration: Registration) -> None:
+        if self._index_catchall.pop(registration.id, None) is not None:
+            return
+        bucket = _bucket_of(registration.template)
+        if bucket is None:
+            table = self._index_by_name.get(registration.template.name)
+            key: Any = registration.template.name
+            index = self._index_by_name
+        else:
+            table = self._index_by_literal.get(bucket)
+            key = bucket
+            index = self._index_by_literal  # type: ignore[assignment]
+        if table is not None:
+            table.pop(registration.id, None)
+            if not table:
+                index.pop(key, None)
 
     # -- internals -------------------------------------------------------------------
 
@@ -225,7 +363,12 @@ class EventBroker:
     def _expire_buffer(self) -> None:
         cutoff = self.clock.now() - self.retention
         while self._buffer and self._buffer[0].timestamp < cutoff:
-            self._buffer.popleft()
+            event = self._buffer.popleft()
+            name_buffer = self._buffer_by_name.get(event.name)
+            if name_buffer is not None:
+                name_buffer.popleft_if(event)
+                if not name_buffer:
+                    del self._buffer_by_name[event.name]
 
     def _require_open(self, session: Session) -> None:
         if not session.open or session.id not in self._sessions:
@@ -234,3 +377,19 @@ class EventBroker:
     def buffered(self) -> int:
         self._expire_buffer()
         return len(self._buffer)
+
+
+def _bucket_of(template: Template) -> Optional[tuple[str, Any]]:
+    """The literal sub-bucket key for a template, or None for the generic
+    per-name bucket.  Only a hashable non-variable, non-wildcard first
+    parameter earns a literal bucket."""
+    if not template.params:
+        return None
+    first = template.params[0]
+    if first is WILDCARD or isinstance(first, (Var, type(WILDCARD))):
+        return None
+    try:
+        hash(first)
+    except TypeError:
+        return None
+    return (template.name, first)

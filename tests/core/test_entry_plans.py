@@ -1,0 +1,166 @@
+"""Compiled per-role entry plans (engine hot path).
+
+A plan restricts evaluation to statements whose head is the requested
+role or a transitive local condition of one.  These tests pin two
+properties: the restriction never changes *what* is granted, and the
+plan cache behaves (compiled once per role, invalidated on reload).
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.core.engine import CertDep, Membership, RoleEntryEngine
+from repro.core.rdl.parser import parse_rolefile
+from repro.core.rdl.typecheck import TypeChecker
+from repro.errors import EntryDenied
+from repro.runtime.clock import ManualClock
+
+
+def make_engine(source, service="S", external=None):
+    rolefile = parse_rolefile(source)
+    checker = TypeChecker(
+        rolefile,
+        resolver=lambda svc, role: (external or {}).get((svc, role)),
+    )
+    checker.check()
+
+    def signatures(svc, role):
+        if svc is None or svc == service:
+            try:
+                return checker.signature(role)
+            except Exception:
+                return None
+        return (external or {}).get((svc, role))
+
+    return RoleEntryEngine(rolefile, service, signatures)
+
+
+def membership(service, role, args, crr=1):
+    return Membership(
+        service=service, roles=frozenset({role}), args=args,
+        deps=(CertDep(service, crr),),
+    )
+
+
+CHAIN = """
+def Login(u)   u: string
+def Member(u)  u: string
+def Admin(u)   u: string
+def Decoy(n)   n: integer
+Member(u) <- Login(u)
+Admin(u)  <- Member(u)
+Decoy(n)  <-
+"""
+
+
+class TestPlanSemantics:
+    def test_transitive_intermediates_are_candidates(self):
+        engine = make_engine(CHAIN)
+        result = engine.evaluate(
+            "Admin", credentials=[membership("S", "Login", ("u1",))]
+        )
+        assert result.membership.roles == frozenset({"Admin"})
+        # Member(u) <- Login(u) had to run as an intermediate
+        assert {s.head.name for s in result.applied} == {"Member", "Admin"}
+
+    def test_unreachable_statements_are_skipped(self):
+        engine = make_engine(CHAIN)
+        engine.evaluate("Admin", credentials=[membership("S", "Login", ("u1",))])
+        # Decoy(n) <- is not in Admin's dependency closure
+        assert engine.stats.statements_skipped == 1
+        assert engine.stats.statements_considered == 2
+
+    def test_plan_restriction_matches_full_scan_on_denial(self):
+        engine = make_engine(CHAIN)
+        with pytest.raises(EntryDenied):
+            engine.evaluate("Admin", credentials=[membership("S", "Decoy", (1,))])
+
+    def test_plan_compiled_once_then_hit(self):
+        engine = make_engine(CHAIN)
+        creds = lambda: [membership("S", "Login", ("u1",))]
+        engine.evaluate("Admin", credentials=creds())
+        engine.evaluate("Admin", credentials=creds())
+        engine.evaluate("Admin", credentials=creds())
+        assert engine.stats.plans_compiled == 1
+        assert engine.stats.plan_hits == 2
+        assert engine.stats.evaluations == 3
+
+    def test_plans_are_per_role(self):
+        engine = make_engine(CHAIN)
+        engine.evaluate("Decoy", (7,))
+        engine.evaluate("Admin", credentials=[membership("S", "Login", ("u1",))])
+        assert engine.stats.plans_compiled == 2
+
+    def test_invalidate_plans_recompiles(self):
+        engine = make_engine(CHAIN)
+        engine.evaluate("Decoy", (7,))
+        engine.invalidate_plans()
+        engine.evaluate("Decoy", (7,))
+        assert engine.stats.plans_compiled == 2
+
+    def test_foreign_service_condition_not_pulled_into_closure(self):
+        """A condition on another service can only be satisfied by a
+        supplied credential, so statements producing that role name
+        locally must not be dragged in by name collision."""
+        external = {("T", "Remote"): [type("X", (), {})]}
+        engine = make_engine(
+            """
+def Entry(u)   u: string
+def Remote(u)  u: string
+Entry(u)  <- T.Remote(u)
+Remote(u) <-
+""",
+            external={("T", "Remote"): None},
+        )
+        with pytest.raises(EntryDenied):
+            engine.evaluate("Entry", ("u1",))
+        # the local Remote(u) <- statement is NOT a candidate for Entry
+        assert engine.stats.statements_skipped == 1
+
+
+class TestElectionFallback:
+    def test_delegation_requests_consider_all_statements(self):
+        """Election-form entry runs against the full statement list: the
+        delegation's required_roles may reference any local role."""
+        clock = ManualClock()
+        svc = OasisService("S", clock=clock)
+        svc.add_rolefile("main", """
+def Person(p)  p: string
+def Helper(p)  p: string
+Person(p) <-
+Helper(p) <- Person(p) <|* Person
+""")
+        boss = HostOS("h1").create_domain().client_id
+        boss_person = svc.enter_role(boss, "Person", ("boss",))
+        delegation, _ = svc.delegate(boss_person, "Helper", expires_in=50.0)
+        helper = HostOS("h2").create_domain().client_id
+        helper_person = svc.enter_role(helper, "Person", ("helper",))
+        engine = svc._rolefiles["main"].engine
+        skipped_before = engine.stats.statements_skipped
+        cert = svc.enter_delegated_role(
+            helper, delegation, credentials=(helper_person,)
+        )
+        assert cert.names_role("Helper")
+        # the election evaluation itself skipped nothing
+        assert engine.stats.statements_skipped == skipped_before
+
+
+class TestServiceReload:
+    def test_rolefile_reload_builds_fresh_plans(self):
+        clock = ManualClock()
+        svc = OasisService("S", clock=clock)
+        svc.add_rolefile("main", "def Anon(n)  n: integer\nAnon(n) <- ")
+        client = HostOS("h").create_domain().client_id
+        svc.enter_role(client, "Anon", (1,))
+        old_engine = svc._rolefiles["main"].engine
+        assert old_engine.stats.plans_compiled == 1
+        svc.add_rolefile(
+            "main",
+            "def Anon(n)  n: integer\ndef Extra(n)  n: integer\n"
+            "Anon(n) <- \nExtra(n) <- ",
+        )
+        new_engine = svc._rolefiles["main"].engine
+        assert new_engine is not old_engine
+        assert new_engine.stats.plans_compiled == 0
+        svc.enter_role(client, "Extra", (2,))
+        assert new_engine.stats.plans_compiled == 1

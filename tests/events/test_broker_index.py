@@ -1,0 +1,219 @@
+"""The signal() routing index and retro-replay buffer index.
+
+These pin the *semantics* of the indexed hot path: bucketing by event
+type with literal-first-parameter sub-buckets must never change which
+sessions are notified, only how many registrations are examined; the
+per-name replay index must honour the exact ``timestamp >= since``
+boundary and the retention window.
+"""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.events.broker import EventBroker
+from repro.events.model import WILDCARD, Event, Template, Var, template
+from repro.runtime.clock import ManualClock
+
+
+def make_broker(**kwargs):
+    clock = ManualClock(1.0)
+    return clock, EventBroker("P", clock=clock, **kwargs)
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event, horizon):
+        if event is not None:
+            self.events.append(event)
+
+
+class TestRoutingIndex:
+    def test_non_matching_names_never_examined(self):
+        clock, broker = make_broker()
+        session = broker.establish_session(Collector())
+        for i in range(50):
+            broker.register(session, template(f"Other{i}", WILDCARD))
+        got = Collector()
+        watcher = broker.establish_session(got)
+        broker.register(watcher, template("Hot", WILDCARD))
+        broker.signal(Event("Hot", (1,)))
+        assert [e.args for e in got.events] == [(1,)]
+        # only the Hot bucket was touched; the 50 decoys were skipped
+        assert broker.stats.routing_candidates == 1
+        assert broker.stats.routing_skipped == 50
+
+    def test_literal_first_param_subbucket(self):
+        clock, broker = make_broker()
+        sessions = []
+        for name in ("b1", "b2", "b3"):
+            got = Collector()
+            s = broker.establish_session(got)
+            broker.register(s, template("Seen", name, WILDCARD))
+            sessions.append(got)
+        broker.signal(Event("Seen", ("b2", "s1")))
+        assert [len(g.events) for g in sessions] == [0, 1, 0]
+        # only the ("Seen", "b2") sub-bucket was examined
+        assert broker.stats.routing_candidates == 1
+        assert broker.stats.routing_skipped == 2
+
+    def test_wildcard_and_var_templates_see_literal_events(self):
+        clock, broker = make_broker()
+        wild, var = Collector(), Collector()
+        broker.register(broker.establish_session(wild), template("Seen", WILDCARD))
+        broker.register(broker.establish_session(var), template("Seen", Var("x")))
+        broker.signal(Event("Seen", ("b1",)))
+        assert len(wild.events) == 1 and len(var.events) == 1
+
+    def test_unhashable_first_argument_routes_generically(self):
+        clock, broker = make_broker()
+        got = Collector()
+        broker.register(broker.establish_session(got), template("Odd", WILDCARD))
+        broker.signal(Event("Odd", ([1, 2],)))   # list: unhashable
+        assert len(got.events) == 1
+
+    def test_unhashable_literal_template_param_still_matches(self):
+        clock, broker = make_broker()
+        got = Collector()
+        broker.register(broker.establish_session(got), template("Odd", [1, 2]))
+        broker.signal(Event("Odd", ([1, 2],)))
+        broker.signal(Event("Odd", ([3],)))
+        assert [e.args for e in got.events] == [([1, 2],)]
+
+    def test_template_subclass_with_custom_match_is_catch_all(self):
+        class Anything(Template):
+            def __init__(self):
+                super().__init__("*", ())
+
+            def match(self, event, env=None):
+                return {}
+
+        clock, broker = make_broker()
+        got = Collector()
+        broker.register(broker.establish_session(got), Anything())
+        broker.signal(Event("Whatever", (1, 2)))
+        assert len(got.events) == 1
+
+    def test_deregister_removes_from_index(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        registration = broker.register(session, template("Seen", "b1"))
+        broker.deregister(registration)
+        broker.signal(Event("Seen", ("b1",)))
+        assert got.events == []
+        assert registration.id not in session.registrations
+
+    def test_close_session_drops_only_own_registrations(self):
+        clock, broker = make_broker()
+        keep, drop = Collector(), Collector()
+        keeper = broker.establish_session(keep)
+        leaver = broker.establish_session(drop)
+        broker.register(keeper, template("Seen", WILDCARD))
+        for i in range(10):
+            broker.register(leaver, template("Seen", WILDCARD))
+        broker.close_session(leaver)
+        broker.signal(Event("Seen", ("b1",)))
+        assert len(keep.events) == 1 and drop.events == []
+        assert leaver.registrations == set()
+        # the survivor is the only registration left to examine
+        assert broker.stats.routing_candidates == 1
+
+    def test_narrow_moves_between_buckets(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.register(session, template("Seen", WILDCARD))
+        broker.narrow(pre, template("Seen", "b2"))
+        broker.signal(Event("Seen", ("b1",)))
+        broker.signal(Event("Seen", ("b2",)))
+        assert [e.args for e in got.events] == [("b2",)]
+
+
+class TestRetroReplayBoundaries:
+    def test_event_at_exactly_since_is_replayed(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b")))
+        clock.advance(1.0)                     # t=2
+        broker.signal(Event("Seen", ("at",)))  # stamped exactly 2.0
+        clock.advance(0.5)
+        replay = broker.retro_register(pre, since=2.0)
+        assert [e.args for e in replay] == [("at",)]
+
+    def test_event_just_before_since_is_not_replayed(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b")))
+        clock.advance(1.0)                       # t=2
+        broker.signal(Event("Seen", ("old",)))
+        clock.advance(1.0)                       # t=3
+        broker.signal(Event("Seen", ("new",)))
+        replay = broker.retro_register(pre, since=2.5)
+        assert [e.args for e in replay] == [("new",)]
+
+    def test_events_expired_from_buffer_are_not_replayed(self):
+        clock = ManualClock(1.0)
+        broker = EventBroker("P", clock=clock, retention=5.0)
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b")))
+        broker.signal(Event("Seen", ("doomed",)))   # t=1
+        clock.advance(4.0)                          # t=5
+        broker.signal(Event("Seen", ("kept",)))
+        clock.advance(2.0)                          # t=7: 1 < 7-5 expires
+        replay = broker.retro_register(pre, since=0.0)
+        assert [e.args for e in replay] == [("kept",)]
+        assert broker.buffered() == 1
+
+    def test_narrow_after_preregistration_affects_replay(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b"), WILDCARD))
+        broker.signal(Event("Seen", ("b1", "s1")))
+        broker.signal(Event("Seen", ("b2", "s1")))
+        broker.narrow(pre, template("Seen", "b1", WILDCARD))
+        replay = broker.retro_register(pre, since=0.0)
+        assert [e.args for e in replay] == [("b1", "s1")]
+        assert [e.args for e in got.events] == [("b1", "s1")]
+        # after retro_register the narrowed registration is live
+        broker.signal(Event("Seen", ("b1", "s2")))
+        broker.signal(Event("Seen", ("b2", "s2")))
+        assert [e.args for e in got.events] == [("b1", "s1"), ("b1", "s2")]
+
+    def test_replay_index_skips_other_names(self):
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Rare", Var("x")))
+        for i in range(100):
+            broker.signal(Event("Common", (i,)))
+        broker.signal(Event("Rare", ("hit",)))
+        replay = broker.retro_register(pre, since=0.0)
+        assert [e.args for e in replay] == [("hit",)]
+        # the 100 Common events were never examined
+        assert broker.stats.replay_scanned == 1
+
+    def test_retro_register_on_dead_registration_raises(self):
+        clock, broker = make_broker()
+        session = broker.establish_session(Collector())
+        pre = broker.preregister(session, template("Seen", WILDCARD))
+        broker.close_session(session)
+        with pytest.raises(RegistrationError):
+            broker.retro_register(pre, since=0.0)
+
+    def test_out_of_order_stamps_fall_back_to_linear_scan(self):
+        """Explicitly-stamped events can regress; replay must stay exact."""
+        clock, broker = make_broker()
+        got = Collector()
+        session = broker.establish_session(got)
+        pre = broker.preregister(session, template("Seen", Var("b")))
+        clock.advance(9.0)  # t=10, retention 60 keeps everything
+        broker.signal(Event("Seen", ("late",), timestamp=8.0, source="x"))
+        broker.signal(Event("Seen", ("early",), timestamp=3.0, source="x"))
+        replay = broker.retro_register(pre, since=5.0)
+        assert [e.args for e in replay] == [("late",)]
