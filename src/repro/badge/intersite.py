@@ -13,6 +13,13 @@ informs the home site, which:
   servers to delete naming information that is no longer required, and
   available to monitoring applications;
 * tells the *previous* site the badge has left, so it deletes its copy.
+
+Two transports: the in-process :class:`SiteDirectory` path (direct
+method calls — the zero-delay limit used by single-machine tests), and
+:class:`SightingStream`, which carries the same protocol over the
+simulated network through batched, coalescing wire channels
+(:mod:`repro.runtime.wire`) — a badge sighted by ten sensors in one
+batch window reports home once, last-location-wins.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import OasisError
 from repro.events.model import EventType
+from repro.runtime import wire
+from repro.runtime.network import Message, Network
+from repro.runtime.wire import ChannelPool, WirePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.badge.site import Site
@@ -61,3 +71,88 @@ class SiteDirectory:
 
     def names(self) -> list[str]:
         return sorted(self._sites)
+
+
+class SightingStream:
+    """Fig 6.2 over the wire: batched badge traffic between sites.
+
+    Each participating site owns a stream endpoint ``badge:<name>``.
+    Foreign-badge sightings stream to the badge's home site through a
+    per-destination :class:`BatchedChannel`; repeated sightings of the
+    same badge within a batch window coalesce (only the last location
+    matters).  The home site applies :meth:`Site.badge_seen_at` on
+    delivery and streams naming information back, also batched; the
+    previous site's clean-up (``badge-left``) travels the same way.
+
+    Sites without a stream (or peers not yet connected) fall back to the
+    direct :class:`SiteDirectory` path transparently.
+    """
+
+    ADDRESS_PREFIX = "badge:"
+
+    def __init__(
+        self,
+        network: Network,
+        site: "Site",
+        policy: Optional[WirePolicy] = None,
+    ):
+        self.network = network
+        self.site = site
+        self.address = self.ADDRESS_PREFIX + site.name
+        self._pool = ChannelPool(network, self.address, policy=policy)
+        network.add_node(self.address, self._handle)
+        site.attach_stream(self)
+
+    @classmethod
+    def address_of(cls, site_name: str) -> str:
+        return cls.ADDRESS_PREFIX + site_name
+
+    def connects(self, site_name: str) -> bool:
+        """True if ``site_name`` has a stream endpoint on this network."""
+        return self.network.has_node(self.address_of(site_name))
+
+    def flush(self) -> None:
+        self._pool.flush_all()
+
+    # -- visited-site sends --------------------------------------------------
+
+    def report(self, badge_id: str, home_site_name: str) -> None:
+        """Stream a foreign-badge sighting to its home site."""
+        self._pool.to(self.address_of(home_site_name)).send(
+            "badge-seen",
+            {"badge": badge_id, "site": self.site.name},
+            coalesce_key=("seen", badge_id),
+        )
+
+    # -- home-site sends -----------------------------------------------------
+
+    def send_left(self, old_site_name: str, badge_id: str) -> None:
+        """Tell the previous site the badge has moved on (fig 6.2 b)."""
+        self._pool.to(self.address_of(old_site_name)).send(
+            "badge-left",
+            {"badge": badge_id},
+            coalesce_key=("left", badge_id),
+        )
+
+    # -- delivery ------------------------------------------------------------
+
+    def _handle(self, message: Message) -> None:
+        for msg in wire.unpack(message):
+            body = msg.payload
+            if msg.kind == "badge-seen":
+                info = self.site.badge_seen_at(body["badge"], body["site"])
+                self._pool.to(msg.source).send(
+                    "badge-naming",
+                    {"badge": info.badge, "home_site": info.home_site, "user": info.user},
+                    coalesce_key=("naming", info.badge),
+                )
+            elif msg.kind == "badge-left":
+                self.site.badge_left(body["badge"])
+            elif msg.kind == "badge-naming":
+                self.site.apply_naming(
+                    NamingInfo(
+                        badge=body["badge"],
+                        home_site=body["home_site"],
+                        user=body["user"],
+                    )
+                )

@@ -44,6 +44,7 @@ class Site:
         self._home_badges: dict[str, str] = {}      # badge -> user
         self._locations: dict[str, str] = {}        # home badge -> current site
         self._world: Optional[BadgeWorld] = None
+        self._stream = None                         # Optional[SightingStream]
         directory.register(self)
         session = self.cache.broker.establish_session(self._on_new_badge)
         self.cache.broker.register(session, template("NewBadge", Var("b")))
@@ -53,6 +54,17 @@ class Site:
     def attach_hardware(self, world: BadgeWorld) -> None:
         self._world = world
         world.attach_site(self.name, self.master.sighting)
+
+    def attach_stream(self, stream) -> None:
+        """Route inter-site badge traffic through a SightingStream
+        (batched wire messages) instead of direct directory calls."""
+        self._stream = stream
+
+    def apply_naming(self, info: NamingInfo) -> None:
+        """Record another site's naming disclosure for a foreign badge."""
+        self.namer.insert("BadgeSite", (info.badge, info.home_site))
+        if info.user is not None:
+            self.namer.insert("OwnsBadge", (info.user, info.badge))
 
     def register_home_badge(self, badge_id: str, user: str) -> None:
         """Issue a badge to a user of this site."""
@@ -85,11 +97,13 @@ class Site:
         if home_name == self.name:
             self.badge_seen_at(badge_id, self.name)
             return
+        if self._stream is not None and self._stream.connects(home_name):
+            # batched wire path: naming info streams back asynchronously
+            self._stream.report(badge_id, home_name)
+            return
         home = self.directory.lookup(home_name)
         info = home.badge_seen_at(badge_id, self.name)
-        self.namer.insert("BadgeSite", (badge_id, home_name))
-        if info.user is not None:
-            self.namer.insert("OwnsBadge", (info.user, badge_id))
+        self.apply_naming(info)
 
     def badge_seen_at(self, badge_id: str, site_name: str) -> NamingInfo:
         """Called (remotely) on the *home* site: record the new location,
@@ -99,7 +113,10 @@ class Site:
             self._locations[badge_id] = site_name
             self.broker.signal(MOVED_SITE.make(badge_id, old, site_name))
             if old != self.name:
-                self.directory.lookup(old).badge_left(badge_id)
+                if self._stream is not None and self._stream.connects(old):
+                    self._stream.send_left(old, badge_id)
+                else:
+                    self.directory.lookup(old).badge_left(badge_id)
         user = self._home_badges.get(badge_id) if self.publish_owners else None
         return NamingInfo(badge=badge_id, home_site=self.name, user=user)
 

@@ -397,12 +397,26 @@ class CredentialRecordTable:
 
     def update_external(self, service: str, remote_ref: int, state: RecordState) -> None:
         """Apply a Modified(CRR, newstate) notification from ``service``."""
-        refs = [
-            row.ref
+        self.update_external_many(service, [(remote_ref, state)])
+
+    def update_external_many(
+        self, service: str, updates: Iterable[tuple[int, RecordState]]
+    ) -> None:
+        """Apply a batch of Modified notifications from ``service`` in one
+        settling cascade.  Later entries for the same remote record win
+        (the wire layer's last-state-wins coalescing, applied again here
+        so a batch is atomic regardless of how it was packed)."""
+        latest: dict[int, RecordState] = {}
+        for remote_ref, state in updates:
+            latest[remote_ref] = state
+        if not latest:
+            return
+        batch = [
+            (row.ref, latest[row.external_ref])
             for index in self._externals_by_service.get(service, ())
-            if (row := self._rows[index]) is not None and row.external_ref == remote_ref
+            if (row := self._rows[index]) is not None and row.external_ref in latest
         ]
-        self.set_states([(ref, state) for ref in refs])
+        self.set_states(batch)
 
     def mark_service_unknown(self, service: str) -> int:
         """Heartbeat from ``service`` missed: all its surrogates -> UNKNOWN.

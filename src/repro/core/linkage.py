@@ -13,6 +13,16 @@ Two implementations:
   delay and optional heartbeat monitoring.  A missed heartbeat marks every
   surrogate of the silent service Unknown (fail closed), exactly as
   section 4.10 prescribes; on reconnection the true states are re-read.
+
+``SimLinkage`` routes all of its traffic through the wire-efficiency
+layer (:mod:`repro.runtime.wire`): change notifications batch per
+destination and coalesce last-state-wins per ``(issuer, ref)``, so a
+revocation cascade touching 10k surrogates subscribed by one peer ships
+as a handful of messages rather than 10k.  Fail-closed ordering is
+preserved: the wire layer never delays a record's *final* state past the
+flush deadline, a whole batch settles in a single receiving-side cascade
+(:meth:`CredentialRecords.update_external_many`), and the reconnection
+re-read flushes the issuer's queue before any surrogate leaves Unknown.
 """
 
 from __future__ import annotations
@@ -21,8 +31,10 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.credentials import RecordState
 from repro.errors import OasisError
+from repro.runtime import wire
 from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender
 from repro.runtime.network import Network
+from repro.runtime.wire import BatchedChannel, ChannelPool, WirePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.service import OasisService
@@ -72,16 +84,20 @@ class LocalLinkage(Linkage):
 class SimLinkage(Linkage):
     """Delivery over the simulated network.
 
-    Each attached service gets a network node ``oasis:<name>``.  Modified
-    events travel as network messages and arrive after link delay; optional
-    heartbeat pairs (created with :meth:`monitor`) drive Unknown marking.
+    Each attached service gets a network node ``oasis:<name>`` and a
+    :class:`ChannelPool` of batched per-destination channels.  Modified
+    events travel as coalesced wire batches and arrive after link delay;
+    optional heartbeat pairs (created with :meth:`monitor`) drive Unknown
+    marking and piggyback on data batches.
     """
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network, policy: Optional[WirePolicy] = None):
         self.network = network
+        self.policy = policy or WirePolicy()
         self._services: dict[str, "OasisService"] = {}
         self._monitors: dict[tuple[str, str], HeartbeatMonitor] = {}
         self._senders: dict[tuple[str, str], HeartbeatSender] = {}
+        self._pools: dict[str, ChannelPool] = {}
         self.notifications = 0
 
     @staticmethod
@@ -90,60 +106,88 @@ class SimLinkage(Linkage):
 
     def attach(self, service: "OasisService") -> None:
         self._services[service.name] = service
-        self.network.add_node(self.address_of(service.name), self._make_handler(service))
+        address = self.address_of(service.name)
+        self.network.add_node(address, self._make_handler(service))
+        self._pools[service.name] = ChannelPool(self.network, address, policy=self.policy)
+
+    def channel(self, source_name: str, dest_name: str) -> BatchedChannel:
+        """The batched channel carrying ``source_name``'s traffic to
+        ``dest_name`` (created on first use)."""
+        return self._pools[source_name].to(self.address_of(dest_name))
+
+    def flush_all(self) -> None:
+        """Put every queued notification on the wire now."""
+        for pool in self._pools.values():
+            pool.flush_all()
 
     def _make_handler(self, service: "OasisService"):
+        address = self.address_of(service.name)
+
         def handler(message):
-            if message.kind == "modified":
-                body = message.payload
-                self.notifications += 1
-                service.credentials.update_external(body["issuer"], body["ref"], RecordState(body["state"]))
-            elif message.kind == "subscribe":
-                body = message.payload
-                service.credentials.subscribe(body["ref"], body["subscriber"])
-                state = service.credentials.state_of(body["ref"])
-                self.network.send(
-                    self.address_of(service.name),
-                    message.source,
-                    "modified",
-                    {"issuer": service.name, "ref": body["ref"], "state": state.value},
-                )
-            elif message.kind in ("heartbeat", "heartbeat-payload"):
-                monitor = self._monitors.get((message.source, self.address_of(service.name)))
+            hb = wire.heartbeat_of(message)
+            if hb is not None:
+                monitor = self._monitors.get((message.source, address))
                 if monitor is not None:
-                    monitor.handle_message(message.kind, message.payload)
-            elif message.kind == "heartbeat-ack":
-                sender = self._senders.get((self.address_of(service.name), message.source))
-                if sender is not None:
-                    sender.handle_ack(message.payload["ack"])
-            elif message.kind == "heartbeat-nack":
-                sender = self._senders.get((self.address_of(service.name), message.source))
-                if sender is not None:
-                    sender.handle_nack(message.payload["missing"])
+                    monitor.handle_message("heartbeat", hb)
+            # apply all Modified notifications in a batch as ONE cascade
+            # per issuer: a 10k-surrogate revocation settles once, not
+            # 10k times
+            modified: dict[str, list[tuple[int, RecordState]]] = {}
+            for msg in wire.unpack(message):
+                kind, body = msg.kind, msg.payload
+                if kind == "modified":
+                    self.notifications += 1
+                    modified.setdefault(body["issuer"], []).append(
+                        (body["ref"], RecordState(body["state"]))
+                    )
+                elif kind == "subscribe":
+                    service.credentials.subscribe(body["ref"], body["subscriber"])
+                    state = service.credentials.state_of(body["ref"])
+                    # the reply resolves a fail-closed Unknown surrogate:
+                    # urgent, never held for a batch window
+                    self._pools[service.name].to(message.source).send(
+                        "modified",
+                        {"issuer": service.name, "ref": body["ref"], "state": state.value},
+                        coalesce_key=("modified", service.name, body["ref"]),
+                        urgent=True,
+                    )
+                elif kind in ("heartbeat", "heartbeat-payload", "heartbeat-fillers"):
+                    monitor = self._monitors.get((message.source, address))
+                    if monitor is not None:
+                        monitor.handle_message(kind, body)
+                elif kind == "heartbeat-ack":
+                    sender = self._senders.get((address, message.source))
+                    if sender is not None:
+                        sender.handle_ack(body["ack"])
+                elif kind == "heartbeat-nack":
+                    sender = self._senders.get((address, message.source))
+                    if sender is not None:
+                        sender.handle_nack(body["missing"])
+            for issuer_name, updates in modified.items():
+                service.credentials.update_external_many(issuer_name, updates)
 
         return handler
 
     def subscribe(self, subscriber: "OasisService", issuer_name: str, remote_ref: int) -> RecordState:
         # Subscription is asynchronous on the real network; the surrogate
         # starts Unknown and is resolved by the issuer's state reply.
-        self.network.send(
-            self.address_of(subscriber.name),
-            self.address_of(issuer_name),
+        self._pools[subscriber.name].to(self.address_of(issuer_name)).send(
             "subscribe",
             {"ref": remote_ref, "subscriber": subscriber.name},
+            urgent=True,
         )
         return RecordState.UNKNOWN
 
     def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
-        for name in subscribers:
+        pool = self._pools[issuer.name]
+        for name in sorted(subscribers):
             if name not in self._services:
                 continue
             self.notifications += 1
-            self.network.send(
-                self.address_of(issuer.name),
-                self.address_of(name),
+            pool.to(self.address_of(name)).send(
                 "modified",
                 {"issuer": issuer.name, "ref": ref, "state": state.value},
+                coalesce_key=("modified", issuer.name, ref),
             )
 
     def monitor(
@@ -154,7 +198,10 @@ class SimLinkage(Linkage):
         grace: float = 2.0,
     ) -> tuple[HeartbeatSender, HeartbeatMonitor]:
         """Create a heartbeat pair so ``subscriber`` detects ``issuer``
-        silence and fails closed, then re-reads state on restore."""
+        silence and fails closed, then re-reads state on restore.
+
+        The sender piggybacks on the issuer's data channel: while data
+        flows, no standalone heartbeats are sent."""
         issuer_addr = self.address_of(issuer.name)
         subscriber_addr = self.address_of(subscriber.name)
 
@@ -163,6 +210,10 @@ class SimLinkage(Linkage):
             subscriber.credentials.mark_service_unknown(issuer.name)
 
         def on_restore():
+            # flush-before-unmask: anything still queued at the issuer
+            # must be on the wire before surrogates leave Unknown, so a
+            # queued revocation cannot be masked by the re-read
+            self._pools[issuer.name].to(subscriber_addr).flush()
             # re-read every surrogate's true state from the issuer and
             # settle the whole batch in a single cascade
             updates = []
@@ -183,5 +234,7 @@ class SimLinkage(Linkage):
         )
         self._senders[(issuer_addr, subscriber_addr)] = sender
         self._monitors[(issuer_addr, subscriber_addr)] = monitor
+        # data batches from issuer to subscriber now carry the heartbeat
+        self._pools[issuer.name].to(subscriber_addr).attach_heartbeat(sender)
         sender.start()
         return sender, monitor

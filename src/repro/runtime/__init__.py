@@ -5,15 +5,18 @@ This package replaces that substrate with a deterministic discrete-event
 simulation: virtual time (:mod:`repro.runtime.simulator`), per-node clocks
 with configurable drift (:mod:`repro.runtime.clock`), a message-passing
 network with per-link delay/loss/partitions (:mod:`repro.runtime.network`),
-an RPC layer (:mod:`repro.runtime.rpc`) and the heartbeat failure-detection
-protocol of section 4.10 (:mod:`repro.runtime.heartbeat`).
+an RPC layer (:mod:`repro.runtime.rpc`), the heartbeat failure-detection
+protocol of section 4.10 (:mod:`repro.runtime.heartbeat`) and the
+wire-efficiency layer of batched, coalescing per-destination channels
+(:mod:`repro.runtime.wire`).
 """
 
 from repro.runtime.clock import Clock, DriftingClock, ManualClock, SimClock
 from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender
-from repro.runtime.network import Link, Message, Network, Node
+from repro.runtime.network import Link, Message, Network, NetworkStats, Node
 from repro.runtime.rpc import RpcEndpoint, RpcError, RpcFuture
 from repro.runtime.simulator import Simulator
+from repro.runtime.wire import BatchedChannel, ChannelPool, WirePolicy
 
 __all__ = [
     "Clock",
@@ -30,4 +33,8 @@ __all__ = [
     "RpcError",
     "HeartbeatSender",
     "HeartbeatMonitor",
+    "NetworkStats",
+    "BatchedChannel",
+    "ChannelPool",
+    "WirePolicy",
 ]

@@ -33,7 +33,8 @@ from repro.runtime.simulator import Simulator
 
 @dataclass
 class HeartbeatStats:
-    heartbeats_sent: int = 0
+    heartbeats_sent: int = 0      # standalone (bare) heartbeat messages
+    piggybacked: int = 0          # heartbeats carried by data batches
     payloads_sent: int = 0
     acks_sent: int = 0
     resends: int = 0
@@ -102,23 +103,42 @@ class HeartbeatSender:
             del self._unacked[seq]
 
     def handle_nack(self, missing: list[int]) -> None:
-        """Resend specific lost sequence numbers."""
+        """Resend specific lost sequence numbers.
+
+        Lost payloads are retransmitted individually (they carry state);
+        lost bare heartbeats only exist to close sequence gaps, so all of
+        them in one nack ride a single ``heartbeat-fillers`` message.
+        """
+        fillers: list[int] = []
         for seq in missing:
             record = self._unacked.get(seq)
             if record is not None:
                 self.stats.resends += 1
                 self._transmit(record)
             elif 0 < seq <= self._seq:
-                # the lost message was a bare heartbeat: resend it as a
-                # filler so the receiver can close the gap and resume
-                # in-order payload delivery
-                self.stats.resends += 1
-                self.network.send(
-                    self.address,
-                    self.dest,
-                    "heartbeat",
-                    {"seq": seq, "horizon": self._horizon()},
-                )
+                fillers.append(seq)
+        if fillers:
+            self.stats.resends += len(fillers)
+            self.network.send(
+                self.address,
+                self.dest,
+                "heartbeat-fillers",
+                {"seqs": fillers, "horizon": self._horizon()},
+                payload_count=len(fillers),
+            )
+
+    def piggyback(self) -> dict:
+        """Stamp a departing data batch with this sender's liveness.
+
+        Allocates a real sequence number — so a lost batch is detected
+        exactly like a lost heartbeat — and resets the bare-heartbeat
+        timer: on a busy link the data itself is the liveness signal and
+        no standalone heartbeats are sent.
+        """
+        self._seq += 1
+        self._last_sent_at = self.sim.now
+        self.stats.piggybacked += 1
+        return {"seq": self._seq, "horizon": self._horizon()}
 
     def _transmit(self, record: _Outgoing) -> None:
         self._last_sent_at = self.sim.now
@@ -132,7 +152,8 @@ class HeartbeatSender:
     def _tick(self) -> None:
         if not self._running:
             return
-        if self.sim.now - self._last_sent_at >= self.period - 1e-12:
+        due = self._last_sent_at + self.period
+        if self.sim.now >= due - 1e-12:
             self._seq += 1
             self.stats.heartbeats_sent += 1
             self._last_sent_at = self.sim.now
@@ -142,7 +163,12 @@ class HeartbeatSender:
                 "heartbeat",
                 {"seq": self._seq, "horizon": self._horizon()},
             )
-        self.sim.schedule(self.period, self._tick, name=f"hb:{self.name}")
+            self.sim.schedule(self.period, self._tick, name=f"hb:{self.name}")
+        else:
+            # a piggybacked batch (or payload) covered liveness recently;
+            # wake exactly when its quiet interval expires so the gap
+            # between signals never exceeds one period
+            self.sim.schedule(due - self.sim.now, self._tick, name=f"hb:{self.name}")
 
 
 class HeartbeatMonitor:
@@ -202,9 +228,31 @@ class HeartbeatMonitor:
         return self._suspect
 
     def handle_message(self, kind: str, body: dict) -> None:
-        """Feed a 'heartbeat' or 'heartbeat-payload' message body in."""
+        """Feed a 'heartbeat', 'heartbeat-payload' or 'heartbeat-fillers'
+        message body in (piggybacked batch heartbeats arrive as plain
+        'heartbeat' bodies)."""
         self._heard()
-        seq = body["seq"]
+        seqs = list(body["seqs"]) if kind == "heartbeat-fillers" else [body["seq"]]
+        for seq in seqs:
+            self._note_seq(kind, seq, body)
+        self._drain()
+        horizon = body.get("horizon", float("-inf"))
+        if horizon > self.horizon:
+            self.horizon = horizon
+            if self.on_horizon is not None:
+                self.on_horizon(horizon)
+        self._since_ack += len(seqs)
+        if self._since_ack >= self.ack_every:
+            self._since_ack = 0
+            self.stats.acks_sent += 1
+            # ack only the last *contiguous* sequence number: anything
+            # beyond a gap must stay in the sender's buffer so a pending
+            # nack can still be honoured
+            self.network.send(
+                self.address, self.source, "heartbeat-ack", {"ack": self._contiguous}
+            )
+
+    def _note_seq(self, kind: str, seq: int, body: dict) -> None:
         if seq > self._max_seen + 1:
             # a previous message was lost or is still in flight
             self.stats.gaps_detected += 1
@@ -219,22 +267,6 @@ class HeartbeatMonitor:
             while self._contiguous + 1 in self._received:
                 self._contiguous += 1
                 self._received.remove(self._contiguous)
-        self._drain()
-        horizon = body.get("horizon", float("-inf"))
-        if horizon > self.horizon:
-            self.horizon = horizon
-            if self.on_horizon is not None:
-                self.on_horizon(horizon)
-        self._since_ack += 1
-        if self._since_ack >= self.ack_every:
-            self._since_ack = 0
-            self.stats.acks_sent += 1
-            # ack only the last *contiguous* sequence number: anything
-            # beyond a gap must stay in the sender's buffer so a pending
-            # nack can still be honoured
-            self.network.send(
-                self.address, self.source, "heartbeat-ack", {"ack": self._contiguous}
-            )
 
     def _drain(self) -> None:
         # deliver strictly in sequence order, holding at the first
@@ -299,7 +331,7 @@ def connect_heartbeat(
             sender.handle_nack(message.payload["missing"])
 
     def monitor_node(message):
-        if message.kind in ("heartbeat", "heartbeat-payload"):
+        if message.kind in ("heartbeat", "heartbeat-payload", "heartbeat-fillers"):
             monitor.handle_message(message.kind, message.payload)
 
     network.add_node(sender_address, sender_node)

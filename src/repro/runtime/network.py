@@ -9,6 +9,13 @@ This substrate replaces the real network the dissertation's implementation
 ran on; every cross-service interaction in the distributed experiments
 (credential-record change notifications, heartbeats, badge sightings)
 travels through it.
+
+Accounting: every send updates a :class:`NetworkStats` on the fabric and a
+per-directed-link copy, so experiments can assert message-count and
+byte-count reductions (the wire-efficiency layer of
+:mod:`repro.runtime.wire` batches many payloads into one message; the
+``payload_count`` argument to :meth:`Network.send` keeps the payload tally
+honest).
 """
 
 from __future__ import annotations
@@ -21,6 +28,53 @@ from repro.errors import NetworkError
 from repro.runtime.simulator import Simulator
 
 MessageHandler = Callable[["Message"], None]
+LinkDownCallback = Callable[[str, str], None]
+
+# Fixed per-message overhead in the bytes-in-spirit model: addresses,
+# kind, sequence number — the part of the wire cost that batching
+# amortises across payloads.
+MESSAGE_HEADER_BYTES = 24
+
+
+def approx_size(payload: Any) -> int:
+    """Bytes-in-spirit of a payload: what a compact encoding would cost.
+
+    Deterministic and cheap; not a real serialiser.  Used for the
+    ``bytes_sent`` counters so benchmarks can compare wire volume.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, dict):
+        return 2 + sum(approx_size(k) + approx_size(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 2 + sum(approx_size(item) for item in payload)
+    return len(repr(payload))
+
+
+@dataclass
+class NetworkStats:
+    """Counter surface for wire-efficiency experiments.
+
+    One instance lives on the :class:`Network`; another per directed link
+    (see :meth:`Network.link_stats`).  ``payloads_carried`` counts the
+    application payloads inside messages (a batch of 50 notifications is
+    one message, 50 payloads); ``coalesced`` counts payloads that never
+    hit the wire because a later payload superseded them in a batch
+    window (last-state-wins).
+    """
+
+    messages_sent: int = 0
+    payloads_carried: int = 0
+    bytes_sent: int = 0
+    coalesced: int = 0
+    dropped_by_loss: int = 0
+    dropped_while_down: int = 0
 
 
 @dataclass(frozen=True)
@@ -57,9 +111,10 @@ class Link:
 class Node:
     """A network endpoint: an address plus a message handler."""
 
-    def __init__(self, address: str, handler: MessageHandler):
+    def __init__(self, address: str, handler: MessageHandler, network: Optional["Network"] = None):
         self.address = address
         self.handler = handler
+        self.network = network
         self.up = True
         self.received = 0
         self.dropped_while_down = 0
@@ -67,6 +122,9 @@ class Node:
     def deliver(self, message: Message) -> None:
         if not self.up:
             self.dropped_while_down += 1
+            if self.network is not None:
+                self.network.stats.dropped_while_down += 1
+                self.network.link_stats(message.source, self.address).dropped_while_down += 1
             return
         self.received += 1
         self.handler(message)
@@ -104,16 +162,30 @@ class Network:
             loss_probability=default_loss,
         )
         self._seq = 0
-        self.messages_sent = 0
-        self.messages_lost = 0
-        self.bytes_sent = 0
+        self.stats = NetworkStats()
+        self._link_stats: dict[tuple[str, str], NetworkStats] = {}
+        self._link_down_callbacks: list[LinkDownCallback] = []
+
+    # -- legacy counter aliases ---------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        return self.stats.messages_sent
+
+    @property
+    def messages_lost(self) -> int:
+        return self.stats.dropped_by_loss + self.stats.dropped_while_down
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.stats.bytes_sent
 
     # -- topology -----------------------------------------------------------
 
     def add_node(self, address: str, handler: MessageHandler) -> Node:
         if address in self._nodes:
             raise NetworkError(f"duplicate node address {address!r}")
-        node = Node(address, handler)
+        node = Node(address, handler, network=self)
         self._nodes[address] = node
         return node
 
@@ -131,17 +203,44 @@ class Network:
 
     def set_link(self, source: str, dest: str, link: Link) -> None:
         """Set properties for the directed link source -> dest."""
+        was_up = self.link(source, dest).up
         self._links[(source, dest)] = link
+        if was_up and not link.up:
+            self._notify_link_down(source, dest)
 
     def link(self, source: str, dest: str) -> Link:
         return self._links.get((source, dest), self._default)
+
+    def link_stats(self, source: str, dest: str) -> NetworkStats:
+        """Per-directed-link counters (created on first use)."""
+        key = (source, dest)
+        stats = self._link_stats.get(key)
+        if stats is None:
+            stats = self._link_stats[key] = NetworkStats()
+        return stats
+
+    def on_link_down(self, callback: LinkDownCallback) -> None:
+        """Register ``callback(source, dest)`` for up->down transitions.
+
+        Fired by :meth:`partition` and by :meth:`set_link` when a live
+        link is replaced by a dead one.  Endpoints use this to fail
+        pending requests promptly instead of waiting out a timeout.
+        """
+        self._link_down_callbacks.append(callback)
+
+    def _notify_link_down(self, source: str, dest: str) -> None:
+        for callback in self._link_down_callbacks:
+            callback(source, dest)
 
     def partition(self, group_a: set[str], group_b: set[str]) -> None:
         """Cut all links between two groups of addresses (both directions)."""
         for a in group_a:
             for b in group_b:
-                self._link_mut(a, b).up = False
-                self._link_mut(b, a).up = False
+                for source, dest in ((a, b), (b, a)):
+                    link = self._link_mut(source, dest)
+                    if link.up:
+                        link.up = False
+                        self._notify_link_down(source, dest)
 
     def heal(self, group_a: set[str], group_b: set[str]) -> None:
         """Restore links previously cut by :meth:`partition`."""
@@ -163,12 +262,27 @@ class Network:
 
     # -- transmission -------------------------------------------------------
 
-    def send(self, source: str, dest: str, kind: str, payload: Any) -> Optional[Message]:
+    def note_coalesced(self, source: str, dest: str, count: int = 1) -> None:
+        """Record payloads elided before send (wire-layer coalescing)."""
+        self.stats.coalesced += count
+        self.link_stats(source, dest).coalesced += count
+
+    def send(
+        self,
+        source: str,
+        dest: str,
+        kind: str,
+        payload: Any,
+        payload_count: int = 1,
+    ) -> Optional[Message]:
         """Send a message; returns it, or None if it was lost/partitioned.
 
         Loss and partitions are silent to the sender, as on a real datagram
         network; reliability is the application's problem (which is the
         whole point of the heartbeat protocol of section 4.10).
+
+        ``payload_count`` is the number of application payloads inside the
+        message (> 1 for wire-layer batches); it only affects accounting.
         """
         if dest not in self._nodes:
             raise NetworkError(f"no node at address {dest!r}")
@@ -181,13 +295,22 @@ class Network:
             sent_at=self.simulator.now,
             seq=self._seq,
         )
-        self.messages_sent += 1
+        per_link = self.link_stats(source, dest)
+        size = MESSAGE_HEADER_BYTES + approx_size(payload)
+        self.stats.messages_sent += 1
+        self.stats.payloads_carried += payload_count
+        self.stats.bytes_sent += size
+        per_link.messages_sent += 1
+        per_link.payloads_carried += payload_count
+        per_link.bytes_sent += size
         link = self.link(source, dest)
         if not link.up:
-            self.messages_lost += 1
+            self.stats.dropped_while_down += 1
+            per_link.dropped_while_down += 1
             return None
         if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
-            self.messages_lost += 1
+            self.stats.dropped_by_loss += 1
+            per_link.dropped_by_loss += 1
             return None
         delay = link.sample_delay(self._rng)
         node = self._nodes[dest]

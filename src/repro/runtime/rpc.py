@@ -24,10 +24,18 @@ class RpcError(OasisError):
     """An RPC failed: remote exception, timeout, or unknown method."""
 
 
+# Default virtual-seconds bound on any call: a reply lost to link loss or
+# a partition must never leave its _PendingCall in the endpoint forever.
+DEFAULT_TIMEOUT = 60.0
+
+_UNSET: Any = object()
+
+
 @dataclass
 class _PendingCall:
     future: "RpcFuture"
     timeout_handle: Any
+    dest: str
 
 
 class RpcFuture:
@@ -90,14 +98,21 @@ class RpcEndpoint:
     5
     """
 
-    def __init__(self, network: Network, address: str):
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        default_timeout: Optional[float] = DEFAULT_TIMEOUT,
+    ):
         self.network = network
         self.address = address
+        self.default_timeout = default_timeout
         self._methods: dict[str, RpcHandler] = {}
         self._pending: dict[int, _PendingCall] = {}
         self._call_seq = 0
         self._event_handlers: dict[str, Callable[[str, Any], None]] = {}
         network.add_node(address, self._on_message)
+        network.on_link_down(self._on_link_down)
 
     # -- server side ---------------------------------------------------------
 
@@ -112,19 +127,26 @@ class RpcEndpoint:
         dest: str,
         method: str,
         *args: Any,
-        timeout: Optional[float] = None,
+        timeout: Optional[float] = _UNSET,
         **kwargs: Any,
     ) -> RpcFuture:
-        """Invoke ``method`` on the endpoint at ``dest``."""
+        """Invoke ``method`` on the endpoint at ``dest``.
+
+        Unless a ``timeout`` is given, the endpoint's ``default_timeout``
+        applies; pass ``timeout=None`` explicitly to wait forever (the
+        call still fails fast if the network reports the link down).
+        """
         self._call_seq += 1
         call_id = self._call_seq
         future = RpcFuture()
+        if timeout is _UNSET:
+            timeout = self.default_timeout
         timeout_handle = None
         if timeout is not None:
             timeout_handle = self.network.simulator.schedule(
                 timeout, self._on_timeout, call_id, name="rpc-timeout"
             )
-        self._pending[call_id] = _PendingCall(future, timeout_handle)
+        self._pending[call_id] = _PendingCall(future, timeout_handle, dest)
         try:
             self.network.send(
                 self.address,
@@ -187,3 +209,22 @@ class RpcEndpoint:
 
     def _on_timeout(self, call_id: int) -> None:
         self._resolve(call_id, error="timeout")
+
+    def _on_link_down(self, source: str, dest: str) -> None:
+        # Either direction dying dooms the exchange: the request cannot
+        # reach the server, or its reply cannot come back.  Fail the
+        # affected pending calls now rather than leaking them (or making
+        # the caller wait out the full timeout).
+        if self.address == source:
+            broken = dest
+        elif self.address == dest:
+            broken = source
+        else:
+            return
+        doomed = [
+            call_id
+            for call_id, pending in self._pending.items()
+            if pending.dest == broken
+        ]
+        for call_id in doomed:
+            self._resolve(call_id, error=f"link down: {self.address} <-> {broken}")

@@ -1,0 +1,236 @@
+"""Wire-efficiency layer: batched, coalescing per-destination channels.
+
+OASIS's scalability story rests on cheap cross-service coherence
+(sections 4.9-4.10): credential-state notifications, heartbeats and badge
+sightings all cross service boundaries.  Sent naively that is one message
+per item — a revocation cascade touching 10k surrogates emits 10k
+notifications.  A :class:`BatchedChannel` sits between senders and
+:meth:`Network.send` and amortises the per-message cost:
+
+* **batching** — payloads queue and flush as one envelope, either when
+  ``max_batch`` payloads are pending or ``max_delay`` virtual seconds
+  after the first enqueue, whichever comes first.  ``max_delay=0`` still
+  batches: the flush runs as a zero-delay simulator event, after the
+  enqueuing cascade finishes but before any later-time event, so a whole
+  revocation cascade ships as one message with zero added latency.
+* **coalescing** — a payload sent with a ``coalesce_key`` supersedes any
+  pending payload with the same key (last-state-wins).  A credential
+  record that flips TRUE -> UNKNOWN -> FALSE inside one batch window
+  sends one message carrying FALSE, not three.
+* **heartbeat piggybacking** — a channel with an attached
+  :class:`~repro.runtime.heartbeat.HeartbeatSender` stamps each departing
+  batch with a real heartbeat (sequence number + event horizon) and
+  resets the bare-heartbeat timer, so on a busy link the only liveness
+  traffic is the data itself.
+
+Ordering invariants (the "careful" part):
+
+* payloads flush in enqueue order; coalescing updates a pending payload
+  in place, so the *final* state is never delayed past the flush
+  deadline and never reordered after later-enqueued keys' first send;
+* an explicit :meth:`BatchedChannel.flush` empties the queue *now* —
+  callers must flush before any state transition that could mask an
+  undelivered revocation (fail-closed, PR 1 semantics);
+* ``max_delay`` should stay below the consumer's heartbeat period so a
+  queued notification always hits the wire before liveness machinery can
+  declare the link quiet and re-read around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.runtime.network import Message, Network
+from repro.runtime.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.heartbeat import HeartbeatSender
+
+BATCH_KIND = "wire-batch"
+
+
+@dataclass(frozen=True)
+class WirePolicy:
+    """Flush policy for a :class:`BatchedChannel`.
+
+    ``max_batch`` — flush when this many payloads are pending.
+    ``max_delay`` — flush this many virtual seconds after the first
+    payload of a batch was enqueued (0 = next simulator event at the
+    same virtual time).
+    """
+
+    max_batch: int = 64
+    max_delay: float = 0.0
+
+
+@dataclass
+class ChannelStats:
+    sends: int = 0                  # payloads accepted
+    coalesced: int = 0              # payloads superseded before flush
+    batches: int = 0                # envelopes put on the wire
+    explicit_flushes: int = 0
+    piggybacked_heartbeats: int = 0
+
+
+class BatchedChannel:
+    """A per-destination batching/coalescing front for ``Network.send``."""
+
+    def __init__(
+        self,
+        network: Network,
+        source: str,
+        dest: str,
+        policy: Optional[WirePolicy] = None,
+        heartbeat: Optional["HeartbeatSender"] = None,
+    ):
+        self.network = network
+        self.sim: Simulator = network.simulator
+        self.source = source
+        self.dest = dest
+        self.policy = policy or WirePolicy()
+        self.stats = ChannelStats()
+        self._heartbeat = heartbeat
+        self._pending: list[dict[str, Any]] = []
+        self._keyed: dict[Any, dict[str, Any]] = {}
+        self._flush_handle: Any = None
+
+    def attach_heartbeat(self, sender: "HeartbeatSender") -> None:
+        """Piggyback ``sender``'s liveness on every departing batch."""
+        self._heartbeat = sender
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def send(
+        self,
+        kind: str,
+        payload: Any,
+        coalesce_key: Any = None,
+        urgent: bool = False,
+    ) -> None:
+        """Queue one payload for the destination.
+
+        With a ``coalesce_key``, a pending payload under the same key is
+        superseded in place (last-state-wins).  ``urgent=True`` flushes
+        immediately after enqueue — for latency-critical sends that must
+        not wait out the batch window.
+        """
+        if coalesce_key is not None:
+            pending = self._keyed.get(coalesce_key)
+            if pending is not None:
+                pending["kind"] = kind
+                pending["payload"] = payload
+                self.stats.coalesced += 1
+                self.network.note_coalesced(self.source, self.dest)
+                if urgent:
+                    self.flush()
+                return
+        item = {"kind": kind, "payload": payload}
+        self._pending.append(item)
+        if coalesce_key is not None:
+            self._keyed[coalesce_key] = item
+        self.stats.sends += 1
+        if urgent or len(self._pending) >= self.policy.max_batch:
+            self.flush()
+        elif self._flush_handle is None:
+            self._flush_handle = self.sim.schedule(
+                self.policy.max_delay,
+                self._flush_due,
+                name=f"wire-flush:{self.source}->{self.dest}",
+            )
+
+    def flush(self) -> None:
+        """Put everything pending on the wire now.
+
+        Fail-closed contract: call this before any state transition that
+        could mask an undelivered revocation — the queue must be empty
+        before a consumer is allowed to conclude "nothing changed".
+        """
+        if self._flush_handle is not None:
+            self.sim.cancel(self._flush_handle)
+            self._flush_handle = None
+        if self._pending:
+            self.stats.explicit_flushes += 1
+        self._emit()
+
+    def _flush_due(self) -> None:
+        self._flush_handle = None
+        self._emit()
+
+    def _emit(self) -> None:
+        if not self._pending:
+            return
+        items, self._pending = self._pending, []
+        self._keyed = {}
+        body: dict[str, Any] = {"items": items}
+        if self._heartbeat is not None:
+            body["hb"] = self._heartbeat.piggyback()
+            self.stats.piggybacked_heartbeats += 1
+        self.stats.batches += 1
+        self.network.send(
+            self.source, self.dest, BATCH_KIND, body, payload_count=len(items)
+        )
+
+
+class ChannelPool:
+    """Per-destination :class:`BatchedChannel` instances for one sender."""
+
+    def __init__(
+        self,
+        network: Network,
+        source: str,
+        policy: Optional[WirePolicy] = None,
+    ):
+        self.network = network
+        self.source = source
+        self.policy = policy or WirePolicy()
+        self._channels: dict[str, BatchedChannel] = {}
+
+    def to(self, dest: str) -> BatchedChannel:
+        channel = self._channels.get(dest)
+        if channel is None:
+            channel = self._channels[dest] = BatchedChannel(
+                self.network, self.source, dest, policy=self.policy
+            )
+        return channel
+
+    def channels(self) -> list[BatchedChannel]:
+        return list(self._channels.values())
+
+    def flush_all(self) -> None:
+        for channel in self._channels.values():
+            channel.flush()
+
+
+def unpack(message: Message) -> Iterator[Message]:
+    """Yield the constituent messages of a wire batch.
+
+    A non-batch message yields itself, so receivers can route every
+    delivery through ``for msg in wire.unpack(message): ...`` whether or
+    not the sender batches.
+    """
+    if message.kind != BATCH_KIND:
+        yield message
+        return
+    for item in message.payload["items"]:
+        yield Message(
+            source=message.source,
+            dest=message.dest,
+            kind=item["kind"],
+            payload=item["payload"],
+            sent_at=message.sent_at,
+            seq=message.seq,
+        )
+
+
+def heartbeat_of(message: Message) -> Optional[dict]:
+    """The heartbeat piggybacked on a batch, if any.
+
+    Feed it to the destination's monitor as a bare ``"heartbeat"``
+    message body (``{"seq": ..., "horizon": ...}``).
+    """
+    if message.kind == BATCH_KIND:
+        return message.payload.get("hb")
+    return None

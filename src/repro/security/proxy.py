@@ -8,7 +8,11 @@ before it crosses the organisational boundary, and the remote site
 merely redistributes what it legitimately received.
 
 The proxy also forwards heartbeats, so remote composite detectors keep
-their event-horizon guarantees across the boundary.
+their event-horizon guarantees across the boundary.  Cross-boundary
+traffic rides a :class:`~repro.runtime.wire.BatchedChannel`: events
+batch per flush window, and heartbeat (horizon-only) notifications
+coalesce last-wins — an idle remote link costs one message per local
+heartbeat interval at most, a busy one piggybacks horizons on data.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from repro.core.certificates import RoleMembershipCertificate
 from repro.events.broker import Session
 from repro.events.model import Event, Template
 from repro.runtime.network import Network
+from repro.runtime.wire import BatchedChannel, WirePolicy
 from repro.security.admission import SecureEventBroker
 
 RemoteDeliver = Callable[[Optional[Event], float], None]
@@ -36,6 +41,7 @@ class PolicyProxy:
         network: Optional[Network] = None,
         local_address: str = "",
         remote_address: str = "",
+        policy: Optional[WirePolicy] = None,
     ):
         self.local = local
         self.remote_cert = remote_cert
@@ -44,6 +50,14 @@ class PolicyProxy:
         self.remote_address = remote_address
         self._deliver = deliver
         self.forwarded = 0
+        self.channel: Optional[BatchedChannel] = None
+        if network is not None and remote_address:
+            self.channel = BatchedChannel(
+                network,
+                local_address or "proxy",
+                remote_address,
+                policy=policy,
+            )
         self.session: Session = local.establish_session(self._on_event, remote_cert)
 
     def register(self, template: Template):
@@ -52,19 +66,27 @@ class PolicyProxy:
         more than its credentials allow."""
         return self.local.register(self.session, template)
 
+    def flush(self) -> None:
+        """Push any batched notifications across the boundary now."""
+        if self.channel is not None:
+            self.channel.flush()
+
     def close(self) -> None:
+        self.flush()
         self.local.close_session(self.session)
 
     def _on_event(self, event: Optional[Event], horizon: float) -> None:
         # everything arriving here already passed local policy
         if event is not None:
             self.forwarded += 1
-        if self.network is not None and self.remote_address:
-            self.network.send(
-                self.local_address or "proxy",
-                self.remote_address,
-                "proxied-event",
-                {"event": event, "horizon": horizon},
-            )
+        if self.channel is not None:
+            if event is None:
+                # a pure heartbeat: only the latest horizon matters, so
+                # successive ones within a batch window coalesce
+                self.channel.send(
+                    "proxied-horizon", {"horizon": horizon}, coalesce_key="horizon"
+                )
+            else:
+                self.channel.send("proxied-event", {"event": event, "horizon": horizon})
         else:
             self._deliver(event, horizon)

@@ -114,6 +114,156 @@ def test_revocation_during_partition_detected_on_heal():
     assert not err.value.uncertain  # definitively revoked, not just unknown
 
 
+def test_reconnection_restores_true_states_for_all_surrogates():
+    """Satellite: after a missed heartbeat marks surrogates Unknown, the
+    re-read on reconnection restores every surviving record's true state
+    in one cascade."""
+    sim, net, linkage, login, files, user = make_distributed_world()
+    host = HostOS("ely2")
+    certs = []
+    readers = []
+    for i in range(5):
+        domain = host.create_domain()
+        cert = login.enter_role(domain.client_id, "LoggedOn", (f"u{i}", "ely"))
+        readers.append(files.enter_role(domain.client_id, "Reader", credentials=(cert,)))
+        certs.append(cert)
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    for reader in readers:
+        files.validate(reader)
+    net.partition({"oasis:Login"}, {"oasis:Files"})
+    sim.run_until(30.0)
+    for reader in readers:
+        with pytest.raises(RevokedError) as err:
+            files.validate(reader)
+        assert err.value.uncertain  # fail closed, not revoked
+    net.heal({"oasis:Login"}, {"oasis:Files"})
+    sim.run_until(60.0)
+    for reader in readers:
+        files.validate(reader)  # all true states restored
+
+
+def test_mixed_fates_during_partition_resolved_on_heal():
+    """Records revoked during the partition come back FALSE (definitive);
+    untouched ones come back TRUE — in the same re-read batch."""
+    sim, net, linkage, login, files, user = make_distributed_world()
+    host = HostOS("ely3")
+    pairs = []
+    for i in range(4):
+        domain = host.create_domain()
+        cert = login.enter_role(domain.client_id, "LoggedOn", (f"v{i}", "ely"))
+        reader = files.enter_role(domain.client_id, "Reader", credentials=(cert,))
+        pairs.append((cert, reader))
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    net.partition({"oasis:Login"}, {"oasis:Files"})
+    login.exit_role(pairs[0][0])
+    login.exit_role(pairs[2][0])
+    sim.run_until(30.0)
+    net.heal({"oasis:Login"}, {"oasis:Files"})
+    sim.run_until(60.0)
+    for index, (cert, reader) in enumerate(pairs):
+        if index in (0, 2):
+            with pytest.raises(RevokedError) as err:
+                files.validate(reader)
+            assert not err.value.uncertain  # truth learned, not suspicion
+        else:
+            files.validate(reader)
+
+
+class TestWireEfficiency:
+    """The batching/coalescing transport underneath SimLinkage."""
+
+    def test_revocation_cascade_batches_into_few_messages(self):
+        sim, net, linkage, login, files, user = make_distributed_world()
+        host = HostOS("ely4")
+        certs = []
+        for i in range(50):
+            domain = host.create_domain()
+            cert = login.enter_role(domain.client_id, "LoggedOn", (f"w{i}", "ely"))
+            files.enter_role(domain.client_id, "Reader", credentials=(cert,))
+            certs.append(cert)
+        sim.run()
+        before = net.stats.messages_sent
+        login.credentials.revoke_many([cert.crr for cert in certs])
+        sim.run()
+        on_wire = net.stats.messages_sent - before
+        # 50 notifications to one destination: one batch envelope
+        assert on_wire == 1
+        assert net.stats.payloads_carried >= 50
+
+    def test_state_flip_coalesces_to_final_state(self):
+        """TRUE -> UNKNOWN -> FALSE inside one batch window crosses the
+        wire once, carrying FALSE (last-state-wins, never the reverse)."""
+        sim, net, linkage, login, files, user = make_distributed_world()
+        login_cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+        reader = files.enter_role(user.client_id, "Reader", credentials=(login_cert,))
+        sim.run()
+        before = net.stats.messages_sent
+        from repro.core.credentials import RecordState
+        record = login.credentials.get(login_cert.crr)
+        subscribers = set(record.subscribers)
+        assert subscribers  # Files subscribed to the issuer's CRR
+        linkage.publish(login, login_cert.crr, RecordState.UNKNOWN, subscribers)
+        linkage.publish(login, login_cert.crr, RecordState.FALSE, subscribers)
+        sim.run()
+        assert net.stats.messages_sent - before == 1
+        assert net.stats.coalesced >= 1
+        with pytest.raises(RevokedError) as err:
+            files.validate(reader)
+        assert not err.value.uncertain
+
+    def test_flush_deadline_bounds_revocation_latency(self):
+        """Fail-closed: the final state is never delayed past the flush
+        deadline — visibility within max_delay + link delay."""
+        from repro.runtime.wire import WirePolicy
+
+        sim = Simulator()
+        net = Network(sim, seed=2, default_delay=0.001)
+        clock = SimClock(sim)
+        registry = ServiceRegistry()
+        linkage = SimLinkage(net, policy=WirePolicy(max_batch=1000, max_delay=0.01))
+        login = OasisService("Login", registry=registry, linkage=linkage, clock=clock)
+        login.export_type(ObjectType("Login.userid"), "userid")
+        login.add_rolefile("main", LOGIN_RDL)
+        files = OasisService("Files", registry=registry, linkage=linkage, clock=clock)
+        files.add_rolefile("main", FILES_RDL)
+        user = HostOS("ely").create_domain()
+        login_cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+        reader = files.enter_role(user.client_id, "Reader", credentials=(login_cert,))
+        sim.run()
+        t0 = sim.now
+        login.exit_role(login_cert)
+        sim.run()
+        with pytest.raises(RevokedError):
+            files.validate(reader)
+        assert sim.now - t0 <= 0.01 + 0.001 + 1e-9
+
+    def test_subscription_reply_is_not_held_for_a_batch(self):
+        """The reply that resolves a fail-closed Unknown surrogate is
+        urgent: it arrives after one link delay even under a policy with
+        a long batch window."""
+        from repro.core.credentials import RecordState
+        from repro.runtime.wire import WirePolicy
+
+        sim = Simulator()
+        net = Network(sim, seed=2, default_delay=0.001)
+        clock = SimClock(sim)
+        registry = ServiceRegistry()
+        linkage = SimLinkage(net, policy=WirePolicy(max_batch=1000, max_delay=5.0))
+        login = OasisService("Login", registry=registry, linkage=linkage, clock=clock)
+        login.export_type(ObjectType("Login.userid"), "userid")
+        login.add_rolefile("main", LOGIN_RDL)
+        files = OasisService("Files", registry=registry, linkage=linkage, clock=clock)
+        files.add_rolefile("main", FILES_RDL)
+        user = HostOS("ely").create_domain()
+        login_cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+        files.enter_role(user.client_id, "Reader", credentials=(login_cert,))
+        sim.run_until(0.01)   # two link hops, far below the batch window
+        surrogate = files.credentials.externals_of("Login")[0]
+        assert surrogate.state is RecordState.TRUE
+
+
 class TestGroupService:
     def test_lazy_materialisation(self):
         groups = GroupService()

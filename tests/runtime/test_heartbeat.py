@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.heartbeat import HeartbeatMonitor, connect_heartbeat
+from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender, connect_heartbeat
 from repro.runtime.network import Link, Network
 from repro.runtime.simulator import Simulator
 
@@ -195,6 +195,94 @@ def test_lossy_network_delivers_all_payloads_in_order():
     assert monitor.stats.gaps_detected >= 1
     assert sender.stats.resends >= 1
     assert len(sender._unacked) == 0  # everything eventually acked contiguously
+
+
+def test_multiple_lost_bare_heartbeats_refill_in_one_message():
+    """All bare-heartbeat gaps named by one nack ride a single
+    'heartbeat-fillers' message rather than one filler each."""
+    got = []
+    kinds = []
+    sim = Simulator()
+    net = Network(sim, seed=11)
+    sender, monitor = connect_heartbeat(
+        net, "svc", "cli", 1.0, on_payload=lambda p, h: got.append(p)
+    )
+    cli = net.node("cli")
+    inner = cli.handler
+
+    def tap(message):
+        kinds.append(message.kind)
+        inner(message)
+
+    cli.handler = tap
+    sender.start()
+    # drop three consecutive bare heartbeats (t=2, t=3, t=4)
+    sim.schedule(1.5, net.partition, {"svc"}, {"cli"})
+    sim.schedule(4.5, net.heal, {"svc"}, {"cli"})
+    sim.schedule(5.2, sender.send_payload, "after-gaps")
+    sim.run_until(20.0)
+    assert got == ["after-gaps"]
+    assert monitor._contiguous == monitor._max_seen
+    # the three fillers shared one message
+    filler_messages = kinds.count("heartbeat-fillers")
+    assert filler_messages == 1
+    assert sender.stats.resends >= 3
+
+
+def test_filler_batch_advances_contiguous_prefix_and_ack():
+    """A fillers message closes every gap it names: the contiguous
+    prefix jumps past all of them and the next ack reflects that."""
+    sim, monitor, to_sender = make_bare_monitor(ack_every=1)
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    monitor.handle_message("heartbeat-payload", {"seq": 5, "payload": "e", "horizon": 0.0})
+    sim.run_until(0.2)
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert acks[-1] == 1  # 2..4 outstanding
+    monitor.handle_message("heartbeat-fillers", {"seqs": [2, 3, 4], "horizon": 0.0})
+    sim.run_until(0.4)
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert acks[-1] == 5
+
+
+def test_ack_stays_at_contiguous_prefix_with_batched_payloads():
+    """Batched (back-to-back, same-instant) payloads around a gap do not
+    let the ack run past the gap."""
+    got = []
+    sim, monitor, to_sender = make_bare_monitor(
+        on_payload=lambda p, h: got.append(p), ack_every=1
+    )
+    # a "batch" of payloads 3..5 arrives while 2 is missing
+    monitor.handle_message("heartbeat-payload", {"seq": 1, "payload": "a", "horizon": 0.0})
+    for seq, payload in ((3, "c"), (4, "d"), (5, "e")):
+        monitor.handle_message(
+            "heartbeat-payload", {"seq": seq, "payload": payload, "horizon": 0.0}
+        )
+    sim.run_until(0.2)
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert max(acks) == 1          # never past the gap
+    assert got == ["a"]            # delivery held at the gap
+    monitor.handle_message("heartbeat-payload", {"seq": 2, "payload": "b", "horizon": 0.0})
+    sim.run_until(0.4)
+    assert got == ["a", "b", "c", "d", "e"]
+    acks = [p["ack"] for k, p in to_sender if k == "heartbeat-ack"]
+    assert acks[-1] == 5
+
+
+def test_filler_resend_counts_each_gap():
+    sim = Simulator()
+    net = Network(sim, seed=3)
+    to_cli = []
+    net.add_node("cli", lambda m: to_cli.append((m.kind, m.payload)))
+    sender = HeartbeatSender(net, "svc", "cli", period=1.0)
+    net.add_node("svc", lambda m: None)
+    sender.start()
+    sim.run_until(3.5)   # seqs 1..4 sent as bare heartbeats
+    sender.handle_nack([2, 3])
+    sim.run_until(4.0)
+    fillers = [p for k, p in to_cli if k == "heartbeat-fillers"]
+    assert len(fillers) == 1
+    assert fillers[0]["seqs"] == [2, 3]
+    assert sender.stats.resends >= 2
 
 
 def test_detection_latency_scales_with_period():

@@ -111,6 +111,61 @@ def test_one_way_event_notification():
     assert got == [("server", {"headline": "x"})]
 
 
+def test_default_timeout_reaps_lost_reply():
+    """Regression: a call with no explicit timeout whose reply is lost
+    must not leave its pending record in the endpoint forever."""
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    # request delivered, reply dropped by loss on the return link
+    net.set_link("server", "client", Link(loss_probability=1.0))
+    future = client.call("server", "add", 1, 1)
+    sim.run()
+    assert future.failed
+    with pytest.raises(RpcError, match="timeout"):
+        future.result()
+    assert client._pending == {}
+
+
+def test_explicit_none_timeout_waits_forever_but_fails_on_link_down():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    net.set_link("server", "client", Link(loss_probability=1.0))
+    future = client.call("server", "add", 1, 1, timeout=None)
+    sim.run_until(1000.0)
+    assert not future.done  # no timeout was armed
+    net.partition({"client"}, {"server"})
+    assert future.failed
+    with pytest.raises(RpcError, match="link down"):
+        future.result()
+    assert client._pending == {}
+
+
+def test_link_down_fails_pending_calls_promptly():
+    """A partition while a call is in flight fails it immediately rather
+    than making the caller wait out the full timeout."""
+    sim, net, server, client = make_pair()
+    never = []
+    server.register("slow", lambda: never.append(1))
+    net.set_link("client", "server", Link(base_delay=5.0))
+    future = client.call("server", "slow", timeout=120.0)
+    sim.run_until(1.0)
+    net.partition({"client"}, {"server"})
+    assert future.failed
+    assert sim.now < 2.0  # did not wait for the 120s timeout
+    assert client._pending == {}
+
+
+def test_link_down_between_other_nodes_leaves_pending_calls_alone():
+    sim, net, server, client = make_pair()
+    net.add_node("bystander", lambda m: None)
+    server.register("add", lambda a, b: a + b)
+    net.set_link("client", "server", Link(base_delay=1.0))
+    future = client.call("server", "add", 1, 1)
+    net.partition({"bystander"}, {"server"})
+    sim.run_until(5.0)
+    assert future.result() == 2
+
+
 def test_rpc_latency_matches_link():
     sim, net, server, client = make_pair()
     net.set_link("client", "server", Link(base_delay=0.1))

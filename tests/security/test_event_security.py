@@ -214,6 +214,7 @@ class TestPolicyProxy:
         assert received == []
 
     def test_proxy_forwards_over_network(self, world):
+        from repro.runtime import wire
         from repro.runtime.network import Network
         from repro.runtime.simulator import Simulator
 
@@ -221,7 +222,13 @@ class TestPolicyProxy:
         sim = Simulator()
         net = Network(sim, seed=4)
         remote_got = []
-        net.add_node("remote-site", lambda m: remote_got.append(m.payload["event"]))
+
+        def remote_node(message):
+            for msg in wire.unpack(message):
+                if msg.kind == "proxied-event":
+                    remote_got.append(msg.payload["event"])
+
+        net.add_node("remote-site", remote_node)
         net.add_node("local-proxy", lambda m: None)
         client = host.create_domain().client_id
         cert = oasis.enter_role(client, "Admin", ("root",))

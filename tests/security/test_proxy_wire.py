@@ -1,0 +1,116 @@
+"""PolicyProxy over the batched wire transport (fig 7.3 traffic)."""
+
+import pytest
+
+from repro.core import HostOS, OasisService
+from repro.events.model import Event, WILDCARD, template
+from repro.runtime import wire
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.wire import WirePolicy
+from repro.security.admission import SecureEventBroker
+from repro.security.erdl import parse_erdl
+from repro.security.proxy import PolicyProxy
+
+
+def make_world():
+    oasis = OasisService("sec")
+    oasis.add_rolefile("main", """
+def LoggedOn(u)  u: string
+LoggedOn(u) <-
+""")
+    policy = parse_erdl("allow LoggedOn(u) : Seen(b, s)")
+    broker = SecureEventBroker("badges", oasis, policy)
+    sim = Simulator()
+    net = Network(sim, seed=5, default_delay=0.001)
+    got = []
+
+    def remote_node(message):
+        for msg in wire.unpack(message):
+            got.append((msg.kind, msg.payload))
+
+    net.add_node("remote-site", remote_node)
+    net.add_node("local-proxy", lambda m: None)
+    cert = oasis.enter_role(HostOS("hq").create_domain().client_id, "LoggedOn", ("rjh21",))
+    return oasis, broker, sim, net, got, cert
+
+
+def test_events_batch_across_the_boundary():
+    oasis, broker, sim, net, got, cert = make_world()
+    proxy = PolicyProxy(
+        broker, cert, deliver=lambda e, h: None,
+        network=net, local_address="local-proxy", remote_address="remote-site",
+    )
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    for i in range(20):
+        broker.signal(Event("Seen", (f"badge{i}", "s1")))
+    sim.run()
+    events = [p["event"].args[0] for k, p in got if k == "proxied-event"]
+    assert events == [f"badge{i}" for i in range(20)]
+    # same-instant signals shared one wire message
+    assert net.stats.messages_sent == 1
+    assert net.stats.payloads_carried == 20
+
+
+def test_horizon_only_heartbeats_coalesce():
+    """Pure heartbeats (no event) inside one batch window collapse to the
+    latest horizon."""
+    oasis, broker, sim, net, got, cert = make_world()
+    proxy = PolicyProxy(
+        broker, cert, deliver=lambda e, h: None,
+        network=net, local_address="local-proxy", remote_address="remote-site",
+        policy=WirePolicy(max_batch=1000, max_delay=0.5),
+    )
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    for _ in range(5):
+        broker.heartbeat()
+    sim.run()
+    horizons = [p["horizon"] for k, p in got if k == "proxied-horizon"]
+    assert len(horizons) == 1      # coalesced last-wins
+    assert net.stats.coalesced == 4
+    assert proxy.forwarded == 0
+
+
+def test_close_flushes_pending_traffic():
+    oasis, broker, sim, net, got, cert = make_world()
+    proxy = PolicyProxy(
+        broker, cert, deliver=lambda e, h: None,
+        network=net, local_address="local-proxy", remote_address="remote-site",
+        policy=WirePolicy(max_batch=1000, max_delay=60.0),
+    )
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    broker.signal(Event("Seen", ("badge-rjh", "s1")))
+    proxy.close()
+    sim.run()
+    assert any(k == "proxied-event" for k, _ in got)
+
+
+def test_policy_still_applies_before_batching():
+    """Batching sits after admission control: a filtered event never
+    enters the channel."""
+    oasis = OasisService("sec2")
+    oasis.add_rolefile("main", """
+def LoggedOn(u)  u: string
+LoggedOn(u) <-
+""")
+    owners = {"rjh21": "badge-rjh"}
+    policy = parse_erdl(
+        "allow LoggedOn(u) : Seen(b, s) : owns(u, b)",
+        predicates={"owns": lambda u, b: owners.get(u) == b},
+    )
+    broker = SecureEventBroker("badges2", oasis, policy)
+    sim = Simulator()
+    net = Network(sim, seed=5)
+    got = []
+    net.add_node("remote-site", lambda m: got.extend(wire.unpack(m)))
+    net.add_node("local-proxy", lambda m: None)
+    cert = oasis.enter_role(HostOS("hq").create_domain().client_id, "LoggedOn", ("rjh21",))
+    proxy = PolicyProxy(
+        broker, cert, deliver=lambda e, h: None,
+        network=net, local_address="local-proxy", remote_address="remote-site",
+    )
+    proxy.register(template("Seen", WILDCARD, WILDCARD))
+    broker.signal(Event("Seen", ("badge-kgm", "s1")))   # not rjh21's badge
+    sim.run()
+    assert [m for m in got if m.kind == "proxied-event"] == []
+    assert proxy.forwarded == 0
