@@ -19,18 +19,28 @@ class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
 
     ``on_evict`` (if given) is called once per evicted entry, letting the
-    owner fold eviction counts into its own stats object.
+    owner fold eviction counts into its own stats object.  ``on_evict_entry``
+    additionally receives the evicted ``(key, value)`` pair, for owners that
+    maintain secondary indexes over the cached keys and must unindex what
+    the LRU silently drops.
     """
 
-    __slots__ = ("maxsize", "on_evict", "hits", "misses", "evictions", "_data")
+    __slots__ = (
+        "maxsize", "on_evict", "on_evict_entry", "hits", "misses",
+        "evictions", "_data",
+    )
 
     def __init__(
-        self, maxsize: int, on_evict: Optional[Callable[[], None]] = None
+        self,
+        maxsize: int,
+        on_evict: Optional[Callable[[], None]] = None,
+        on_evict_entry: Optional[Callable[[Hashable, Any], None]] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError("LRUCache needs room for at least one entry")
         self.maxsize = maxsize
         self.on_evict = on_evict
+        self.on_evict_entry = on_evict_entry
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -63,10 +73,12 @@ class LRUCache:
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            old_key, old_value = self._data.popitem(last=False)
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict()
+            if self.on_evict_entry is not None:
+                self.on_evict_entry(old_key, old_value)
 
     def add(self, key: Hashable) -> None:
         """Set-style insertion (the value is irrelevant)."""

@@ -17,6 +17,13 @@ access" (`students=+r`).
 Text format: whitespace-separated ``subject=+rights`` / ``subject=-rights``
 entries; subjects are user names, ``@group`` names or ``*`` (everyone).
 :func:`unixacl` is the legacy embedding of section 3.3.3.
+
+ACLs are compiled at construction: entry rights are normalised to
+frozensets once, entries are bucketed into user / group / star indexes
+(an evaluation touches only the entries that can match the client), and
+``evaluate`` outcomes are memoised per ``(user, groups)`` — an ACL's
+entry list is immutable after construction, so a changed policy is a
+*new* ``Acl`` (and, at the custode layer, a new version record).
 """
 
 from __future__ import annotations
@@ -24,24 +31,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.core.cache import LRUCache
 from repro.errors import StorageError
 
 Rights = frozenset
 
+_EVALUATE_MEMO_SIZE = 256
+
 
 @dataclass(frozen=True)
 class AclEntry:
-    """One ordered ACL entry."""
+    """One ordered ACL entry.
+
+    Normalised at construction: ``rights`` is coerced to a frozenset and
+    a group subject's bare name is split off once, so :meth:`matches`
+    and evaluation never rebuild sets per call."""
 
     subject: str                 # user name, '@group', or '*'
     rights: Rights
     negative: bool = False
 
+    def __post_init__(self):
+        if not isinstance(self.rights, frozenset):
+            object.__setattr__(self, "rights", frozenset(self.rights))
+        group = self.subject[1:] if self.subject.startswith("@") else None
+        object.__setattr__(self, "_group", group)
+
     def matches(self, user: str, groups: Iterable[str]) -> bool:
         if self.subject == "*":
             return True
-        if self.subject.startswith("@"):
-            return self.subject[1:] in set(groups)
+        if self._group is not None:
+            return self._group in groups
         return self.subject == user
 
     def render(self) -> str:
@@ -55,12 +75,26 @@ class Acl:
     def __init__(self, entries: Iterable[AclEntry], alphabet: str = "rwxad"):
         self.entries = list(entries)
         self.alphabet = alphabet
-        for entry in self.entries:
-            extra = set(entry.rights) - set(alphabet)
+        full = frozenset(alphabet)
+        # compiled form: (position, entry) buckets per subject kind, so an
+        # evaluation walks only the entries that can match the client
+        self._star: list[tuple[int, AclEntry]] = []
+        self._by_user: dict[str, list[tuple[int, AclEntry]]] = {}
+        self._by_group: dict[str, list[tuple[int, AclEntry]]] = {}
+        for position, entry in enumerate(self.entries):
+            extra = entry.rights - full
             if extra:
                 raise StorageError(
                     f"rights {sorted(extra)} not in the custode alphabet {alphabet!r}"
                 )
+            if entry.subject == "*":
+                self._star.append((position, entry))
+            elif entry._group is not None:
+                self._by_group.setdefault(entry._group, []).append((position, entry))
+            else:
+                self._by_user.setdefault(entry.subject, []).append((position, entry))
+        self._full = full
+        self._memo = LRUCache(_EVALUATE_MEMO_SIZE)
 
     def evaluate(self, user: str, groups: Iterable[str] = ()) -> Rights:
         """The G/P algorithm of section 5.4.4.
@@ -69,16 +103,35 @@ class Acl:
         (``P <- P - R``): it bars later grants but does not claw back
         rights already granted by an earlier entry — entry order carries
         the policy, exactly as the paper specifies."""
+        groups_key = groups if isinstance(groups, frozenset) else frozenset(groups)
+        memo_key = (user, groups_key)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        matching = list(self._star)
+        matching += self._by_user.get(user, ())
+        for group in groups_key:
+            matching += self._by_group.get(group, ())
+        matching.sort(key=lambda pair: pair[0])
         granted: set = set()
-        possible: set = set(self.alphabet)
-        for entry in self.entries:
-            if not entry.matches(user, groups):
-                continue
+        possible: set = set(self._full)
+        for _position, entry in matching:
             if entry.negative:
-                possible -= set(entry.rights)
+                possible -= entry.rights
             else:
-                granted |= possible & set(entry.rights)
-        return frozenset(granted)
+                granted |= possible & entry.rights
+        result = frozenset(granted)
+        self._memo.put(memo_key, result)
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop memoised evaluations (benchmark cold paths only —
+        correctness never needs this, the ACL is immutable)."""
+        self._memo.clear()
+
+    @property
+    def evaluations_memoised(self) -> int:
+        return self._memo.hits
 
     def render(self) -> str:
         return " ".join(entry.render() for entry in self.entries)

@@ -94,10 +94,15 @@ class BypassRoute:
             return bottom._below.read_segment(bottom._below_cert, content)
         raise MisuseError("bottom custode does not hold raw data here")
 
+    def stats(self):
+        """Storage fast-path counters for every custode on the route."""
+        return self.top.stack_storage_stats()
+
     def _authorise(self, cert, fid: FileId, right: str) -> None:
         """The rights embodied in the top-level certificate govern the
         bypassed access; checking them is pure computation on the
         (callback-validated) certificate."""
+        self.top.storage.bypass_checks += 1
         record = self.top._record(fid)
         if cert.rolefile_id != str(record.acl_id):
             raise AccessDenied(

@@ -25,17 +25,19 @@ class ByteSegmentCustode(Custode):
 
     def read_segment(self, cert, fid: FileId, offset: int = 0,
                      length: Optional[int] = None) -> bytes:
-        self.check_access(cert, fid, "r")
+        # check_access returns the file record: the warm path is one
+        # decision-cache hit plus the slice, with no second file lookup
+        record = self.check_access(cert, fid, "r")
         self.ops += 1
-        data = self._record(fid).content
+        data = record.content
         end = len(data) if length is None else offset + length
         return bytes(data[offset:end])
 
     def write_segment(self, cert, fid: FileId, data: bytes, offset: int = 0,
                       truncate: bool = False) -> int:
-        self.check_access(cert, fid, "w")
+        record = self.check_access(cert, fid, "w")
         self.ops += 1
-        segment = self._record(fid).content
+        segment = record.content
         needed = offset + len(data)
         if needed > len(segment):
             segment.extend(b"\x00" * (needed - len(segment)))
@@ -45,6 +47,6 @@ class ByteSegmentCustode(Custode):
         return len(data)
 
     def segment_length(self, cert, fid: FileId) -> int:
-        self.check_access(cert, fid, "r")
+        record = self.check_access(cert, fid, "r")
         self.ops += 1
-        return len(self._record(fid).content)
+        return len(record.content)

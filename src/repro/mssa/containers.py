@@ -63,6 +63,9 @@ class ContainerRegistry:
     def containers(self) -> list[str]:
         return sorted(self._containers)
 
+    def has_container(self, name: str) -> bool:
+        return name in self._containers
+
     # -- file accounting -----------------------------------------------------------
 
     def add_file(self, name: str, fid: FileId, size: int = 0) -> None:

@@ -22,6 +22,18 @@ Inter-custode trust: custodes do not trust each other.  A custode
 reading a *remote* ACL is authorised by the remote custode against the
 ACL protecting that ACL file, under the principal ``custode:<name>`` in
 group ``custodes``.
+
+Storage fast path (see docs/architecture.md, "Storage fast path"):
+
+* every authorised ``check_access`` outcome is cached per
+  ``(certificate, file, right)``, pinned to the governing ACL's version
+  record and the certificate's credential-record state — a revocation
+  cascade, ``modify_acl`` version bump, ``set_acl_of`` regroup or group
+  membership change invalidates exactly the affected decisions, and any
+  state the cache cannot verify is a miss (fail closed);
+* remote ACL contents live in a per-peer surrogate store kept coherent
+  by the same external-record event notifications that keep credential
+  surrogates coherent, so ``remote_acl_reads`` is a cold-path counter.
 """
 
 from __future__ import annotations
@@ -30,7 +42,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.core.credentials import RecordState
+from repro.core.cache import LRUCache
+from repro.core.credentials import CredentialRecord, RecordState
 from repro.core.groups import GroupService
 from repro.core.identifiers import ClientId, HostOS
 from repro.core.linkage import Linkage, LocalLinkage
@@ -68,6 +81,35 @@ class FileRecord:
     version_ref: Optional[int] = None    # credential record behind the ACL
 
 
+@dataclass
+class StorageStats:
+    """Counters for the storage-layer fast path: the access-decision
+    cache, the remote-ACL surrogate store, and why entries died.
+
+    ``invalidated_by_record`` covers every cause that arrives as a
+    credential-record state change — a PR-1 revocation cascade, a
+    ``modify_acl`` version bump killing outstanding UseAcl certificates,
+    a group-membership flip — while the structural counters record the
+    custode-level events that stale decisions without necessarily
+    touching a certificate's own record."""
+
+    decision_hits: int = 0
+    decision_misses: int = 0
+    decision_evictions: int = 0
+    surrogate_hits: int = 0          # remote ACL served from the store
+    surrogate_misses: int = 0        # remote ACL fetched from the peer
+    surrogate_flushes: int = 0       # store entries dropped (notification
+                                     # or link suspect/restore)
+    invalidated_by_record: int = 0   # credential-record state change
+    invalidated_by_acl_modify: int = 0
+    invalidated_by_regroup: int = 0  # set_acl_of moved the file
+    invalidated_by_delete: int = 0
+    bypass_checks: int = 0           # rights checked on a bypass route
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
 class Custode:
     """Base storage server.  Subclasses define the rights ``ALPHABET``
     and the mapping from operations to required rights."""
@@ -85,6 +127,7 @@ class Custode:
         login_role: str = "LoggedOn",
         user_groups: Optional[Callable[[str], set[str]]] = None,
         enforce_placement: bool = True,
+        decision_cache_size: int = 4096,
     ):
         self.name = name
         self.registry = registry
@@ -105,6 +148,24 @@ class Custode:
         self._files: dict[int, FileRecord] = {}
         self._numbers = itertools.count(1)
         self._containers: dict[str, list[FileId]] = {}
+        # per-ACL file index: acl_id -> {file number: fid}, maintained by
+        # create_file/create_acl/set_acl_of so files_protected_by is O(group)
+        self._by_acl: dict[FileId, dict[int, FileId]] = {}
+        # --- storage fast path -------------------------------------------
+        self.storage = StorageStats()
+        # positive access decisions: (crr, secret_index, signature,
+        # file number, right, acl_override) -> (acl_id, version token)
+        self._decisions = LRUCache(
+            decision_cache_size, on_evict_entry=self._on_decision_evicted
+        )
+        self._decisions_by_crr: dict[int, set] = {}
+        self._decisions_by_fid: dict[int, set] = {}
+        # remote-ACL surrogate store: fid -> (acl, owner, remote version
+        # ref, local surrogate ref); kept coherent by Modified events on
+        # the surrogate and flushed whenever the surrogate leaves TRUE
+        self._remote_acls: dict[FileId, tuple[Acl, str, int, int]] = {}
+        self._remote_by_surrogate: dict[int, FileId] = {}
+        self.service.credentials.watch_all(self._on_storage_record_change)
         # accounting (sections 5.3.1 / 4.13): quotas and charging per
         # container; unknown containers are auto-created on the default
         # account so accounting is always on
@@ -164,6 +225,7 @@ class Custode:
         self._account_file(container, fid, record.content)
         self._files[fid.number] = record
         self._containers.setdefault(container, []).append(fid)
+        self._index_under_acl(record)
         self.service.add_rolefile(str(fid), self._rolefile_source(fid))
         return fid
 
@@ -204,7 +266,10 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         (section 5.5.2)."""
         record = self._acl_record(acl_id)
         self._check_meta(cert, record, "w")
-        # revoke the old version; new certificates use a fresh record
+        # revoke the old version; new certificates use a fresh record.
+        # The cascade revokes outstanding UseAcl certificates (their entry
+        # records depend on the version record), and the record-change
+        # watch drops their cached decisions as it settles.
         if record.version_ref is not None:
             self.service.credentials.revoke(record.version_ref)
         record.version_ref = self.service.credentials.create_source(
@@ -212,6 +277,11 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         ).ref
         record.acl = new_acl
         record.content = new_acl.render()
+        # decisions that don't ride the version record (UseFile
+        # delegations) are pinned to it instead: kill them explicitly
+        self.storage.invalidated_by_acl_modify += self._drop_decisions_for_files(
+            list(self._by_acl.get(acl_id, {}))
+        )
 
     def read_acl(self, cert, acl_id: FileId) -> Acl:
         """Read an ACL's contents (requires 'r' under the protecting ACL)."""
@@ -250,6 +320,7 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         self._account_file(container, fid, content)
         self._files[fid.number] = record
         self._containers.setdefault(container, []).append(fid)
+        self._index_under_acl(record)
         return fid
 
     def _account_file(self, container: str, fid: FileId, content: Any) -> None:
@@ -275,7 +346,13 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         self._require_acl_exists(acl_id)
         if record.is_acl and self.enforce_placement and acl_id.custode != self.name:
             raise PlacementError("an ACL file's protecting ACL must be local")
+        self._unindex_under_acl(record)
         record.acl_id = acl_id
+        self._index_under_acl(record)
+        # decisions for this file were made against the old group
+        self.storage.invalidated_by_regroup += self._drop_decisions_for_files(
+            [fid.number]
+        )
 
     def _require_acl_exists(self, acl_id: FileId) -> None:
         if acl_id.custode == self.name:
@@ -296,7 +373,35 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         return list(self._containers.get(container, []))
 
     def files_protected_by(self, acl_id: FileId) -> list[FileId]:
-        return [r.fid for r in self._files.values() if r.acl_id == acl_id]
+        """Files in the ACL's group, from the maintained per-ACL index
+        (O(group size), not O(all files))."""
+        return list(self._by_acl.get(acl_id, {}).values())
+
+    def _index_under_acl(self, record: FileRecord) -> None:
+        if record.acl_id is not None:
+            self._by_acl.setdefault(record.acl_id, {})[record.fid.number] = record.fid
+
+    def _unindex_under_acl(self, record: FileRecord) -> None:
+        if record.acl_id is not None:
+            group = self._by_acl.get(record.acl_id)
+            if group is not None:
+                group.pop(record.fid.number, None)
+                if not group:
+                    del self._by_acl[record.acl_id]
+
+    def _forget_file(self, record: FileRecord) -> None:
+        """Remove a file's bookkeeping on deletion: container listing and
+        accounting, the per-ACL index, and any cached access decisions."""
+        self._files.pop(record.fid.number, None)
+        container = self._containers.get(record.container)
+        if container is not None and record.fid in container:
+            container.remove(record.fid)
+        if record.container in self.accounting.containers():
+            self.accounting.remove_file(record.container, record.fid)
+        self._unindex_under_acl(record)
+        self.storage.invalidated_by_delete += self._drop_decisions_for_files(
+            [record.fid.number]
+        )
 
     # ---------------------------------------------------------- role entry
 
@@ -333,17 +438,39 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
     # --------------------------------------------------------- access checks
 
     def check_access(self, cert, fid: FileId, right: str,
-                     acl_override: Optional[FileId] = None) -> None:
+                     acl_override: Optional[FileId] = None) -> FileRecord:
         """Validate a certificate against a file operation (fig 5.6).
-        Each authorised operation is charged to the file's container
-        (section 4.13)."""
+        Each *authorised* operation is charged to the file's container
+        (section 4.13 charges authorised operations — a denied request
+        must not bill the container).  Returns the file record so callers
+        don't re-resolve the file.
+
+        Authorised outcomes are cached per (certificate, file, right),
+        pinned to the governing ACL's version record and re-checked
+        against the certificate's credential-record state on every hit —
+        any state the cache cannot verify is a miss (fail closed)."""
         self.access_checks += 1
         record = self._record(fid)
-        if record.container in self.accounting.containers():
-            self.accounting.charge_operation(record.container)
         acl_id = acl_override or record.acl_id
         if acl_id is None:
             raise AccessDenied(f"{fid} has no governing ACL")
+        key = (cert.crr, cert.secret_index, cert.signature, fid.number, right,
+               acl_override)
+        pinned = self._decisions.get(key)
+        if pinned is not None:
+            if (
+                pinned == (acl_id, self._acl_version_token(acl_id))
+                and (cert.expires_at is None
+                     or self.service.clock.now() <= cert.expires_at)
+                and self.service._secret_live(cert.secret_index)
+                and self.service.credentials.state_of(cert.crr) is RecordState.TRUE
+            ):
+                self.storage.decision_hits += 1
+                self._charge(record)
+                return record
+            # pinned state is stale or unverifiable: take the full path
+            self._drop_decision(key)
+        self.storage.decision_misses += 1
         self.service.validate(cert)
         if cert.rolefile_id != str(acl_id):
             raise AccessDenied(
@@ -359,6 +486,110 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
             raise AccessDenied(f"certificate roles {sorted(cert.roles)} grant no file access")
         if right not in granted:
             raise AccessDenied(f"certificate grants {sorted(granted)}, {right!r} required")
+        self._remember_decision(key, acl_id)
+        self._charge(record)
+        return record
+
+    def _charge(self, record: FileRecord) -> None:
+        if self.accounting.has_container(record.container):
+            self.accounting.charge_operation(record.container)
+
+    # ------------------------------------------------- decision cache plumbing
+
+    def _acl_version_token(self, acl_id: FileId) -> Optional[int]:
+        """The version-record ref currently governing ``acl_id``, or None
+        when it cannot be determined locally (unknown state: a decision
+        pinned to None never matches — fail closed)."""
+        if acl_id.custode == self.name:
+            record = self._files.get(acl_id.number)
+            if record is not None and record.is_acl:
+                return record.version_ref
+            return None
+        cached = self._remote_acls.get(acl_id)
+        return cached[2] if cached is not None else None
+
+    def _remember_decision(self, key: tuple, acl_id: FileId) -> None:
+        token = self._acl_version_token(acl_id)
+        if token is None:
+            return   # cannot pin the decision to an ACL version: don't cache
+        self._decisions.put(key, (acl_id, token))
+        self._decisions_by_crr.setdefault(key[0], set()).add(key)
+        self._decisions_by_fid.setdefault(key[3], set()).add(key)
+
+    def _unindex_decision(self, key: tuple) -> None:
+        for index, field_ in ((self._decisions_by_crr, key[0]),
+                              (self._decisions_by_fid, key[3])):
+            keys = index.get(field_)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del index[field_]
+
+    def _on_decision_evicted(self, key: tuple, _value) -> None:
+        self.storage.decision_evictions += 1
+        self._unindex_decision(key)
+
+    def _drop_decision(self, key: tuple) -> None:
+        if self._decisions.discard(key):
+            self._unindex_decision(key)
+
+    def _drop_decisions_for_record(self, ref: int) -> int:
+        keys = self._decisions_by_crr.pop(ref, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in list(keys):
+            if self._decisions.discard(key):
+                dropped += 1
+            self._unindex_decision(key)
+        return dropped
+
+    def _drop_decisions_for_files(self, numbers) -> int:
+        dropped = 0
+        for number in numbers:
+            keys = self._decisions_by_fid.pop(number, None)
+            if not keys:
+                continue
+            for key in list(keys):
+                if self._decisions.discard(key):
+                    dropped += 1
+                self._unindex_decision(key)
+        return dropped
+
+    def _on_storage_record_change(
+        self, record: CredentialRecord, old: RecordState, new: RecordState
+    ) -> None:
+        """Watch on the service's credential table: any state change
+        stales decisions backed by that record (revocation cascade, ACL
+        version bump, group-membership flip — they all arrive here), and
+        an external surrogate leaving TRUE flushes the remote ACL it
+        vouches for (Modified notification or link suspect)."""
+        self.storage.invalidated_by_record += self._drop_decisions_for_record(
+            record.ref
+        )
+        if record.is_external and new is not RecordState.TRUE:
+            fid = self._remote_by_surrogate.get(record.ref)
+            if fid is not None:
+                self._flush_remote_acl(fid)
+
+    def _flush_remote_acl(self, fid: FileId) -> None:
+        cached = self._remote_acls.pop(fid, None)
+        if cached is not None:
+            self._remote_by_surrogate.pop(cached[3], None)
+            self.storage.surrogate_flushes += 1
+
+    def clear_storage_caches(self) -> None:
+        """Force the storage cold path: drop cached decisions, the remote
+        ACL store and per-ACL evaluation memos.  Correctness never needs
+        this — benchmarks and operational tooling only."""
+        self._decisions.clear()
+        self._decisions_by_crr.clear()
+        self._decisions_by_fid.clear()
+        self._remote_acls.clear()
+        self._remote_by_surrogate.clear()
+        for record in self._files.values():
+            if record.acl is not None:
+                record.acl.clear_cache()
 
     # the watchable constraint function behind the rolefiles
     def _acl_function(self, acl_ref: str, user: Any):
@@ -370,8 +601,13 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         rights = acl.evaluate(user_name, self.user_groups(user_name))
         rights = rights & frozenset(self.ALPHABET)
         if owner != self.name:
-            # surrogate record kept coherent by event notification
-            version_ref = self.service.external_record_for(owner, version_ref)
+            # surrogate record kept coherent by event notification; the
+            # store already holds the surrogate ref for a warm fetch
+            cached = self._remote_acls.get(fid)
+            if cached is not None and cached[2] == version_ref:
+                version_ref = cached[3]
+            else:
+                version_ref = self.service.external_record_for(owner, version_ref)
         return rights, version_ref
 
     def _fetch_acl(self, fid: FileId) -> tuple[Acl, str, int]:
@@ -379,6 +615,11 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
             record = self._acl_record(fid)
             assert record.acl is not None and record.version_ref is not None
             return record.acl, self.name, record.version_ref
+        cached = self._remote_acls.get(fid)
+        if cached is not None:
+            self.storage.surrogate_hits += 1
+            return cached[0], cached[1], cached[2]
+        self.storage.surrogate_misses += 1
         if self.registry is None:
             raise StorageError(f"cannot reach custode {fid.custode!r}: no registry")
         peer_service = self.registry.lookup(fid.custode)
@@ -387,6 +628,12 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
             raise StorageError(f"{fid.custode!r} is not a custode")
         self.remote_acl_reads += 1
         acl, version_ref = peer.read_acl_for_peer(fid, reader=self.name)
+        # subscribe a local surrogate to the remote version record so a
+        # remote modify_acl (or link suspicion) flushes this entry; until
+        # flushed, repeated checks never leave this custode
+        surrogate_ref = self.service.external_record_for(peer.name, version_ref)
+        self._remote_acls[fid] = (acl, peer.name, version_ref, surrogate_ref)
+        self._remote_by_surrogate[surrogate_ref] = fid
         return acl, peer.name, version_ref
 
     def read_acl_for_peer(self, fid: FileId, reader: str, _depth: int = 0) -> tuple[Acl, int]:
@@ -432,6 +679,18 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         self.remote_acl_reads += 1
         acl, ref = peer.read_acl_for_peer(fid, reader=self.name, _depth=depth)
         return acl, peer.name, ref
+
+    # ------------------------------------------------------------------ stats
+
+    def stack_storage_stats(self) -> dict[str, StorageStats]:
+        """The storage fast-path counters of this custode and every
+        custode below it (VACs and the flat-file custode wire a ``_below``
+        link), keyed by custode name."""
+        stats = {self.name: self.storage}
+        below = getattr(self, "_below", None)
+        if below is not None:
+            stats.update(below.stack_storage_stats())
+        return stats
 
     # ------------------------------------------------------------- bypass hooks
 

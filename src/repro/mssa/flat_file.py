@@ -68,9 +68,8 @@ class FlatFileCustode(Custode):
         return fid
 
     def read(self, cert, fid: FileId) -> bytes:
-        self.check_access(cert, fid, "r")
+        record = self.check_access(cert, fid, "r")
         self.ops += 1
-        record = self._record(fid)
         if record.content is None:
             return b""
         assert self._below is not None
@@ -96,16 +95,14 @@ class FlatFileCustode(Custode):
         self._below.write_segment(self._below_cert, segment, data, offset=length)
 
     def delete(self, cert, fid: FileId) -> None:
-        self.check_access(cert, fid, "d")
+        record = self.check_access(cert, fid, "d")
         self.ops += 1
-        record = self._record(fid)
-        del self._files[fid.number]
-        self._containers.get(record.container, []).remove(fid)
+        # drops the per-ACL index entry, accounting and cached decisions
+        self._forget_file(record)
 
     def size(self, cert, fid: FileId) -> int:
-        self.check_access(cert, fid, "r")
+        record = self.check_access(cert, fid, "r")
         self.ops += 1
-        record = self._record(fid)
         if record.content is None:
             return 0
         assert self._below is not None

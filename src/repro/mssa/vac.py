@@ -91,9 +91,8 @@ class IndexedFlatFileCustode(ValueAddingCustode):
 
     def write_record(self, cert, fid: FileId, key: str, value: bytes) -> None:
         """The specialised operation: write maintains the index."""
-        self.check_access(cert, fid, "w")
+        record = self.check_access(cert, fid, "w")
         self.ops += 1
-        record = self._record(fid)
         assert isinstance(self._below, FlatFileCustode)
         below_fid = self.below_file_of(fid)
         self.below_calls += 2
@@ -103,9 +102,8 @@ class IndexedFlatFileCustode(ValueAddingCustode):
 
     def lookup(self, cert, fid: FileId, key: str) -> bytes:
         """The value-added operation: keyed retrieval."""
-        self.check_access(cert, fid, "l")
+        record = self.check_access(cert, fid, "l")
         self.ops += 1
-        record = self._record(fid)
         entry = record.content["index"].get(key)
         if entry is None:
             raise StorageError(f"no record under key {key!r}")
@@ -116,9 +114,9 @@ class IndexedFlatFileCustode(ValueAddingCustode):
         return data[offset:offset + length]
 
     def keys(self, cert, fid: FileId) -> list[str]:
-        self.check_access(cert, fid, "l")
+        record = self.check_access(cert, fid, "l")
         self.ops += 1
-        return sorted(self._record(fid).content["index"])
+        return sorted(record.content["index"])
 
 
 class BankAccountCustode(ValueAddingCustode):
