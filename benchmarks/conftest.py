@@ -75,7 +75,25 @@ def record_hotpath(name, **data):
     Each hot-path benchmark calls this once; the file accumulates a
     ``{experiment: {series...}}`` mapping that CI uploads as an artifact,
     so results stay machine-readable across separate pytest runs."""
-    path = hotpath_out_path()
+    _record_json(hotpath_out_path(), "hotpath", name, data)
+
+
+# ------------------------------------------ fault/recovery results (BENCH_faults)
+
+
+def faults_out_path():
+    return os.environ.get(
+        "BENCH_FAULTS_OUT", os.path.join(_REPO_ROOT, "BENCH_faults.json")
+    )
+
+
+def record_faults(name, **data):
+    """Merge one fault/recovery experiment's results into BENCH_faults.json
+    (same accumulate-and-merge contract as :func:`record_hotpath`)."""
+    _record_json(faults_out_path(), "faults", name, data)
+
+
+def _record_json(path, kind, name, data):
     results = {}
     if os.path.exists(path):
         try:
@@ -88,4 +106,4 @@ def record_hotpath(name, **data):
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     line = ", ".join(f"{k}={v}" for k, v in data.items())
-    print(f"\n  [hotpath:{name}] {line}")
+    print(f"\n  [{kind}:{name}] {line}")

@@ -330,6 +330,10 @@ class CredentialRecordTable:
     def live_count(self) -> int:
         return sum(1 for row in self._rows if row is not None)
 
+    def all_records(self) -> list[CredentialRecord]:
+        """Every live record, in index order (tooling/invariant checkers)."""
+        return [row for row in self._rows if row is not None]
+
     # -- mutation ---------------------------------------------------------------
 
     def set_state(self, ref: int, state: RecordState, permanent: bool = False) -> None:
@@ -439,6 +443,18 @@ class CredentialRecordTable:
             if row is not None:
                 out.append(row)
         return out
+
+    def external_services(self) -> list[str]:
+        """Issuers this table holds live surrogate records for.
+
+        The recovery machinery iterates this to re-read remote truth
+        after a crash (ours or theirs); sorted for determinism.
+        """
+        return sorted(
+            service
+            for service, indices in self._externals_by_service.items()
+            if any(self._rows[index] is not None for index in indices)
+        )
 
     # -- watches / subscriptions -------------------------------------------------
 

@@ -99,6 +99,27 @@ class SimLinkage(Linkage):
         self._senders: dict[tuple[str, str], HeartbeatSender] = {}
         self._pools: dict[str, ChannelPool] = {}
         self.notifications = 0
+        # Staleness armour for Modified events: each body carries a
+        # (issuer boot epoch, per-issuer send seq) stamp, and receivers
+        # remember the newest stamp applied per (subscriber, issuer, ref).
+        # Without this, a duplicated or reordered message could re-open a
+        # surrogate that a newer notification already closed.
+        self._mod_seq: dict[str, int] = {}
+        self._last_applied: dict[tuple[str, str, int], tuple[int, int]] = {}
+        self.stale_modified_dropped = 0
+        # (issuer_addr, subscriber_addr) pairs whose next restore must
+        # not short-circuit with a direct truth re-read: the issuer came
+        # back in a new boot epoch and state is re-read over the network.
+        self._resync_pending: set[tuple[str, str]] = set()
+        # Subscribe is a request that must eventually reach the issuer:
+        # a copy lost to the network would leave the issuer unaware of
+        # the subscriber, so later revocations would never be notified.
+        # Pending (subscriber, issuer, ref) keys are retried on a timer
+        # until any Modified event for that ref arrives (the subscribe
+        # reply, or a notification — either proves registration).
+        self.subscribe_retry_period = 2.0
+        self.subscribe_retries = 0
+        self._sub_pending: dict[tuple[str, str, int], int] = {}
 
     @staticmethod
     def address_of(name: str) -> str:
@@ -120,6 +141,17 @@ class SimLinkage(Linkage):
         for pool in self._pools.values():
             pool.flush_all()
 
+    def _modified_body(self, issuer_name: str, ref: int, state: RecordState) -> dict:
+        seq = self._mod_seq.get(issuer_name, 0) + 1
+        self._mod_seq[issuer_name] = seq
+        epoch = self._services[issuer_name].boot_epoch
+        return {
+            "issuer": issuer_name,
+            "ref": ref,
+            "state": state.value,
+            "stamp": (epoch, seq),
+        }
+
     def _make_handler(self, service: "OasisService"):
         address = self.address_of(service.name)
 
@@ -137,6 +169,22 @@ class SimLinkage(Linkage):
                 kind, body = msg.kind, msg.payload
                 if kind == "modified":
                     self.notifications += 1
+                    # any Modified for this ref proves the issuer knows
+                    # about us: the subscribe no longer needs retrying
+                    self._sub_pending.pop(
+                        (service.name, body["issuer"], body["ref"]), None
+                    )
+                    stamp = body.get("stamp")
+                    if stamp is not None:
+                        stamp = tuple(stamp)
+                        key = (service.name, body["issuer"], body["ref"])
+                        last = self._last_applied.get(key)
+                        if last is not None and stamp <= last:
+                            # duplicate, or a delayed older state: applying
+                            # it could flip a closed surrogate back open
+                            self.stale_modified_dropped += 1
+                            continue
+                        self._last_applied[key] = stamp
                     modified.setdefault(body["issuer"], []).append(
                         (body["ref"], RecordState(body["state"]))
                     )
@@ -147,7 +195,7 @@ class SimLinkage(Linkage):
                     # urgent, never held for a batch window
                     self._pools[service.name].to(message.source).send(
                         "modified",
-                        {"issuer": service.name, "ref": body["ref"], "state": state.value},
+                        self._modified_body(service.name, body["ref"], state),
                         coalesce_key=("modified", service.name, body["ref"]),
                         urgent=True,
                     )
@@ -176,7 +224,45 @@ class SimLinkage(Linkage):
             {"ref": remote_ref, "subscriber": subscriber.name},
             urgent=True,
         )
+        self._track_subscribe(subscriber.name, issuer_name, remote_ref)
         return RecordState.UNKNOWN
+
+    def _track_subscribe(self, subscriber_name: str, issuer_name: str, remote_ref: int) -> None:
+        key = (subscriber_name, issuer_name, remote_ref)
+        if key not in self._sub_pending:
+            self._sub_pending[key] = 0
+            self.network.simulator.schedule(
+                self.subscribe_retry_period,
+                self._retry_subscribe,
+                key,
+                name="subscribe-retry",
+            )
+
+    def _retry_subscribe(self, key: tuple[str, str, int]) -> None:
+        if key not in self._sub_pending:
+            return  # acknowledged in the meantime
+        subscriber_name, issuer_name, ref = key
+        subscriber = self._services.get(subscriber_name)
+        if subscriber is None or not any(
+            record.external_ref == ref
+            for record in subscriber.credentials.externals_of(issuer_name)
+        ):
+            # the surrogate is gone; nobody cares about the answer
+            self._sub_pending.pop(key, None)
+            return
+        self._sub_pending[key] += 1
+        self.subscribe_retries += 1
+        self._pools[subscriber_name].to(self.address_of(issuer_name)).send(
+            "subscribe",
+            {"ref": ref, "subscriber": subscriber_name},
+            urgent=True,
+        )
+        self.network.simulator.schedule(
+            self.subscribe_retry_period,
+            self._retry_subscribe,
+            key,
+            name="subscribe-retry",
+        )
 
     def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
         pool = self._pools[issuer.name]
@@ -186,7 +272,7 @@ class SimLinkage(Linkage):
             self.notifications += 1
             pool.to(self.address_of(name)).send(
                 "modified",
-                {"issuer": issuer.name, "ref": ref, "state": state.value},
+                self._modified_body(issuer.name, ref, state),
                 coalesce_key=("modified", issuer.name, ref),
             )
 
@@ -214,6 +300,12 @@ class SimLinkage(Linkage):
             # must be on the wire before surrogates leave Unknown, so a
             # queued revocation cannot be masked by the re-read
             self._pools[issuer.name].to(subscriber_addr).flush()
+            if (issuer_addr, subscriber_addr) in self._resync_pending:
+                # the issuer restored in a NEW boot epoch: surrogates stay
+                # Unknown until the network resubscribe replies arrive —
+                # a direct truth read would paper over the recovery path
+                self._resync_pending.discard((issuer_addr, subscriber_addr))
+                return
             # re-read every surrogate's true state from the issuer and
             # settle the whole batch in a single cascade
             updates = []
@@ -222,7 +314,13 @@ class SimLinkage(Linkage):
                 updates.append((record.ref, issuer.credentials.state_of(record.external_ref)))
             subscriber.credentials.set_states(updates)
 
-        sender = HeartbeatSender(self.network, issuer_addr, subscriber_addr, period)
+        sender = HeartbeatSender(
+            self.network,
+            issuer_addr,
+            subscriber_addr,
+            period,
+            epoch=lambda: issuer.boot_epoch,
+        )
         monitor = HeartbeatMonitor(
             self.network,
             subscriber_addr,
@@ -232,9 +330,79 @@ class SimLinkage(Linkage):
             on_suspect=on_suspect,
             on_restore=on_restore,
         )
+
+        def on_epoch_change(old: int, new: int) -> None:
+            # The issuer crashed and came back: everything learned from
+            # the dead epoch is of unverifiable currency.  Mask every
+            # surrogate and resubscribe over the network.  The epoch check
+            # runs before liveness, so ``monitor.suspect`` still reflects
+            # whether a restore callback is about to fire.
+            if monitor.suspect:
+                self._resync_pending.add((issuer_addr, subscriber_addr))
+            subscriber.credentials.mark_service_unknown(issuer.name)
+            self.resync(subscriber, issuer.name)
+
+        monitor.on_epoch_change = on_epoch_change
         self._senders[(issuer_addr, subscriber_addr)] = sender
         self._monitors[(issuer_addr, subscriber_addr)] = monitor
         # data batches from issuer to subscriber now carry the heartbeat
         self._pools[issuer.name].to(subscriber_addr).attach_heartbeat(sender)
         sender.start()
         return sender, monitor
+
+    # ------------------------------------------------------- crash / recovery
+
+    def resync(self, subscriber: "OasisService", issuer_name: str) -> int:
+        """Re-subscribe every surrogate ``subscriber`` holds on
+        ``issuer_name`` and flush the requests onto the wire.
+
+        Each subscribe reply is an urgent, stamped Modified event, so the
+        surrogates resolve from Unknown to issuer truth one network
+        round-trip later.  Returns the number of refs resubscribed.
+        """
+        channel = self._pools[subscriber.name].to(self.address_of(issuer_name))
+        count = 0
+        for record in subscriber.credentials.externals_of(issuer_name):
+            if record.external_ref is None:
+                continue
+            channel.send(
+                "subscribe",
+                {"ref": record.external_ref, "subscriber": subscriber.name},
+                coalesce_key=("subscribe", issuer_name, record.external_ref),
+            )
+            self._track_subscribe(subscriber.name, issuer_name, record.external_ref)
+            count += 1
+        channel.flush()
+        return count
+
+    def crash(self, service: "OasisService") -> None:
+        """Take ``service`` down hard: it neither sends nor receives, and
+        everything queued in its wire channels is lost (volatile state)."""
+        address = self.address_of(service.name)
+        self.network.node(address).up = False
+        self._pools[service.name].discard_all()
+        for (src, _dst), sender in self._senders.items():
+            if src == address:
+                sender.stop()
+
+    def restart(self, service: "OasisService") -> int:
+        """Bring a crashed ``service`` back in a new boot epoch.
+
+        The service's own caches flush (:meth:`OasisService.restart`),
+        every surrogate it holds is masked Unknown and resubscribed —
+        the crash may have swallowed revocations, so nothing learned
+        before it can be trusted until re-read — and its heartbeat
+        senders restart with fresh sequence numbers under the new epoch
+        stamp.  Returns the new boot epoch.
+        """
+        address = self.address_of(service.name)
+        self.network.node(address).up = True
+        epoch = service.restart()
+        for issuer_name in service.credentials.external_services():
+            service.credentials.mark_service_unknown(issuer_name)
+            self.resync(service, issuer_name)
+        for (src, _dst), sender in self._senders.items():
+            if src == address:
+                sender.restart()
+                sender.start()
+        return epoch

@@ -123,6 +123,11 @@ class OasisService:
         self.name = name
         self.clock = clock or ManualClock()
         self.registry = registry
+        # Boot epoch (section 2): identity is only valid within one boot,
+        # exactly as a ClientId carries boot_time.  Bumped by restart();
+        # peers observing a newer epoch must distrust pre-crash state.
+        self.boot_epoch = 1
+        self._restart_hooks: list[Callable[[], None]] = []
         self.linkage = linkage or LocalLinkage()
         self.groups = groups
         self.cert_lifetime = cert_lifetime
@@ -856,6 +861,32 @@ class OasisService:
                     f"exited {role}", (role,) + cert.args,
                 )
         return len(validated)
+
+    def on_restart(self, callback: Callable[[], None]) -> None:
+        """Register a hook fired after :meth:`restart` bumps the epoch.
+
+        Subsystems holding volatile derived state (storage decision
+        caches, remote-ACL surrogates) register here so a crash-restart
+        flushes them before any post-restart request is served.
+        """
+        self._restart_hooks.append(callback)
+
+    def restart(self) -> int:
+        """Model a crash-restart of this service's process.
+
+        The boot epoch is bumped — the restarted service is a *new*
+        party as far as peers are concerned (section 2's
+        ``(host, id, boot_time)`` identity) — and every cached
+        validation outcome is dropped: caches are process memory and do
+        not survive a crash.  The credential record table itself models
+        the service's durable database and persists.  Returns the new
+        epoch.
+        """
+        self.boot_epoch += 1
+        self.clear_validation_caches()
+        for callback in self._restart_hooks:
+            callback()
+        return self.boot_epoch
 
     def tick(self) -> int:
         """Periodic maintenance: expire delegations, roll secrets, sweep

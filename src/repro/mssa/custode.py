@@ -105,6 +105,7 @@ class StorageStats:
     invalidated_by_regroup: int = 0  # set_acl_of moved the file
     invalidated_by_delete: int = 0
     bypass_checks: int = 0           # rights checked on a bypass route
+    epoch_flushes: int = 0           # full flushes forced by crash-restart
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -166,6 +167,10 @@ class Custode:
         self._remote_acls: dict[FileId, tuple[Acl, str, int, int]] = {}
         self._remote_by_surrogate: dict[int, FileId] = {}
         self.service.credentials.watch_all(self._on_storage_record_change)
+        # The decision cache and remote-ACL store are process memory: a
+        # crash-restart of the embedded service must not let a pre-crash
+        # authorisation (or ACL image) survive into the new boot epoch.
+        self.service.on_restart(self._on_service_restart)
         # accounting (sections 5.3.1 / 4.13): quotas and charging per
         # container; unknown containers are auto-created on the default
         # account so accounting is always on
@@ -577,6 +582,10 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         if cached is not None:
             self._remote_by_surrogate.pop(cached[3], None)
             self.storage.surrogate_flushes += 1
+
+    def _on_service_restart(self) -> None:
+        self.storage.epoch_flushes += 1
+        self.clear_storage_caches()
 
     def clear_storage_caches(self) -> None:
         """Force the storage cold path: drop cached decisions, the remote

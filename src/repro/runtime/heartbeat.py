@@ -40,6 +40,8 @@ class HeartbeatStats:
     resends: int = 0
     gaps_detected: int = 0
     suspicions: int = 0
+    epoch_changes: int = 0        # sender observed at a newer boot epoch
+    stale_epoch_dropped: int = 0  # traffic from a dead (pre-crash) epoch
 
 
 @dataclass
@@ -55,6 +57,11 @@ class HeartbeatSender:
     ``horizon`` is a callable returning the sender's current event-horizon
     timestamp; by default it is the simulator clock (nothing earlier than
     "now" will ever be sent).
+
+    ``epoch`` is a callable returning the sender's current boot epoch
+    (section 2: identity is only valid within one boot).  Every protocol
+    message is stamped with it so a monitor can tell a restarted sender
+    from its pre-crash self and discard the dead epoch's state.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class HeartbeatSender:
         dest: str,
         period: float,
         horizon: Optional[Callable[[], float]] = None,
+        epoch: Optional[Callable[[], int]] = None,
         name: str = "",
     ):
         self.network = network
@@ -73,20 +81,37 @@ class HeartbeatSender:
         self.period = period
         self.name = name or address
         self._horizon = horizon or (lambda: self.sim.now)
+        self._epoch = epoch or (lambda: 0)
         self._seq = 0
         self._unacked: dict[int, _Outgoing] = {}
         self._last_sent_at = -1.0
         self._running = False
+        self._gen = 0
         self.stats = HeartbeatStats()
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self._tick()
+        # bump the generation so a tick chain left over from a previous
+        # start/stop cycle dies instead of doubling the heartbeat rate
+        self._gen += 1
+        self._tick(self._gen)
 
     def stop(self) -> None:
         self._running = False
+
+    def restart(self) -> None:
+        """Reset volatile protocol state after a crash-restart.
+
+        Sequence numbers begin again at 1 and the unacked buffer is gone
+        — exactly what a real process loses with its memory.  The new
+        epoch stamp (from the ``epoch`` callable) tells the monitor to
+        reset its own sequence tracking rather than nack a false gap.
+        """
+        self._seq = 0
+        self._unacked.clear()
+        self._last_sent_at = -1.0
 
     def send_payload(self, payload: Any) -> int:
         """Send a substantive message; counts as liveness like a heartbeat."""
@@ -123,7 +148,7 @@ class HeartbeatSender:
                 self.address,
                 self.dest,
                 "heartbeat-fillers",
-                {"seqs": fillers, "horizon": self._horizon()},
+                {"seqs": fillers, "horizon": self._horizon(), "epoch": self._epoch()},
                 payload_count=len(fillers),
             )
 
@@ -138,7 +163,7 @@ class HeartbeatSender:
         self._seq += 1
         self._last_sent_at = self.sim.now
         self.stats.piggybacked += 1
-        return {"seq": self._seq, "horizon": self._horizon()}
+        return {"seq": self._seq, "horizon": self._horizon(), "epoch": self._epoch()}
 
     def _transmit(self, record: _Outgoing) -> None:
         self._last_sent_at = self.sim.now
@@ -146,11 +171,16 @@ class HeartbeatSender:
             self.address,
             self.dest,
             "heartbeat-payload",
-            {"seq": record.seq, "payload": record.payload, "horizon": self._horizon()},
+            {
+                "seq": record.seq,
+                "payload": record.payload,
+                "horizon": self._horizon(),
+                "epoch": self._epoch(),
+            },
         )
 
-    def _tick(self) -> None:
-        if not self._running:
+    def _tick(self, gen: int) -> None:
+        if not self._running or gen != self._gen:
             return
         due = self._last_sent_at + self.period
         if self.sim.now >= due - 1e-12:
@@ -161,14 +191,14 @@ class HeartbeatSender:
                 self.address,
                 self.dest,
                 "heartbeat",
-                {"seq": self._seq, "horizon": self._horizon()},
+                {"seq": self._seq, "horizon": self._horizon(), "epoch": self._epoch()},
             )
-            self.sim.schedule(self.period, self._tick, name=f"hb:{self.name}")
+            self.sim.schedule(self.period, self._tick, gen, name=f"hb:{self.name}")
         else:
             # a piggybacked batch (or payload) covered liveness recently;
             # wake exactly when its quiet interval expires so the gap
             # between signals never exceeds one period
-            self.sim.schedule(due - self.sim.now, self._tick, name=f"hb:{self.name}")
+            self.sim.schedule(due - self.sim.now, self._tick, gen, name=f"hb:{self.name}")
 
 
 class HeartbeatMonitor:
@@ -179,7 +209,11 @@ class HeartbeatMonitor:
     * ``on_payload(payload, horizon)`` — a substantive message arrived;
     * ``on_horizon(horizon)`` — the sender's event horizon advanced;
     * ``on_suspect()`` — nothing heard for longer than ``period * grace``;
-    * ``on_restore()`` — the sender was heard from again after suspicion.
+    * ``on_restore()`` — the sender was heard from again after suspicion;
+    * ``on_epoch_change(old, new)`` — the sender came back at a newer
+      boot epoch: it crashed and restarted, and everything learned from
+      the old epoch is now of unverifiable currency.  Fired *before* the
+      restore callback, so fail-closed masking can happen first.
 
     Section 4.9: while a sender is suspect, credential records fed by it
     must be treated as Unknown (fail closed).
@@ -197,6 +231,7 @@ class HeartbeatMonitor:
         on_horizon: Optional[Callable[[float], None]] = None,
         on_suspect: Optional[Callable[[], None]] = None,
         on_restore: Optional[Callable[[], None]] = None,
+        on_epoch_change: Optional[Callable[[int, int], None]] = None,
     ):
         self.network = network
         self.sim: Simulator = network.simulator
@@ -209,6 +244,8 @@ class HeartbeatMonitor:
         self.on_horizon = on_horizon
         self.on_suspect = on_suspect
         self.on_restore = on_restore
+        self.on_epoch_change = on_epoch_change
+        self._sender_epoch: Optional[int] = None
         # sequence tracking: everything in 1.._contiguous has been
         # received; _received holds out-of-order arrivals beyond it.
         self._contiguous = 0
@@ -227,10 +264,34 @@ class HeartbeatMonitor:
     def suspect(self) -> bool:
         return self._suspect
 
+    @property
+    def sender_epoch(self) -> Optional[int]:
+        """Latest boot epoch observed from the sender (None before any)."""
+        return self._sender_epoch
+
     def handle_message(self, kind: str, body: dict) -> None:
         """Feed a 'heartbeat', 'heartbeat-payload' or 'heartbeat-fillers'
         message body in (piggybacked batch heartbeats arrive as plain
         'heartbeat' bodies)."""
+        epoch = body.get("epoch")
+        if epoch is not None:
+            if self._sender_epoch is not None and epoch < self._sender_epoch:
+                # Delayed traffic from a boot that has since died.  It
+                # must not count as liveness, and its sequence numbers
+                # belong to a numbering the sender no longer remembers.
+                self.stats.stale_epoch_dropped += 1
+                return
+            if self._sender_epoch is not None and epoch > self._sender_epoch:
+                old = self._sender_epoch
+                self._sender_epoch = epoch
+                self._reset_sequences()
+                self.stats.epoch_changes += 1
+                # Fired while still suspect (before _heard below) so the
+                # handler can mask/resync before any unmask happens.
+                if self.on_epoch_change is not None:
+                    self.on_epoch_change(old, epoch)
+            elif self._sender_epoch is None:
+                self._sender_epoch = epoch
         self._heard()
         seqs = list(body["seqs"]) if kind == "heartbeat-fillers" else [body["seq"]]
         for seq in seqs:
@@ -251,6 +312,15 @@ class HeartbeatMonitor:
             self.network.send(
                 self.address, self.source, "heartbeat-ack", {"ack": self._contiguous}
             )
+
+    def _reset_sequences(self) -> None:
+        """The sender restarted: its sequence numbering begins anew."""
+        self._contiguous = 0
+        self._max_seen = 0
+        self._received.clear()
+        self._buffer.clear()
+        self._deliver_next = 1
+        self._since_ack = 0
 
     def _note_seq(self, kind: str, seq: int, body: dict) -> None:
         if seq > self._max_seen + 1:

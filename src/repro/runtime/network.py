@@ -30,6 +30,12 @@ from repro.runtime.simulator import Simulator
 MessageHandler = Callable[["Message"], None]
 LinkDownCallback = Callable[[str, str], None]
 
+# A fault injector decides, per message, the list of delivery delays for
+# the (possibly duplicated, possibly delayed-out-of-order) copies to
+# schedule — or None to drop the message entirely.  See
+# :mod:`repro.runtime.faults` for the standard implementation.
+FaultInjector = Callable[["Message", float], Optional[list[float]]]
+
 # Fixed per-message overhead in the bytes-in-spirit model: addresses,
 # kind, sequence number — the part of the wire cost that batching
 # amortises across payloads.
@@ -75,6 +81,9 @@ class NetworkStats:
     coalesced: int = 0
     dropped_by_loss: int = 0
     dropped_while_down: int = 0
+    dropped_no_handler: int = 0
+    dropped_by_fault: int = 0
+    duplicated: int = 0
 
 
 @dataclass(frozen=True)
@@ -165,6 +174,8 @@ class Network:
         self.stats = NetworkStats()
         self._link_stats: dict[tuple[str, str], NetworkStats] = {}
         self._link_down_callbacks: list[LinkDownCallback] = []
+        self._injector: Optional[FaultInjector] = None
+        self.warn_no_handler = False
 
     # -- legacy counter aliases ---------------------------------------------
 
@@ -218,6 +229,25 @@ class Network:
         if stats is None:
             stats = self._link_stats[key] = NetworkStats()
         return stats
+
+    def set_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or clear) the per-message fault injector.
+
+        The injector sees every message that survived the link's own
+        up/loss checks and returns the delivery delays for its copies
+        (one element = normal delivery, several = duplication, values
+        above the link delay = reordering) or None to drop it.
+        """
+        self._injector = injector
+
+    def set_link_state(self, source: str, dest: str, up: bool) -> None:
+        """Flip a single directed link up or down, keeping its parameters."""
+        link = self._link_mut(source, dest)
+        if link.up and not up:
+            link.up = False
+            self._notify_link_down(source, dest)
+        else:
+            link.up = up
 
     def on_link_down(self, callback: LinkDownCallback) -> None:
         """Register ``callback(source, dest)`` for up->down transitions.
@@ -284,8 +314,6 @@ class Network:
         ``payload_count`` is the number of application payloads inside the
         message (> 1 for wire-layer batches); it only affects accounting.
         """
-        if dest not in self._nodes:
-            raise NetworkError(f"no node at address {dest!r}")
         self._seq += 1
         message = Message(
             source=source,
@@ -303,6 +331,23 @@ class Network:
         per_link.messages_sent += 1
         per_link.payloads_carried += payload_count
         per_link.bytes_sent += size
+        src_node = self._nodes.get(source)
+        if src_node is not None and not src_node.up:
+            # A crashed host neither receives nor transmits.
+            self.stats.dropped_while_down += 1
+            per_link.dropped_while_down += 1
+            return None
+        if dest not in self._nodes:
+            self.stats.dropped_no_handler += 1
+            per_link.dropped_no_handler += 1
+            if self.warn_no_handler:
+                import warnings
+
+                warnings.warn(
+                    f"message {kind!r} to unregistered address {dest!r} dropped",
+                    stacklevel=2,
+                )
+            return None
         link = self.link(source, dest)
         if not link.up:
             self.stats.dropped_while_down += 1
@@ -314,5 +359,18 @@ class Network:
             return None
         delay = link.sample_delay(self._rng)
         node = self._nodes[dest]
+        if self._injector is not None:
+            delays = self._injector(message, delay)
+            if delays is None:
+                self.stats.dropped_by_fault += 1
+                per_link.dropped_by_fault += 1
+                return None
+            if len(delays) > 1:
+                extra = len(delays) - 1
+                self.stats.duplicated += extra
+                per_link.duplicated += extra
+            for d in delays:
+                self.simulator.schedule(d, node.deliver, message, name=f"deliver:{kind}")
+            return message
         self.simulator.schedule(delay, node.deliver, message, name=f"deliver:{kind}")
         return message

@@ -7,11 +7,29 @@ calls that complete a :class:`RpcFuture` when the reply message arrives.
 
 Timeouts are driven by the simulator, so an experiment can measure how long
 an operation takes under given network conditions.
+
+Reliability semantics
+---------------------
+
+The network below is a lossy datagram fabric, so the endpoint implements
+*at-most-once* execution with optional retries:
+
+* A caller may attach a :class:`RetryPolicy`; each attempt re-sends the
+  request with the **same** call id and backs off exponentially with
+  seeded jitter, up to the policy's attempt budget.
+* The server keeps a dedup window of recently-served ``(caller, call id)``
+  pairs.  A retried or network-duplicated request whose original already
+  executed is answered from the cached reply instead of running the
+  handler again — the handler runs at most once per logical call.
+* Failures surface as :class:`RpcError` values naming the destination,
+  method and attempt count, so chaos logs read usefully.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import NetworkError, OasisError
@@ -21,21 +39,87 @@ RpcHandler = Callable[..., Any]
 
 
 class RpcError(OasisError):
-    """An RPC failed: remote exception, timeout, or unknown method."""
+    """An RPC failed: remote exception, timeout, or unknown method.
+
+    ``dest``, ``method`` and ``attempts`` identify the failed exchange
+    when the error came from the client-side call machinery (they are
+    ``None``/``0`` for errors raised locally, e.g. ``result()`` before
+    completion).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        dest: Optional[str] = None,
+        method: Optional[str] = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.dest = dest
+        self.method = method
+        self.attempts = attempts
 
 
 # Default virtual-seconds bound on any call: a reply lost to link loss or
 # a partition must never leave its _PendingCall in the endpoint forever.
 DEFAULT_TIMEOUT = 60.0
 
+# How long the server remembers served calls for duplicate suppression
+# (virtual seconds).  Must comfortably exceed any client's total retry
+# horizon so a late retry never re-executes the handler.
+DEFAULT_DEDUP_WINDOW = 600.0
+
 _UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry budget with exponential backoff and jitter.
+
+    Attempt ``n`` (1-based) that fails retries after
+    ``min(base_delay * multiplier**(n-1), max_delay)`` plus a uniform
+    jitter fraction of that delay, until ``max_attempts`` is exhausted.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    retry_on_link_down: bool = True
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter * delay)
+        return delay
+
+
+@dataclass
+class RpcStats:
+    """Counters for the retry/at-most-once machinery."""
+
+    calls: int = 0
+    requests_sent: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    executions: int = 0
+    duplicates_suppressed: int = 0
+    replies_resent: int = 0
 
 
 @dataclass
 class _PendingCall:
     future: "RpcFuture"
-    timeout_handle: Any
     dest: str
+    method: str
+    body: dict
+    timeout: Optional[float]
+    policy: Optional[RetryPolicy]
+    attempt: int = 0
+    timeout_handle: Any = None
+    retry_handle: Any = None
 
 
 class RpcFuture:
@@ -49,6 +133,7 @@ class RpcFuture:
         self._done = False
         self._value: Any = None
         self._error: Optional[str] = None
+        self._error_context: tuple[Optional[str], Optional[str], int] = (None, None, 0)
         self._callbacks: list[Callable[["RpcFuture"], None]] = []
 
     @property
@@ -63,7 +148,8 @@ class RpcFuture:
         if not self._done:
             raise RpcError("RPC not yet complete")
         if self._error is not None:
-            raise RpcError(self._error)
+            dest, method, attempts = self._error_context
+            raise RpcError(self._error, dest=dest, method=method, attempts=attempts)
         return self._value
 
     def on_done(self, callback: Callable[["RpcFuture"], None]) -> None:
@@ -72,12 +158,20 @@ class RpcFuture:
         else:
             self._callbacks.append(callback)
 
-    def _complete(self, value: Any = None, error: Optional[str] = None) -> None:
+    def _complete(
+        self,
+        value: Any = None,
+        error: Optional[str] = None,
+        dest: Optional[str] = None,
+        method: Optional[str] = None,
+        attempts: int = 0,
+    ) -> None:
         if self._done:
             return
         self._done = True
         self._value = value
         self._error = error
+        self._error_context = (dest, method, attempts)
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
@@ -103,14 +197,26 @@ class RpcEndpoint:
         network: Network,
         address: str,
         default_timeout: Optional[float] = DEFAULT_TIMEOUT,
+        retry: Optional[RetryPolicy] = None,
+        dedup_window: float = DEFAULT_DEDUP_WINDOW,
+        seed: int = 0,
     ):
         self.network = network
         self.address = address
         self.default_timeout = default_timeout
+        self.retry = retry
+        self.dedup_window = dedup_window
+        self.stats = RpcStats()
+        # str seeds hash deterministically inside random, unlike hash()
+        self._rng = random.Random(f"{seed}:{address}")
         self._methods: dict[str, RpcHandler] = {}
         self._pending: dict[int, _PendingCall] = {}
         self._call_seq = 0
         self._event_handlers: dict[str, Callable[[str, Any], None]] = {}
+        # Server-side duplicate suppression: (caller, call id) -> cached
+        # reply, forgotten after ``dedup_window`` virtual seconds.
+        self._served: dict[tuple[str, int], dict] = {}
+        self._served_order: deque[tuple[float, tuple[str, int]]] = deque()
         network.add_node(address, self._on_message)
         network.on_link_down(self._on_link_down)
 
@@ -128,34 +234,36 @@ class RpcEndpoint:
         method: str,
         *args: Any,
         timeout: Optional[float] = _UNSET,
+        retry: Optional[RetryPolicy] = _UNSET,
         **kwargs: Any,
     ) -> RpcFuture:
         """Invoke ``method`` on the endpoint at ``dest``.
 
         Unless a ``timeout`` is given, the endpoint's ``default_timeout``
-        applies; pass ``timeout=None`` explicitly to wait forever (the
-        call still fails fast if the network reports the link down).
+        applies *per attempt*; pass ``timeout=None`` explicitly to wait
+        forever (the call still fails fast if the network reports the
+        link down).  ``retry`` overrides the endpoint's retry policy for
+        this call; the default (no policy) sends exactly one attempt.
         """
         self._call_seq += 1
         call_id = self._call_seq
         future = RpcFuture()
         if timeout is _UNSET:
             timeout = self.default_timeout
-        timeout_handle = None
-        if timeout is not None:
-            timeout_handle = self.network.simulator.schedule(
-                timeout, self._on_timeout, call_id, name="rpc-timeout"
-            )
-        self._pending[call_id] = _PendingCall(future, timeout_handle, dest)
-        try:
-            self.network.send(
-                self.address,
-                dest,
-                "rpc-request",
-                {"id": call_id, "method": method, "args": args, "kwargs": kwargs},
-            )
-        except NetworkError as exc:
-            self._resolve(call_id, error=str(exc))
+        if retry is _UNSET:
+            retry = self.retry
+        body = {"id": call_id, "method": method, "args": args, "kwargs": kwargs}
+        pending = _PendingCall(
+            future=future,
+            dest=dest,
+            method=method,
+            body=body,
+            timeout=timeout,
+            policy=retry,
+        )
+        self._pending[call_id] = pending
+        self.stats.calls += 1
+        self._transmit(call_id)
         return future
 
     def notify(self, dest: str, topic: str, payload: Any) -> None:
@@ -171,6 +279,25 @@ class RpcEndpoint:
 
     # -- internals -----------------------------------------------------------
 
+    def _transmit(self, call_id: int) -> None:
+        """Send (or re-send) the request for ``call_id`` and arm its timeout."""
+        pending = self._pending.get(call_id)
+        if pending is None:
+            return
+        pending.retry_handle = None
+        pending.attempt += 1
+        if pending.attempt > 1:
+            self.stats.retries += 1
+        self.stats.requests_sent += 1
+        if pending.timeout is not None:
+            pending.timeout_handle = self.network.simulator.schedule(
+                pending.timeout, self._on_timeout, call_id, name="rpc-timeout"
+            )
+        try:
+            self.network.send(self.address, pending.dest, "rpc-request", pending.body)
+        except NetworkError as exc:
+            self._attempt_failed(call_id, str(exc))
+
     def _on_message(self, message: Message) -> None:
         if message.kind == "rpc-request":
             self._serve(message)
@@ -185,46 +312,120 @@ class RpcEndpoint:
 
     def _serve(self, message: Message) -> None:
         body = message.payload
+        key = (message.source, body["id"])
+        self._purge_served()
+        cached = self._served.get(key)
+        if cached is not None:
+            # Retry or network duplicate of a call that already executed:
+            # at-most-once means we answer from the cache, never re-run.
+            self.stats.duplicates_suppressed += 1
+            self.stats.replies_resent += 1
+            self.network.send(self.address, message.source, "rpc-reply", cached)
+            return
         handler = self._methods.get(body["method"])
         reply: dict[str, Any] = {"id": body["id"]}
         if handler is None:
             reply["error"] = f"unknown method {body['method']!r}"
         else:
             try:
+                self.stats.executions += 1
                 reply["value"] = handler(*body["args"], **body["kwargs"])
             except Exception as exc:  # surfaced to the caller, not swallowed
                 reply["error"] = f"{type(exc).__name__}: {exc}"
-        try:
-            self.network.send(self.address, message.source, "rpc-reply", reply)
-        except NetworkError:
-            pass  # caller vanished; its timeout will fire
+        if self.dedup_window > 0:
+            expires = self.network.simulator.now + self.dedup_window
+            self._served[key] = reply
+            self._served_order.append((expires, key))
+        self.network.send(self.address, message.source, "rpc-reply", reply)
+
+    def _purge_served(self) -> None:
+        now = self.network.simulator.now
+        order = self._served_order
+        while order and order[0][0] <= now:
+            _, key = order.popleft()
+            self._served.pop(key, None)
 
     def _resolve(self, call_id: int, value: Any = None, error: Optional[str] = None) -> None:
         pending = self._pending.pop(call_id, None)
         if pending is None:
             return  # duplicate reply or reply after timeout
+        self._disarm(pending)
+        if error is not None:
+            self.stats.failures += 1
+            error = self._describe(error, pending)
+        pending.future._complete(
+            value=value,
+            error=error,
+            dest=pending.dest,
+            method=pending.method,
+            attempts=pending.attempt,
+        )
+
+    def _disarm(self, pending: _PendingCall) -> None:
         if pending.timeout_handle is not None:
             self.network.simulator.cancel(pending.timeout_handle)
-        pending.future._complete(value=value, error=error)
+            pending.timeout_handle = None
+        if pending.retry_handle is not None:
+            self.network.simulator.cancel(pending.retry_handle)
+            pending.retry_handle = None
+
+    def _describe(self, error: str, pending: _PendingCall) -> str:
+        return (
+            f"{error} ({pending.method!r} at {pending.dest!r}"
+            f" after {pending.attempt} attempt(s))"
+        )
+
+    def _attempt_failed(self, call_id: int, error: str, retryable: bool = True) -> None:
+        """An attempt died locally (timeout / link down / send error)."""
+        pending = self._pending.get(call_id)
+        if pending is None:
+            return
+        if pending.retry_handle is not None:
+            return  # already backing off toward the next attempt
+        if pending.timeout_handle is not None:
+            self.network.simulator.cancel(pending.timeout_handle)
+            pending.timeout_handle = None
+        policy = pending.policy
+        if retryable and policy is not None and pending.attempt < policy.max_attempts:
+            delay = policy.backoff(pending.attempt, self._rng)
+            pending.retry_handle = self.network.simulator.schedule(
+                delay, self._transmit, call_id, name="rpc-retry"
+            )
+            return
+        self._resolve(call_id, error=error)
 
     def _on_timeout(self, call_id: int) -> None:
-        self._resolve(call_id, error="timeout")
+        pending = self._pending.get(call_id)
+        if pending is not None and pending.timeout_handle is not None:
+            # This firing consumed the handle; don't cancel a dead event.
+            pending.timeout_handle = None
+        self.stats.timeouts += 1
+        self._attempt_failed(call_id, "timeout")
 
     def _on_link_down(self, source: str, dest: str) -> None:
-        # Either direction dying dooms the exchange: the request cannot
-        # reach the server, or its reply cannot come back.  Fail the
-        # affected pending calls now rather than leaking them (or making
-        # the caller wait out the full timeout).
+        # Either direction dying dooms the in-flight attempt: the request
+        # cannot reach the server, or its reply cannot come back.  With a
+        # retry policy the call backs off and tries again (the partition
+        # may heal); otherwise fail it now rather than leaking it (or
+        # making the caller wait out the full timeout).
         if self.address == source:
             broken = dest
         elif self.address == dest:
             broken = source
         else:
             return
-        doomed = [
+        affected = [
             call_id
             for call_id, pending in self._pending.items()
             if pending.dest == broken
         ]
-        for call_id in doomed:
-            self._resolve(call_id, error=f"link down: {self.address} <-> {broken}")
+        for call_id in affected:
+            pending = self._pending.get(call_id)
+            if pending is None:
+                continue
+            retryable = pending.policy is not None and pending.policy.retry_on_link_down
+            self._attempt_failed(
+                call_id,
+                f"link down: {self.address} <-> {broken}",
+                retryable=retryable,
+            )

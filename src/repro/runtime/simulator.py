@@ -32,10 +32,18 @@ class ScheduledEvent:
 class _QueueEntry:
     time: float
     seq: int
-    fn: Callable[..., Any] = field(compare=False)
+    fn: Optional[Callable[..., Any]] = field(compare=False)
     args: tuple = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     name: str = field(default="", compare=False)
+
+
+# Compact the heap once this many cancelled entries linger AND they make
+# up the majority of it.  Long-running workloads that cancel most of what
+# they schedule (an RPC endpoint cancelling its timeout on every reply)
+# would otherwise grow the heap without bound until the dead entries'
+# scheduled times are finally reached.
+_COMPACT_MIN_CANCELLED = 256
 
 
 class Simulator:
@@ -56,6 +64,7 @@ class Simulator:
         self._seq = itertools.count()
         self._handles: dict[int, _QueueEntry] = {}
         self._running = False
+        self._cancelled_pending = 0
         self.events_processed = 0
 
     @property
@@ -94,21 +103,47 @@ class Simulator:
         return ScheduledEvent(time=time, seq=seq, name=name)
 
     def cancel(self, handle: ScheduledEvent) -> bool:
-        """Cancel a scheduled event.  Returns False if already run/cancelled."""
-        entry = self._handles.get(handle.seq)
+        """Cancel a scheduled event.  Returns False if already run/cancelled.
+
+        The callback and its arguments are released immediately — a
+        cancelled timeout must not pin its closure (or the state it
+        captures) until the heap reaches the event's scheduled time.  The
+        dead heap entry itself is reclaimed lazily, with a compaction
+        pass once cancelled entries dominate the queue.
+        """
+        entry = self._handles.pop(handle.seq, None)
         if entry is None or entry.cancelled:
             return False
         entry.cancelled = True
+        entry.fn = None
+        entry.args = ()
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
         return True
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def pending(self) -> int:
         """Number of events still waiting to run."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_pending
+
+    def cancelled_pending(self) -> int:
+        """Dead (cancelled, not yet reclaimed) entries still in the heap."""
+        return self._cancelled_pending
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next pending event, or None if queue empty."""
         while self._queue and self._queue[0].cancelled:
             entry = heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
             self._handles.pop(entry.seq, None)
         return self._queue[0].time if self._queue else None
 
@@ -118,9 +153,11 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             self._handles.pop(entry.seq, None)
             if entry.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = entry.time
             self.events_processed += 1
+            assert entry.fn is not None
             entry.fn(*entry.args)
             return True
         return False

@@ -155,6 +155,20 @@ class BatchedChannel:
             self.stats.explicit_flushes += 1
         self._emit()
 
+    def discard_pending(self) -> int:
+        """Drop everything queued without sending it.
+
+        Models a crash: queued-but-unsent payloads are volatile process
+        state and die with it.  Returns the number of payloads dropped.
+        """
+        dropped = len(self._pending)
+        self._pending = []
+        self._keyed = {}
+        if self._flush_handle is not None:
+            self.sim.cancel(self._flush_handle)
+            self._flush_handle = None
+        return dropped
+
     def _flush_due(self) -> None:
         self._flush_handle = None
         self._emit()
@@ -202,6 +216,10 @@ class ChannelPool:
     def flush_all(self) -> None:
         for channel in self._channels.values():
             channel.flush()
+
+    def discard_all(self) -> int:
+        """Drop all queued payloads on every channel (crash semantics)."""
+        return sum(channel.discard_pending() for channel in self._channels.values())
 
 
 def unpack(message: Message) -> Iterator[Message]:

@@ -1,0 +1,168 @@
+"""Crash-restart recovery (boot epochs, section 2's ``(host, id,
+boot_time)`` identity).
+
+A restarted service is a *new party*: everything a peer learned from the
+dead epoch is of unverifiable currency.  These tests drive
+``SimLinkage.crash`` / ``SimLinkage.restart`` and check the recovery
+protocol end to end: epoch detection via heartbeats, surrogates masked
+Unknown until the network resubscribe replies arrive, and revocations
+swallowed by a crash re-learned on resync.
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.credentials import RecordState
+from repro.core.linkage import SimLinkage
+from repro.core.types import ObjectType
+from repro.errors import RevokedError
+from repro.runtime.clock import SimClock
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+
+LOGIN_RDL = """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+"""
+
+FILES_RDL = """
+import Login.userid
+Reader(u) <- Login.LoggedOn(u, h)*
+"""
+
+
+def make_world(delay=0.25):
+    sim = Simulator()
+    net = Network(sim, seed=9, default_delay=delay)
+    clock = SimClock(sim)
+    registry = ServiceRegistry()
+    linkage = SimLinkage(net)
+    login = OasisService("Login", registry=registry, linkage=linkage, clock=clock)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", LOGIN_RDL)
+    files = OasisService("Files", registry=registry, linkage=linkage, clock=clock)
+    files.add_rolefile("main", FILES_RDL)
+    user = HostOS("ely").create_domain()
+    return sim, net, linkage, login, files, user
+
+
+def test_service_restart_bumps_epoch_and_flushes_caches():
+    sim, net, linkage, login, files, user = make_world()
+    assert login.boot_epoch == 1
+    fired = []
+    login.on_restart(lambda: fired.append(login.boot_epoch))
+    assert login.restart() == 2
+    assert login.restart() == 3
+    assert fired == [2, 3]
+
+
+def test_issuer_crash_restart_epoch_detected_by_peer():
+    sim, net, linkage, login, files, user = make_world()
+    cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    reader = files.enter_role(user.client_id, "Reader", credentials=(cert,))
+    sender, monitor = linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    files.validate(reader)
+    linkage.crash(login)
+    sim.run_until(15.0)
+    # silence -> suspect -> fail closed
+    assert monitor.suspect
+    with pytest.raises(RevokedError) as err:
+        files.validate(reader)
+    assert err.value.uncertain
+    linkage.restart(login)
+    sim.run_until(20.0)
+    assert login.boot_epoch == 2
+    assert monitor.sender_epoch == 2
+    assert monitor.stats.epoch_changes == 1
+    assert not monitor.suspect
+    files.validate(reader)  # recovered to issuer truth
+
+
+def test_surrogates_stay_unknown_until_resync_replies_arrive():
+    """The acceptance criterion verbatim: after the peer detects the new
+    epoch, surrogates minted under the dead epoch read Unknown — and keep
+    reading Unknown until the *network* resubscribe replies land; a
+    direct in-process truth read must not short-circuit the window."""
+    sim, net, linkage, login, files, user = make_world(delay=0.25)
+    cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    reader = files.enter_role(user.client_id, "Reader", credentials=(cert,))
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    linkage.crash(login)
+    sim.run_until(15.0)
+    t0 = sim.now
+    linkage.restart(login)
+    # first new-epoch heartbeat lands at t0+0.25: epoch change fires,
+    # surrogates masked, resubscribe goes out.  The reply needs a full
+    # round trip (t0+0.75); in between the surrogate must read Unknown
+    # even though the restore callback has already run.
+    sim.run_until(t0 + 0.5)
+    surrogate = files.credentials.externals_of("Login")[0]
+    assert surrogate.state is RecordState.UNKNOWN
+    with pytest.raises(RevokedError) as err:
+        files.validate(reader)
+    assert err.value.uncertain
+    sim.run_until(t0 + 2.0)
+    assert surrogate.state is RecordState.TRUE
+    files.validate(reader)
+
+
+def test_revocation_swallowed_by_consumer_crash_is_relearned_on_restart():
+    """Files crashes; Login revokes while it is down (the Modified event
+    dies on the floor of a down node); after restart the resync re-read
+    must surface the revocation as definitive FALSE, not resurrect the
+    grant from the stale surrogate."""
+    sim, net, linkage, login, files, user = make_world()
+    cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    reader = files.enter_role(user.client_id, "Reader", credentials=(cert,))
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    files.validate(reader)
+    linkage.crash(files)
+    login.exit_role(cert)  # notification sent into the void
+    sim.run_until(10.0)
+    dropped = net.stats.dropped_while_down
+    assert dropped >= 1
+    linkage.restart(files)
+    assert files.boot_epoch == 2
+    sim.run_until(20.0)
+    with pytest.raises(RevokedError) as err:
+        files.validate(reader)
+    assert not err.value.uncertain  # truth re-learned, not mere suspicion
+
+
+def test_crash_discards_queued_wire_traffic():
+    """Volatile state: payloads batched but not yet flushed at crash time
+    are lost with the process, never delivered by a ghost."""
+    sim, net, linkage, login, files, user = make_world()
+    cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    files.enter_role(user.client_id, "Reader", credentials=(cert,))
+    sim.run()
+    # queue a revocation notification but crash before any flush deadline
+    record = login.credentials.get(cert.crr)
+    assert record.subscribers
+    login.exit_role(cert)
+    linkage.crash(login)
+    sim.run_until(sim.now + 30.0)
+    # the surrogate still believes TRUE: the notification died with the
+    # process (this is exactly why restart must mask + resync)
+    surrogate = files.credentials.externals_of("Login")[0]
+    assert surrogate.state is RecordState.TRUE
+
+
+def test_double_crash_restart_cycles_are_stable():
+    sim, net, linkage, login, files, user = make_world()
+    cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    reader = files.enter_role(user.client_id, "Reader", credentials=(cert,))
+    sender, monitor = linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(5.0)
+    for expected_epoch in (2, 3):
+        linkage.crash(login)
+        sim.run_until(sim.now + 10.0)
+        linkage.restart(login)
+        sim.run_until(sim.now + 10.0)
+        assert login.boot_epoch == expected_epoch
+        assert monitor.sender_epoch == expected_epoch
+        files.validate(reader)
+    assert monitor.stats.epoch_changes == 2

@@ -300,3 +300,26 @@ class TestGroupService:
         groups.create_group("g", {"a", "b"})
         assert groups.members("g") == {"a", "b"}
         assert groups.groups() == ["g"]
+
+
+def test_lost_subscribe_is_retried_until_acknowledged():
+    """A subscribe request eaten by the network must not orphan the
+    surrogate: the subscriber retries on a timer until any Modified
+    event for the ref proves the issuer knows about it (ISSUE 5)."""
+    sim, net, linkage, login, files, user = make_distributed_world()
+    login_cert = login.enter_role(user.client_id, "LoggedOn", ("dm", "ely"))
+    # every subscribe from Files dies on the floor for a while
+    net.set_link("oasis:Files", "oasis:Login", Link(loss_probability=1.0))
+    reader = files.enter_role(user.client_id, "Reader", credentials=(login_cert,))
+    sim.run_until(1.0)
+    record = login.credentials.get(login_cert.crr)
+    assert "Files" not in record.subscribers  # issuer is still unaware
+    net.set_link("oasis:Files", "oasis:Login", Link())
+    sim.run_until(10.0)
+    assert linkage.subscribe_retries >= 1
+    assert "Files" in login.credentials.get(login_cert.crr).subscribers
+    # ...so the revocation propagates instead of leaving a stale grant
+    login.exit_role(login_cert)
+    sim.run_until(20.0)
+    with pytest.raises(RevokedError):
+        files.validate(reader)

@@ -289,3 +289,65 @@ class TestBypassStats:
         route.read(cert, fid)
         assert route.stats()["ifc"].bypass_checks == 1
         assert "ffc" in route.stats()                  # the whole stack reports
+
+
+class TestEpochFlush:
+    """A service restart is a new boot epoch: the decision cache and the
+    remote-ACL surrogate store are process memory and must not survive
+    it (ISSUE 5) — only the durable credential table does."""
+
+    def test_restart_flushes_decision_cache(self, mssa):
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad", alphabet="rwad"))
+        fid = mssa.ffc.create(acl, b"x")
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, acl, login)
+        mssa.ffc.read(cert, fid)                       # prime
+        mssa.ffc.read(cert, fid)
+        assert mssa.ffc.storage.decision_hits >= 1
+        assert len(mssa.ffc._decisions) >= 1
+        epoch = mssa.ffc.service.restart()
+        assert epoch == 2
+        assert mssa.ffc.storage.epoch_flushes == 1
+        assert len(mssa.ffc._decisions) == 0
+        # the certificate itself is durable: the next read re-derives the
+        # decision from scratch rather than serving the dead epoch's cache
+        hits_before = mssa.ffc.storage.decision_hits
+        misses_before = mssa.ffc.storage.decision_misses
+        mssa.ffc.read(cert, fid)
+        assert mssa.ffc.storage.decision_hits == hits_before
+        assert mssa.ffc.storage.decision_misses == misses_before + 1
+
+    def test_restart_flushes_remote_acl_store(self, mssa):
+        meta = mssa.bsc.create_acl(
+            Acl.parse("custode:ffc=+r dm=+rw", alphabet="rw"))
+        remote_acl = mssa.bsc.create_acl(
+            Acl.parse("dm=+rwad", alphabet="rwad"), protecting_acl_id=meta)
+        fid = mssa.ffc.create(remote_acl, b"x")
+        client, login = mssa.login_user("dm")
+        cert = mssa.ffc.enter_use_acl(client, remote_acl, login)
+        assert mssa.ffc.remote_acl_reads == 1
+        assert len(mssa.ffc._remote_acls) == 1
+        mssa.ffc.service.restart()
+        assert len(mssa.ffc._remote_acls) == 0
+        assert len(mssa.ffc._remote_by_surrogate) == 0
+        # next entry goes back to the peer for a fresh copy
+        mssa.ffc.enter_use_acl(client, remote_acl, login)
+        assert mssa.ffc.remote_acl_reads == 2
+
+    def test_no_stale_authorisation_across_epoch_change(self, mssa):
+        """The sharpest form of the acceptance criterion: an ACL change
+        concurrent with the restart must be honoured by the very first
+        post-restart access."""
+        meta = mssa.ffc.create_acl(Acl.parse("dm=+rw", alphabet="rwad"))
+        acl = mssa.ffc.create_acl(Acl.parse("dm=+rwad jmb=+r", alphabet="rwad"),
+                                  protecting_acl_id=meta)
+        fid = mssa.ffc.create(acl, b"x")
+        jclient, jlogin = mssa.login_user("jmb")
+        jcert = mssa.ffc.enter_use_acl(jclient, acl, jlogin)
+        mssa.ffc.read(jcert, fid)                      # warm decision
+        dclient, dlogin = mssa.login_user("dm")
+        dmeta = mssa.ffc.enter_use_acl(dclient, meta, dlogin)
+        mssa.ffc.modify_acl(dmeta, acl, Acl.parse("dm=+rwad", alphabet="rwad"))
+        mssa.ffc.service.restart()
+        with pytest.raises(RevokedError):
+            mssa.ffc.read(jcert, fid)

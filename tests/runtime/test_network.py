@@ -76,10 +76,22 @@ def test_partition_and_heal():
     assert got == [2]
 
 
-def test_send_to_unknown_node_raises():
+def test_send_to_unknown_node_counts_dropped_no_handler():
+    # datagram semantics: an unregistered destination swallows the message,
+    # but never silently — the drop is visible in the stats (and crash
+    # support depends on sends to a dead-and-removed node not raising)
     sim, net = make_net()
     net.add_node("a", lambda m: None)
-    with pytest.raises(NetworkError):
+    assert net.send("a", "nowhere", "ping", None) is None
+    assert net.stats.dropped_no_handler == 1
+    assert net.link_stats("a", "nowhere").dropped_no_handler == 1
+
+
+def test_send_to_unknown_node_warns_when_enabled():
+    sim, net = make_net()
+    net.warn_no_handler = True
+    net.add_node("a", lambda m: None)
+    with pytest.warns(UserWarning, match="unregistered address"):
         net.send("a", "nowhere", "ping", None)
 
 

@@ -176,3 +176,141 @@ def test_rpc_latency_matches_link():
     future.on_done(lambda f: done_at.append(sim.now))
     sim.run()
     assert done_at[0] == pytest.approx(0.3)
+
+
+# ----------------------------------------------------------- retry machinery
+
+from repro.runtime.rpc import RetryPolicy
+
+
+def test_retry_succeeds_across_transient_partition():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    net.partition({"client"}, {"server"})
+    policy = RetryPolicy(max_attempts=6, base_delay=0.5, multiplier=2.0, jitter=0.1)
+    future = client.call("server", "add", 2, 2, timeout=1.0, retry=policy)
+    sim.schedule(3.0, net.heal, {"client"}, {"server"})
+    sim.run_until(60.0)
+    assert future.result() == 4
+    assert client.stats.retries >= 1
+    assert server.stats.executions == 1
+
+
+def test_retry_budget_exhausted_fails_with_attempt_count():
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    net.partition({"client"}, {"server"})
+    policy = RetryPolicy(max_attempts=3, base_delay=0.1, retry_on_link_down=False)
+    future = client.call("server", "add", 1, 1, timeout=0.5, retry=policy)
+    sim.run_until(60.0)
+    assert future.failed
+    with pytest.raises(RpcError) as excinfo:
+        future.result()
+    err = excinfo.value
+    assert err.dest == "server"
+    assert err.method == "add"
+    assert err.attempts == 3
+    assert "timeout" in str(err)
+    assert "'add'" in str(err) and "'server'" in str(err) and "3 attempt(s)" in str(err)
+
+
+def test_remote_exception_is_not_retried():
+    sim, net, server, client = make_pair()
+    calls = []
+
+    def boom():
+        calls.append(1)
+        raise ValueError("bad input")
+
+    server.register("boom", boom)
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1)
+    future = client.call("server", "boom", retry=policy)
+    sim.run()
+    with pytest.raises(RpcError, match="ValueError: bad input"):
+        future.result()
+    assert len(calls) == 1  # a definite remote answer is never retried
+
+
+def test_at_most_once_under_network_duplication():
+    """Every message (request AND reply) is duplicated by the fault
+    injector, yet the counting handler runs exactly once per call."""
+    sim, net, server, client = make_pair()
+    count = [0]
+
+    def bump(n):
+        count[0] += 1
+        return n
+
+    server.register("bump", bump)
+    net.set_fault_injector(lambda message, delay: [delay, delay + 0.002])
+    futures = [client.call("server", "bump", i) for i in range(20)]
+    sim.run()
+    assert [f.result() for f in futures] == list(range(20))
+    assert count[0] == 20
+    assert server.stats.executions == 20
+    assert server.stats.duplicates_suppressed >= 20
+    assert net.stats.duplicated >= 40
+
+
+def test_at_most_once_when_reply_lost_and_retried():
+    """The request arrives and executes, the reply dies; the retry must be
+    answered from the dedup cache, not re-execute the handler."""
+    sim, net, server, client = make_pair()
+    count = [0]
+
+    def bump():
+        count[0] += 1
+        return count[0]
+
+    server.register("bump", bump)
+    # first reply lost, later replies pass
+    net.set_link("server", "client", Link(loss_probability=1.0))
+    sim.schedule(1.0, net.set_link, "server", "client", Link())
+    policy = RetryPolicy(max_attempts=4, base_delay=0.6, jitter=0.0)
+    future = client.call("server", "bump", timeout=0.5, retry=policy)
+    sim.run_until(30.0)
+    assert future.result() == 1
+    assert count[0] == 1                      # executed once, not per attempt
+    assert client.stats.retries >= 1
+    assert server.stats.replies_resent >= 1
+
+
+def test_dedup_window_expires():
+    sim, net, server, client = make_pair()
+    count = [0]
+
+    def bump():
+        count[0] += 1
+        return count[0]
+
+    server.register("bump", bump)
+    future = client.call("server", "bump")
+    sim.run()
+    assert future.result() == 1
+    assert len(server._served) == 1
+    # after the window, the next request purges the forgotten entry
+    sim.run_until(sim.now + server.dedup_window + 1.0)
+    future2 = client.call("server", "bump")
+    sim.run()
+    assert future2.result() == 2
+    assert len(server._served) == 1  # only the fresh call remains
+
+
+def test_cancelled_timeouts_do_not_accumulate_in_simulator():
+    """Satellite regression: a reply arriving well before the timeout
+    must free the timer event (callback and, eventually, heap entry) —
+    long soaks otherwise accumulate dead _PendingCall timers for the
+    full 60-second default timeout."""
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    n = 600
+    for i in range(n):
+        future = client.call("server", "add", i, 1)
+        sim.run_until(sim.now + 0.01)
+        assert future.result() == i + 1
+    # cancelled entries must never keep their closures alive...
+    assert all(e.fn is None for e in sim._queue if e.cancelled)
+    # ...and compaction keeps the heap from growing linearly with calls
+    assert len(sim._queue) < n
+    assert sim.cancelled_pending() <= 256
+    assert client._pending == {}
