@@ -1,15 +1,20 @@
-"""Fault-recovery benchmarks (ISSUE 5).
+"""Fault-recovery benchmarks (ISSUE 5, extended by ISSUE 6).
 
-Three recovery-path measurements on the simulated clock, recorded to
+Recovery-path measurements on the simulated clock, recorded to
 BENCH_faults.json:
 
 * **partition reconvergence** — virtual time from a partition healing to
   every surrogate matching issuer truth again (including revocations
   issued while the network was split);
 * **retry amplification** — requests actually sent per logical RPC call
-  on a lossy link, with the at-most-once guarantee intact;
+  on a lossy link, with the at-most-once guarantee intact — measured
+  both without and with a circuit breaker (the breaker must hold the
+  measured amplification strictly below the ~1.8x open-loop expectation
+  at 25% loss);
 * **crash recovery** — virtual time from a crashed issuer's restart to
-  its peer serving correct answers in the new boot epoch.
+  its peer serving correct answers in the new boot epoch;
+* **bounded-queue shedding** — wire-queue depth and spill accounting
+  when a destination stays down under sustained load.
 
 Assertions are safety-and-bound checks (recovery must complete, and
 within the protocol-derived latency budget); raw numbers go to the JSON
@@ -27,8 +32,9 @@ from repro.core.types import ObjectType
 from repro.errors import RevokedError
 from repro.runtime.clock import SimClock
 from repro.runtime.network import Link, Network
-from repro.runtime.rpc import RetryPolicy, RpcEndpoint
+from repro.runtime.rpc import BreakerPolicy, RetryPolicy, RpcEndpoint
 from repro.runtime.simulator import Simulator
+from repro.runtime.wire import BatchedChannel, WirePolicy
 
 LOGIN_RDL = """
 def LoggedOn(u, h)  u: userid  h: string
@@ -159,6 +165,109 @@ def test_retry_amplification_under_loss():
         amplification=round(amplification, 4),
         retries=client.stats.retries,
         duplicates_suppressed=server.stats.duplicates_suppressed,
+        wall_seconds=round(wall, 4),
+    )
+
+
+def test_retry_amplification_with_breaker():
+    """ISSUE 6 acceptance: the breaker bounds amplification below 1.8x.
+
+    At 25% loss per direction an attempt completes with probability
+    0.75^2 = 0.5625, so an open-loop retry client sends ~1.78 requests
+    per call — and the seeded run above lands right on that expectation.
+    With a per-destination circuit breaker, runs of consecutive attempt
+    failures trip the circuit and calls arriving during the cooldown are
+    shed *without touching the wire*, so the measured requests/call
+    ratio must come out strictly below the open-loop figure.  Shedding
+    is the honest cost: shed calls fail fast and are reported alongside.
+    """
+    sim = Simulator()
+    net = Network(sim, seed=13)
+    server = RpcEndpoint(net, "server", seed=13)
+    policy = RetryPolicy(max_attempts=8, base_delay=0.2, multiplier=2.0, jitter=0.3)
+    breaker = BreakerPolicy(failure_threshold=6, cooldown=0.5, half_open_probes=1)
+    client = RpcEndpoint(net, "client", retry=policy, seed=13, breaker=breaker)
+    executed = [0]
+
+    def bump(i):
+        executed[0] += 1
+        return i
+
+    server.register("bump", bump)
+    loss = 0.25
+    net.set_link("client", "server", Link(loss_probability=loss))
+    net.set_link("server", "client", Link(loss_probability=loss))
+    futures = []
+
+    def fire(i):
+        futures.append(client.call("server", "bump", i, timeout=1.0))
+
+    # calls arrive over time (20/s) rather than all at once, so the
+    # breaker sees the live failure pattern instead of a burst snapshot
+    for i in range(RPC_CALLS):
+        sim.schedule_at(i * 0.05, fire, i)
+    wall_start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - wall_start
+    succeeded = sum(1 for f in futures if not f.failed)
+    shed = client.stats.breaker_fast_failures
+    amplification = client.stats.requests_sent / client.stats.calls
+    assert executed[0] == server.stats.executions <= RPC_CALLS
+    assert amplification < 1.8
+    assert client.stats.breaker_opens >= 1     # the breaker really engaged
+    assert succeeded + shed >= RPC_CALLS * 0.95
+    assert succeeded >= RPC_CALLS * 0.5        # shedding is a trim, not a blackout
+    record_faults(
+        "retry_amplification_with_breaker",
+        calls=RPC_CALLS,
+        loss_probability=loss,
+        succeeded=succeeded,
+        requests_sent=client.stats.requests_sent,
+        amplification=round(amplification, 4),
+        bound_amplification=1.8,
+        breaker_opens=client.stats.breaker_opens,
+        breaker_closes=client.stats.breaker_closes,
+        breaker_probes=client.stats.breaker_probes,
+        calls_shed=shed,
+        failure_threshold=breaker.failure_threshold,
+        cooldown=breaker.cooldown,
+        wall_seconds=round(wall, 4),
+    )
+
+
+def test_bounded_queue_shedding_under_overload():
+    """Queue depth stays at the bound while a down destination is hammered."""
+    sim = Simulator()
+    net = Network(sim, seed=17)
+    net.add_node("sink", lambda message: None)
+    net.add_node("pump", lambda message: None)
+    bound = 64
+    channel = BatchedChannel(
+        net, "pump", "sink", policy=WirePolicy(max_batch=16, max_delay=0.01, max_queue=bound)
+    )
+    net.set_link_state("pump", "sink", up=False)
+    offered = 10 * bound
+    wall_start = time.perf_counter()
+    for i in range(offered):
+        sim.schedule_at(i * 0.001, channel.send, "overload", {"seq": i})
+    sim.run_until(offered * 0.001 + 1.0)
+    assert channel.pending == bound          # memory held at the bound...
+    assert channel.stats.spilled == offered - bound   # ...and every spill counted
+    assert net.stats.spilled_overflow == channel.stats.spilled
+    # heal: the held backlog drains and the network books balance
+    net.set_link_state("pump", "sink", up=True)
+    sim.run()
+    wall = time.perf_counter() - wall_start
+    assert channel.pending == 0
+    assert net.unaccounted() == 0
+    record_faults(
+        "bounded_queue_shedding",
+        offered=offered,
+        max_queue=bound,
+        spilled=channel.stats.spilled,
+        held_flushes=channel.stats.held_flushes,
+        max_pending=channel.stats.max_pending,
+        batches_after_heal=channel.stats.batches,
         wall_seconds=round(wall, 4),
     )
 

@@ -141,6 +141,18 @@ class SimLinkage(Linkage):
         for pool in self._pools.values():
             pool.flush_all()
 
+    def all_channels(self) -> list[BatchedChannel]:
+        """Every live batched channel across every attached service —
+        what an :class:`~repro.runtime.faults.InvariantChecker` sweeps
+        for the queue-bound invariant."""
+        return [
+            channel for pool in self._pools.values() for channel in pool.channels()
+        ]
+
+    def backpressured(self) -> list[BatchedChannel]:
+        """Channels currently at their queue bound, across all services."""
+        return [channel for channel in self.all_channels() if channel.backpressure]
+
     def _modified_body(self, issuer_name: str, ref: int, state: RecordState) -> dict:
         seq = self._mod_seq.get(issuer_name, 0) + 1
         self._mod_seq[issuer_name] = seq

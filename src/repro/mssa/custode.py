@@ -81,6 +81,24 @@ class FileRecord:
     version_ref: Optional[int] = None    # credential record behind the ACL
 
 
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful degradation for access checks during an issuer partition.
+
+    With a policy attached, a cached *positive* decision whose backing
+    credential record has gone UNKNOWN (fail-closed suspicion — the
+    issuer is unreachable, not known to have revoked) keeps being served
+    for at most ``max_staleness`` virtual seconds after the record left
+    TRUE.  Beyond the bound — or whenever the window cannot be dated —
+    the check falls back to the full path and fails closed.  FALSE is
+    always authoritative (a known revocation is never served), and
+    denials are never cached, so degradation can only ever extend a
+    previously-proven grant, never invent one.
+    """
+
+    max_staleness: float
+
+
 @dataclass
 class StorageStats:
     """Counters for the storage-layer fast path: the access-decision
@@ -106,6 +124,10 @@ class StorageStats:
     invalidated_by_delete: int = 0
     bypass_checks: int = 0           # rights checked on a bypass route
     epoch_flushes: int = 0           # full flushes forced by crash-restart
+    degraded_hits: int = 0           # decisions served on an UNKNOWN record
+    degraded_expired: int = 0        # degraded serves refused: bound exceeded
+                                     # or the UNKNOWN window could not be dated
+    degraded_max_staleness: float = 0.0   # worst staleness actually served
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -129,6 +151,7 @@ class Custode:
         user_groups: Optional[Callable[[str], set[str]]] = None,
         enforce_placement: bool = True,
         decision_cache_size: int = 4096,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         self.name = name
         self.registry = registry
@@ -166,6 +189,10 @@ class Custode:
         # the surrogate and flushed whenever the surrogate leaves TRUE
         self._remote_acls: dict[FileId, tuple[Acl, str, int, int]] = {}
         self._remote_by_surrogate: dict[int, FileId] = {}
+        # graceful degradation: record ref -> virtual time it went UNKNOWN
+        # (only maintained while a policy is attached)
+        self.degradation = degradation
+        self._unknown_since: dict[int, float] = {}
         self.service.credentials.watch_all(self._on_storage_record_change)
         # The decision cache and remote-ACL store are process memory: a
         # crash-restart of the embedded service must not let a pre-crash
@@ -463,16 +490,35 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
                acl_override)
         pinned = self._decisions.get(key)
         if pinned is not None:
-            if (
+            verifiable = (
                 pinned == (acl_id, self._acl_version_token(acl_id))
                 and (cert.expires_at is None
                      or self.service.clock.now() <= cert.expires_at)
                 and self.service._secret_live(cert.secret_index)
-                and self.service.credentials.state_of(cert.crr) is RecordState.TRUE
-            ):
-                self.storage.decision_hits += 1
-                self._charge(record)
-                return record
+            )
+            if verifiable:
+                state = self.service.credentials.state_of(cert.crr)
+                if state is RecordState.TRUE:
+                    self.storage.decision_hits += 1
+                    self._charge(record)
+                    return record
+                if state is RecordState.UNKNOWN and self.degradation is not None:
+                    # Degradation tier: the issuer is suspected (not known
+                    # to have revoked) — keep serving this previously-
+                    # proven grant within the staleness bound, never past
+                    # it.  FALSE never reaches here: a known revocation
+                    # drops the decision and denies on the full path.
+                    since = self._unknown_since.get(cert.crr)
+                    if since is not None:
+                        staleness = self.service.clock.now() - since
+                        if staleness <= self.degradation.max_staleness:
+                            self.storage.decision_hits += 1
+                            self.storage.degraded_hits += 1
+                            if staleness > self.storage.degraded_max_staleness:
+                                self.storage.degraded_max_staleness = staleness
+                            self._charge(record)
+                            return record
+                    self.storage.degraded_expired += 1
             # pinned state is stale or unverifiable: take the full path
             self._drop_decision(key)
         self.storage.decision_misses += 1
@@ -568,10 +614,19 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         stales decisions backed by that record (revocation cascade, ACL
         version bump, group-membership flip — they all arrive here), and
         an external surrogate leaving TRUE flushes the remote ACL it
-        vouches for (Modified notification or link suspect)."""
-        self.storage.invalidated_by_record += self._drop_decisions_for_record(
-            record.ref
-        )
+        vouches for (Modified notification or link suspect).
+
+        With a degradation policy attached, a transition *to* UNKNOWN
+        keeps the decisions and stamps the window start instead: the hit
+        path re-checks the staleness bound on every use.  FALSE and TRUE
+        transitions behave exactly as without a policy."""
+        if self.degradation is not None and new is RecordState.UNKNOWN:
+            self._unknown_since.setdefault(record.ref, self.service.clock.now())
+        else:
+            self._unknown_since.pop(record.ref, None)
+            self.storage.invalidated_by_record += self._drop_decisions_for_record(
+                record.ref
+            )
         if record.is_external and new is not RecordState.TRUE:
             fid = self._remote_by_surrogate.get(record.ref)
             if fid is not None:
@@ -596,6 +651,7 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         self._decisions_by_fid.clear()
         self._remote_acls.clear()
         self._remote_by_surrogate.clear()
+        self._unknown_since.clear()
         for record in self._files.values():
             if record.acl is not None:
                 record.acl.clear_cache()

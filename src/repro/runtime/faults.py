@@ -32,10 +32,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.core.credentials import RecordState
+from repro.errors import NetworkError
 from repro.runtime.network import Message, Network
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.service import OasisService
+    from repro.mssa.custode import Custode
+    from repro.runtime.wire import BatchedChannel
 
 
 # --------------------------------------------------------------- fault events
@@ -104,7 +107,25 @@ class CrashRestart:
     downtime: float
 
 
-FaultEvent = Any  # union of the six event dataclasses above
+@dataclass(frozen=True)
+class OverloadBurst:
+    """Synthetic traffic spike: ``rate`` messages per virtual second from
+    ``source`` toward ``dest`` for ``duration``.
+
+    Drives the overload-resilience machinery (bounded wire queues,
+    breakers, degradation) the way the other events drive fail-closed:
+    the burst competes with real traffic for the same links and queues.
+    """
+
+    at: float
+    duration: float
+    source: str
+    dest: str
+    rate: float
+    kind: str = "chaos-overload"
+
+
+FaultEvent = Any  # union of the seven event dataclasses above
 
 
 @dataclass
@@ -118,6 +139,8 @@ class FaultStats:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     messages_reordered: int = 0
+    overload_bursts: int = 0
+    overload_messages: int = 0
 
 
 # ----------------------------------------------------------------- fault plan
@@ -153,6 +176,8 @@ class FaultPlan:
         duplication_windows: int = 2,
         reorder_windows: int = 2,
         crashes: int = 1,
+        overload_bursts: int = 0,
+        overload_rate: float = 200.0,
         max_outage: float = 0.0,
     ) -> "FaultPlan":
         """A reproducible random plan over ``duration`` virtual seconds.
@@ -205,6 +230,19 @@ class FaultPlan:
             events.append(
                 ReorderWindow(at, length, rng.uniform(0.2, 0.6), length / 2.0)
             )
+        if len(addresses) >= 2:
+            for _ in range(overload_bursts):
+                at, length = span()
+                source, dest = rng.sample(list(addresses), 2)
+                events.append(
+                    OverloadBurst(
+                        at,
+                        length,
+                        source,
+                        dest,
+                        rate=rng.uniform(overload_rate * 0.5, overload_rate),
+                    )
+                )
         if services:
             for _ in range(crashes):
                 at, length = span()
@@ -222,6 +260,10 @@ class ChaosController:
 
     ``crash`` / ``restart`` are callbacks taking a service name — usually
     ``SimLinkage.crash`` / ``SimLinkage.restart`` adapted by the caller.
+    ``overload`` (taking the :class:`OverloadBurst`) overrides how each
+    burst message is generated; the default sends a synthetic datagram of
+    the burst's ``kind`` straight through the network, competing with
+    real traffic for the same links.
     """
 
     def __init__(
@@ -230,6 +272,7 @@ class ChaosController:
         plan: FaultPlan,
         crash: Optional[Callable[[str], None]] = None,
         restart: Optional[Callable[[str], None]] = None,
+        overload: Optional[Callable[["OverloadBurst"], None]] = None,
     ):
         self.network = network
         self.sim = network.simulator
@@ -237,6 +280,7 @@ class ChaosController:
         self.stats = FaultStats()
         self._crash = crash
         self._restart = restart
+        self._overload = overload
         self._rng = random.Random(f"chaos:{plan.seed}")
         self._loss: list[tuple[float, float, LossBurst]] = []
         self._dup: list[tuple[float, float, DuplicationWindow]] = []
@@ -287,6 +331,9 @@ class ChaosController:
             self._dup.append((now, now + event.duration, event))
         elif isinstance(event, ReorderWindow):
             self._reorder.append((now, now + event.duration, event))
+        elif isinstance(event, OverloadBurst):
+            self.stats.overload_bursts += 1
+            self._overload_tick(event, now + event.duration)
         elif isinstance(event, CrashRestart):
             self.stats.crashes += 1
             self.down_services.add(event.service)
@@ -299,6 +346,26 @@ class ChaosController:
     def _heal(self, event: PartitionWindow) -> None:
         self.stats.heals += 1
         self.network.heal(set(event.group_a), set(event.group_b))
+
+    def _overload_tick(self, event: OverloadBurst, end: float) -> None:
+        if self.sim.now >= end:
+            return
+        self.stats.overload_messages += 1
+        if self._overload is not None:
+            self._overload(event)
+        else:
+            try:
+                self.network.send(
+                    event.source,
+                    event.dest,
+                    event.kind,
+                    {"seq": self.stats.overload_messages},
+                )
+            except NetworkError:
+                pass  # destination vanished mid-burst; keep ticking
+        self.sim.schedule(
+            1.0 / event.rate, self._overload_tick, event, end, name="chaos-overload"
+        )
 
     def _revive(self, service: str) -> None:
         self.stats.restarts += 1
@@ -377,6 +444,14 @@ class InvariantChecker:
     most this long (heartbeat grace + wire flush delay + link delay,
     plus margin).  ``is_down`` lets the checker skip consumers that are
     currently crashed — a dead process grants nothing.
+
+    Overload invariants: pass ``channels`` (a sequence of bounded
+    :class:`~repro.runtime.wire.BatchedChannel` instances, or a callable
+    returning one — e.g. ``linkage.all_channels``) to have
+    :meth:`check_queue_bounds` assert no queue ever outgrew its
+    ``max_queue``; pass ``custodes`` to have
+    :meth:`check_degradation_bounds` assert no degraded decision was ever
+    served staler than its policy's ``max_staleness``.
     """
 
     def __init__(
@@ -384,12 +459,16 @@ class InvariantChecker:
         services: Sequence["OasisService"],
         stale_bound: float,
         is_down: Optional[Callable[[str], bool]] = None,
+        channels: "Sequence[BatchedChannel] | Callable[[], Sequence[BatchedChannel]]" = (),
+        custodes: Sequence["Custode"] = (),
     ):
         if not services:
             raise ValueError("InvariantChecker needs at least one service")
         self.services = list(services)
         self.stale_bound = stale_bound
         self.is_down = is_down or (lambda name: False)
+        self._channels = channels
+        self.custodes = list(custodes)
         self.violations: list[Violation] = []
         self.checks = 0
         # (issuer name, ref) -> virtual time its truth last left TRUE
@@ -499,3 +578,52 @@ class InvariantChecker:
 
     def converged(self) -> bool:
         return not self.divergences()
+
+    # -- overload invariants -------------------------------------------------
+
+    def channels(self) -> "Sequence[BatchedChannel]":
+        return self._channels() if callable(self._channels) else self._channels
+
+    def check_queue_bounds(self) -> list[str]:
+        """Invariant 3: no bounded wire queue ever exceeds ``max_queue``.
+
+        Checks both the instantaneous backlog and the high-water mark, so
+        a sweep that lands after a flush still catches a past breach.
+        Returns human-readable breach descriptions (empty = clean).
+        """
+        breaches: list[str] = []
+        for channel in self.channels():
+            bound = channel.policy.max_queue
+            if bound is None:
+                continue
+            label = f"{channel.source}->{channel.dest}"
+            if channel.pending > bound:
+                breaches.append(
+                    f"queue {label} holds {channel.pending} > bound {bound}"
+                )
+            if channel.stats.max_pending > bound:
+                breaches.append(
+                    f"queue {label} peaked at {channel.stats.max_pending}"
+                    f" > bound {bound}"
+                )
+        return breaches
+
+    def check_degradation_bounds(self) -> list[str]:
+        """Invariant 4: degraded decisions never exceed the staleness bound.
+
+        Every custode records the worst staleness it ever served from the
+        degradation tier; that high-water mark must stay within the
+        policy's ``max_staleness``.  Returns breach descriptions.
+        """
+        breaches: list[str] = []
+        for custode in self.custodes:
+            policy = custode.degradation
+            if policy is None:
+                continue
+            worst = custode.storage.degraded_max_staleness
+            if worst > policy.max_staleness:
+                breaches.append(
+                    f"custode {custode.name!r} served a decision"
+                    f" {worst:.3f}s stale > bound {policy.max_staleness:.3f}s"
+                )
+        return breaches

@@ -29,6 +29,7 @@ from repro.runtime.simulator import Simulator
 
 MessageHandler = Callable[["Message"], None]
 LinkDownCallback = Callable[[str, str], None]
+LinkUpCallback = Callable[[str, str], None]
 
 # A fault injector decides, per message, the list of delivery delays for
 # the (possibly duplicated, possibly delayed-out-of-order) copies to
@@ -79,11 +80,30 @@ class NetworkStats:
     payloads_carried: int = 0
     bytes_sent: int = 0
     coalesced: int = 0
+    delivered: int = 0
     dropped_by_loss: int = 0
     dropped_while_down: int = 0
     dropped_no_handler: int = 0
     dropped_by_fault: int = 0
     duplicated: int = 0
+    spilled_overflow: int = 0        # payloads shed by a bounded wire queue
+
+    def offered(self) -> int:
+        """Delivery attempts this side of the fabric created: every send
+        plus every fault-injected duplicate copy."""
+        return self.messages_sent + self.duplicated
+
+    def accounted(self) -> int:
+        """Delivery attempts with a known fate (delivered or counted in
+        one of the drop counters).  ``spilled_overflow`` is a payload
+        counter for the wire layer above and is deliberately excluded."""
+        return (
+            self.delivered
+            + self.dropped_by_loss
+            + self.dropped_while_down
+            + self.dropped_no_handler
+            + self.dropped_by_fault
+        )
 
 
 @dataclass(frozen=True)
@@ -136,6 +156,9 @@ class Node:
                 self.network.link_stats(message.source, self.address).dropped_while_down += 1
             return
         self.received += 1
+        if self.network is not None:
+            self.network.stats.delivered += 1
+            self.network.link_stats(message.source, self.address).delivered += 1
         self.handler(message)
 
 
@@ -174,8 +197,18 @@ class Network:
         self.stats = NetworkStats()
         self._link_stats: dict[tuple[str, str], NetworkStats] = {}
         self._link_down_callbacks: list[LinkDownCallback] = []
+        self._link_up_callbacks: list[LinkUpCallback] = []
         self._injector: Optional[FaultInjector] = None
         self.warn_no_handler = False
+        # Why a directed link is down.  A link may be cut by overlapping
+        # partitions (refcounted) and independently by set_link_state
+        # (a chaos link flap); it comes back up only when every cause is
+        # gone — heal() undoes partitions, never a concurrent flap.
+        self._partition_cuts: dict[tuple[str, str], int] = {}
+        self._manual_down: set[tuple[str, str]] = set()
+        # messages scheduled for delivery but not yet handed to the node;
+        # lets accounting identities hold at any instant, not just at quiesce
+        self.in_flight = 0
 
     # -- legacy counter aliases ---------------------------------------------
 
@@ -213,11 +246,22 @@ class Network:
         return address in self._nodes
 
     def set_link(self, source: str, dest: str, link: Link) -> None:
-        """Set properties for the directed link source -> dest."""
+        """Set properties for the directed link source -> dest.
+
+        An explicit link replacement is authoritative: it clears any
+        recorded down-causes (partitions, flaps) and imposes ``link.up``.
+        """
+        key = (source, dest)
         was_up = self.link(source, dest).up
-        self._links[(source, dest)] = link
+        self._links[key] = link
+        self._partition_cuts.pop(key, None)
+        self._manual_down.discard(key)
+        if not link.up:
+            self._manual_down.add(key)
         if was_up and not link.up:
             self._notify_link_down(source, dest)
+        elif not was_up and link.up:
+            self._notify_link_up(source, dest)
 
     def link(self, source: str, dest: str) -> Link:
         return self._links.get((source, dest), self._default)
@@ -241,13 +285,18 @@ class Network:
         self._injector = injector
 
     def set_link_state(self, source: str, dest: str, up: bool) -> None:
-        """Flip a single directed link up or down, keeping its parameters."""
-        link = self._link_mut(source, dest)
-        if link.up and not up:
-            link.up = False
-            self._notify_link_down(source, dest)
+        """Flip a single directed link up or down, keeping its parameters.
+
+        This is the link-flap channel: bringing the link back up undoes
+        only the flap — the link stays down while an overlapping
+        partition still cuts it (and vice versa).
+        """
+        key = (source, dest)
+        if up:
+            self._manual_down.discard(key)
         else:
-            link.up = up
+            self._manual_down.add(key)
+        self._apply_link_state(source, dest)
 
     def on_link_down(self, callback: LinkDownCallback) -> None:
         """Register ``callback(source, dest)`` for up->down transitions.
@@ -258,26 +307,67 @@ class Network:
         """
         self._link_down_callbacks.append(callback)
 
+    def on_link_up(self, callback: LinkUpCallback) -> None:
+        """Register ``callback(source, dest)`` for down->up transitions.
+
+        Fired when the last down-cause of a link is removed (a heal, a
+        flap ending, an explicit live ``set_link``).  The wire layer uses
+        this to flush payloads held while the link was down.
+        """
+        self._link_up_callbacks.append(callback)
+
     def _notify_link_down(self, source: str, dest: str) -> None:
         for callback in self._link_down_callbacks:
             callback(source, dest)
 
+    def _notify_link_up(self, source: str, dest: str) -> None:
+        for callback in self._link_up_callbacks:
+            callback(source, dest)
+
+    def _apply_link_state(self, source: str, dest: str) -> None:
+        """Reconcile the physical link state with the recorded causes."""
+        key = (source, dest)
+        link = self._link_mut(source, dest)
+        should_be_up = (
+            self._partition_cuts.get(key, 0) == 0 and key not in self._manual_down
+        )
+        if link.up and not should_be_up:
+            link.up = False
+            self._notify_link_down(source, dest)
+        elif not link.up and should_be_up:
+            link.up = True
+            self._notify_link_up(source, dest)
+
     def partition(self, group_a: set[str], group_b: set[str]) -> None:
-        """Cut all links between two groups of addresses (both directions)."""
+        """Cut all links between two groups of addresses (both directions).
+
+        Overlapping partitions stack: a link cut by two windows stays
+        down until both heal.
+        """
         for a in group_a:
             for b in group_b:
                 for source, dest in ((a, b), (b, a)):
-                    link = self._link_mut(source, dest)
-                    if link.up:
-                        link.up = False
-                        self._notify_link_down(source, dest)
+                    key = (source, dest)
+                    self._partition_cuts[key] = self._partition_cuts.get(key, 0) + 1
+                    self._apply_link_state(source, dest)
 
     def heal(self, group_a: set[str], group_b: set[str]) -> None:
-        """Restore links previously cut by :meth:`partition`."""
+        """Undo one :meth:`partition` between the two groups.
+
+        Only the partition's own cut is removed: a link independently
+        taken down by a concurrent flap (:meth:`set_link_state`) or by
+        another partition window stays down until that cause also ends.
+        """
         for a in group_a:
             for b in group_b:
-                self._link_mut(a, b).up = True
-                self._link_mut(b, a).up = True
+                for source, dest in ((a, b), (b, a)):
+                    key = (source, dest)
+                    cuts = self._partition_cuts.get(key, 0)
+                    if cuts > 1:
+                        self._partition_cuts[key] = cuts - 1
+                    else:
+                        self._partition_cuts.pop(key, None)
+                    self._apply_link_state(source, dest)
 
     def _link_mut(self, source: str, dest: str) -> Link:
         key = (source, dest)
@@ -296,6 +386,20 @@ class Network:
         """Record payloads elided before send (wire-layer coalescing)."""
         self.stats.coalesced += count
         self.link_stats(source, dest).coalesced += count
+
+    def note_spilled(self, source: str, dest: str, count: int = 1) -> None:
+        """Record payloads shed by a bounded wire queue before send."""
+        self.stats.spilled_overflow += count
+        self.link_stats(source, dest).spilled_overflow += count
+
+    def unaccounted(self) -> int:
+        """Delivery attempts with no recorded fate.
+
+        Every offered message (send + fault duplicate) must end up
+        delivered, in a drop counter, or still in flight; a non-zero
+        result means a message silently vanished from the accounting.
+        """
+        return self.stats.offered() - self.stats.accounted() - self.in_flight
 
     def send(
         self,
@@ -361,7 +465,10 @@ class Network:
         node = self._nodes[dest]
         if self._injector is not None:
             delays = self._injector(message, delay)
-            if delays is None:
+            if not delays:
+                # None is an explicit drop; an empty list schedules zero
+                # deliveries, which is the same fate and must not vanish
+                # from the accounting
                 self.stats.dropped_by_fault += 1
                 per_link.dropped_by_fault += 1
                 return None
@@ -370,7 +477,13 @@ class Network:
                 self.stats.duplicated += extra
                 per_link.duplicated += extra
             for d in delays:
-                self.simulator.schedule(d, node.deliver, message, name=f"deliver:{kind}")
+                self.in_flight += 1
+                self.simulator.schedule(d, self._deliver, node, message, name=f"deliver:{kind}")
             return message
-        self.simulator.schedule(delay, node.deliver, message, name=f"deliver:{kind}")
+        self.in_flight += 1
+        self.simulator.schedule(delay, self._deliver, node, message, name=f"deliver:{kind}")
         return message
+
+    def _deliver(self, node: Node, message: Message) -> None:
+        self.in_flight -= 1
+        node.deliver(message)

@@ -23,6 +23,26 @@ The network below is a lossy datagram fabric, so the endpoint implements
   handler again — the handler runs at most once per logical call.
 * Failures surface as :class:`RpcError` values naming the destination,
   method and attempt count, so chaos logs read usefully.
+
+Overload resilience
+-------------------
+
+Retries amplify traffic exactly when the network is least able to carry
+it, so the endpoint bounds its own offered load:
+
+* An optional per-destination **circuit breaker** (:class:`BreakerPolicy`)
+  counts consecutive transport failures (timeouts, link-down, send
+  errors — never definite remote answers).  At the threshold the breaker
+  *opens*: calls and retries to that destination fail fast with a
+  structured ``circuit open`` :class:`RpcError` instead of burning the
+  retry budget against a sick peer.  After a cooldown on the sim clock
+  the breaker goes *half-open* and admits a bounded number of probe
+  calls; a probe reply closes it, a probe failure re-opens it.
+* A retransmission toward a link the endpoint has **observed down**
+  (via the network's link-down notification, not yet seen restored)
+  fails the attempt immediately rather than waiting out the full
+  per-attempt timeout — the retry backoff still paces the attempts, so
+  a healed link is noticed on the next try.
 """
 
 from __future__ import annotations
@@ -107,6 +127,81 @@ class RpcStats:
     executions: int = 0
     duplicates_suppressed: int = 0
     replies_resent: int = 0
+    breaker_opens: int = 0           # closed/half-open -> open transitions
+    breaker_closes: int = 0          # open/half-open -> closed (peer alive)
+    breaker_fast_failures: int = 0   # attempts shed while the breaker was open
+    breaker_probes: int = 0          # half-open probe attempts admitted
+    link_down_fast_fails: int = 0    # retransmissions failed without a send
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-destination circuit breaker configuration.
+
+    ``failure_threshold`` consecutive transport failures (timeouts,
+    link-down, send errors) open the circuit; definite remote answers —
+    including remote exceptions — count as success, because they prove
+    the peer alive.  An open circuit fails calls fast for ``cooldown``
+    virtual seconds, then admits ``half_open_probes`` probe calls; a
+    probe answered closes the circuit, a probe failure re-opens it.
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 1.0
+    half_open_probes: int = 1
+
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
+
+
+class _Breaker:
+    """Breaker state for one destination (internal to the endpoint)."""
+
+    __slots__ = ("policy", "state", "consecutive_failures", "opened_at", "probes")
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = _CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probes = 0
+
+    def admit(self, now: float) -> tuple[bool, bool]:
+        """Whether an attempt may be sent now; returns (admitted, is_probe)."""
+        if self.state == _OPEN:
+            if now < self.opened_at + self.policy.cooldown:
+                return False, False
+            self.state = _HALF_OPEN
+            self.probes = 0
+        if self.state == _HALF_OPEN:
+            if self.probes >= self.policy.half_open_probes:
+                return False, False
+            self.probes += 1
+            return True, True
+        return True, False
+
+    def record_success(self) -> bool:
+        """A reply arrived from the peer.  Returns True if this closed an
+        open/half-open circuit."""
+        reopened = self.state != _CLOSED
+        self.state = _CLOSED
+        self.consecutive_failures = 0
+        self.probes = 0
+        return reopened
+
+    def record_failure(self, now: float) -> bool:
+        """A transport attempt failed.  Returns True if this opened the
+        circuit."""
+        self.consecutive_failures += 1
+        if self.state == _HALF_OPEN or (
+            self.state == _CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = _OPEN
+            self.opened_at = now
+            self.probes = 0
+            return True
+        return False
 
 
 @dataclass
@@ -120,6 +215,7 @@ class _PendingCall:
     attempt: int = 0
     timeout_handle: Any = None
     retry_handle: Any = None
+    probe: bool = False  # attempt admitted through a half-open breaker
 
 
 class RpcFuture:
@@ -200,13 +296,19 @@ class RpcEndpoint:
         retry: Optional[RetryPolicy] = None,
         dedup_window: float = DEFAULT_DEDUP_WINDOW,
         seed: int = 0,
+        breaker: Optional[BreakerPolicy] = None,
     ):
         self.network = network
         self.address = address
         self.default_timeout = default_timeout
         self.retry = retry
         self.dedup_window = dedup_window
+        self.breaker = breaker
         self.stats = RpcStats()
+        self._breakers: dict[str, _Breaker] = {}
+        # Peers whose link this endpoint has observed down and not yet
+        # seen restored; retransmissions toward them fail fast.
+        self._down_links: set[str] = set()
         # str seeds hash deterministically inside random, unlike hash()
         self._rng = random.Random(f"{seed}:{address}")
         self._methods: dict[str, RpcHandler] = {}
@@ -219,6 +321,7 @@ class RpcEndpoint:
         self._served_order: deque[tuple[float, tuple[str, int]]] = deque()
         network.add_node(address, self._on_message)
         network.on_link_down(self._on_link_down)
+        network.on_link_up(self._on_link_up)
 
     # -- server side ---------------------------------------------------------
 
@@ -279,15 +382,59 @@ class RpcEndpoint:
 
     # -- internals -----------------------------------------------------------
 
+    def _breaker_for(self, dest: str) -> Optional[_Breaker]:
+        if self.breaker is None:
+            return None
+        breaker = self._breakers.get(dest)
+        if breaker is None:
+            breaker = self._breakers[dest] = _Breaker(self.breaker)
+        return breaker
+
     def _transmit(self, call_id: int) -> None:
         """Send (or re-send) the request for ``call_id`` and arm its timeout."""
         pending = self._pending.get(call_id)
         if pending is None:
             return
         pending.retry_handle = None
+        retransmission = pending.attempt > 0
         pending.attempt += 1
-        if pending.attempt > 1:
+        if retransmission:
             self.stats.retries += 1
+        breaker = self._breaker_for(pending.dest)
+        if breaker is not None:
+            admitted, is_probe = breaker.admit(self.network.simulator.now)
+            if not admitted:
+                # Fail fast instead of burning an attempt (and its timeout)
+                # against a destination the breaker already knows is sick.
+                self.stats.breaker_fast_failures += 1
+                self._resolve(
+                    call_id,
+                    error=f"circuit open to {pending.dest!r}",
+                    cause="breaker",
+                )
+                return
+            pending.probe = is_probe
+            if is_probe:
+                self.stats.breaker_probes += 1
+        if (
+            retransmission
+            and pending.policy is not None
+            and pending.policy.retry_on_link_down
+            and pending.dest in self._down_links
+        ):
+            # Re-sending into a link we have observed down just waits out
+            # the full per-attempt timeout; fail the attempt now and let
+            # the retry backoff pace the next look at the link.  Policies
+            # with retry_on_link_down=False opt out: they treat link-down
+            # signals as call-fatal only when one arrives mid-attempt, so
+            # a pre-existing observation must not change their behaviour.
+            self.stats.link_down_fast_fails += 1
+            self._attempt_failed(
+                call_id,
+                f"link down: {self.address} <-> {pending.dest}",
+                retryable=True,
+            )
+            return
         self.stats.requests_sent += 1
         if pending.timeout is not None:
             pending.timeout_handle = self.network.simulator.schedule(
@@ -303,7 +450,12 @@ class RpcEndpoint:
             self._serve(message)
         elif message.kind == "rpc-reply":
             body = message.payload
-            self._resolve(body["id"], value=body.get("value"), error=body.get("error"))
+            self._resolve(
+                body["id"],
+                value=body.get("value"),
+                error=body.get("error"),
+                cause="reply",
+            )
         elif message.kind == "rpc-event":
             body = message.payload
             handler = self._event_handlers.get(body["topic"])
@@ -345,11 +497,25 @@ class RpcEndpoint:
             _, key = order.popleft()
             self._served.pop(key, None)
 
-    def _resolve(self, call_id: int, value: Any = None, error: Optional[str] = None) -> None:
+    def _resolve(
+        self,
+        call_id: int,
+        value: Any = None,
+        error: Optional[str] = None,
+        cause: str = "transport",
+    ) -> None:
         pending = self._pending.pop(call_id, None)
         if pending is None:
             return  # duplicate reply or reply after timeout
         self._disarm(pending)
+        if cause == "reply":
+            # Any definite answer — even a remote exception — proves the
+            # peer alive, so it resets the breaker.  Transport failures
+            # were already recorded per attempt; breaker fast-fails must
+            # not feed back into the breaker at all.
+            breaker = self._breaker_for(pending.dest)
+            if breaker is not None and breaker.record_success():
+                self.stats.breaker_closes += 1
         if error is not None:
             self.stats.failures += 1
             error = self._describe(error, pending)
@@ -385,6 +551,9 @@ class RpcEndpoint:
         if pending.timeout_handle is not None:
             self.network.simulator.cancel(pending.timeout_handle)
             pending.timeout_handle = None
+        breaker = self._breaker_for(pending.dest)
+        if breaker is not None and breaker.record_failure(self.network.simulator.now):
+            self.stats.breaker_opens += 1
         policy = pending.policy
         if retryable and policy is not None and pending.attempt < policy.max_attempts:
             delay = policy.backoff(pending.attempt, self._rng)
@@ -396,7 +565,11 @@ class RpcEndpoint:
 
     def _on_timeout(self, call_id: int) -> None:
         pending = self._pending.get(call_id)
-        if pending is not None and pending.timeout_handle is not None:
+        if pending is None:
+            # Stale timer: the call already resolved.  Counting it would
+            # skew chaos-soak statistics with timeouts that never happened.
+            return
+        if pending.timeout_handle is not None:
             # This firing consumed the handle; don't cancel a dead event.
             pending.timeout_handle = None
         self.stats.timeouts += 1
@@ -414,6 +587,7 @@ class RpcEndpoint:
             broken = source
         else:
             return
+        self._down_links.add(broken)
         affected = [
             call_id
             for call_id, pending in self._pending.items()
@@ -429,3 +603,12 @@ class RpcEndpoint:
                 f"link down: {self.address} <-> {broken}",
                 retryable=retryable,
             )
+
+    def _on_link_up(self, source: str, dest: str) -> None:
+        # Either direction restoring is enough to try sending again: if
+        # the other direction is still down, the attempt times out (or the
+        # next link-down notification re-marks the peer).
+        if self.address == source:
+            self._down_links.discard(dest)
+        elif self.address == dest:
+            self._down_links.discard(source)

@@ -58,10 +58,21 @@ class WirePolicy:
     ``max_delay`` — flush this many virtual seconds after the first
     payload of a batch was enqueued (0 = next simulator event at the
     same virtual time).
+    ``max_queue`` — bound on the per-destination queue (None =
+    unbounded, the legacy fire-and-forget behaviour).  Setting a bound
+    switches the channel into *held-queue* mode: while the link to the
+    destination is down, batches are held rather than emitted into the
+    dead link, and once the backlog exceeds ``max_queue`` the oldest
+    payloads spill (with accounting) so memory stays bounded — spilling
+    while down is safe because the silent link also starves heartbeats,
+    so the consumer has already failed closed.  ``max_queue`` should be
+    at least ``max_batch``; on a live link the queue never outgrows
+    ``max_batch`` anyway.
     """
 
     max_batch: int = 64
     max_delay: float = 0.0
+    max_queue: Optional[int] = None
 
 
 @dataclass
@@ -71,6 +82,9 @@ class ChannelStats:
     batches: int = 0                # envelopes put on the wire
     explicit_flushes: int = 0
     piggybacked_heartbeats: int = 0
+    spilled: int = 0                # payloads shed by the queue bound
+    held_flushes: int = 0           # emits deferred because the link was down
+    max_pending: int = 0            # high-water mark of the queue
 
 
 class BatchedChannel:
@@ -94,6 +108,9 @@ class BatchedChannel:
         self._pending: list[dict[str, Any]] = []
         self._keyed: dict[Any, dict[str, Any]] = {}
         self._flush_handle: Any = None
+        if self.policy.max_queue is not None:
+            # held-queue mode: release the backlog when the link restores
+            network.on_link_up(self._on_link_up)
 
     def attach_heartbeat(self, sender: "HeartbeatSender") -> None:
         """Piggyback ``sender``'s liveness on every departing batch."""
@@ -102,6 +119,17 @@ class BatchedChannel:
     @property
     def pending(self) -> int:
         return len(self._pending)
+
+    @property
+    def backpressure(self) -> bool:
+        """True while the bounded queue is at capacity.
+
+        Senders that can shed or defer work should consult this before
+        enqueueing more: the next non-coalescing send will spill the
+        oldest queued payload.
+        """
+        max_queue = self.policy.max_queue
+        return max_queue is not None and len(self._pending) >= max_queue
 
     def send(
         self,
@@ -128,9 +156,10 @@ class BatchedChannel:
                     self.flush()
                 return
         item = {"kind": kind, "payload": payload}
-        self._pending.append(item)
         if coalesce_key is not None:
+            item["key"] = coalesce_key
             self._keyed[coalesce_key] = item
+        self._pending.append(item)
         self.stats.sends += 1
         if urgent or len(self._pending) >= self.policy.max_batch:
             self.flush()
@@ -140,6 +169,27 @@ class BatchedChannel:
                 self._flush_due,
                 name=f"wire-flush:{self.source}->{self.dest}",
             )
+        self._enforce_queue_bound()
+        if len(self._pending) > self.stats.max_pending:
+            self.stats.max_pending = len(self._pending)
+
+    def _enforce_queue_bound(self) -> None:
+        """Spill the oldest queued payloads past ``max_queue``.
+
+        Oldest-first keeps the freshest state in the queue (the
+        last-state-wins spirit); the spill is visible in the channel and
+        network stats so a chaos run can assert nothing vanished.
+        """
+        max_queue = self.policy.max_queue
+        if max_queue is None:
+            return
+        while len(self._pending) > max_queue:
+            item = self._pending.pop(0)
+            key = item.get("key")
+            if key is not None and self._keyed.get(key) is item:
+                del self._keyed[key]
+            self.stats.spilled += 1
+            self.network.note_spilled(self.source, self.dest)
 
     def flush(self) -> None:
         """Put everything pending on the wire now.
@@ -173,11 +223,27 @@ class BatchedChannel:
         self._flush_handle = None
         self._emit()
 
+    def _on_link_up(self, source: str, dest: str) -> None:
+        if source == self.source and dest == self.dest and self._pending:
+            self.flush()
+
     def _emit(self) -> None:
         if not self._pending:
             return
+        if (
+            self.policy.max_queue is not None
+            and not self.network.link(self.source, self.dest).up
+        ):
+            # Held-queue mode with the link down: emitting now would only
+            # feed the drop counters.  Hold the batch (still coalescing in
+            # place) until the link-up notification releases it; the queue
+            # bound keeps the backlog finite.
+            self.stats.held_flushes += 1
+            return
         items, self._pending = self._pending, []
         self._keyed = {}
+        for item in items:
+            item.pop("key", None)
         body: dict[str, Any] = {"items": items}
         if self._heartbeat is not None:
             body["hb"] = self._heartbeat.piggyback()
@@ -216,6 +282,11 @@ class ChannelPool:
     def flush_all(self) -> None:
         for channel in self._channels.values():
             channel.flush()
+
+    def backpressured(self) -> list[BatchedChannel]:
+        """Channels currently at their queue bound (senders that can
+        shed or defer should do so for these destinations)."""
+        return [ch for ch in self._channels.values() if ch.backpressure]
 
     def discard_all(self) -> int:
         """Drop all queued payloads on every channel (crash semantics)."""

@@ -351,3 +351,104 @@ class TestEpochFlush:
         mssa.ffc.service.restart()
         with pytest.raises(RevokedError):
             mssa.ffc.read(jcert, fid)
+
+
+class TestGracefulDegradation:
+    """The degradation tier (ISSUE 6): while the issuer is merely
+    *suspected* (records UNKNOWN, not FALSE), a previously-proven grant
+    keeps being served from the decision cache within an explicit
+    staleness bound — never beyond it, and a known revocation is always
+    denied."""
+
+    def _world(self, mssa, max_staleness=5.0):
+        from repro.mssa.custode import DegradationPolicy
+
+        custode = mssa.make_custode(
+            ByteSegmentCustode,
+            "bsc-degraded",
+            degradation=DegradationPolicy(max_staleness=max_staleness),
+        )
+        acl = custode.create_acl(Acl.parse("dm=+rw", alphabet="rw"))
+        fid = custode.create_segment(acl, b"payload")
+        client, login = mssa.login_user("dm")
+        cert = custode.enter_use_acl(client, acl, login)
+        assert custode.read_segment(cert, fid) == b"payload"   # prime the cache
+        return custode, cert, fid, login
+
+    def test_degraded_serve_within_staleness_bound(self, mssa):
+        custode, cert, fid, _login = self._world(mssa, max_staleness=5.0)
+        custode.service.credentials.mark_service_unknown("Login")
+        mssa.clock.advance(2.0)
+        assert custode.read_segment(cert, fid) == b"payload"
+        assert custode.storage.degraded_hits == 1
+        assert 0.0 < custode.storage.degraded_max_staleness <= 5.0
+
+    def test_degraded_serve_refused_beyond_bound(self, mssa):
+        custode, cert, fid, _login = self._world(mssa, max_staleness=5.0)
+        custode.service.credentials.mark_service_unknown("Login")
+        mssa.clock.advance(5.1)
+        with pytest.raises(RevokedError) as exc:
+            custode.read_segment(cert, fid)
+        assert exc.value.uncertain
+        assert custode.storage.degraded_hits == 0
+        assert custode.storage.degraded_expired == 1
+        # the expired decision is gone: a later in-bound moment cannot
+        # resurrect it
+        assert custode.storage.degraded_max_staleness == 0.0
+
+    def test_known_revocation_denied_despite_degradation(self, mssa):
+        """FALSE is authoritative: degradation extends suspicion windows,
+        never revocations."""
+        custode, cert, fid, login = self._world(mssa, max_staleness=1e9)
+        mssa.login.credentials.revoke(login.crr)
+        with pytest.raises(RevokedError):
+            custode.read_segment(cert, fid)
+        assert custode.storage.degraded_hits == 0
+
+    def test_revocation_mid_window_is_honoured(self, mssa):
+        """A revocation that resolves the suspicion (UNKNOWN -> FALSE)
+        closes the degradation window immediately."""
+        custode, cert, fid, login = self._world(mssa, max_staleness=1e9)
+        custode.service.credentials.mark_service_unknown("Login")
+        assert custode.read_segment(cert, fid) == b"payload"   # degraded serve
+        mssa.login.credentials.revoke(login.crr)   # LocalLinkage: synchronous
+        with pytest.raises(RevokedError):
+            custode.read_segment(cert, fid)
+
+    def test_restore_to_true_resumes_normal_service(self, mssa):
+        custode, cert, fid, _login = self._world(mssa, max_staleness=5.0)
+        custode.service.credentials.mark_service_unknown("Login")
+        assert custode.read_segment(cert, fid) == b"payload"
+        restored = [
+            (record.ref, RecordState.TRUE)
+            for record in custode.service.credentials.externals_of("Login")
+        ]
+        custode.service.credentials.set_states(restored)
+        degraded_before = custode.storage.degraded_hits
+        mssa.clock.advance(100.0)   # well past the bound: must not matter
+        assert custode.read_segment(cert, fid) == b"payload"
+        assert custode.storage.degraded_hits == degraded_before
+
+    def test_without_policy_unknown_fails_closed_immediately(self, mssa):
+        custode = mssa.make_custode(ByteSegmentCustode, "bsc-strict")
+        acl = custode.create_acl(Acl.parse("dm=+rw", alphabet="rw"))
+        fid = custode.create_segment(acl, b"payload")
+        client, login = mssa.login_user("dm")
+        cert = custode.enter_use_acl(client, acl, login)
+        custode.read_segment(cert, fid)
+        custode.service.credentials.mark_service_unknown("Login")
+        with pytest.raises(RevokedError) as exc:
+            custode.read_segment(cert, fid)
+        assert exc.value.uncertain
+        assert custode.storage.degraded_hits == 0
+
+    def test_restart_clears_degradation_stamps(self, mssa):
+        custode, cert, fid, _login = self._world(mssa, max_staleness=1e9)
+        custode.service.credentials.mark_service_unknown("Login")
+        assert custode.read_segment(cert, fid) == b"payload"
+        assert custode._unknown_since
+        custode.service.restart()
+        assert not custode._unknown_since
+        # post-restart the window cannot be dated: fail closed, not serve
+        with pytest.raises(RevokedError):
+            custode.read_segment(cert, fid)

@@ -306,3 +306,92 @@ def test_divergences_and_convergence():
     linkage.resync(files, "Login")
     sim.run()
     assert checker.converged()
+
+
+# ------------------------------------------------------------ OverloadBurst
+
+
+def test_overload_burst_generates_synthetic_traffic():
+    from repro.runtime.faults import OverloadBurst
+
+    sim, net = make_net()
+    collector(net, "a")
+    got = collector(net, "b")
+    plan = FaultPlan(
+        events=(OverloadBurst(at=1.0, duration=0.5, source="a", dest="b", rate=100.0),),
+        seed=9,
+    )
+    chaos = ChaosController(net, plan)
+    chaos.arm()
+    sim.run_until(5.0)
+    assert chaos.stats.overload_bursts == 1
+    # ~rate * duration messages, all of the chaos kind, all accounted
+    assert 40 <= chaos.stats.overload_messages <= 60
+    assert len(got) == chaos.stats.overload_messages
+    assert net.unaccounted() == 0
+
+
+def test_overload_burst_stops_at_window_end():
+    from repro.runtime.faults import OverloadBurst
+
+    sim, net = make_net()
+    collector(net, "a")
+    got = collector(net, "b")
+    plan = FaultPlan(
+        events=(OverloadBurst(at=0.0, duration=1.0, source="a", dest="b", rate=50.0),),
+        seed=9,
+    )
+    ChaosController(net, plan).arm()
+    sim.run_until(30.0)
+    assert got
+    assert all(at <= 1.01 for at, _payload in got)
+
+
+def test_overload_burst_custom_generator():
+    from repro.runtime.faults import OverloadBurst
+
+    sim, net = make_net()
+    bursts = []
+    plan = FaultPlan(
+        events=(OverloadBurst(at=0.0, duration=0.1, source="a", dest="b", rate=30.0),),
+        seed=9,
+    )
+    chaos = ChaosController(net, plan, overload=bursts.append)
+    chaos.arm()
+    sim.run_until(1.0)
+    assert len(bursts) == chaos.stats.overload_messages
+    assert all(event.dest == "b" for event in bursts)
+
+
+def test_random_plan_includes_overload_bursts():
+    from repro.runtime.faults import OverloadBurst
+
+    plan = FaultPlan.random(
+        seed=5, duration=60.0, addresses=("a", "b", "c"), overload_bursts=3
+    )
+    bursts = [e for e in plan.events if isinstance(e, OverloadBurst)]
+    assert len(bursts) == 3
+    assert plan.horizon() >= max(e.at + e.duration for e in bursts)
+    replay = FaultPlan.random(
+        seed=5, duration=60.0, addresses=("a", "b", "c"), overload_bursts=3
+    )
+    assert replay.events == plan.events
+
+
+def test_checker_queue_bound_invariant():
+    from repro.runtime.wire import BatchedChannel, WirePolicy
+
+    sim, net, _linkage, login, files, _user = make_world()
+    collector(net, "a")
+    collector(net, "b")
+    channel = BatchedChannel(
+        net, "a", "b", policy=WirePolicy(max_delay=1.0, max_queue=3)
+    )
+    checker = InvariantChecker([login, files], stale_bound=10.0, channels=[channel])
+    net.set_link_state("a", "b", False)
+    for i in range(10):
+        channel.send("note", i)
+    assert checker.check_queue_bounds() == []     # bound held: spill kept it
+    channel._pending.append({"kind": "x", "payload": 0})   # force a breach
+    breaches = checker.check_queue_bounds()
+    assert breaches and "holds 4 > bound 3" in breaches[0]

@@ -141,3 +141,109 @@ def test_same_seed_same_behaviour():
 
     assert run(7) == run(7)
     assert run(7) != run(8)
+
+
+# ---------------------------------------------------------------- ISSUE 6
+
+
+def test_empty_injector_delays_count_as_fault_drop():
+    """Satellite regression: an injector returning [] schedules zero
+    deliveries — the message must land in dropped_by_fault, not vanish."""
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    got = []
+    net.add_node("b", lambda m: got.append(m))
+    net.set_fault_injector(lambda message, delay: [])
+    assert net.send("a", "b", "ping", 1) is None
+    sim.run()
+    assert got == []
+    assert net.stats.dropped_by_fault == 1
+    assert net.unaccounted() == 0
+
+
+def test_heal_does_not_end_an_overlapping_flap():
+    """Satellite regression: a partition heal must not resurrect a link
+    an independent link-flap still holds down."""
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: None)
+    net.partition({"a"}, {"b"})
+    net.set_link_state("a", "b", False)      # overlapping flap, same link
+    net.heal({"a"}, {"b"})                   # undoes only the partition
+    assert not net.link("a", "b").up
+    assert net.link("b", "a").up             # flap was one-directional
+    net.set_link_state("a", "b", True)       # flap ends: now fully up
+    assert net.link("a", "b").up
+
+
+def test_flap_recovery_does_not_end_an_overlapping_partition():
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: None)
+    net.set_link_state("a", "b", False)
+    net.partition({"a"}, {"b"})
+    net.set_link_state("a", "b", True)       # flap ends first
+    assert not net.link("a", "b").up         # partition still cuts it
+    net.heal({"a"}, {"b"})
+    assert net.link("a", "b").up
+
+
+def test_overlapping_partitions_stack():
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: None)
+    net.partition({"a"}, {"b"})
+    net.partition({"a"}, {"b"})
+    net.heal({"a"}, {"b"})
+    assert not net.link("a", "b").up
+    net.heal({"a"}, {"b"})
+    assert net.link("a", "b").up
+
+
+def test_on_link_up_fires_once_per_transition():
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: None)
+    ups, downs = [], []
+    net.on_link_up(lambda s, d: ups.append((s, d)))
+    net.on_link_down(lambda s, d: downs.append((s, d)))
+    net.partition({"a"}, {"b"})
+    assert ("a", "b") in downs and ("b", "a") in downs
+    net.set_link_state("a", "b", False)      # already down: no second event
+    assert downs.count(("a", "b")) == 1
+    net.heal({"a"}, {"b"})                   # a->b stays down (flap)
+    assert ("b", "a") in ups and ("a", "b") not in ups
+    net.set_link_state("a", "b", True)
+    assert ups.count(("a", "b")) == 1
+
+
+def test_delivery_accounting_identity_holds():
+    """offered == delivered + drops + in_flight at every instant."""
+    sim, net = make_net()
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: None)
+    net.set_link("a", "b", Link(base_delay=0.01, loss_probability=0.3))
+    for _ in range(200):
+        net.send("a", "b", "ping", 1)
+    assert net.unaccounted() == 0            # mid-flight: in_flight covers it
+    assert net.in_flight > 0
+    sim.run()
+    assert net.in_flight == 0
+    assert net.unaccounted() == 0
+    stats = net.stats
+    assert stats.delivered + stats.dropped_by_loss == 200
+
+
+def test_accounting_identity_with_duplicating_injector():
+    sim, net = make_net()
+    got = []
+    net.add_node("a", lambda m: None)
+    net.add_node("b", lambda m: got.append(m))
+    net.set_fault_injector(lambda message, delay: [delay, delay + 0.01])
+    for _ in range(50):
+        net.send("a", "b", "ping", 1)
+    sim.run()
+    assert len(got) == 100
+    assert net.stats.duplicated == 50
+    assert net.stats.offered() == 100
+    assert net.unaccounted() == 0

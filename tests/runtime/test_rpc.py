@@ -314,3 +314,149 @@ def test_cancelled_timeouts_do_not_accumulate_in_simulator():
     assert len(sim._queue) < n
     assert sim.cancelled_pending() <= 256
     assert client._pending == {}
+
+
+# ---------------------------------------------------------------- ISSUE 6
+
+from repro.runtime.rpc import BreakerPolicy
+
+
+def test_spurious_timeout_does_not_count():
+    """Satellite regression: a timeout firing for a call that already
+    resolved must not bump ``stats.timeouts``."""
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    future = client.call("server", "add", 1, 2, timeout=5.0)
+    sim.run_until(1.0)
+    assert future.result() == 3
+    # fire the (stale) timeout path by hand — the timer itself was
+    # cancelled at resolve, so this models a spurious/stale firing
+    client._on_timeout(1)
+    assert client.stats.timeouts == 0
+
+
+def test_real_timeout_still_counts():
+    sim, net, server, client = make_pair()
+    net.partition({"client"}, {"server"})
+    future = client.call("server", "add", 1, 2, timeout=0.5)
+    sim.run_until(5.0)
+    assert future.failed
+    assert client.stats.timeouts == 1
+
+
+def make_breaker_pair(threshold=3, cooldown=1.0):
+    sim = Simulator()
+    net = Network(sim, seed=3)
+    server = RpcEndpoint(net, "server")
+    client = RpcEndpoint(
+        net,
+        "client",
+        breaker=BreakerPolicy(failure_threshold=threshold, cooldown=cooldown),
+    )
+    return sim, net, server, client
+
+
+def test_breaker_opens_after_consecutive_failures_and_fails_fast():
+    sim, net, server, client = make_breaker_pair(threshold=3, cooldown=10.0)
+    server.register("add", lambda a, b: a + b)
+    net.node("server").up = False            # silent peer: every attempt times out
+    futures = [client.call("server", "add", i, 1, timeout=0.5) for i in range(3)]
+    sim.run_until(5.0)
+    assert all(f.failed for f in futures)
+    assert client.stats.breaker_opens == 1
+    sent_before = client.stats.requests_sent
+    fast = client.call("server", "add", 9, 9, timeout=0.5)
+    sim.run_until(6.0)
+    assert fast.failed
+    with pytest.raises(RpcError, match="circuit open"):
+        fast.result()
+    # the fast-failed call never touched the wire
+    assert client.stats.requests_sent == sent_before
+    assert client.stats.breaker_fast_failures == 1
+
+
+def test_breaker_half_open_probe_closes_on_recovery():
+    sim, net, server, client = make_breaker_pair(threshold=3, cooldown=2.0)
+    server.register("add", lambda a, b: a + b)
+    net.node("server").up = False
+    for i in range(3):
+        client.call("server", "add", i, 1, timeout=0.5)
+    sim.run_until(5.0)
+    assert client.stats.breaker_opens == 1
+    net.node("server").up = True             # peer recovers during cooldown
+    sim.run_until(10.0)                      # let the cooldown elapse
+    probe = client.call("server", "add", 2, 2, timeout=0.5)
+    sim.run_until(11.0)
+    assert probe.result() == 4
+    assert client.stats.breaker_probes == 1
+    assert client.stats.breaker_closes == 1
+    after = client.call("server", "add", 3, 3, timeout=0.5)
+    sim.run_until(12.0)
+    assert after.result() == 6               # circuit closed again
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    sim, net, server, client = make_breaker_pair(threshold=3, cooldown=2.0)
+    net.node("server").up = False
+    for i in range(3):
+        client.call("server", "add", i, 1, timeout=0.5)
+    sim.run_until(5.0)
+    probe = client.call("server", "add", 2, 2, timeout=0.5)   # half-open probe
+    shed = client.call("server", "add", 3, 3, timeout=0.5)    # beyond the probe budget
+    sim.run_until(8.0)
+    assert probe.failed and shed.failed
+    with pytest.raises(RpcError, match="circuit open"):
+        shed.result()
+    assert client.stats.breaker_probes == 1
+    assert client.stats.breaker_opens == 2   # the failed probe re-opened it
+
+
+def test_remote_exception_counts_as_peer_alive():
+    """A remote error is a definite answer: it must reset the breaker,
+    not walk it toward open."""
+    sim, net, server, client = make_breaker_pair(threshold=2, cooldown=1.0)
+
+    def boom():
+        raise ValueError("bad")
+
+    server.register("boom", boom)
+    for _ in range(5):
+        future = client.call("server", "boom", timeout=1.0)
+        sim.run_until(sim.now + 2.0)
+        assert future.failed
+    assert client.stats.breaker_opens == 0
+
+
+def test_retransmission_into_down_link_fails_fast():
+    """Satellite regression: retries toward a link the endpoint observed
+    down must not wait out the full per-attempt timeout each."""
+    from repro.runtime.rpc import RetryPolicy
+
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    policy = RetryPolicy(max_attempts=5, base_delay=0.2, multiplier=1.0, jitter=0.0)
+    future = client.call("server", "add", 1, 1, timeout=10.0, retry=policy)
+    net.partition({"client"}, {"server"})    # dooms attempt 1, observed down
+    sim.run_until(60.0)
+    assert future.failed
+    # all remaining attempts drained at backoff pace (0.2s each), not at
+    # the 10s per-attempt timeout: the whole call dies in ~1s
+    assert client.stats.link_down_fast_fails >= 3
+    assert client.stats.timeouts == 0
+    # only the first attempt ever hit the wire
+    assert client.stats.requests_sent == 1
+
+
+def test_down_link_fast_fail_recovers_after_heal():
+    from repro.runtime.rpc import RetryPolicy
+
+    sim, net, server, client = make_pair()
+    server.register("add", lambda a, b: a + b)
+    policy = RetryPolicy(max_attempts=8, base_delay=0.5, multiplier=2.0, jitter=0.0)
+    future = client.call("server", "add", 2, 2, timeout=5.0, retry=policy)
+    net.partition({"client"}, {"server"})
+    sim.schedule(3.0, net.heal, {"client"}, {"server"})
+    sim.run_until(60.0)
+    assert future.result() == 4
+    assert client.stats.link_down_fast_fails >= 1
+    assert server.stats.executions == 1
