@@ -93,6 +93,21 @@ def record_faults(name, **data):
     _record_json(faults_out_path(), "faults", name, data)
 
 
+# ------------------------------------------------ sharding results (BENCH_shard)
+
+
+def shard_out_path():
+    return os.environ.get(
+        "BENCH_SHARD_OUT", os.path.join(_REPO_ROOT, "BENCH_shard.json")
+    )
+
+
+def record_shard(name, **data):
+    """Merge one sharding experiment's results into BENCH_shard.json
+    (same accumulate-and-merge contract as :func:`record_hotpath`)."""
+    _record_json(shard_out_path(), "shard", name, data)
+
+
 def _record_json(path, kind, name, data):
     results = {}
     if os.path.exists(path):

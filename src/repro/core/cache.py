@@ -12,7 +12,47 @@ its stats object.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """A uniform snapshot of one bounded cache's efficacy.
+
+    Every cache in the system — validation, decision, compiled-plan —
+    reports through this one shape, so fleet tooling (the shard bench,
+    per-replica dashboards) can compare cache behaviour across layers
+    without knowing each layer's stats vocabulary.  ``maxsize`` is None
+    for caches without a hard bound (e.g. a compiled-plan cache whose
+    population is the rolefile's role count).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    maxsize: Optional[int] = None
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 class LRUCache:
@@ -87,6 +127,16 @@ class LRUCache:
     def discard(self, key: Hashable) -> bool:
         """Drop ``key`` if present; returns whether it was."""
         return self._data.pop(key, None) is not None
+
+    def counters(self) -> CacheCounters:
+        """The uniform efficacy snapshot of this cache."""
+        return CacheCounters(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
 
     def clear(self) -> None:
         self._data.clear()

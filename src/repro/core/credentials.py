@@ -405,22 +405,24 @@ class CredentialRecordTable:
 
     def update_external_many(
         self, service: str, updates: Iterable[tuple[int, RecordState]]
-    ) -> None:
+    ) -> CascadeStats:
         """Apply a batch of Modified notifications from ``service`` in one
         settling cascade.  Later entries for the same remote record win
         (the wire layer's last-state-wins coalescing, applied again here
-        so a batch is atomic regardless of how it was packed)."""
+        so a batch is atomic regardless of how it was packed).  Returns
+        the metrics of the settling cascade, so callers driving a
+        cross-shard settle can account convergence work per hop."""
         latest: dict[int, RecordState] = {}
         for remote_ref, state in updates:
             latest[remote_ref] = state
         if not latest:
-            return
+            return CascadeStats()
         batch = [
             (row.ref, latest[row.external_ref])
             for index in self._externals_by_service.get(service, ())
             if (row := self._rows[index]) is not None and row.external_ref in latest
         ]
-        self.set_states(batch)
+        return self.set_states(batch)
 
     def mark_service_unknown(self, service: str) -> int:
         """Heartbeat from ``service`` missed: all its surrogates -> UNKNOWN.
@@ -493,14 +495,21 @@ class CredentialRecordTable:
         settles in one cascade when the window closes.  Windows nest."""
         self._batch_depth += 1
 
-    def end_batch(self) -> None:
-        """Close a batch window; the outermost close runs the cascade."""
+    def end_batch(self) -> Optional[CascadeStats]:
+        """Close a batch window; the outermost close runs the cascade.
+
+        Returns the metrics of the cascade the close ran, or ``None``
+        when nothing needed settling (inner window, empty queue, or a
+        cascade already in progress).  The cross-shard settle protocol
+        uses the return value to decide whether a hop changed anything.
+        """
         if self._batch_depth > 0:
             self._batch_depth -= 1
         if self._batch_depth == 0 and self._seed_queue and not self._cascading:
             seeds = list(self._seed_queue)
             self._seed_queue.clear()
-            self._start_cascade(seeds)
+            return self._start_cascade(seeds)
+        return None
 
     def on_cascade(
         self, begin: Callable[[], None], end: Callable[[], None]

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.core.cache import CacheCounters
 from repro.core.certificates import DelegationCertificate, RoleMembershipCertificate
 from repro.core.rdl.ast import (
     EntryStatement,
@@ -189,6 +190,19 @@ class EngineStats:
     statements_considered: int = 0
     statements_skipped: int = 0
 
+    def cache_counters(self, size: int = 0) -> CacheCounters:
+        """The plan cache in the uniform :class:`CacheCounters` shape.
+        Every compile is a miss; the cache is population-bounded by the
+        rolefile's role count, so ``maxsize`` is None and evictions only
+        happen via :meth:`RoleEntryEngine.invalidate_plans`."""
+        return CacheCounters(
+            hits=self.plan_hits,
+            misses=self.plans_compiled,
+            evictions=0,
+            size=size,
+            maxsize=None,
+        )
+
 
 class RoleEntryEngine:
     """Evaluates role-entry requests against one rolefile."""
@@ -273,6 +287,10 @@ class RoleEntryEngine:
         )
 
     # -- plan compilation ---------------------------------------------------------
+
+    def cache_counters(self) -> CacheCounters:
+        """Uniform snapshot of this engine's compiled-plan cache."""
+        return self.stats.cache_counters(size=len(self._plans))
 
     def invalidate_plans(self) -> None:
         """Drop every compiled plan and cached signature lookup.  Called

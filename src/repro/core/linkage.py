@@ -54,6 +54,20 @@ class Linkage:
         """Deliver a Modified(CRR, newstate) event to each subscriber."""
         raise NotImplementedError
 
+    def backpressured_of(self, service_name: str) -> list:
+        """The outbound channels of ``service_name`` currently at their
+        queue bound.  Admission paths (role entry, certificate issue)
+        consult this to shed early: a service whose notification channels
+        are jammed must not take on new state whose revocations it could
+        not deliver.  Linkages without bounded channels report none."""
+        return []
+
+    def flush_of(self, service_name: str) -> None:
+        """Put ``service_name``'s queued notifications on the wire now.
+        The cross-shard settle calls this at each commit so one hop's
+        consequences are in flight before the next hop's batch windows
+        open.  Linkages without batching deliver eagerly: no-op."""
+
 
 class LocalLinkage(Linkage):
     """Immediate, reliable delivery between co-located services."""
@@ -141,6 +155,12 @@ class SimLinkage(Linkage):
         for pool in self._pools.values():
             pool.flush_all()
 
+    def flush_of(self, service_name: str) -> None:
+        """Flush only ``service_name``'s outbound pool (per-shard commit)."""
+        pool = self._pools.get(service_name)
+        if pool is not None:
+            pool.flush_all()
+
     def all_channels(self) -> list[BatchedChannel]:
         """Every live batched channel across every attached service —
         what an :class:`~repro.runtime.faults.InvariantChecker` sweeps
@@ -153,6 +173,12 @@ class SimLinkage(Linkage):
         """Channels currently at their queue bound, across all services."""
         return [channel for channel in self.all_channels() if channel.backpressure]
 
+    def backpressured_of(self, service_name: str) -> list[BatchedChannel]:
+        """``service_name``'s own outbound channels at their queue bound
+        (the admission-control signal for that service's entry paths)."""
+        pool = self._pools.get(service_name)
+        return pool.backpressured() if pool is not None else []
+
     def _modified_body(self, issuer_name: str, ref: int, state: RecordState) -> dict:
         seq = self._mod_seq.get(issuer_name, 0) + 1
         self._mod_seq[issuer_name] = seq
@@ -164,6 +190,66 @@ class SimLinkage(Linkage):
             "stamp": (epoch, seq),
         }
 
+    def _apply_wire_items(self, service: "OasisService", source: str, pairs) -> None:
+        """Apply a batch of ``(kind, body)`` wire items arriving at
+        ``service`` from the node at ``source``.
+
+        All Modified notifications in the batch settle as ONE cascade per
+        issuer — a 10k-surrogate revocation settles once, not 10k times —
+        and the (epoch, seq) stamp dedup makes re-application idempotent,
+        so the heartbeat machinery can safely replay a retransmitted
+        batch through here.
+        """
+        address = self.address_of(service.name)
+        modified: dict[str, list[tuple[int, RecordState]]] = {}
+        for kind, body in pairs:
+            if kind == "modified":
+                self.notifications += 1
+                # any Modified for this ref proves the issuer knows
+                # about us: the subscribe no longer needs retrying
+                self._sub_pending.pop(
+                    (service.name, body["issuer"], body["ref"]), None
+                )
+                stamp = body.get("stamp")
+                if stamp is not None:
+                    stamp = tuple(stamp)
+                    key = (service.name, body["issuer"], body["ref"])
+                    last = self._last_applied.get(key)
+                    if last is not None and stamp <= last:
+                        # duplicate, or a delayed older state: applying
+                        # it could flip a closed surrogate back open
+                        self.stale_modified_dropped += 1
+                        continue
+                    self._last_applied[key] = stamp
+                modified.setdefault(body["issuer"], []).append(
+                    (body["ref"], RecordState(body["state"]))
+                )
+            elif kind == "subscribe":
+                service.credentials.subscribe(body["ref"], body["subscriber"])
+                state = service.credentials.state_of(body["ref"])
+                # the reply resolves a fail-closed Unknown surrogate:
+                # urgent, never held for a batch window
+                self._pools[service.name].to(source).send(
+                    "modified",
+                    self._modified_body(service.name, body["ref"], state),
+                    coalesce_key=("modified", service.name, body["ref"]),
+                    urgent=True,
+                )
+            elif kind in ("heartbeat", "heartbeat-payload", "heartbeat-fillers"):
+                monitor = self._monitors.get((source, address))
+                if monitor is not None:
+                    monitor.handle_message(kind, body)
+            elif kind == "heartbeat-ack":
+                sender = self._senders.get((address, source))
+                if sender is not None:
+                    sender.handle_ack(body["ack"])
+            elif kind == "heartbeat-nack":
+                sender = self._senders.get((address, source))
+                if sender is not None:
+                    sender.handle_nack(body["missing"])
+        for issuer_name, updates in modified.items():
+            service.credentials.update_external_many(issuer_name, updates)
+
     def _make_handler(self, service: "OasisService"):
         address = self.address_of(service.name)
 
@@ -173,58 +259,11 @@ class SimLinkage(Linkage):
                 monitor = self._monitors.get((message.source, address))
                 if monitor is not None:
                     monitor.handle_message("heartbeat", hb)
-            # apply all Modified notifications in a batch as ONE cascade
-            # per issuer: a 10k-surrogate revocation settles once, not
-            # 10k times
-            modified: dict[str, list[tuple[int, RecordState]]] = {}
-            for msg in wire.unpack(message):
-                kind, body = msg.kind, msg.payload
-                if kind == "modified":
-                    self.notifications += 1
-                    # any Modified for this ref proves the issuer knows
-                    # about us: the subscribe no longer needs retrying
-                    self._sub_pending.pop(
-                        (service.name, body["issuer"], body["ref"]), None
-                    )
-                    stamp = body.get("stamp")
-                    if stamp is not None:
-                        stamp = tuple(stamp)
-                        key = (service.name, body["issuer"], body["ref"])
-                        last = self._last_applied.get(key)
-                        if last is not None and stamp <= last:
-                            # duplicate, or a delayed older state: applying
-                            # it could flip a closed surrogate back open
-                            self.stale_modified_dropped += 1
-                            continue
-                        self._last_applied[key] = stamp
-                    modified.setdefault(body["issuer"], []).append(
-                        (body["ref"], RecordState(body["state"]))
-                    )
-                elif kind == "subscribe":
-                    service.credentials.subscribe(body["ref"], body["subscriber"])
-                    state = service.credentials.state_of(body["ref"])
-                    # the reply resolves a fail-closed Unknown surrogate:
-                    # urgent, never held for a batch window
-                    self._pools[service.name].to(message.source).send(
-                        "modified",
-                        self._modified_body(service.name, body["ref"], state),
-                        coalesce_key=("modified", service.name, body["ref"]),
-                        urgent=True,
-                    )
-                elif kind in ("heartbeat", "heartbeat-payload", "heartbeat-fillers"):
-                    monitor = self._monitors.get((message.source, address))
-                    if monitor is not None:
-                        monitor.handle_message(kind, body)
-                elif kind == "heartbeat-ack":
-                    sender = self._senders.get((address, message.source))
-                    if sender is not None:
-                        sender.handle_ack(body["ack"])
-                elif kind == "heartbeat-nack":
-                    sender = self._senders.get((address, message.source))
-                    if sender is not None:
-                        sender.handle_nack(body["missing"])
-            for issuer_name, updates in modified.items():
-                service.credentials.update_external_many(issuer_name, updates)
+            self._apply_wire_items(
+                service,
+                message.source,
+                ((msg.kind, msg.payload) for msg in wire.unpack(message)),
+            )
 
         return handler
 
@@ -354,7 +393,20 @@ class SimLinkage(Linkage):
             subscriber.credentials.mark_service_unknown(issuer.name)
             self.resync(subscriber, issuer.name)
 
+        def on_payload(payload, horizon: float) -> None:
+            # A lost data batch retransmitted by the nack machinery
+            # (HeartbeatSender retains piggybacked batch items).  The
+            # monitor delivers it in sequence order; (epoch, seq) stamps
+            # drop anything a newer notification already superseded.
+            if isinstance(payload, dict) and payload.get("items"):
+                self._apply_wire_items(
+                    subscriber,
+                    issuer_addr,
+                    ((item["kind"], item["payload"]) for item in payload["items"]),
+                )
+
         monitor.on_epoch_change = on_epoch_change
+        monitor.on_payload = on_payload
         self._senders[(issuer_addr, subscriber_addr)] = sender
         self._monitors[(issuer_addr, subscriber_addr)] = monitor
         # data batches from issuer to subscriber now carry the heartbeat

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 from repro.core.audit import AuditKind, AuditLog
-from repro.core.cache import LRUCache
+from repro.core.cache import CacheCounters, LRUCache
 from repro.core.certificates import (
     DelegationCertificate,
     RevocationCertificate,
@@ -64,6 +64,7 @@ from repro.errors import (
     FraudError,
     MisuseError,
     OasisError,
+    OverloadError,
     RevokedError,
 )
 from repro.runtime.clock import Clock, ManualClock
@@ -95,6 +96,7 @@ class ServiceStats:
     signature_cache_hits: int = 0
     signature_cache_evictions: int = 0
     entries_denied: int = 0
+    entries_shed: int = 0                   # admission refused under overload
     # the (crr, expiry-bucket) short-circuit cache over full validations
     validity_cache_hits: int = 0
     validity_cache_evictions: int = 0
@@ -119,6 +121,7 @@ class OasisService:
         watchable: Optional[dict[str, Callable[..., tuple[Any, Any]]]] = None,
         signature_cache_size: int = 4096,
         validity_cache_size: int = 4096,
+        shed_on_overload: bool = True,
     ):
         self.name = name
         self.clock = clock or ManualClock()
@@ -131,6 +134,10 @@ class OasisService:
         self.linkage = linkage or LocalLinkage()
         self.groups = groups
         self.cert_lifetime = cert_lifetime
+        # admission control: refuse new entries while the outbound
+        # notification channels are at their queue bound (section 4.9
+        # coherence depends on being able to deliver revocations)
+        self.shed_on_overload = shed_on_overload
         self.secrets = RollingSecretTable(clock=self.clock, lifetime=secret_lifetime)
         self.signer = Signer(self.secrets, signature_length=signature_length)
         self.credentials = CredentialRecordTable(name)
@@ -357,6 +364,7 @@ class OasisService:
         rolefile_id: str,
         vci=None,
     ) -> RoleMembershipCertificate:
+        self._shed_if_overloaded("role entry")
         state = self._rolefile_state(rolefile_id)
         memberships = [self._credential_membership(c, client) for c in credentials]
         results: list[EntryResult] = []
@@ -390,6 +398,23 @@ class OasisService:
                 f"entered {delegation.role} by delegation",
             )
         return cert
+
+    def _shed_if_overloaded(self, operation: str) -> None:
+        """Admission control (ROADMAP overload follow-on): refuse work
+        that would *create* credential state while this service's
+        outbound notification channels sit at their queue bound.  A new
+        membership whose revocation could not be delivered is a coherence
+        debt; shedding before any state exists is free.  Validation and
+        revocation paths never shed — revocations must always land."""
+        if not self.shed_on_overload:
+            return
+        jammed = self.linkage.backpressured_of(self.name)
+        if jammed:
+            self.stats.entries_shed += 1
+            raise OverloadError(
+                f"service {self.name!r} is overloaded: {len(jammed)} outbound "
+                f"channel(s) at their queue bound; {operation} shed"
+            )
 
     def _credential_membership(
         self, cert: RoleMembershipCertificate, client: ClientId
@@ -685,6 +710,7 @@ class OasisService:
         (section 4.4).  Policy check: the rolefile must contain an
         election statement for ``role`` whose elector role the delegator
         holds."""
+        self._shed_if_overloaded("certificate issue")
         self.validate(delegator_cert)
         state = self._rolefile_state(rolefile_id)
         elector_role = None
@@ -911,6 +937,19 @@ class OasisService:
         """Metrics of the most recent revocation/state-change cascade
         through this service's credential records."""
         return self.credentials.last_cascade
+
+    def cache_counters(self) -> dict[str, "CacheCounters"]:
+        """Uniform efficacy snapshots of every validation-path cache
+        (per-replica observability for the shard bench): the validity
+        short-circuit, the signature-integrity cache, and each rolefile
+        engine's compiled-plan cache."""
+        counters = {
+            "validity": self._validity_cache.counters(),
+            "signature": self._signature_cache.counters(),
+        }
+        for rolefile_id, state in self._rolefiles.items():
+            counters[f"plans:{rolefile_id}"] = state.engine.cache_counters()
+        return counters
 
     # ------------------------------------------------------------------ events
 

@@ -1,0 +1,757 @@
+"""Sharding layer: consistent-hash partitioning of the credential and
+storage namespaces across a replicated service fleet.
+
+The single-node hot paths (validation caches, the storage decision
+cache, wire batching) put a ceiling on one ``OasisService``'s working
+set: a credential population larger than the bounded caches thrashes
+them and every request pays the cold path.  This module partitions the
+namespaces horizontally:
+
+* a :class:`HashRing` places keys on shards with a **seed-stable**
+  digest (``blake2b`` — never Python's salted ``hash()``), so placement
+  is identical across processes, restarts and test runs, and a
+  membership change moves only the keys owned by the node that changed
+  (the consistent-hashing property);
+* a :class:`ShardRouter` masks crashed shards: while a shard is down,
+  *new* placements route to its ring successor and the routed traffic
+  is counted as reroutes; when it restarts, placement snaps back;
+* each shard is one **leader** (issuer: role entry, certificate issue,
+  revocation) plus read-only **follower replicas**
+  (:class:`ServiceReplica`, :class:`StorageReplica`) serving warm
+  ``validate()`` / ``check_access`` traffic from per-replica bounded
+  caches, kept coherent by the leader table's existing cascade watch
+  hooks — a revocation cascade invalidates every replica's entry in the
+  same settling pass that fires the leader's own invalidation;
+* a :class:`ShardCoordinator` extends the batch-cascade windows
+  (``begin_batch``/``end_batch``) and ``update_external_many`` into a
+  **cross-shard two-phase settle**: each hop opens a batch window on
+  every shard (phase 1, *prepare*), lets the batched wire channels
+  deliver the in-flight Modified notifications into the open windows,
+  then closes the windows (phase 2, *commit*) so each shard settles the
+  hop's entire inflow in ONE cascade and flushes its own outflow for
+  the next hop.  A revocation crossing N shard boundaries converges in
+  at most N+1 hops, and the coordinator drives both phases over the
+  retrying at-most-once RPC layer so a lossy control plane cannot wedge
+  the fleet.
+
+Fail-closed invariants carry over unchanged: a follower replica's warm
+hit re-checks expiry, secret liveness and the credential record's TRUE
+state on every use, so a revocation is visible on the very next call on
+every replica, and anything a replica cannot verify falls back to the
+leader's full path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+from repro.core.cache import CacheCounters, LRUCache
+from repro.core.credentials import RecordState
+from repro.errors import OasisError
+from repro.runtime.rpc import RetryPolicy, RpcEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.certificates import RoleMembershipCertificate
+    from repro.core.linkage import SimLinkage
+    from repro.core.service import OasisService
+    from repro.mssa.custode import Custode, FileRecord
+    from repro.mssa.ids import FileId
+    from repro.runtime.network import Network
+
+
+def stable_digest(key: Any) -> int:
+    """A placement digest that is identical across processes and runs.
+
+    Python's builtin ``hash()`` is salted per process (PYTHONHASHSEED),
+    so using it for placement would scatter a dataset differently on
+    every boot.  ``blake2b`` over the string form is stable, fast, and
+    uniform; eight bytes give a 64-bit ring coordinate.
+    """
+    raw = hashlib.blake2b(str(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(raw, "big")
+
+
+# --------------------------------------------------------------------- ring
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Each node contributes ``vnodes`` virtual points so load spreads
+    evenly even with a handful of physical nodes.  Lookup walks the ring
+    clockwise from the key's coordinate; removing a node moves only the
+    keys it owned (they fall to their ring successors), which is the
+    property that makes crash-restart rebalancing cheap.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise OasisError("a hash ring needs at least one vnode per node")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []   # sorted (coordinate, node)
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for vnode in range(self.vnodes):
+            insort(self._points, (stable_digest(f"{node}#{vnode}"), node))
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [point for point in self._points if point[1] != node]
+
+    def preference(self, key: Any) -> Iterator[str]:
+        """Nodes in ring order from ``key``'s coordinate, each once.
+
+        The first yielded node is the owner; the rest is the failover
+        order a router walks while nodes are down (and the replica-set
+        order for placements that want distinct nodes).
+        """
+        if not self._points:
+            return
+        start = bisect_right(self._points, (stable_digest(key), "￿"))
+        seen: set[str] = set()
+        for index in range(len(self._points)):
+            node = self._points[(start + index) % len(self._points)][1]
+            if node not in seen:
+                seen.add(node)
+                yield node
+                if len(seen) == len(self._nodes):
+                    return
+
+    def node_for(self, key: Any) -> str:
+        """The owning node for ``key``; raises on an empty ring."""
+        for node in self.preference(key):
+            return node
+        raise OasisError("hash ring has no nodes")
+
+    def nodes_for(self, key: Any, count: int) -> list[str]:
+        """The first ``count`` distinct nodes on ``key``'s preference
+        list (owner first) — a replica set."""
+        out: list[str] = []
+        for node in self.preference(key):
+            out.append(node)
+            if len(out) == count:
+                break
+        return out
+
+
+# ------------------------------------------------------------------- router
+
+
+@dataclass
+class RouterStats:
+    routes: int = 0        # successful placements
+    reroutes: int = 0      # owner was down; a successor took the key
+    rebalances: int = 0    # membership/mask changes (ring version bumps)
+
+
+class ShardRouter:
+    """Routes keys to live shards over a :class:`HashRing`.
+
+    ``route`` returns the first *live* node on the key's preference
+    list: while a shard is crashed, only the keys it owns move (to their
+    ring successors), and they snap back when it returns.  ``version``
+    increments on every membership or liveness change so cached
+    placements can be checked for staleness.
+    """
+
+    def __init__(self, ring: HashRing):
+        self.ring = ring
+        self.version = 0
+        self.stats = RouterStats()
+        self._down: set[str] = set()
+
+    @property
+    def down(self) -> frozenset[str]:
+        return frozenset(self._down)
+
+    def mark_down(self, node: str) -> None:
+        if node in self.ring and node not in self._down:
+            self._down.add(node)
+            self.version += 1
+            self.stats.rebalances += 1
+
+    def mark_up(self, node: str) -> None:
+        if node in self._down:
+            self._down.discard(node)
+            self.version += 1
+            self.stats.rebalances += 1
+
+    def owner(self, key: Any) -> str:
+        """The ring owner, ignoring liveness (where the key belongs)."""
+        return self.ring.node_for(key)
+
+    def route(self, key: Any) -> str:
+        """The live shard serving ``key`` right now."""
+        for node in self.ring.preference(key):
+            if node not in self._down:
+                self.stats.routes += 1
+                if node != self.ring.node_for(key):
+                    self.stats.reroutes += 1
+                return node
+        raise OasisError("no live shard available for placement")
+
+    def placement(self, keys: Iterable[Any]) -> dict[Any, str]:
+        """Current live placement of ``keys`` (bulk :meth:`route`)."""
+        return {key: self.route(key) for key in keys}
+
+
+# ----------------------------------------------------------------- replicas
+
+
+@dataclass
+class ReplicaStats:
+    validations: int = 0       # requests served by this replica
+    warm_hits: int = 0         # served entirely from the replica's caches
+    leader_fallbacks: int = 0  # cold / unverifiable: leader's full path ran
+    invalidations: int = 0     # cache entries dropped by the cascade hook
+
+
+def _expiry_bucket(cert: "RoleMembershipCertificate") -> float:
+    return -1.0 if cert.expires_at is None else cert.expires_at
+
+
+class ServiceReplica:
+    """A read-only follower of one credential shard's leader.
+
+    Holds its *own* bounded validity cache (per-replica process memory),
+    kept coherent by the leader table's ``watch_all`` hook: the same
+    revocation cascade that invalidates the leader's caches invalidates
+    this replica's, in the same settling pass.  A warm hit still
+    re-checks expiry, secret liveness and the record's TRUE state —
+    the fail-closed contract is identical to the leader's fast path —
+    and anything unverifiable falls back to the leader's full
+    validation (which re-warms this replica).
+    """
+
+    def __init__(
+        self,
+        leader: "OasisService",
+        name: str = "",
+        validity_cache_size: int = 4096,
+    ):
+        self.leader = leader
+        self.name = name or f"{leader.name}/replica"
+        self.stats = ReplicaStats()
+        self._validity = LRUCache(validity_cache_size)
+        leader.credentials.watch_all(self._on_record_change)
+        leader.on_restart(self._on_leader_restart)
+
+    def _on_record_change(self, record, old, new) -> None:
+        if self._validity.discard(record.ref):
+            self.stats.invalidations += 1
+
+    def _on_leader_restart(self) -> None:
+        # replica caches are process memory of the replica group: a boot
+        # epoch change means nothing cached before it can be trusted
+        self._validity.clear()
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        return {"validity": self._validity.counters()}
+
+    def validate(
+        self,
+        cert: "RoleMembershipCertificate",
+        claimed_client=None,
+        required_role: Optional[str] = None,
+    ) -> "RoleMembershipCertificate":
+        self.stats.validations += 1
+        leader = self.leader
+        # per-call checks never ride any cache (same split as the
+        # leader's fast path)
+        if cert.issuer != leader.name:
+            self.stats.leader_fallbacks += 1
+            return leader.validate(
+                cert, claimed_client=claimed_client, required_role=required_role
+            )
+        entry = self._validity.get(cert.crr)
+        if entry == (cert.secret_index, cert.signature, _expiry_bucket(cert)):
+            now = leader.clock.now()
+            verifiable = (
+                (cert.expires_at is None or now <= cert.expires_at)
+                and leader._secret_live(cert.secret_index)
+                and leader.credentials.state_of(cert.crr) is RecordState.TRUE
+                and (claimed_client is None or cert.client == claimed_client)
+                and (required_role is None or required_role in cert.roles)
+            )
+            if verifiable:
+                self.stats.warm_hits += 1
+                return cert
+            self._validity.discard(cert.crr)
+        # cold or unverifiable: authoritative full path at the leader
+        self.stats.leader_fallbacks += 1
+        leader.validate(
+            cert, claimed_client=claimed_client, required_role=required_role
+        )
+        self._validity.put(
+            cert.crr, (cert.secret_index, cert.signature, _expiry_bucket(cert))
+        )
+        return cert
+
+
+class StorageReplica:
+    """A read-only follower of one storage shard's custode.
+
+    Per-replica access-decision cache with the same pin discipline as
+    the custode's own (PR-4): a decision is pinned to the governing
+    ACL's version token and re-checked against the certificate's
+    credential-record state, expiry and secret liveness on every hit.
+    The leader service's cascade watch hook drops entries whose backing
+    record changed, and a leader restart flushes everything.
+    """
+
+    def __init__(
+        self,
+        custode: "Custode",
+        name: str = "",
+        decision_cache_size: int = 4096,
+    ):
+        self.custode = custode
+        self.name = name or f"{custode.name}/replica"
+        self.stats = ReplicaStats()
+        self._decisions = LRUCache(
+            decision_cache_size, on_evict_entry=self._on_evicted
+        )
+        self._by_crr: dict[int, set] = {}
+        custode.service.credentials.watch_all(self._on_record_change)
+        custode.service.on_restart(self._on_leader_restart)
+
+    def _on_evicted(self, key, _value) -> None:
+        keys = self._by_crr.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_crr[key[0]]
+
+    def _on_record_change(self, record, old, new) -> None:
+        if new is RecordState.TRUE:
+            return
+        keys = self._by_crr.pop(record.ref, None)
+        if keys:
+            for key in list(keys):
+                if self._decisions.discard(key):
+                    self.stats.invalidations += 1
+
+    def _on_leader_restart(self) -> None:
+        self._decisions.clear()
+        self._by_crr.clear()
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        return {"decisions": self._decisions.counters()}
+
+    def check_access(
+        self, cert, fid: "FileId", right: str, acl_override: Optional["FileId"] = None
+    ) -> "FileRecord":
+        self.stats.validations += 1
+        custode = self.custode
+        key = (cert.crr, cert.secret_index, cert.signature, fid.number, right,
+               acl_override)
+        pinned = self._decisions.get(key)
+        if pinned is not None:
+            acl_id, token = pinned
+            now = custode.service.clock.now()
+            verifiable = (
+                token is not None
+                and token == custode._acl_version_token(acl_id)
+                and (cert.expires_at is None or now <= cert.expires_at)
+                and custode.service._secret_live(cert.secret_index)
+                and custode.service.credentials.state_of(cert.crr)
+                is RecordState.TRUE
+            )
+            if verifiable:
+                self.stats.warm_hits += 1
+                record = custode._record(fid)
+                custode._charge(record)
+                return record
+            self._decisions.discard(key)
+            self._on_evicted(key, pinned)
+        # cold or unverifiable: the custode's full path (which re-checks
+        # everything, charges, and warms its own cache); then pin a copy
+        # in this replica's cache
+        self.stats.leader_fallbacks += 1
+        record = custode.check_access(cert, fid, right, acl_override=acl_override)
+        acl_id = acl_override or record.acl_id
+        token = custode._acl_version_token(acl_id)
+        if token is not None:
+            self._decisions.put(key, (acl_id, token))
+            self._by_crr.setdefault(cert.crr, set()).add(key)
+        return record
+
+    def read_segment(
+        self, cert, fid: "FileId", offset: int = 0, length: Optional[int] = None
+    ) -> bytes:
+        record = self.check_access(cert, fid, "r")
+        self.custode.ops += 1
+        data = record.content
+        end = len(data) if length is None else offset + length
+        return bytes(data[offset:end])
+
+
+# ------------------------------------------------------------------- shards
+
+
+@dataclass
+class ShardStats:
+    reads: int = 0
+    writes: int = 0
+
+    def accumulate(self, other: "ShardStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+
+
+class CredentialShard:
+    """One partition of the credential namespace: a leader
+    :class:`OasisService` plus read-only follower replicas.
+
+    Writes (role entry, certificate issue, revocation) always hit the
+    leader; reads (``validate``) round-robin across the followers, or
+    fall to the leader when the shard runs without followers.
+    """
+
+    def __init__(
+        self,
+        leader: "OasisService",
+        followers: int = 0,
+        replica_cache_size: int = 4096,
+    ):
+        self.leader = leader
+        self.name = leader.name
+        self.stats = ShardStats()
+        self.replicas = [
+            ServiceReplica(
+                leader,
+                name=f"{leader.name}/f{index}",
+                validity_cache_size=replica_cache_size,
+            )
+            for index in range(followers)
+        ]
+        self._rr = 0
+
+    def enter_role(self, *args, **kwargs) -> "RoleMembershipCertificate":
+        self.stats.writes += 1
+        return self.leader.enter_role(*args, **kwargs)
+
+    def exit_role(self, cert) -> None:
+        self.stats.writes += 1
+        self.leader.exit_role(cert)
+
+    def validate(self, cert, **kwargs) -> "RoleMembershipCertificate":
+        self.stats.reads += 1
+        if not self.replicas:
+            return self.leader.validate(cert, **kwargs)
+        replica = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        return replica.validate(cert, **kwargs)
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        counters: dict[str, CacheCounters] = {}
+        for name, snapshot in self.leader.cache_counters().items():
+            counters[f"leader:{name}"] = snapshot
+        for replica in self.replicas:
+            for name, snapshot in replica.cache_counters().items():
+                counters[f"{replica.name}:{name}"] = snapshot
+        return counters
+
+
+class StorageShard:
+    """One partition of the file namespace: a leader custode plus
+    read-only follower replicas serving warm ``check_access`` /
+    ``read_segment`` traffic."""
+
+    def __init__(
+        self,
+        custode: "Custode",
+        followers: int = 0,
+        replica_cache_size: int = 4096,
+    ):
+        self.custode = custode
+        self.name = custode.name
+        self.stats = ShardStats()
+        self.replicas = [
+            StorageReplica(
+                custode,
+                name=f"{custode.name}/f{index}",
+                decision_cache_size=replica_cache_size,
+            )
+            for index in range(followers)
+        ]
+        self._rr = 0
+
+    def _reader(self):
+        if not self.replicas:
+            return self.custode
+        replica = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        return replica
+
+    def check_access(self, cert, fid, right, acl_override=None):
+        self.stats.reads += 1
+        return self._reader().check_access(cert, fid, right, acl_override=acl_override)
+
+    def read_segment(self, cert, fid, offset: int = 0, length: Optional[int] = None) -> bytes:
+        self.stats.reads += 1
+        return self._reader().read_segment(cert, fid, offset, length)
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        counters: dict[str, CacheCounters] = {}
+        for name, snapshot in self.custode.cache_counters().items():
+            counters[f"leader:{name}"] = snapshot
+        for replica in self.replicas:
+            for name, snapshot in replica.cache_counters().items():
+                counters[f"{replica.name}:{name}"] = snapshot
+        return counters
+
+
+# -------------------------------------------------------------------- fleets
+
+
+class CredentialFleet:
+    """The client-facing facade over N credential shards.
+
+    Placement keys (typically the principal) route *new* role entries
+    through the :class:`ShardRouter`; validations route by the
+    certificate's issuer — a certificate permanently names the shard
+    that issued it, so reads never depend on ring membership.
+    """
+
+    def __init__(self, shards: Sequence[CredentialShard], vnodes: int = 64):
+        if not shards:
+            raise OasisError("a credential fleet needs at least one shard")
+        self.shards = {shard.name: shard for shard in shards}
+        self.router = ShardRouter(HashRing(self.shards, vnodes=vnodes))
+
+    def shard_for(self, key: Any) -> CredentialShard:
+        return self.shards[self.router.route(key)]
+
+    def shard_of(self, cert) -> CredentialShard:
+        shard = self.shards.get(cert.issuer)
+        if shard is None:
+            raise OasisError(f"no shard in this fleet issued {cert.issuer!r}")
+        return shard
+
+    def enter_role(self, key: Any, client, role: str, *args, **kwargs):
+        return self.shard_for(key).enter_role(client, role, *args, **kwargs)
+
+    def exit_role(self, cert) -> None:
+        self.shard_of(cert).exit_role(cert)
+
+    def validate(self, cert, **kwargs):
+        return self.shard_of(cert).validate(cert, **kwargs)
+
+    def mark_down(self, name: str) -> None:
+        self.router.mark_down(name)
+
+    def mark_up(self, name: str) -> None:
+        self.router.mark_up(name)
+
+    def leaders(self) -> list["OasisService"]:
+        return [shard.leader for shard in self.shards.values()]
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        counters: dict[str, CacheCounters] = {}
+        for shard in self.shards.values():
+            for name, snapshot in shard.cache_counters().items():
+                counters[f"{shard.name}/{name}"] = snapshot
+        return counters
+
+
+class StorageFleet:
+    """The client-facing facade over N storage shards.
+
+    File *placement* (create) routes by a placement key through the
+    ring; reads route by ``fid.custode`` — a :class:`FileId` pins its
+    custode for life, exactly like a certificate pins its issuer."""
+
+    def __init__(self, shards: Sequence[StorageShard], vnodes: int = 64):
+        if not shards:
+            raise OasisError("a storage fleet needs at least one shard")
+        self.shards = {shard.name: shard for shard in shards}
+        self.router = ShardRouter(HashRing(self.shards, vnodes=vnodes))
+
+    def place(self, key: Any) -> StorageShard:
+        """The shard that should hold a *new* file for ``key``."""
+        return self.shards[self.router.route(key)]
+
+    def shard_of(self, fid: "FileId") -> StorageShard:
+        shard = self.shards.get(fid.custode)
+        if shard is None:
+            raise OasisError(f"no shard in this fleet holds {fid}")
+        return shard
+
+    def check_access(self, cert, fid, right, acl_override=None):
+        return self.shard_of(fid).check_access(cert, fid, right, acl_override=acl_override)
+
+    def read_segment(self, cert, fid, offset: int = 0, length: Optional[int] = None) -> bytes:
+        return self.shard_of(fid).read_segment(cert, fid, offset, length)
+
+    def mark_down(self, name: str) -> None:
+        self.router.mark_down(name)
+
+    def mark_up(self, name: str) -> None:
+        self.router.mark_up(name)
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        counters: dict[str, CacheCounters] = {}
+        for shard in self.shards.values():
+            for name, snapshot in shard.cache_counters().items():
+                counters[f"{shard.name}/{name}"] = snapshot
+        return counters
+
+
+# ----------------------------------------------------- cross-shard settle
+
+
+@dataclass
+class SettleStats:
+    """Outcome of one cross-shard two-phase settle."""
+
+    hops: int = 0                              # prepare/commit rounds driven
+    records_changed: int = 0                   # fleet-wide net state changes
+    per_hop: list[int] = field(default_factory=list)
+    rpc_calls: int = 0
+
+
+class ShardCoordinator:
+    """Drives the cross-shard two-phase settle over retrying RPC.
+
+    Each hop:
+
+    1. **prepare** — every shard opens a batch window on its credential
+       table, so Modified notifications arriving over the wire merely
+       queue their seeds;
+    2. the simulator runs one hop window, letting the batched wire
+       channels deliver everything in flight into the open windows;
+    3. **commit** — every shard closes its window (the whole inflow
+       settles in ONE cascade), then flushes its outbound channels so
+       the next hop's prepare finds this hop's consequences in flight.
+
+    The settle is quiescent when a full hop changes no record anywhere
+    and nothing is pending in a wire channel or in flight on the
+    network.  Both phases ride :meth:`RpcEndpoint.broadcast` with a
+    retry policy, so a lost control message is retried (server-side
+    dedup makes the retry safe) rather than wedging the fleet.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        linkage: "SimLinkage",
+        services: Sequence["OasisService"],
+        address: str = "shard-coordinator",
+        retry: Optional[RetryPolicy] = None,
+        rpc_timeout: float = 5.0,
+    ):
+        self.network = network
+        self.sim = network.simulator
+        self.linkage = linkage
+        self.services = list(services)
+        self.rpc = RpcEndpoint(
+            network,
+            address,
+            default_timeout=rpc_timeout,
+            retry=retry or RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=2.0),
+        )
+        self._marks: dict[str, int] = {}
+        self._agents: dict[str, RpcEndpoint] = {}
+        for service in self.services:
+            agent_address = f"settle:{service.name}"
+            agent = RpcEndpoint(network, agent_address, default_timeout=rpc_timeout)
+            agent.register("settle-prepare", self._prepare_handler(service))
+            agent.register("settle-commit", self._commit_handler(service))
+            self._agents[service.name] = agent
+
+    # -- shard-side handlers --------------------------------------------------
+
+    def _prepare_handler(self, service: "OasisService"):
+        def prepare() -> dict:
+            service.credentials.begin_batch()
+            return {"service": service.name}
+
+        return prepare
+
+    def _commit_handler(self, service: "OasisService"):
+        def commit() -> dict:
+            service.credentials.end_batch()
+            # everything this hop's cascade published must be in flight
+            # before the next hop's windows open
+            self.linkage.flush_of(service.name)
+            total = service.credentials.cascade_totals.records_changed
+            changed = total - self._marks.get(service.name, total)
+            self._marks[service.name] = total
+            return {"service": service.name, "changed": changed}
+
+        return commit
+
+    # -- coordinator side -----------------------------------------------------
+
+    def settle(
+        self,
+        max_hops: int = 16,
+        hop_window: float = 1.0,
+    ) -> SettleStats:
+        """Run prepare/commit hops until the fleet quiesces.
+
+        Raises :class:`~repro.errors.OasisError` if convergence takes
+        more than ``max_hops`` hops — the caller's bound is an asserted
+        property of the subscription graph (its shard-hop diameter plus
+        one detection hop), not a tuning knob.
+        """
+        stats = SettleStats()
+        self._marks = {
+            service.name: service.credentials.cascade_totals.records_changed
+            for service in self.services
+        }
+        while True:
+            stats.hops += 1
+            self._phase("settle-prepare", stats)
+            self.sim.run_until(self.sim.now + hop_window)
+            replies = self._phase("settle-commit", stats)
+            changed = sum(reply.get("changed", 0) for reply in replies)
+            stats.per_hop.append(changed)
+            stats.records_changed += changed
+            if changed == 0 and self._quiescent():
+                return stats
+            if stats.hops >= max_hops:
+                raise OasisError(
+                    f"cross-shard settle did not converge within {max_hops} hops "
+                    f"(per-hop changes: {stats.per_hop})"
+                )
+
+    def _phase(self, method: str, stats: SettleStats) -> list[dict]:
+        dests = [f"settle:{service.name}" for service in self.services]
+        futures = self.rpc.broadcast(dests, method)
+        stats.rpc_calls += len(futures)
+        deadline = self.sim.now + 60.0
+        while not all(f.done for f in futures.values()) and self.sim.now < deadline:
+            self.sim.run_until(self.sim.now + 0.05)
+        replies = []
+        for dest, future in futures.items():
+            if not future.done or future.failed:
+                raise OasisError(f"settle phase {method!r} failed at {dest}")
+            replies.append(future.result())
+        return replies
+
+    def _quiescent(self) -> bool:
+        if any(channel.pending for channel in self.linkage.all_channels()):
+            return False
+        return self.network.in_flight == 0

@@ -107,6 +107,17 @@ class PlacementError(StorageError):
     """The ACL placement constraint of section 5.4.2 would be violated."""
 
 
+class OverloadError(OasisError):
+    """The service shed a request because it is overloaded.
+
+    Raised on the admission path (role entry, certificate issue) when the
+    service's outbound notification channels are at their queue bound:
+    accepting the request would create state whose revocations could not
+    be delivered.  The client should back off and retry; no state was
+    created.
+    """
+
+
 class NetworkError(OasisError):
     """A simulated network operation failed (partition, unreachable node)."""
 

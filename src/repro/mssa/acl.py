@@ -155,8 +155,12 @@ class Acl:
 
     def __hash__(self) -> int:
         # consistent with __eq__ (entries only); without this the custom
-        # __eq__ silently made Acl unhashable
-        return hash(tuple(self.entries))
+        # __eq__ silently made Acl unhashable.  Hash the normalised
+        # frozenset form, not the authored order: two ACLs that differ
+        # only in entry order must land in the same bucket so shard-local
+        # surrogate maps deduplicate them (coarser than __eq__ is fine —
+        # equal objects still hash equal).
+        return hash(frozenset(self.entries))
 
     def __repr__(self) -> str:
         return f"Acl({self.render()!r})"

@@ -42,7 +42,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.core.cache import LRUCache
+from repro.core.cache import CacheCounters, LRUCache
 from repro.core.credentials import CredentialRecord, RecordState
 from repro.core.groups import GroupService
 from repro.core.identifiers import ClientId, HostOS
@@ -131,6 +131,20 @@ class StorageStats:
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+    def decision_cache_counters(self, size: int = 0, maxsize: Optional[int] = None) -> CacheCounters:
+        """The decision cache's *verified* outcomes in the uniform
+        :class:`CacheCounters` shape (a hit here means the pinned
+        decision passed every re-check, not merely that the key was
+        present — compare :meth:`Custode.cache_counters` for the raw
+        LRU numbers)."""
+        return CacheCounters(
+            hits=self.decision_hits,
+            misses=self.decision_misses,
+            evictions=self.decision_evictions,
+            size=size,
+            maxsize=maxsize,
+        )
 
 
 class Custode:
@@ -746,6 +760,21 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         return acl, peer.name, ref
 
     # ------------------------------------------------------------------ stats
+
+    def cache_counters(self) -> dict[str, CacheCounters]:
+        """Uniform efficacy snapshots of the storage-layer caches: the
+        raw decision-cache LRU, its verified view, and the embedded
+        service's validation caches.  This is what the shard bench reads
+        per replica to show where warm traffic is actually served."""
+        counters = {
+            "decisions": self._decisions.counters(),
+            "decisions_verified": self.storage.decision_cache_counters(
+                size=len(self._decisions), maxsize=self._decisions.maxsize
+            ),
+        }
+        for name, snapshot in self.service.cache_counters().items():
+            counters[f"service:{name}"] = snapshot
+        return counters
 
     def stack_storage_stats(self) -> dict[str, StorageStats]:
         """The storage fast-path counters of this custode and every

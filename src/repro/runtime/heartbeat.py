@@ -152,17 +152,26 @@ class HeartbeatSender:
                 payload_count=len(fillers),
             )
 
-    def piggyback(self) -> dict:
+    def piggyback(self, payload: Any = None) -> dict:
         """Stamp a departing data batch with this sender's liveness.
 
         Allocates a real sequence number — so a lost batch is detected
         exactly like a lost heartbeat — and resets the bare-heartbeat
         timer: on a busy link the data itself is the liveness signal and
         no standalone heartbeats are sent.
+
+        ``payload`` is the batch content the caller is about to put on
+        the wire under this sequence number.  It is retained in the
+        unacked buffer so that a nack for the seq retransmits the actual
+        data (as a ``heartbeat-payload``) rather than an empty filler:
+        without retention a lost batch would close its sequence gap while
+        silently discarding the notifications it carried.
         """
         self._seq += 1
         self._last_sent_at = self.sim.now
         self.stats.piggybacked += 1
+        if payload is not None:
+            self._unacked[self._seq] = _Outgoing(seq=self._seq, payload=payload)
         return {"seq": self._seq, "horizon": self._horizon(), "epoch": self._epoch()}
 
     def _transmit(self, record: _Outgoing) -> None:

@@ -50,7 +50,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import NetworkError, OasisError
 from repro.runtime.network import Message, Network
@@ -368,6 +368,27 @@ class RpcEndpoint:
         self.stats.calls += 1
         self._transmit(call_id)
         return future
+
+    def broadcast(
+        self,
+        dests: Iterable[str],
+        method: str,
+        *args: Any,
+        timeout: Optional[float] = _UNSET,
+        retry: Optional[RetryPolicy] = _UNSET,
+        **kwargs: Any,
+    ) -> dict[str, RpcFuture]:
+        """Invoke ``method`` on every endpoint in ``dests`` concurrently.
+
+        Returns ``{dest: future}``; each call retries (or fails)
+        independently under the same policy, so a coordinator can drive
+        a fleet-wide phase — the cross-shard settle's prepare/commit —
+        with one call and then collect per-shard outcomes.
+        """
+        return {
+            dest: self.call(dest, method, *args, timeout=timeout, retry=retry, **kwargs)
+            for dest in dests
+        }
 
     def notify(self, dest: str, topic: str, payload: Any) -> None:
         """One-way notification (the event half of the extended RPC)."""

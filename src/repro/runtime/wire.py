@@ -246,7 +246,10 @@ class BatchedChannel:
             item.pop("key", None)
         body: dict[str, Any] = {"items": items}
         if self._heartbeat is not None:
-            body["hb"] = self._heartbeat.piggyback()
+            # the batch content rides along as the retained payload: if
+            # this envelope is lost, the nack for its sequence number
+            # retransmits the items instead of an empty filler
+            body["hb"] = self._heartbeat.piggyback({"items": items})
             self.stats.piggybacked_heartbeats += 1
         self.stats.batches += 1
         self.network.send(

@@ -1,0 +1,122 @@
+"""Admission control under backpressure (ISSUE 7 satellite).
+
+A service whose outbound notification channels are at their queue bound
+must not take on new state: a role entered now would mint revocation
+obligations the service already cannot deliver.  The entry paths (role
+entry, certificate issue) consult ``Linkage.backpressured_of`` and shed
+early with a structured :class:`~repro.errors.OverloadError` — no
+credential record is created, so there is nothing to revoke later.
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.linkage import SimLinkage
+from repro.core.types import ObjectType
+from repro.errors import OverloadError
+from repro.runtime.clock import SimClock
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.wire import WirePolicy
+
+LOGIN_RDL = """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+"""
+
+FILES_RDL = """
+import Login.userid
+Reader(u) <- Login.LoggedOn(u, h)*
+"""
+
+MAX_QUEUE = 3
+
+
+def build_world():
+    sim = Simulator()
+    net = Network(sim, seed=17, default_delay=0.01)
+    clock = SimClock(sim)
+    registry = ServiceRegistry()
+    linkage = SimLinkage(
+        net, policy=WirePolicy(max_batch=64, max_delay=0.05, max_queue=MAX_QUEUE)
+    )
+    login = OasisService(
+        "Login", registry=registry, linkage=linkage, clock=clock
+    )
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", LOGIN_RDL)
+    files = OasisService(
+        "Files", registry=registry, linkage=linkage, clock=clock
+    )
+    files.add_rolefile("main", FILES_RDL)
+    linkage.monitor(login, files, period=0.5, grace=2.0)
+    sim.run_until(1.0)
+    return sim, net, linkage, login, files
+
+
+def jam_login(sim, net, linkage, login, files, host):
+    """Fill Login's outbound channel to its queue bound: subscribe Files
+    to a handful of records, cut the link, revoke them all."""
+    sessions = []
+    for index in range(MAX_QUEUE + 2):
+        domain = host.create_domain()
+        cert = login.enter_role(domain.client_id, "LoggedOn", (f"u{index}", "h"))
+        files.enter_role(domain.client_id, "Reader", credentials=(cert,))
+        sessions.append(cert)
+    sim.run_until(sim.now + 2.0)
+    net.set_link_state("oasis:Login", "oasis:Files", False)
+    for cert in sessions:
+        login.exit_role(cert)
+    sim.run_until(sim.now + 1.0)     # flush timers fire into the dead link
+    assert linkage.backpressured_of("Login"), "setup failed to jam the channel"
+
+
+def test_role_entry_sheds_when_outbound_channels_are_jammed():
+    sim, net, linkage, login, files = build_world()
+    host = HostOS("shed-host")
+    jam_login(sim, net, linkage, login, files, host)
+
+    domain = host.create_domain()
+    with pytest.raises(OverloadError) as excinfo:
+        login.enter_role(domain.client_id, "LoggedOn", ("newcomer", "h"))
+    assert "overloaded" in str(excinfo.value)
+    assert login.stats.entries_shed == 1
+    # an unjammed service is unaffected
+    assert files.stats.entries_shed == 0
+
+
+def test_certificate_issue_sheds_when_jammed():
+    sim, net, linkage, login, files = build_world()
+    host = HostOS("shed-host")
+    domain = host.create_domain()
+    keeper = login.enter_role(domain.client_id, "LoggedOn", ("keeper", "h"))
+    jam_login(sim, net, linkage, login, files, host)
+    with pytest.raises(OverloadError):
+        login.delegate(keeper, "LoggedOn")
+    assert login.stats.entries_shed == 1
+
+
+def test_entry_recovers_after_link_restores_and_queue_drains():
+    sim, net, linkage, login, files = build_world()
+    host = HostOS("shed-host")
+    jam_login(sim, net, linkage, login, files, host)
+    domain = host.create_domain()
+    with pytest.raises(OverloadError):
+        login.enter_role(domain.client_id, "LoggedOn", ("early", "h"))
+
+    net.set_link_state("oasis:Login", "oasis:Files", True)
+    sim.run_until(sim.now + 3.0)     # backlog drains on link-up
+    assert not linkage.backpressured_of("Login")
+    cert = login.enter_role(domain.client_id, "LoggedOn", ("late", "h"))
+    assert login.validate(cert) is cert
+
+
+def test_shedding_can_be_disabled():
+    sim, net, linkage, login, files = build_world()
+    host = HostOS("shed-host")
+    jam_login(sim, net, linkage, login, files, host)
+    login.shed_on_overload = False
+    domain = host.create_domain()
+    cert = login.enter_role(domain.client_id, "LoggedOn", ("forced", "h"))
+    assert cert is not None
+    assert login.stats.entries_shed == 0

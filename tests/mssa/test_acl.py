@@ -117,6 +117,22 @@ class TestGPAlgorithm:
         assert len({a, b, c}) == 2
         assert {a: "policy"}[b] == "policy"
 
+    def test_hash_uses_normalised_entry_set(self):
+        """ISSUE 7 satellite: the hash covers the *normalised* frozenset
+        of entries, not the authored order.  Two ACLs that differ only in
+        entry order are distinct policies (order is the G/P semantics, so
+        ``__eq__`` keeps them apart) but must land in the same hash
+        bucket, so shard-local surrogate maps probe one chain instead of
+        missing a logically-identical key."""
+        ordered = Acl.parse("bob=+rw @students=-w *=+r")
+        permuted = Acl.parse("*=+r bob=+rw @students=-w")
+        assert ordered != permuted              # order is policy
+        assert hash(ordered) == hash(permuted)  # same normalised set
+        # both usable alongside each other in one mapping
+        table = {ordered: "grant-first", permuted: "restrict-late"}
+        assert table[ordered] == "grant-first"
+        assert table[permuted] == "restrict-late"
+
 
 class TestUnixAcl:
     def test_most_closely_binding(self):

@@ -421,3 +421,87 @@ class TestBoundedQueue:
         pool.to("b").send("note", 2)
         pool.to("c").send("note", 3)
         assert pool.backpressured() == [pool.to("b")]
+
+
+class TestSpillInterleave:
+    """ISSUE 7 satellite: spill accounting and the backpressure signal
+    must stay exact under interleaved flush / link-down / link-up, and
+    every payload must be accounted for exactly once —
+    ``delivered + pending + spilled`` equals sends at every step."""
+
+    def make_bounded(self, max_queue=4):
+        sim, net, got = make_world()
+        channel = BatchedChannel(
+            net, "a", "b",
+            policy=WirePolicy(max_batch=64, max_delay=1.0, max_queue=max_queue),
+        )
+        return sim, net, got, channel
+
+    def test_conservation_across_interleaved_flush_and_link_flaps(self):
+        sim, net, got, channel = self.make_bounded(max_queue=4)
+        sends = 0
+
+        def account():
+            assert len(got) + channel.pending + channel.stats.spilled == sends
+
+        # burst while up, explicit flush mid-burst
+        for i in range(3):
+            channel.send("note", sends); sends += 1
+        channel.flush()
+        sim.run_until(sim.now + 1.0)
+        account()
+        # link drops; queue fills to the bound, then spills oldest
+        net.set_link_state("a", "b", False)
+        for i in range(7):
+            channel.send("note", sends); sends += 1
+            account()
+        assert channel.backpressure
+        assert channel.stats.spilled == 3
+        # a flush while down must hold, not leak into the dead link
+        held_before = channel.stats.held_flushes
+        channel.flush()
+        assert channel.stats.held_flushes > held_before
+        account()
+        # link restores mid-send: backlog drains, late sends ride along
+        net.set_link_state("a", "b", True)
+        channel.send("note", sends); sends += 1
+        sim.run_until(sim.now + 3.0)
+        account()
+        assert channel.pending == 0
+        assert not channel.backpressure
+        # the freshest payloads survived; nothing delivered twice
+        delivered = [payload for _kind, payload in got]
+        assert len(delivered) == len(set(delivered)) == sends - channel.stats.spilled
+
+    def test_pool_backpressured_tracks_flap_cycles(self):
+        sim = Simulator()
+        net = Network(sim, seed=13)
+        for node in ("a", "b", "c"):
+            net.add_node(node, lambda m: None)
+        pool = ChannelPool(net, "a", policy=WirePolicy(max_delay=1.0, max_queue=2))
+        for cycle in range(3):
+            net.set_link_state("a", "b", False)
+            pool.to("b").send("note", (cycle, 0))
+            pool.to("b").send("note", (cycle, 1))
+            pool.to("c").send("note", (cycle, 2))
+            assert pool.backpressured() == [pool.to("b")]
+            net.set_link_state("a", "b", True)
+            sim.run_until(sim.now + 3.0)
+            assert pool.backpressured() == []
+            assert pool.to("b").pending == 0
+
+    def test_spill_accounting_survives_flush_during_outage(self):
+        """Interleaving explicit flushes with an outage must not double
+        count spills or revive spilled payloads on link-up."""
+        sim, net, got, channel = self.make_bounded(max_queue=2)
+        net.set_link_state("a", "b", False)
+        for i in range(5):
+            channel.send("note", i)
+            channel.flush()                  # held every time: link is down
+        assert channel.pending == 2
+        assert channel.stats.spilled == 3
+        spilled_before = channel.stats.spilled
+        net.set_link_state("a", "b", True)
+        sim.run_until(sim.now + 3.0)
+        assert [payload for _kind, payload in got] == [3, 4]
+        assert channel.stats.spilled == spilled_before
