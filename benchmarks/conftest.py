@@ -93,6 +93,21 @@ def record_faults(name, **data):
     _record_json(faults_out_path(), "faults", name, data)
 
 
+# --------------------------------------------------- codec results (BENCH_codec)
+
+
+def codec_out_path():
+    return os.environ.get(
+        "BENCH_CODEC_OUT", os.path.join(_REPO_ROOT, "BENCH_codec.json")
+    )
+
+
+def record_codec(name, **data):
+    """Merge one wire-codec experiment's results into BENCH_codec.json
+    (same accumulate-and-merge contract as :func:`record_hotpath`)."""
+    _record_json(codec_out_path(), "codec", name, data)
+
+
 # ------------------------------------------------ sharding results (BENCH_shard)
 
 

@@ -143,6 +143,10 @@ class SimLinkage(Linkage):
         self._services[service.name] = service
         address = self.address_of(service.name)
         self.network.add_node(address, self._make_handler(service))
+        # Version the codec's outbound intern tables by the service's boot
+        # epoch: a crash-restart renegotiates every symbol instead of
+        # letting receivers decode stale ids from the dead boot.
+        self.network.codec.set_epoch_source(address, lambda: service.boot_epoch)
         self._pools[service.name] = ChannelPool(self.network, address, policy=self.policy)
 
     def channel(self, source_name: str, dest_name: str) -> BatchedChannel:

@@ -629,6 +629,7 @@ class SettleStats:
     records_changed: int = 0                   # fleet-wide net state changes
     per_hop: list[int] = field(default_factory=list)
     rpc_calls: int = 0
+    encoded_bytes: int = 0                     # wire bytes the settle put in flight
 
 
 class ShardCoordinator:
@@ -721,6 +722,7 @@ class ShardCoordinator:
             service.name: service.credentials.cascade_totals.records_changed
             for service in self.services
         }
+        bytes_mark = self.network.stats.encoded_bytes
         while True:
             stats.hops += 1
             self._phase("settle-prepare", stats)
@@ -729,6 +731,7 @@ class ShardCoordinator:
             changed = sum(reply.get("changed", 0) for reply in replies)
             stats.per_hop.append(changed)
             stats.records_changed += changed
+            stats.encoded_bytes = self.network.stats.encoded_bytes - bytes_mark
             if changed == 0 and self._quiescent():
                 return stats
             if stats.hops >= max_hops:

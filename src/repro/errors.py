@@ -122,5 +122,17 @@ class NetworkError(OasisError):
     """A simulated network operation failed (partition, unreachable node)."""
 
 
+class CodecError(OasisError):
+    """A payload could not be encoded for (or decoded from) the wire.
+
+    On the encode side this is loud by design: an un-encodable payload
+    must fail the send, not silently cost its repr length.  On the
+    decode side it marks a frame that cannot be trusted (stale boot
+    epoch, dangling symbol reference, truncation); the network drops the
+    frame with accounting and the reliability layer above treats it as
+    message loss.
+    """
+
+
 class SimulationError(OasisError):
     """The discrete-event simulator was used incorrectly."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
+from repro.runtime.codec import register_extension
+
 
 class _Wildcard:
     """The ``*`` parameter: matches anything, binds nothing."""
@@ -95,6 +97,16 @@ class Event:
     def __str__(self) -> str:
         args = ", ".join(repr(a) for a in self.args)
         return f"{self.name}({args})@{self.timestamp:g}"
+
+
+# Events legitimately cross the wire (proxied notifications), so the
+# codec learns how to marshal them; anything else rich raises CodecError.
+register_extension(
+    "event",
+    Event,
+    lambda e: (e.name, e.args, e.timestamp, e.source),
+    lambda packed: Event(packed[0], tuple(packed[1]), packed[2], packed[3]),
+)
 
 
 @dataclass(frozen=True)

@@ -16,15 +16,24 @@ byte-count reductions (the wire-efficiency layer of
 :mod:`repro.runtime.wire` batches many payloads into one message; the
 ``payload_count`` argument to :meth:`Network.send` keeps the payload tally
 honest).
+
+Every payload is marshalled through the wire codec
+(:mod:`repro.runtime.codec`) at :meth:`Network.send` and unmarshalled at
+delivery, so what travels (and what ``bytes_sent`` counts) is real
+encoded frames: an encode bug shows up as a changed or failed delivery,
+never as a silently-wrong byte count.  The pre-codec repr-based estimate
+survives only as the ``repr_bytes`` baseline that
+:meth:`NetworkStats.bytes_ratio` compares against.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
-from repro.errors import NetworkError
+from repro.errors import CodecError, NetworkError
+from repro.runtime.codec import Encoded, Unencoded, WireCodec
 from repro.runtime.simulator import Simulator
 
 MessageHandler = Callable[["Message"], None]
@@ -46,8 +55,11 @@ MESSAGE_HEADER_BYTES = 24
 def approx_size(payload: Any) -> int:
     """Bytes-in-spirit of a payload: what a compact encoding would cost.
 
-    Deterministic and cheap; not a real serialiser.  Used for the
-    ``bytes_sent`` counters so benchmarks can compare wire volume.
+    Historical estimator, kept only as a reference point for tests that
+    compare it against the codec's real output; ``bytes_sent`` accounting
+    now uses the encoded frame length from :mod:`repro.runtime.codec`,
+    and un-encodable payloads raise :class:`~repro.errors.CodecError`
+    instead of falling back to ``len(repr(payload))``.
     """
     if payload is None or isinstance(payload, bool):
         return 1
@@ -79,14 +91,28 @@ class NetworkStats:
     messages_sent: int = 0
     payloads_carried: int = 0
     bytes_sent: int = 0
+    encoded_bytes: int = 0           # codec frame bytes (bytes_sent minus headers)
+    repr_bytes: int = 0              # what the old repr-based estimate would charge
+    intern_hits: int = 0             # symbols sent as bare varint refs
+    intern_misses: int = 0           # symbols sent with their definition
     coalesced: int = 0
     delivered: int = 0
     dropped_by_loss: int = 0
     dropped_while_down: int = 0
     dropped_no_handler: int = 0
     dropped_by_fault: int = 0
+    dropped_decode: int = 0          # undecodable frames (stale epoch, dangling ref)
     duplicated: int = 0
     spilled_overflow: int = 0        # payloads shed by a bounded wire queue
+
+    def bytes_ratio(self) -> float:
+        """Encoded bytes as a fraction of the repr baseline.
+
+        0.2 means the codec sends one fifth of what the old
+        ``len(repr(payload))`` accounting would have charged (a 5x
+        reduction); 0.0 when nothing has been sent yet.
+        """
+        return self.encoded_bytes / self.repr_bytes if self.repr_bytes else 0.0
 
     def offered(self) -> int:
         """Delivery attempts this side of the fabric created: every send
@@ -103,6 +129,7 @@ class NetworkStats:
             + self.dropped_while_down
             + self.dropped_no_handler
             + self.dropped_by_fault
+            + self.dropped_decode
         )
 
 
@@ -110,8 +137,10 @@ class NetworkStats:
 class Message:
     """An application message in flight.
 
-    ``payload`` is any picklable-in-spirit Python object; the network does
-    not interpret it.  ``sent_at`` is true (virtual) send time.
+    While in flight ``payload`` is the encoded frame (``bytes``); the
+    message handed to the receiving node carries the decoded object, so
+    handlers never see wire bytes.  ``sent_at`` is true (virtual) send
+    time.
     """
 
     source: str
@@ -183,8 +212,10 @@ class Network:
         default_delay: float = 0.001,
         default_jitter: float = 0.0,
         default_loss: float = 0.0,
+        codec: Optional[WireCodec] = None,
     ):
         self.simulator = simulator
+        self.codec = codec if codec is not None else WireCodec()
         self._rng = random.Random(seed)
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
@@ -417,24 +448,48 @@ class Network:
 
         ``payload_count`` is the number of application payloads inside the
         message (> 1 for wire-layer batches); it only affects accounting.
+
+        ``payload`` is encoded into a codec frame here (layers that need
+        to retain the bytes pre-encode and pass an :class:`Encoded`);
+        un-encodable payloads raise :class:`~repro.errors.CodecError`
+        before anything is counted or transmitted.
         """
+        if isinstance(payload, Encoded):
+            encoded = payload
+        else:
+            try:
+                encoded = self.codec.encode(source, dest, kind, payload)
+            except CodecError:
+                if self.codec.strict:
+                    raise
+                encoded = None
         self._seq += 1
         message = Message(
             source=source,
             dest=dest,
             kind=kind,
-            payload=payload,
+            payload=encoded.data if encoded is not None else Unencoded(payload),
             sent_at=self.simulator.now,
             seq=self._seq,
         )
         per_link = self.link_stats(source, dest)
-        size = MESSAGE_HEADER_BYTES + approx_size(payload)
-        self.stats.messages_sent += 1
-        self.stats.payloads_carried += payload_count
-        self.stats.bytes_sent += size
-        per_link.messages_sent += 1
-        per_link.payloads_carried += payload_count
-        per_link.bytes_sent += size
+        if encoded is not None:
+            body_len = len(encoded.data)
+            repr_len = encoded.repr_len
+        else:
+            # lenient mode only: the payload travels unencoded and is
+            # charged its repr length on both sides of the ratio
+            body_len = repr_len = len(repr(payload))
+        size = MESSAGE_HEADER_BYTES + body_len
+        for stats in (self.stats, per_link):
+            stats.messages_sent += 1
+            stats.payloads_carried += payload_count
+            stats.bytes_sent += size
+            stats.encoded_bytes += body_len
+            stats.repr_bytes += repr_len
+            if encoded is not None:
+                stats.intern_hits += encoded.intern_hits
+                stats.intern_misses += encoded.intern_misses
         src_node = self._nodes.get(source)
         if src_node is not None and not src_node.up:
             # A crashed host neither receives nor transmits.
@@ -486,4 +541,23 @@ class Network:
 
     def _deliver(self, node: Node, message: Message) -> None:
         self.in_flight -= 1
-        node.deliver(message)
+        payload = message.payload
+        if isinstance(payload, Unencoded):
+            node.deliver(replace(message, payload=payload.payload))
+            return
+        if not node.up:
+            # A crashed host must neither process the frame nor learn its
+            # symbol definitions; deliver() records the drop.
+            node.deliver(message)
+            return
+        try:
+            decoded = self.codec.decode(message.source, node.address, payload)
+        except CodecError:
+            # An unverifiable frame (stale boot epoch, dangling symbol
+            # ref, truncation) is dropped with accounting; the layers
+            # above treat this exactly like message loss, so the
+            # heartbeat nack machinery re-delivers retained frames.
+            self.stats.dropped_decode += 1
+            self.link_stats(message.source, node.address).dropped_decode += 1
+            return
+        node.deliver(replace(message, payload=decoded))

@@ -316,8 +316,11 @@ class RpcEndpoint:
         self._call_seq = 0
         self._event_handlers: dict[str, Callable[[str, Any], None]] = {}
         # Server-side duplicate suppression: (caller, call id) -> cached
-        # reply, forgotten after ``dedup_window`` virtual seconds.
-        self._served: dict[tuple[str, int], dict] = {}
+        # reply, forgotten after ``dedup_window`` virtual seconds.  The
+        # reply is cached in its encoded wire form: a duplicate is
+        # answered by re-sending the exact bytes of the original reply,
+        # with no second marshalling pass.
+        self._served: dict[tuple[str, int], Any] = {}
         self._served_order: deque[tuple[float, tuple[str, int]]] = deque()
         network.add_node(address, self._on_message)
         network.on_link_down(self._on_link_down)
@@ -505,11 +508,14 @@ class RpcEndpoint:
                 reply["value"] = handler(*body["args"], **body["kwargs"])
             except Exception as exc:  # surfaced to the caller, not swallowed
                 reply["error"] = f"{type(exc).__name__}: {exc}"
+        encoded = self.network.codec.encode(
+            self.address, message.source, "rpc-reply", reply
+        )
         if self.dedup_window > 0:
             expires = self.network.simulator.now + self.dedup_window
-            self._served[key] = reply
+            self._served[key] = encoded
             self._served_order.append((expires, key))
-        self.network.send(self.address, message.source, "rpc-reply", reply)
+        self.network.send(self.address, message.source, "rpc-reply", encoded)
 
     def _purge_served(self) -> None:
         now = self.network.simulator.now

@@ -1,0 +1,200 @@
+"""Intern-table epoch safety across crash-restarts (codec satellite).
+
+The codec interns symbols per directed link, versioned by the sender's
+boot epoch.  These tests drive the dangerous interactions end to end
+over ``SimLinkage``:
+
+* the PR-7 heartbeat data-loss path now carries *encoded* frames: a lost
+  batch's retained bytes are nack-retransmitted and must decode against
+  the same link table;
+* after a crash-restart bumps the boot epoch, the sender renegotiates
+  every symbol and receivers reject frames stamped with the dead epoch —
+  including a delayed duplicate of a pre-crash retransmission, which is
+  exactly the frame whose symbol ids would otherwise resolve against the
+  wrong table.
+"""
+
+import pytest
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.credentials import RecordState
+from repro.core.linkage import SimLinkage
+from repro.core.types import ObjectType
+from repro.runtime.clock import SimClock
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+
+LOGIN_RDL = """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+"""
+
+FILES_RDL = """
+import Login.userid
+Reader(u) <- Login.LoggedOn(u, h)*
+"""
+
+LOGIN_ADDR = "oasis:Login"
+FILES_ADDR = "oasis:Files"
+
+
+def make_world(delay=0.05):
+    sim = Simulator()
+    net = Network(sim, seed=11, default_delay=delay)
+    clock = SimClock(sim)
+    registry = ServiceRegistry()
+    linkage = SimLinkage(net)
+    login = OasisService("Login", registry=registry, linkage=linkage, clock=clock)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", LOGIN_RDL)
+    files = OasisService("Files", registry=registry, linkage=linkage, clock=clock)
+    files.add_rolefile("main", FILES_RDL)
+    host = HostOS("ely")
+    alice, bob = host.create_domain(), host.create_domain()
+    cert_a = login.enter_role(alice.client_id, "LoggedOn", ("a", "ely"))
+    cert_b = login.enter_role(bob.client_id, "LoggedOn", ("b", "ely"))
+    files.enter_role(alice.client_id, "Reader", credentials=(cert_a,))
+    files.enter_role(bob.client_id, "Reader", credentials=(cert_b,))
+    return sim, net, linkage, login, files, cert_a, cert_b
+
+
+def surrogate_states(files):
+    return {
+        record.external_ref: record.state
+        for record in files.credentials.externals_of("Login")
+    }
+
+
+def test_nack_retransmitted_batch_is_encoded_and_decodes():
+    """The PR-7 data-loss fix over encoded frames: a revocation batch
+    dropped by a link flap is retransmitted from the retained *encoded*
+    bytes and still lands the revocation."""
+    sim, net, linkage, login, files, cert_a, cert_b = make_world()
+    sender, monitor = linkage.monitor(login, files, period=1.0, grace=4.0)
+    sim.run_until(3.0)
+    assert RecordState.FALSE not in surrogate_states(files).values()
+    net.set_link_state(LOGIN_ADDR, FILES_ADDR, False)
+    login.exit_role(cert_a)  # batch flushed into the dead link
+    sim.run_until(3.5)
+    net.set_link_state(LOGIN_ADDR, FILES_ADDR, True)
+    sim.run_until(8.0)
+    # the gap was nacked and the retained encoded frame re-delivered
+    assert sender.stats.resends >= 1
+    assert surrogate_states(files)[cert_a.crr] is RecordState.FALSE
+    assert surrogate_states(files)[cert_b.crr] is RecordState.TRUE
+    assert net.stats.dropped_decode == 0
+    assert net.unaccounted() == 0
+
+
+def test_restart_renegotiates_symbols_under_new_epoch():
+    sim, net, linkage, login, files, cert_a, cert_b = make_world()
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(3.0)
+    encoder = net.codec._encoders[(LOGIN_ADDR, FILES_ADDR)]
+    assert encoder.epoch == 1
+    assert "Login" in encoder.ids  # interned under epoch 1
+    linkage.crash(login)
+    sim.run_until(8.0)
+    linkage.restart(login)
+    sim.run_until(15.0)
+    assert login.boot_epoch == 2
+    # the old table is gone; "Login" was re-defined from scratch
+    assert encoder.epoch == 2
+    assert "Login" in encoder.ids
+    # new-epoch traffic decodes: the resync replies resolved the
+    # surrogates from Unknown back to issuer truth
+    assert surrogate_states(files)[cert_a.crr] is RecordState.TRUE
+    assert net.codec.stats.unknown_symbol_rejected == 0
+
+
+def test_delayed_pre_crash_retransmission_rejected_after_restart():
+    """The epoch-safety acceptance scenario end to end: a pre-crash
+    batch is lost, nack-retransmitted, and a *duplicate* of the
+    retransmission is delayed past the issuer's crash-restart.  When it
+    finally arrives the receiver has already seen epoch-2 frames, so the
+    codec rejects the stale frame outright — its symbol ids belong to
+    the dead table and must not resolve against the new one."""
+    sim, net, linkage, login, files, cert_a, cert_b = make_world()
+    sender, monitor = linkage.monitor(login, files, period=1.0, grace=2.0)
+
+    def duplicate_retransmissions(message, delay):
+        # every heartbeat-payload retransmission gets a ghost copy that
+        # arrives 25 virtual seconds later — long after the restart
+        if message.kind == "heartbeat-payload" and message.source == LOGIN_ADDR:
+            return [delay, 25.0]
+        return [delay]
+
+    net.set_fault_injector(duplicate_retransmissions)
+    sim.run_until(3.0)
+    # lose a revocation batch to a link flap, then let the nack machinery
+    # retransmit it (the duplicate is now in flight for t~29)
+    net.set_link_state(LOGIN_ADDR, FILES_ADDR, False)
+    login.exit_role(cert_a)
+    sim.run_until(3.5)
+    net.set_link_state(LOGIN_ADDR, FILES_ADDR, True)
+    sim.run_until(7.0)
+    assert sender.stats.resends >= 1
+    assert surrogate_states(files)[cert_a.crr] is RecordState.FALSE
+    # crash and restart the issuer: boot epoch 2, symbols renegotiated
+    linkage.crash(login)
+    sim.run_until(12.0)
+    linkage.restart(login)
+    sim.run_until(20.0)
+    assert monitor.sender_epoch == 2
+    states = surrogate_states(files)
+    assert states[cert_a.crr] is RecordState.FALSE
+    assert states[cert_b.crr] is RecordState.TRUE
+    rejected_before = net.codec.stats.stale_epoch_rejected
+    dropped_before = net.stats.dropped_decode
+    # the ghost copy of the pre-crash retransmission lands around t=29
+    sim.run_until(35.0)
+    assert net.codec.stats.stale_epoch_rejected > rejected_before
+    assert net.stats.dropped_decode > dropped_before
+    # the stale frame changed nothing and the accounting still balances
+    assert surrogate_states(files) == states
+    assert net.unaccounted() == 0
+
+
+def test_replayed_stale_frame_never_decodes_against_new_table():
+    """Belt-and-braces variant without fault-injector timing: capture a
+    real pre-crash frame (bare symbol refs included), replay it after the
+    restart, and watch the codec refuse it."""
+    sim, net, linkage, login, files, cert_a, cert_b = make_world()
+    linkage.monitor(login, files, period=1.0, grace=2.0)
+    sim.run_until(3.0)
+    # a pre-crash frame on the warm link: "Login" travels as a bare ref
+    stale = net.codec.encode(
+        LOGIN_ADDR,
+        FILES_ADDR,
+        "heartbeat-payload",
+        {
+            "seq": 999,
+            "horizon": sim.now,
+            "epoch": login.boot_epoch,
+            "payload": {
+                "items": [
+                    {
+                        "kind": "modified",
+                        "payload": {
+                            "issuer": "Login",
+                            "ref": cert_b.crr,
+                            "state": "false",
+                            "stamp": None,
+                        },
+                    }
+                ]
+            },
+        },
+    )
+    assert stale.intern_hits >= 1  # it really does lean on the epoch-1 table
+    linkage.crash(login)
+    sim.run_until(8.0)
+    linkage.restart(login)
+    sim.run_until(15.0)
+    assert surrogate_states(files)[cert_b.crr] is RecordState.TRUE
+    net.send(LOGIN_ADDR, FILES_ADDR, "heartbeat-payload", stale)
+    sim.run_until(16.0)
+    assert net.codec.stats.stale_epoch_rejected >= 1
+    # the bogus revocation inside the stale frame never applied
+    assert surrogate_states(files)[cert_b.crr] is RecordState.TRUE
+    assert net.unaccounted() == 0
