@@ -123,6 +123,21 @@ def record_shard(name, **data):
     _record_json(shard_out_path(), "shard", name, data)
 
 
+# ------------------------------------------------ kernel results (BENCH_runtime)
+
+
+def runtime_out_path():
+    return os.environ.get(
+        "BENCH_RUNTIME_OUT", os.path.join(_REPO_ROOT, "BENCH_runtime.json")
+    )
+
+
+def record_runtime(name, **data):
+    """Merge one kernel experiment's results into BENCH_runtime.json
+    (same accumulate-and-merge contract as :func:`record_hotpath`)."""
+    _record_json(runtime_out_path(), "runtime", name, data)
+
+
 def _record_json(path, kind, name, data):
     results = {}
     if os.path.exists(path):

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 from repro.core.credentials import RecordState
 from repro.errors import NetworkError
 from repro.runtime.network import Message, Network
+from repro.runtime.simulator import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.service import OasisService
@@ -333,7 +334,7 @@ class ChaosController:
             self._reorder.append((now, now + event.duration, event))
         elif isinstance(event, OverloadBurst):
             self.stats.overload_bursts += 1
-            self._overload_tick(event, now + event.duration)
+            self._start_overload(event, now + event.duration)
         elif isinstance(event, CrashRestart):
             self.stats.crashes += 1
             self.down_services.add(event.service)
@@ -347,8 +348,20 @@ class ChaosController:
         self.stats.heals += 1
         self.network.heal(set(event.group_a), set(event.group_b))
 
-    def _overload_tick(self, event: OverloadBurst, end: float) -> None:
+    def _start_overload(self, event: OverloadBurst, end: float) -> None:
+        # One reusable kernel entry ticks the whole burst instead of each
+        # tick scheduling its successor.
+        timer = PeriodicTimer(
+            self.sim, 1.0 / event.rate, self._overload_tick, name="chaos-overload"
+        )
+        timer.args = (event, end, timer)
+        timer.poke()
+
+    def _overload_tick(
+        self, event: OverloadBurst, end: float, timer: PeriodicTimer
+    ) -> None:
         if self.sim.now >= end:
+            timer.cancel()
             return
         self.stats.overload_messages += 1
         if self._overload is not None:
@@ -363,9 +376,6 @@ class ChaosController:
                 )
             except NetworkError:
                 pass  # destination vanished mid-burst; keep ticking
-        self.sim.schedule(
-            1.0 / event.rate, self._overload_tick, event, end, name="chaos-overload"
-        )
 
     def _revive(self, service: str) -> None:
         self.stats.restarts += 1

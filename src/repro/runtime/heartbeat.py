@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.runtime.network import Network
-from repro.runtime.simulator import Simulator
+from repro.runtime.simulator import PeriodicTimer, Simulator
 
 
 @dataclass
@@ -86,20 +86,23 @@ class HeartbeatSender:
         self._unacked: dict[int, _Outgoing] = {}
         self._last_sent_at = -1.0
         self._running = False
-        self._gen = 0
+        # One reusable kernel entry for the whole tick chain — a fleet of
+        # senders no longer allocates a fresh event per beat.
+        self._timer = PeriodicTimer(
+            self.sim, period, self._tick, name=f"hb:{self.name}"
+        )
         self.stats = HeartbeatStats()
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        # bump the generation so a tick chain left over from a previous
-        # start/stop cycle dies instead of doubling the heartbeat rate
-        self._gen += 1
-        self._tick(self._gen)
+        # first heartbeat goes out synchronously, then the chain re-arms
+        self._timer.poke()
 
     def stop(self) -> None:
         self._running = False
+        self._timer.cancel()
 
     def restart(self) -> None:
         """Reset volatile protocol state after a crash-restart.
@@ -188,11 +191,10 @@ class HeartbeatSender:
             },
         )
 
-    def _tick(self, gen: int) -> None:
-        if not self._running or gen != self._gen:
-            return
+    def _tick(self) -> None:
         due = self._last_sent_at + self.period
-        if self.sim.now >= due - 1e-12:
+        quiet = due - self.sim.now
+        if quiet <= 1e-12:
             self._seq += 1
             self.stats.heartbeats_sent += 1
             self._last_sent_at = self.sim.now
@@ -202,12 +204,15 @@ class HeartbeatSender:
                 "heartbeat",
                 {"seq": self._seq, "horizon": self._horizon(), "epoch": self._epoch()},
             )
-            self.sim.schedule(self.period, self._tick, gen, name=f"hb:{self.name}")
+            # the periodic timer re-arms one full period out
         else:
             # a piggybacked batch (or payload) covered liveness recently;
             # wake exactly when its quiet interval expires so the gap
-            # between signals never exceeds one period
-            self.sim.schedule(due - self.sim.now, self._tick, gen, name=f"hb:{self.name}")
+            # between signals never exceeds one period.  reschedule()
+            # clamps at zero: float accumulation can leave ``quiet``
+            # fractionally negative, which must not kill the chain by
+            # scheduling into the past.
+            self._timer.reschedule(quiet)
 
 
 class HeartbeatMonitor:
@@ -267,7 +272,10 @@ class HeartbeatMonitor:
         self._deliver_next = 1              # next seq eligible for delivery
         self.horizon = float("-inf")
         self.stats = HeartbeatStats()
-        self._watchdog()
+        self._watchdog_timer = PeriodicTimer(
+            network.simulator, period, self._watchdog, name="hb:watchdog"
+        )
+        self._watchdog_timer.poke()
 
     @property
     def suspect(self) -> bool:
@@ -384,7 +392,7 @@ class HeartbeatMonitor:
                 self.network.send(
                     self.address, self.source, "heartbeat-nack", {"missing": missing}
                 )
-        self.sim.schedule(self.period, self._watchdog, name="hb-watchdog")
+        # the periodic timer re-arms the next sweep
 
 
 def connect_heartbeat(

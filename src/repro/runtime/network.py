@@ -240,6 +240,11 @@ class Network:
         # messages scheduled for delivery but not yet handed to the node;
         # lets accounting identities hold at any instant, not just at quiesce
         self.in_flight = 0
+        # same-tick delivery batching: all messages arriving at one
+        # (destination, virtual time) share a single kernel event.  The
+        # batch list keeps arrival (= send seq) order, so delivery order
+        # is identical to one kernel event per message.
+        self._arrivals: dict[tuple[Node, float], list[Message]] = {}
 
     # -- legacy counter aliases ---------------------------------------------
 
@@ -532,12 +537,35 @@ class Network:
                 self.stats.duplicated += extra
                 per_link.duplicated += extra
             for d in delays:
-                self.in_flight += 1
-                self.simulator.schedule(d, self._deliver, node, message, name=f"deliver:{kind}")
+                self._enqueue_delivery(node, message, d, kind)
             return message
-        self.in_flight += 1
-        self.simulator.schedule(delay, self._deliver, node, message, name=f"deliver:{kind}")
+        self._enqueue_delivery(node, message, delay, kind)
         return message
+
+    def _enqueue_delivery(
+        self, node: Node, message: Message, delay: float, kind: str
+    ) -> None:
+        """Queue one delivery, coalescing same-(dest, time) arrivals.
+
+        The first message bound for ``node`` at an arrival time schedules
+        the batch event; later sends landing on the same key just append.
+        Per-message accounting (``in_flight``, decode stats, duplicate
+        copies) is untouched — only the kernel event is shared.
+        """
+        self.in_flight += 1
+        time = self.simulator.now + delay
+        batch = self._arrivals.get((node, time))
+        if batch is not None:
+            batch.append(message)
+            return
+        self._arrivals[(node, time)] = [message]
+        self.simulator.schedule_at(
+            time, self._deliver_batch, node, time, name=f"deliver:{kind}"
+        )
+
+    def _deliver_batch(self, node: Node, time: float) -> None:
+        for message in self._arrivals.pop((node, time)):
+            self._deliver(node, message)
 
     def _deliver(self, node: Node, message: Message) -> None:
         self.in_flight -= 1

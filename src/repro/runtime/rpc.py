@@ -462,7 +462,7 @@ class RpcEndpoint:
         self.stats.requests_sent += 1
         if pending.timeout is not None:
             pending.timeout_handle = self.network.simulator.schedule(
-                pending.timeout, self._on_timeout, call_id, name="rpc-timeout"
+                pending.timeout, self._on_timeout, call_id, name="rpc:timeout"
             )
         try:
             self.network.send(self.address, pending.dest, "rpc-request", pending.body)
@@ -585,7 +585,7 @@ class RpcEndpoint:
         if retryable and policy is not None and pending.attempt < policy.max_attempts:
             delay = policy.backoff(pending.attempt, self._rng)
             pending.retry_handle = self.network.simulator.schedule(
-                delay, self._transmit, call_id, name="rpc-retry"
+                delay, self._transmit, call_id, name="rpc:retry"
             )
             return
         self._resolve(call_id, error=error)

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.runtime.network import Message, Network
-from repro.runtime.simulator import Simulator
+from repro.runtime.simulator import Simulator, Timer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.heartbeat import HeartbeatSender
@@ -109,7 +109,10 @@ class BatchedChannel:
             network.codec.set_reliable(source, dest)
         self._pending: list[dict[str, Any]] = []
         self._keyed: dict[Any, dict[str, Any]] = {}
-        self._flush_handle: Any = None
+        # one reusable kernel entry for the batch window, re-armed per batch
+        self._flush_timer = Timer(
+            self.sim, self._emit, name=f"flush:{source}->{dest}"
+        )
         if self.policy.max_queue is not None:
             # held-queue mode: release the backlog when the link restores
             network.on_link_up(self._on_link_up)
@@ -173,12 +176,8 @@ class BatchedChannel:
         self.stats.sends += 1
         if urgent or len(self._pending) >= self.policy.max_batch:
             self.flush()
-        elif self._flush_handle is None:
-            self._flush_handle = self.sim.schedule(
-                self.policy.max_delay,
-                self._flush_due,
-                name=f"wire-flush:{self.source}->{self.dest}",
-            )
+        elif not self._flush_timer.armed:
+            self._flush_timer.arm(self.policy.max_delay)
         self._enforce_queue_bound()
         if len(self._pending) > self.stats.max_pending:
             self.stats.max_pending = len(self._pending)
@@ -208,9 +207,7 @@ class BatchedChannel:
         could mask an undelivered revocation — the queue must be empty
         before a consumer is allowed to conclude "nothing changed".
         """
-        if self._flush_handle is not None:
-            self.sim.cancel(self._flush_handle)
-            self._flush_handle = None
+        self._flush_timer.disarm()
         if self._pending:
             self.stats.explicit_flushes += 1
         self._emit()
@@ -224,14 +221,8 @@ class BatchedChannel:
         dropped = len(self._pending)
         self._pending = []
         self._keyed = {}
-        if self._flush_handle is not None:
-            self.sim.cancel(self._flush_handle)
-            self._flush_handle = None
+        self._flush_timer.disarm()
         return dropped
-
-    def _flush_due(self) -> None:
-        self._flush_handle = None
-        self._emit()
 
     def _on_link_up(self, source: str, dest: str) -> None:
         if source == self.source and dest == self.dest and self._pending:

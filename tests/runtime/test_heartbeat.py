@@ -456,3 +456,24 @@ def test_sender_stop_start_does_not_double_tick_rate():
     sim.run_until(15.0)
     sent = sender.stats.heartbeats_sent - sent_before
     assert sent <= 11   # ~one per period, not two
+
+
+def test_quiet_interval_wakeup_survives_negative_float_residue():
+    """Satellite regression: piggybacked liveness reschedules the tick to
+    ``due - now``, which float accumulation can leave fractionally
+    negative.  The chain must clamp and keep beating, not die with
+    'cannot schedule in the past'."""
+    sim, net, sender, monitor = make_world(period=0.1)
+    sender.start()
+    # payloads at times that are not exactly representable multiples of
+    # the period, so due - now picks up float residue at many wake-ups
+    for i in range(1, 200):
+        sim.schedule_at(i * 0.049999999999999996, sender.send_payload, i)
+    sim.run_until(12.0)
+    # liveness never lapsed: the monitor saw a signal at least every period
+    assert not monitor.suspect
+    assert monitor.stats.suspicions == 0
+    # and the tick chain is still alive well past the piggyback window
+    before = sender.stats.heartbeats_sent
+    sim.run_until(14.0)
+    assert sender.stats.heartbeats_sent > before

@@ -296,10 +296,18 @@ def test_dedup_window_expires():
     assert len(server._served) == 1  # only the fresh call remains
 
 
+def _queued_entries(sim):
+    """Every entry tuple still physically queued in the wheel kernel."""
+    for level in (sim._l0, sim._l1, sim._l2):
+        for slot in level:
+            yield from slot
+    yield from sim._overflow
+
+
 def test_cancelled_timeouts_do_not_accumulate_in_simulator():
     """Satellite regression: a reply arriving well before the timeout
-    must free the timer event (callback and, eventually, heap entry) —
-    long soaks otherwise accumulate dead _PendingCall timers for the
+    must free the timer event (callback and, eventually, its queue slot)
+    — long soaks otherwise accumulate dead _PendingCall timers for the
     full 60-second default timeout."""
     sim, net, server, client = make_pair()
     server.register("add", lambda a, b: a + b)
@@ -309,9 +317,13 @@ def test_cancelled_timeouts_do_not_accumulate_in_simulator():
         sim.run_until(sim.now + 0.01)
         assert future.result() == i + 1
     # cancelled entries must never keep their closures alive...
-    assert all(e.fn is None for e in sim._queue if e.cancelled)
-    # ...and compaction keeps the heap from growing linearly with calls
-    assert len(sim._queue) < n
+    assert all(
+        entry.fn is None
+        for _, _, entry in _queued_entries(sim)
+        if entry.cancelled and not entry.reusable
+    )
+    # ...and compaction keeps the queue from growing linearly with calls
+    assert sum(1 for _ in _queued_entries(sim)) < n
     assert sim.cancelled_pending() <= 256
     assert client._pending == {}
 

@@ -51,8 +51,10 @@ STALE_BOUND = MAX_OUTAGE + (HEARTBEAT_GRACE + 1.0) * HEARTBEAT_PERIOD + 5.0
 
 
 class SoakWorld:
-    def __init__(self, seed=SEED):
-        self.sim = Simulator()
+    def __init__(self, seed=SEED, sim_factory=Simulator):
+        # sim_factory lets the kernel-equivalence tests run the identical
+        # soak on the heap-only baseline kernel (see test_fleet_soak.py)
+        self.sim = sim_factory()
         self.net = Network(self.sim, seed=seed, default_delay=0.01)
         self.clock = SimClock(self.sim)
         self.registry = ServiceRegistry()
