@@ -123,6 +123,22 @@ def record_shard(name, **data):
     _record_json(shard_out_path(), "shard", name, data)
 
 
+# ------------------------------------- durability results (BENCH_durability)
+
+
+def durability_out_path():
+    return os.environ.get(
+        "BENCH_DURABILITY_OUT", os.path.join(_REPO_ROOT, "BENCH_durability.json")
+    )
+
+
+def record_durability(name, **data):
+    """Merge one durability/recovery experiment's results into
+    BENCH_durability.json (same accumulate-and-merge contract as
+    :func:`record_hotpath`)."""
+    _record_json(durability_out_path(), "durability", name, data)
+
+
 # ------------------------------------------------ kernel results (BENCH_runtime)
 
 

@@ -16,8 +16,9 @@ from repro.core.certificates import (
 from repro.core.credentials import CascadeStats, CredentialRecordTable, RecordState
 from repro.core.groups import GroupService
 from repro.core.identifiers import ClientId, HostOS, ProtectionDomain
+from repro.core.journal import DurableStore, JournalRelay, ServiceJournal
 from repro.core.registry import ServiceRegistry
-from repro.core.service import OasisService
+from repro.core.service import OasisService, PrincipalAdmission
 
 __all__ = [
     "ClientId",
@@ -32,4 +33,8 @@ __all__ = [
     "GroupService",
     "ServiceRegistry",
     "OasisService",
+    "PrincipalAdmission",
+    "DurableStore",
+    "ServiceJournal",
+    "JournalRelay",
 ]

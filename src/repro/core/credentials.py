@@ -214,6 +214,10 @@ class CredentialRecordTable:
         self._batch_depth = 0
         # (begin, end) pairs bracketing every top-level cascade
         self._cascade_hooks: list[tuple[Callable[[], None], Callable[[], None]]] = []
+        # Write-ahead hook: when set (by OasisService.attach_journal), every
+        # effective mutation batch is journaled BEFORE a single record
+        # changes, as ``wal(kind, data)`` with kind "state" or "revoke".
+        self.wal: Optional[Callable[[str, dict], None]] = None
 
     # -- creation -------------------------------------------------------------
 
@@ -347,7 +351,7 @@ class CredentialRecordTable:
         bulk external updates).  Permanent records are left untouched;
         returns the metrics of the single cascade that settled the batch.
         """
-        seeds = []
+        planned: dict[int, tuple] = {}
         for ref, state in updates:
             record = self.get(ref)
             if record is None:
@@ -358,7 +362,25 @@ class CredentialRecordTable:
                 continue
             old = record.state
             if state is old and not permanent:
+                # later entries for the same ref win: a no-op cancels any
+                # earlier planned change
+                planned.pop(ref, None)
                 continue
+            planned[ref] = (record, old, state)
+        # WAL discipline: the effective batch is durably journaled before
+        # any record mutates, so a crash mid-cascade replays to the same
+        # states (planning first also keeps replay idempotent — an
+        # already-applied update plans as empty and journals nothing).
+        if planned and self.wal is not None:
+            self.wal(
+                "state",
+                {
+                    "updates": [[r.ref, s.value] for r, _old, s in planned.values()],
+                    "permanent": permanent,
+                },
+            )
+        seeds = []
+        for record, old, state in planned.values():
             record.state = state
             record.permanent = permanent
             seeds.append((record, old, state, permanent, 0))
@@ -383,15 +405,24 @@ class CredentialRecordTable:
         single settling pass over the DAG).  Returns the number of live
         records found; already-permanent records are no-ops (FALSE is
         absorbing, and a record marked permanent can never change)."""
-        seeds = []
+        planned = []
+        seen: set[int] = set()
         found = 0
         for ref in refs:
             record = self.get(ref)
             if record is None:
                 continue
             found += 1
-            if record.permanent:
+            if record.permanent or record.ref in seen:
                 continue
+            seen.add(record.ref)
+            planned.append(record)
+        # journal before mutating (see set_states); an already-revoked
+        # record is permanent, so replayed revocations plan as empty
+        if planned and self.wal is not None:
+            self.wal("revoke", {"refs": [record.ref for record in planned]})
+        seeds = []
+        for record in planned:
             old = record.state
             record.state = RecordState.FALSE
             record.permanent = True

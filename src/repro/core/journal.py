@@ -1,0 +1,673 @@
+"""Event-sourced durability: per-service write-ahead log, transactional
+outbox, and dead-letter retry (ROADMAP open item 2; the paper's ch. 4
+auditing model assumes every credential and ACL change is durably
+attributable).
+
+The journal is the in-sim *durable* substrate of a service, in the same
+sense the credential record table models its durable database: it
+survives :meth:`OasisService.restart` across boot epochs, while wire
+queues, caches and RPC state are volatile process memory that dies with
+a crash.  Three mechanisms ride it:
+
+* **write-ahead log** — every credential-record mutation, ACL change and
+  role-entry/revocation event is appended *before* it is applied
+  (:class:`ServiceJournal.append`, fed by the credential table's ``wal``
+  hook and the custode's ACL methods), so a restart can rebuild local
+  state by replay alone, with no network traffic;
+* **transactional outbox** — an outbound cascade notification is
+  appended in the *same* journal transaction as the state change that
+  caused it (:meth:`ServiceJournal.append_notify`), then drained by a
+  retrying relay (:class:`JournalRelay`) over the existing
+  :class:`~repro.runtime.rpc.RpcEndpoint` layer.  A crash between
+  "apply" and "notify" can no longer lose a revocation: the undrained
+  entry is still in the durable outbox and is delivered after replay;
+* **dead-letter queue** — an entry whose delivery exhausts the RPC retry
+  budget is *parked*, never dropped, and redelivered on a seeded
+  exponential backoff.  The conservation invariant — every outbox entry
+  is applied exactly once at its destination or parked in the DLQ —
+  is checkable at any instant via :meth:`DurableStore.conservation_breaches`
+  (swept by :class:`~repro.runtime.faults.InvariantChecker`).
+
+Receivers dedup inbound deliveries by ``(issuer, outbox seq)`` in their
+*own* journal ("applied" records), so redelivery after a crash on either
+side is idempotent, and they keep the newest applied ``(epoch, seq)``
+stamp per ``(issuer, ref)`` so a delayed older state can never re-open a
+surrogate a newer notification already closed — the same stale-drop
+armour the wire path carries, in the journal's stamp space.
+
+Recovery protocol (driven by :meth:`JournalRelay.recover`): replay the
+local journal (fast, idempotent, zero messages), mask every surrogate
+Unknown (fail closed — the crash window is of unverifiable currency),
+then **tail-sync** from each journaled issuer: one RPC pulls a stamped
+snapshot of every subscribed record, resolving all surrogates in a
+single cascade, instead of the O(refs) resubscribe storm.  Pending
+outbox entries and due dead letters then drain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.credentials import RecordState
+from repro.errors import OasisError
+from repro.runtime.rpc import RetryPolicy, RpcEndpoint
+from repro.runtime.simulator import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.linkage import SimLinkage
+    from repro.core.service import OasisService
+
+# Outbox entry lifecycle.  DELIVERED is terminal; DEAD entries are
+# *parked* (the dead-letter queue), not forgotten — redelivery moves
+# them back through INFLIGHT until they land.
+PENDING = "pending"
+INFLIGHT = "inflight"
+DELIVERED = "delivered"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One appended event: ``seq`` is the journal position (the WAL
+    head), ``epoch`` the boot epoch that wrote it."""
+
+    seq: int
+    epoch: int
+    time: float
+    kind: str
+    data: dict
+
+
+@dataclass
+class OutboxEntry:
+    """One outbound notification awaiting exactly-once delivery.
+
+    ``stamp`` is ``(epoch, seq)`` in the issuer's journal stamp space;
+    receivers drop anything not newer than the last stamp applied for
+    the same ``(issuer, ref)``."""
+
+    seq: int
+    record_seq: int            # the journal record of the same transaction
+    dest: str
+    ref: int
+    state: str
+    stamp: tuple
+    status: str = PENDING
+    attempts: int = 0          # delivery RPCs that carried this entry
+    redeliveries: int = 0      # times parked in the DLQ
+    next_attempt_at: float = 0.0
+
+
+@dataclass
+class JournalStats:
+    appends: int = 0
+    replays: int = 0
+    records_replayed: int = 0
+    outbox_appended: int = 0
+    outbox_delivered: int = 0
+    outbox_redelivered: int = 0   # delivered on a DLQ redelivery pass
+    parked: int = 0               # entries that entered the DLQ (cumulative)
+    applied: int = 0              # inbound entries applied to the table
+    duplicates_dropped: int = 0   # inbound entries deduped by (issuer, seq)
+    superseded: int = 0           # inbound entries stale under the stamp
+    tail_syncs_served: int = 0
+    tail_syncs_pulled: int = 0
+    drains: int = 0
+
+
+class ServiceJournal:
+    """The append-only durable log of one service.
+
+    Holds the records, the outbox, and the receiver-side ledgers that
+    replay rebuilds: ``applied_counts`` (exactly-once dedup per
+    ``(issuer, outbox seq)``), ``applied_stamps`` (newest stamp applied
+    per ``(issuer, ref)``) and ``last_stamp`` (issuer-side newest stamp
+    per local ref, served to tail-sync pulls).
+    """
+
+    def __init__(self, service_id: str):
+        self.service_id = service_id
+        self.records: list[JournalRecord] = []
+        self.outbox: dict[int, OutboxEntry] = {}
+        self.stats = JournalStats()
+        # While replaying, mutations re-driven through the table must not
+        # journal themselves again: append() is a no-op under this flag.
+        self.replaying = False
+        self._seq = 0
+        self._outbox_seq = 0
+        # bound at attach time to the owning service's clock and epoch
+        self.now: Callable[[], float] = lambda: 0.0
+        self.epoch: Callable[[], int] = lambda: 1
+        self.applied_counts: dict[tuple[str, int], int] = {}
+        self.applied_stamps: dict[tuple[str, int], tuple] = {}
+        self.last_stamp: dict[int, tuple] = {}
+        # fires after a transaction is durably appended (fault point)
+        self.on_append: Optional[Callable[[JournalRecord], None]] = None
+
+    def head(self) -> int:
+        """The journal position: seq of the newest record."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------- appending
+
+    def append(self, kind: str, data: dict) -> Optional[JournalRecord]:
+        """Append one event; returns the record, or None during replay
+        (replayed mutations are already in the log)."""
+        if self.replaying:
+            return None
+        record = self._append(kind, data)
+        self._fire_append(record)
+        return record
+
+    def append_notify(
+        self, ref: int, state_value: str, dests: list[str]
+    ) -> list[OutboxEntry]:
+        """Transactional outbox: append the notification event and one
+        outbox entry per destination as ONE transaction — a crash sees
+        either none of it or all of it, so an applied state change can
+        never exist without its undelivered notifications on record."""
+        if self.replaying:
+            return []
+        entries = []
+        for dest in sorted(dests):
+            self._outbox_seq += 1
+            entries.append(
+                OutboxEntry(
+                    seq=self._outbox_seq,
+                    record_seq=self._seq + 1,
+                    dest=dest,
+                    ref=ref,
+                    state=state_value,
+                    stamp=(self.epoch(), self._outbox_seq),
+                )
+            )
+        record = self._append(
+            "notify",
+            {
+                "ref": ref,
+                "state": state_value,
+                "outbox": [[e.seq, e.dest] for e in entries],
+            },
+        )
+        for entry in entries:
+            self.outbox[entry.seq] = entry
+            if entry.stamp > self.last_stamp.get(ref, (0, 0)):
+                self.last_stamp[ref] = entry.stamp
+        self.stats.outbox_appended += len(entries)
+        # the fault point fires only once the whole transaction is durable
+        self._fire_append(record)
+        return entries
+
+    def _append(self, kind: str, data: dict) -> JournalRecord:
+        self._seq += 1
+        record = JournalRecord(self._seq, self.epoch(), self.now(), kind, dict(data))
+        self.records.append(record)
+        self.stats.appends += 1
+        return record
+
+    def _fire_append(self, record: JournalRecord) -> None:
+        hook = self.on_append
+        if hook is not None:
+            hook(record)
+
+    # --------------------------------------------------------------- replay
+
+    def replay(self, apply: Callable[[JournalRecord], None]) -> int:
+        """Re-drive every record through ``apply`` and rebuild the
+        derived ledgers.  Idempotent by construction: state records
+        re-apply as no-ops where state already matches, revocations are
+        absorbing, and ``replaying`` suppresses re-journaling — so
+        replaying twice equals replaying once."""
+        self.stats.replays += 1
+        self.replaying = True
+        try:
+            self.applied_counts = {}
+            self.applied_stamps = {}
+            self.last_stamp = {}
+            for entry in self.outbox.values():
+                if entry.stamp > self.last_stamp.get(entry.ref, (0, 0)):
+                    self.last_stamp[entry.ref] = entry.stamp
+            count = 0
+            for record in self.records:
+                self._absorb(record)
+                apply(record)
+                count += 1
+            self.stats.records_replayed += count
+            return count
+        finally:
+            self.replaying = False
+
+    def _absorb(self, record: JournalRecord) -> None:
+        """Rebuild the receiver-side ledgers from one record."""
+        if record.kind == "applied":
+            issuer = record.data["issuer"]
+            for seq, ref, _state, stamp in record.data["entries"]:
+                key = (issuer, int(seq))
+                self.applied_counts[key] = self.applied_counts.get(key, 0) + 1
+                if stamp is not None:
+                    stamp = tuple(stamp)
+                    skey = (issuer, int(ref))
+                    if stamp > self.applied_stamps.get(skey, (0, 0)):
+                        self.applied_stamps[skey] = stamp
+        elif record.kind == "tail":
+            issuer = record.data["issuer"]
+            for ref, _state, stamp in record.data["items"]:
+                if stamp is not None:
+                    stamp = tuple(stamp)
+                    skey = (issuer, int(ref))
+                    if stamp > self.applied_stamps.get(skey, (0, 0)):
+                        self.applied_stamps[skey] = stamp
+
+    # ------------------------------------------------------------- the DLQ
+
+    def dead_letters(self) -> list[OutboxEntry]:
+        """The dead-letter queue: parked entries awaiting redelivery."""
+        return [e for e in self.outbox.values() if e.status == DEAD]
+
+    def unsettled(self) -> list[OutboxEntry]:
+        """Entries not yet delivered (pending, in flight, or parked)."""
+        return [e for e in self.outbox.values() if e.status != DELIVERED]
+
+
+class DurableStore:
+    """The in-sim durable medium: service id -> :class:`ServiceJournal`.
+
+    One store per world; journals are created on first use and — being
+    "disk" — survive any number of crash/restart cycles of the services
+    that own them.
+    """
+
+    def __init__(self) -> None:
+        self._journals: dict[str, ServiceJournal] = {}
+
+    def journal(self, service_id: str) -> ServiceJournal:
+        journal = self._journals.get(service_id)
+        if journal is None:
+            journal = self._journals[service_id] = ServiceJournal(service_id)
+        return journal
+
+    def get(self, service_id: str) -> Optional[ServiceJournal]:
+        return self._journals.get(service_id)
+
+    def journals(self) -> dict[str, ServiceJournal]:
+        return dict(self._journals)
+
+    def conservation_breaches(self) -> list[str]:
+        """The exactly-once-or-parked sweep: every outbox entry must be
+        DELIVERED (and applied exactly once at its destination), or
+        still PENDING/INFLIGHT, or parked DEAD — never vanished, never
+        double-applied.  Returns human-readable breaches (empty = clean).
+        """
+        breaches: list[str] = []
+        for name, journal in sorted(self._journals.items()):
+            for entry in journal.outbox.values():
+                label = f"{name}#outbox{entry.seq} -> {entry.dest}"
+                if entry.status == DELIVERED:
+                    dest = self._journals.get(entry.dest)
+                    if dest is None:
+                        breaches.append(f"{label}: delivered to unjournaled dest")
+                        continue
+                    count = dest.applied_counts.get((name, entry.seq), 0)
+                    if count != 1:
+                        breaches.append(
+                            f"{label}: delivered but applied {count} times"
+                        )
+                elif entry.status not in (PENDING, INFLIGHT, DEAD):
+                    breaches.append(f"{label}: unknown status {entry.status!r}")
+            for (issuer, seq), count in journal.applied_counts.items():
+                if count > 1:
+                    breaches.append(
+                        f"{name} applied {issuer}#outbox{seq} {count} times"
+                    )
+        return breaches
+
+
+class JournalRelay:
+    """The retrying drain of one service's transactional outbox, plus
+    the inbound delivery / tail-sync endpoint peers talk to.
+
+    Owns the RPC endpoint at ``journal:<service>`` (a network node that
+    fate-shares with the service's ``oasis:<service>`` node across
+    crashes).  Outbound entries batch per destination into a single
+    ``outbox-deliver`` call per drain pass; the receiver acks every seq
+    it has durably recorded, the sender marks those DELIVERED, and
+    anything the retry budget cannot land is parked in the DLQ with
+    seeded exponential backoff.
+    """
+
+    def __init__(
+        self,
+        linkage: "SimLinkage",
+        service: "OasisService",
+        journal: ServiceJournal,
+        retry: Optional[RetryPolicy] = None,
+        rpc_timeout: float = 2.0,
+        dlq_base_delay: float = 2.0,
+        dlq_multiplier: float = 2.0,
+        dlq_max_delay: float = 30.0,
+        seed: int = 0,
+    ):
+        self.linkage = linkage
+        self.service = service
+        self.journal = journal
+        self.network = linkage.network
+        self.sim = self.network.simulator
+        self.address = f"journal:{service.name}"
+        self.dlq_base_delay = dlq_base_delay
+        self.dlq_multiplier = dlq_multiplier
+        self.dlq_max_delay = dlq_max_delay
+        self._rng = random.Random(f"dlq:{service.name}:{seed}")
+        self.rpc = RpcEndpoint(
+            self.network,
+            self.address,
+            default_timeout=rpc_timeout,
+            retry=retry or RetryPolicy(max_attempts=3, base_delay=0.25, max_delay=2.0),
+            seed=seed,
+        )
+        self.rpc.register("outbox-deliver", self._on_deliver)
+        self.rpc.register("tail-sync", self._on_tail_sync)
+        self._drain_timer = Timer(
+            self.sim, self._drain, name=f"journal-drain:{service.name}"
+        )
+        self._redeliver_timer = Timer(
+            self.sim, self._redeliver_due, name=f"journal-dlq:{service.name}"
+        )
+        # one-shot crash triggers per fault point ("mid-append",
+        # "mid-drain"); a trigger must schedule its crash as a zero-delay
+        # event so the current append/drain step completes atomically —
+        # the sim cannot abort a Python call mid-function, and the
+        # journal transaction is durable the instant _append returns.
+        self._crash_points: dict[str, Callable[[], None]] = {}
+        journal.on_append = self._on_journal_append
+
+    # ------------------------------------------------------------ fault points
+
+    def arm_crash(self, point: str, trigger: Callable[[], None]) -> None:
+        """Arm a one-shot crash at a journal fault point.
+
+        ``"mid-append"`` fires right after the next journal transaction
+        lands (state + outbox durable, drain not yet run); ``"mid-drain"``
+        fires after the next drain marks a batch in flight, before its
+        delivery resolves."""
+        if point not in ("mid-append", "mid-drain"):
+            raise OasisError(f"unknown journal fault point {point!r}")
+        self._crash_points[point] = trigger
+
+    def _fire_crash(self, point: str) -> None:
+        trigger = self._crash_points.pop(point, None)
+        if trigger is not None:
+            trigger()
+
+    def _on_journal_append(self, record: JournalRecord) -> None:
+        self._fire_crash("mid-append")
+
+    def _up(self) -> bool:
+        return self.network.node(self.address).up
+
+    # ----------------------------------------------------------------- outbox
+
+    def enqueue(self, ref: int, state: RecordState, dests: list[str]) -> None:
+        """Journal a notification transactionally and schedule its drain.
+
+        The drain runs as a zero-delay event, so a whole cascade's
+        enqueues coalesce into one delivery RPC per destination."""
+        entries = self.journal.append_notify(ref, state.value, dests)
+        if entries and self._up() and not self._drain_timer.armed:
+            self._drain_timer.arm(0.0)
+
+    def drain(self) -> None:
+        """Drain pending outbox entries now (settle commits call this)."""
+        self._drain_timer.disarm()
+        self._drain()
+
+    def _drain(self) -> None:
+        if not self._up():
+            return
+        batches: dict[str, list[OutboxEntry]] = {}
+        for entry in self.journal.outbox.values():
+            if entry.status == PENDING:
+                batches.setdefault(entry.dest, []).append(entry)
+        if not batches:
+            return
+        self.journal.stats.drains += 1
+        for dest, entries in sorted(batches.items()):
+            for entry in entries:
+                entry.status = INFLIGHT
+                entry.attempts += 1
+            self._fire_crash("mid-drain")
+            if not self._up():
+                # the armed crash took us down between marking the batch
+                # in flight and the send; crash() re-marks it pending
+                return
+            self._send(dest, entries, from_dlq=False)
+
+    def _send(self, dest: str, entries: list[OutboxEntry], from_dlq: bool) -> None:
+        payload = [[e.seq, e.ref, e.state, list(e.stamp)] for e in entries]
+        future = self.rpc.call(f"journal:{dest}", "outbox-deliver",
+                               self.service.name, payload)
+        future.on_done(
+            lambda f, d=dest, es=entries, q=from_dlq: self._on_drain_done(d, es, f, q)
+        )
+
+    def _on_drain_done(self, dest, entries, future, from_dlq: bool) -> None:
+        if not self._up():
+            # resolved after a crash: recovery re-marks and redrains
+            return
+        acked = set()
+        if not future.failed:
+            acked = set(future.result().get("acked", ()))
+        missed = []
+        for entry in entries:
+            if entry.status != INFLIGHT:
+                continue
+            if entry.seq in acked:
+                entry.status = DELIVERED
+                self.journal.stats.outbox_delivered += 1
+                if from_dlq:
+                    self.journal.stats.outbox_redelivered += 1
+            else:
+                missed.append(entry)
+        if missed:
+            self._park(missed)
+
+    def _park(self, entries: list[OutboxEntry]) -> None:
+        """Move undeliverable entries to the dead-letter queue with a
+        seeded exponential-backoff redelivery time.  Parked, never
+        dropped: the conservation sweep counts on it."""
+        now = self.sim.now
+        for entry in entries:
+            entry.status = DEAD
+            delay = min(
+                self.dlq_base_delay * self.dlq_multiplier ** entry.redeliveries,
+                self.dlq_max_delay,
+            )
+            delay += self._rng.uniform(0.0, 0.5 * delay)
+            entry.redeliveries += 1
+            entry.next_attempt_at = now + delay
+            self.journal.stats.parked += 1
+        self._schedule_redelivery()
+
+    def _schedule_redelivery(self) -> None:
+        dead = self.journal.dead_letters()
+        if not dead or not self._up():
+            return
+        due_at = min(entry.next_attempt_at for entry in dead)
+        self._redeliver_timer.disarm()
+        self._redeliver_timer.arm(max(0.0, due_at - self.sim.now))
+
+    def _redeliver_due(self) -> None:
+        if not self._up():
+            return
+        now = self.sim.now
+        batches: dict[str, list[OutboxEntry]] = {}
+        for entry in self.journal.outbox.values():
+            if entry.status == DEAD and entry.next_attempt_at <= now + 1e-9:
+                batches.setdefault(entry.dest, []).append(entry)
+        for dest, entries in sorted(batches.items()):
+            for entry in entries:
+                entry.status = INFLIGHT
+                entry.attempts += 1
+            self._send(dest, entries, from_dlq=True)
+        self._schedule_redelivery()
+
+    def quiescent(self) -> bool:
+        """No entry pending or in flight (parked dead letters do not
+        block a settle: they are accounted work awaiting backoff)."""
+        return not any(
+            entry.status in (PENDING, INFLIGHT)
+            for entry in self.journal.outbox.values()
+        )
+
+    # -------------------------------------------------------------- receiving
+
+    def _on_deliver(self, issuer: str, items) -> dict:
+        """Apply a delivery batch exactly once.
+
+        Every seq is acked — including duplicates and stamp-stale
+        entries, which are *settled* (recorded as applied, dropped from
+        the table update) rather than lost.  The "applied" record is
+        journaled BEFORE the table mutation: WAL discipline, and the
+        dedup ledger survives a crash landing between the two."""
+        journal = self.journal
+        acked: list[int] = []
+        applied_log: list[list] = []
+        updates: list[tuple[int, RecordState]] = []
+        for seq, ref, state, stamp in items:
+            seq, ref = int(seq), int(ref)
+            stamp = tuple(stamp) if stamp is not None else None
+            acked.append(seq)
+            # any delivery for this ref proves the issuer has the
+            # subscription: the subscribe retry can stand down
+            self.linkage.note_subscribed(self.service.name, issuer, ref)
+            key = (issuer, seq)
+            if journal.applied_counts.get(key):
+                journal.stats.duplicates_dropped += 1
+                continue
+            journal.applied_counts[key] = 1
+            applied_log.append([seq, ref, state, list(stamp) if stamp else None])
+            if stamp is not None:
+                skey = (issuer, ref)
+                if stamp <= journal.applied_stamps.get(skey, (0, 0)):
+                    journal.stats.superseded += 1
+                    continue
+                journal.applied_stamps[skey] = stamp
+            updates.append((ref, RecordState(state)))
+            journal.stats.applied += 1
+        if applied_log:
+            journal.append("applied", {"issuer": issuer, "entries": applied_log})
+        if updates:
+            self.service.credentials.update_external_many(issuer, updates)
+        return {"acked": acked}
+
+    def _on_tail_sync(self, subscriber: str) -> dict:
+        """Serve a restarted subscriber the authoritative suffix: the
+        current state and newest stamp of every record it subscribes to,
+        in one reply instead of one message per ref."""
+        self.journal.stats.tail_syncs_served += 1
+        items = []
+        for record in self.service.credentials.all_records():
+            if subscriber in record.subscribers:
+                stamp = self.journal.last_stamp.get(record.ref)
+                items.append(
+                    [record.ref, record.state.value, list(stamp) if stamp else None]
+                )
+        return {"epoch": self.service.boot_epoch, "items": items}
+
+    def tail_sync(self, issuer_name: str) -> None:
+        """Pull the post-crash truth from a journaled issuer.
+
+        The reply is authoritative (a live read, like the restore-path
+        re-read): it applies directly and records the served stamps, so
+        any older delivery still in flight is dropped as stale while a
+        newer one still applies."""
+        if not self._up():
+            return  # crashed again; the next recover() re-pulls
+        future = self.rpc.call(
+            f"journal:{issuer_name}", "tail-sync", self.service.name
+        )
+        future.on_done(lambda f, i=issuer_name: self._on_tail_reply(i, f))
+
+    def _on_tail_reply(self, issuer: str, future) -> None:
+        if not self._up():
+            return
+        if future.failed:
+            # the issuer is unreachable; surrogates stay Unknown (fail
+            # closed) and we pull again after a beat
+            self.sim.schedule(
+                self.linkage.subscribe_retry_period,
+                self.tail_sync,
+                issuer,
+                name=f"journal-tailsync:{self.service.name}",
+            )
+            return
+        reply = future.result()
+        self.journal.stats.tail_syncs_pulled += 1
+        items = reply.get("items", ())
+        logged = []
+        updates = []
+        for ref, state, stamp in items:
+            ref = int(ref)
+            stamp = tuple(stamp) if stamp is not None else None
+            self.linkage.note_subscribed(self.service.name, issuer, ref)
+            if stamp is not None:
+                skey = (issuer, ref)
+                if stamp > self.journal.applied_stamps.get(skey, (0, 0)):
+                    self.journal.applied_stamps[skey] = stamp
+            logged.append([ref, state, list(stamp) if stamp else None])
+            updates.append((ref, RecordState(state)))
+        self.journal.append("tail", {"issuer": issuer, "items": logged})
+        if updates:
+            self.service.credentials.update_external_many(issuer, updates)
+
+    # ------------------------------------------------------- crash / recovery
+
+    def crash(self) -> None:
+        """Volatile relay state dies: timers, armed fault points, and
+        the in-flight marks (the durable truth is that an unacked entry
+        was never delivered — it reverts to pending for the redrain)."""
+        self._drain_timer.disarm()
+        self._redeliver_timer.disarm()
+        self._crash_points.clear()
+        for entry in self.journal.outbox.values():
+            if entry.status == INFLIGHT:
+                entry.status = PENDING
+
+    def recover(self) -> int:
+        """The journaled restart: replay, mask, tail-sync, redrain.
+
+        1. replay the local journal — rebuilds table state and the dedup
+           ledgers with zero network traffic;
+        2. mask every surrogate Unknown — the crash window is of
+           unverifiable currency (fail closed);
+        3. tail-sync each journaled issuer (one RPC each) and fall back
+           to the linkage resubscribe path for unjournaled ones;
+        4. redrain pending outbox entries and re-schedule dead letters.
+
+        Returns the number of journal records replayed."""
+        table = self.service.credentials
+
+        def apply(record: JournalRecord) -> None:
+            if record.kind == "state":
+                table.set_states(
+                    [(int(ref), RecordState(s)) for ref, s in record.data["updates"]],
+                    permanent=record.data.get("permanent", False),
+                )
+            elif record.kind == "revoke":
+                table.revoke_many(int(ref) for ref in record.data["refs"])
+
+        replayed = self.journal.replay(apply)
+        for issuer_name in table.external_services():
+            table.mark_service_unknown(issuer_name)
+            if self.linkage.relay_of(issuer_name) is not None:
+                self.tail_sync(issuer_name)
+            else:
+                self.linkage.resync(self.service, issuer_name)
+        if not self._drain_timer.armed:
+            self._drain_timer.arm(0.0)
+        self._schedule_redelivery()
+        return replayed

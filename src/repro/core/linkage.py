@@ -30,10 +30,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.credentials import RecordState
+from repro.core.journal import DurableStore, JournalRelay
 from repro.errors import OasisError
 from repro.runtime import wire
 from repro.runtime.heartbeat import HeartbeatMonitor, HeartbeatSender
 from repro.runtime.network import Network
+from repro.runtime.rpc import RetryPolicy
 from repro.runtime.wire import BatchedChannel, ChannelPool, WirePolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -134,6 +136,12 @@ class SimLinkage(Linkage):
         self.subscribe_retry_period = 2.0
         self.subscribe_retries = 0
         self._sub_pending: dict[tuple[str, str, int], int] = {}
+        # Event-sourced durability (opt-in per service via enable_journal):
+        # the shared durable store and the per-service outbox relays.
+        # Notifications between two journaled services travel through the
+        # transactional outbox instead of the volatile wire channels.
+        self.durable: Optional[DurableStore] = None
+        self._relays: dict[str, JournalRelay] = {}
 
     @staticmethod
     def address_of(name: str) -> str:
@@ -153,6 +161,67 @@ class SimLinkage(Linkage):
         """The batched channel carrying ``source_name``'s traffic to
         ``dest_name`` (created on first use)."""
         return self._pools[source_name].to(self.address_of(dest_name))
+
+    # ------------------------------------------------------------- durability
+
+    def enable_journal(
+        self,
+        service: "OasisService",
+        store: Optional[DurableStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ) -> JournalRelay:
+        """Give ``service`` a write-ahead journal and transactional outbox.
+
+        All attached journaled services share one :class:`DurableStore`
+        (pass ``store`` to share across linkages).  The journal survives
+        crash/restart — it models the service's disk, like the credential
+        table — so :meth:`restart` recovers by local replay plus one
+        tail-sync per issuer instead of the resubscribe storm."""
+        relay = self._relays.get(service.name)
+        if relay is not None:
+            return relay
+        if store is None:
+            store = self.durable if self.durable is not None else DurableStore()
+        self.durable = store
+        journal = store.journal(service.name)
+        journal.now = lambda: service.clock.now()
+        journal.epoch = lambda: service.boot_epoch
+        service.attach_journal(journal)
+        relay = JournalRelay(self, service, journal, retry=retry, seed=seed)
+        self._relays[service.name] = relay
+        return relay
+
+    def relay_of(self, service_name: str) -> Optional[JournalRelay]:
+        """The journal relay of ``service_name`` (None = unjournaled)."""
+        return self._relays.get(service_name)
+
+    def drain_journal_of(self, service_name: str) -> None:
+        """Drain ``service_name``'s pending outbox entries onto the wire
+        now (the settle's per-commit analogue of :meth:`flush_of`)."""
+        relay = self._relays.get(service_name)
+        if relay is not None:
+            relay.drain()
+
+    def journal_quiescent(self) -> bool:
+        """No outbox entry anywhere is pending or in flight.  Parked
+        dead letters do NOT count: they are accounted work awaiting
+        backoff toward a dead peer, and a settle must not wedge on them."""
+        return all(relay.quiescent() for relay in self._relays.values())
+
+    def arm_journal_crash(self, service_name: str, point: str, trigger) -> None:
+        """Arm a one-shot crash trigger at a journal fault point
+        ("mid-append" / "mid-drain") of ``service_name``'s relay."""
+        relay = self._relays.get(service_name)
+        if relay is None:
+            raise OasisError(f"service {service_name!r} has no journal relay")
+        relay.arm_crash(point, trigger)
+
+    def note_subscribed(self, subscriber_name: str, issuer_name: str, remote_ref: int) -> None:
+        """A state for ``remote_ref`` reached ``subscriber_name`` — the
+        issuer evidently knows about the subscription, so stop retrying
+        it.  Called by the wire path and by journal deliveries alike."""
+        self._sub_pending.pop((subscriber_name, issuer_name, remote_ref), None)
 
     def flush_all(self) -> None:
         """Put every queued notification on the wire now."""
@@ -194,6 +263,39 @@ class SimLinkage(Linkage):
             "stamp": (epoch, seq),
         }
 
+    def _reply_subscribe(
+        self,
+        service: "OasisService",
+        source: str,
+        subscriber_name: str,
+        refs: list,
+        urgent: bool,
+    ) -> None:
+        """Answer subscribe requests with the current state of ``refs``.
+
+        Between two journaled services the replies go through the
+        transactional outbox (stamped in the journal's space, retried,
+        conserved); otherwise they are stamped Modified events on the
+        subscriber's channel."""
+        relay = self._relays.get(service.name)
+        if relay is not None and subscriber_name in self._relays:
+            for ref in refs:
+                relay.enqueue(
+                    ref, service.credentials.state_of(ref), [subscriber_name]
+                )
+            return
+        channel = self._pools[service.name].to(source)
+        for ref in refs:
+            state = service.credentials.state_of(ref)
+            channel.send(
+                "modified",
+                self._modified_body(service.name, ref, state),
+                coalesce_key=("modified", service.name, ref),
+                urgent=urgent,
+            )
+        if not urgent:
+            channel.flush()
+
     def _apply_wire_items(self, service: "OasisService", source: str, pairs) -> None:
         """Apply a batch of ``(kind, body)`` wire items arriving at
         ``service`` from the node at ``source``.
@@ -230,14 +332,20 @@ class SimLinkage(Linkage):
                 )
             elif kind == "subscribe":
                 service.credentials.subscribe(body["ref"], body["subscriber"])
-                state = service.credentials.state_of(body["ref"])
                 # the reply resolves a fail-closed Unknown surrogate:
                 # urgent, never held for a batch window
-                self._pools[service.name].to(source).send(
-                    "modified",
-                    self._modified_body(service.name, body["ref"], state),
-                    coalesce_key=("modified", service.name, body["ref"]),
-                    urgent=True,
+                self._reply_subscribe(
+                    service, source, body["subscriber"], [body["ref"]], urgent=True
+                )
+            elif kind == "subscribe-many":
+                # a restarted subscriber resubscribing its whole surrogate
+                # set in one request (the batched resync path); replies
+                # ride the normal batch windows — they all flush together
+                refs = [int(ref) for ref in body["refs"]]
+                for ref in refs:
+                    service.credentials.subscribe(ref, body["subscriber"])
+                self._reply_subscribe(
+                    service, source, body["subscriber"], refs, urgent=False
                 )
             elif kind in ("heartbeat", "heartbeat-payload", "heartbeat-fillers"):
                 monitor = self._monitors.get((source, address))
@@ -321,15 +429,24 @@ class SimLinkage(Linkage):
 
     def publish(self, issuer: "OasisService", ref: int, state: RecordState, subscribers: set[str]) -> None:
         pool = self._pools[issuer.name]
+        relay = self._relays.get(issuer.name)
+        outboxed: list[str] = []
         for name in sorted(subscribers):
             if name not in self._services:
                 continue
             self.notifications += 1
+            if relay is not None and name in self._relays:
+                # journaled pair: through the transactional outbox, so a
+                # crash between apply and notify cannot lose this event
+                outboxed.append(name)
+                continue
             pool.to(self.address_of(name)).send(
                 "modified",
                 self._modified_body(issuer.name, ref, state),
                 coalesce_key=("modified", issuer.name, ref),
             )
+        if outboxed:
+            relay.enqueue(ref, state, outboxed)
 
     def monitor(
         self,
@@ -354,6 +471,9 @@ class SimLinkage(Linkage):
             # flush-before-unmask: anything still queued at the issuer
             # must be on the wire before surrogates leave Unknown, so a
             # queued revocation cannot be masked by the re-read
+            issuer_relay = self._relays.get(issuer.name)
+            if issuer_relay is not None:
+                issuer_relay.drain()
             self._pools[issuer.name].to(subscriber_addr).flush()
             if (issuer_addr, subscriber_addr) in self._resync_pending:
                 # the issuer restored in a NEW boot epoch: surrogates stay
@@ -395,7 +515,13 @@ class SimLinkage(Linkage):
             if monitor.suspect:
                 self._resync_pending.add((issuer_addr, subscriber_addr))
             subscriber.credentials.mark_service_unknown(issuer.name)
-            self.resync(subscriber, issuer.name)
+            subscriber_relay = self._relays.get(subscriber.name)
+            if subscriber_relay is not None and issuer.name in self._relays:
+                # journaled pair: one tail-sync pull replaces the
+                # per-surrogate resubscribe round-trip
+                subscriber_relay.tail_sync(issuer.name)
+            else:
+                self.resync(subscriber, issuer.name)
 
         def on_payload(payload, horizon: float) -> None:
             # A lost data batch retransmitted by the nack machinery
@@ -422,26 +548,35 @@ class SimLinkage(Linkage):
 
     def resync(self, subscriber: "OasisService", issuer_name: str) -> int:
         """Re-subscribe every surrogate ``subscriber`` holds on
-        ``issuer_name`` and flush the requests onto the wire.
+        ``issuer_name`` and flush the request onto the wire.
 
-        Each subscribe reply is an urgent, stamped Modified event, so the
-        surrogates resolve from Unknown to issuer truth one network
-        round-trip later.  Returns the number of refs resubscribed.
+        The whole surrogate set travels as ONE ``subscribe-many`` item —
+        a restart over 10k surrogates no longer storms the issuer with
+        10k subscribe messages — and the issuer's stamped Modified
+        replies ride its normal batch windows, so the surrogates resolve
+        from Unknown to issuer truth one network round-trip later.
+        Returns the number of refs resubscribed.
         """
+        refs = [
+            record.external_ref
+            for record in subscriber.credentials.externals_of(issuer_name)
+            if record.external_ref is not None
+        ]
+        if not refs:
+            return 0
         channel = self._pools[subscriber.name].to(self.address_of(issuer_name))
-        count = 0
-        for record in subscriber.credentials.externals_of(issuer_name):
-            if record.external_ref is None:
-                continue
-            channel.send(
-                "subscribe",
-                {"ref": record.external_ref, "subscriber": subscriber.name},
-                coalesce_key=("subscribe", issuer_name, record.external_ref),
-            )
-            self._track_subscribe(subscriber.name, issuer_name, record.external_ref)
-            count += 1
+        channel.send(
+            "subscribe-many",
+            {"subscriber": subscriber.name, "refs": refs},
+            coalesce_key=("subscribe-many", issuer_name, subscriber.name),
+        )
+        for ref in refs:
+            self._track_subscribe(subscriber.name, issuer_name, ref)
+        self.network.note_batched_subscribe(
+            channel.source, channel.dest, len(refs)
+        )
         channel.flush()
-        return count
+        return len(refs)
 
     def crash(self, service: "OasisService") -> None:
         """Take ``service`` down hard: it neither sends nor receives, and
@@ -449,6 +584,12 @@ class SimLinkage(Linkage):
         address = self.address_of(service.name)
         self.network.node(address).up = False
         self._pools[service.name].discard_all()
+        relay = self._relays.get(service.name)
+        if relay is not None:
+            # the relay's node fate-shares with the service; its journal
+            # (disk) keeps the outbox, its timers (memory) die
+            self.network.node(relay.address).up = False
+            relay.crash()
         for (src, _dst), sender in self._senders.items():
             if src == address:
                 sender.stop()
@@ -461,14 +602,22 @@ class SimLinkage(Linkage):
         the crash may have swallowed revocations, so nothing learned
         before it can be trusted until re-read — and its heartbeat
         senders restart with fresh sequence numbers under the new epoch
-        stamp.  Returns the new boot epoch.
+        stamp.  A journaled service recovers through its relay instead:
+        replay the local journal, tail-sync journaled issuers, redrain
+        the outbox.  Returns the new boot epoch.
         """
         address = self.address_of(service.name)
         self.network.node(address).up = True
+        relay = self._relays.get(service.name)
+        if relay is not None:
+            self.network.node(relay.address).up = True
         epoch = service.restart()
-        for issuer_name in service.credentials.external_services():
-            service.credentials.mark_service_unknown(issuer_name)
-            self.resync(service, issuer_name)
+        if relay is not None:
+            relay.recover()
+        else:
+            for issuer_name in service.credentials.external_services():
+                service.credentials.mark_service_unknown(issuer_name)
+                self.resync(service, issuer_name)
         for (src, _dst), sender in self._senders.items():
             if src == address:
                 sender.restart()

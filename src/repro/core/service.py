@@ -21,6 +21,7 @@ revocable delegation, matching the costs claimed in section 4.7.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -97,10 +98,44 @@ class ServiceStats:
     signature_cache_evictions: int = 0
     entries_denied: int = 0
     entries_shed: int = 0                   # admission refused under overload
+    # sheds attributed to the principal that caused them (per-tenant view
+    # of entries_shed; budget sheds always attribute, backpressure sheds
+    # attribute when the caller identified a principal)
+    sheds_by_principal: dict = field(default_factory=dict)
     # the (crr, expiry-bucket) short-circuit cache over full validations
     validity_cache_hits: int = 0
     validity_cache_evictions: int = 0
     validity_cache_invalidations: int = 0   # dropped by a record cascade
+
+
+class PrincipalAdmission:
+    """Per-principal admission budget (ROADMAP item 4 follow-on).
+
+    Global backpressure shedding treats all tenants alike, so one noisy
+    principal hammering role entry crowds everyone sharing the link.
+    This keeps a sliding window of recent admissions per principal and
+    refuses the ones that exceed ``budget`` starts within ``window``
+    seconds — the noisy tenant sheds first, before global backpressure
+    even engages.
+    """
+
+    def __init__(self, budget: int = 32, window: float = 1.0):
+        self.budget = budget
+        self.window = window
+        self._live: dict[str, deque] = {}
+
+    def admit(self, principal: str, now: float) -> bool:
+        """Record an admission attempt; False when over budget."""
+        live = self._live.get(principal)
+        if live is None:
+            live = self._live[principal] = deque()
+        horizon = now - self.window
+        while live and live[0] <= horizon:
+            live.popleft()
+        if len(live) >= self.budget:
+            return False
+        live.append(now)
+        return True
 
 
 class OasisService:
@@ -122,6 +157,7 @@ class OasisService:
         signature_cache_size: int = 4096,
         validity_cache_size: int = 4096,
         shed_on_overload: bool = True,
+        admission: Optional[PrincipalAdmission] = None,
     ):
         self.name = name
         self.clock = clock or ManualClock()
@@ -138,6 +174,9 @@ class OasisService:
         # notification channels are at their queue bound (section 4.9
         # coherence depends on being able to deliver revocations)
         self.shed_on_overload = shed_on_overload
+        self.admission = admission
+        # write-ahead journal (set by attach_journal; None = unjournaled)
+        self.journal = None
         self.secrets = RollingSecretTable(clock=self.clock, lifetime=secret_lifetime)
         self.signer = Signer(self.secrets, signature_length=signature_length)
         self.credentials = CredentialRecordTable(name)
@@ -364,7 +403,7 @@ class OasisService:
         rolefile_id: str,
         vci=None,
     ) -> RoleMembershipCertificate:
-        self._shed_if_overloaded("role entry")
+        self._shed_if_overloaded("role entry", principal=str(client))
         state = self._rolefile_state(rolefile_id)
         memberships = [self._credential_membership(c, client) for c in credentials]
         results: list[EntryResult] = []
@@ -399,18 +438,38 @@ class OasisService:
             )
         return cert
 
-    def _shed_if_overloaded(self, operation: str) -> None:
+    def _shed_if_overloaded(self, operation: str, principal: Optional[str] = None) -> None:
         """Admission control (ROADMAP overload follow-on): refuse work
         that would *create* credential state while this service's
         outbound notification channels sit at their queue bound.  A new
         membership whose revocation could not be delivered is a coherence
         debt; shedding before any state exists is free.  Validation and
-        revocation paths never shed — revocations must always land."""
+        revocation paths never shed — revocations must always land.
+
+        With a :class:`PrincipalAdmission` budget configured, the caller's
+        principal is checked first: one noisy tenant sheds on its own
+        budget before global backpressure punishes everyone."""
         if not self.shed_on_overload:
             return
+        if (
+            self.admission is not None
+            and principal is not None
+            and not self.admission.admit(principal, self.clock.now())
+        ):
+            self.stats.entries_shed += 1
+            by = self.stats.sheds_by_principal
+            by[principal] = by.get(principal, 0) + 1
+            raise OverloadError(
+                f"service {self.name!r}: principal {principal!r} exceeded its "
+                f"admission budget ({self.admission.budget}/"
+                f"{self.admission.window}s); {operation} shed"
+            )
         jammed = self.linkage.backpressured_of(self.name)
         if jammed:
             self.stats.entries_shed += 1
+            if principal is not None:
+                by = self.stats.sheds_by_principal
+                by[principal] = by.get(principal, 0) + 1
             raise OverloadError(
                 f"service {self.name!r} is overloaded: {len(jammed)} outbound "
                 f"channel(s) at their queue bound; {operation} shed"
@@ -710,7 +769,9 @@ class OasisService:
         (section 4.4).  Policy check: the rolefile must contain an
         election statement for ``role`` whose elector role the delegator
         holds."""
-        self._shed_if_overloaded("certificate issue")
+        self._shed_if_overloaded(
+            "certificate issue", principal=str(delegator_cert.client)
+        )
         self.validate(delegator_cert)
         state = self._rolefile_state(rolefile_id)
         elector_role = None
@@ -887,6 +948,18 @@ class OasisService:
                     f"exited {role}", (role,) + cert.args,
                 )
         return len(validated)
+
+    def attach_journal(self, journal) -> None:
+        """Make ``journal`` this service's durable write-ahead log.
+
+        From here on every effective credential mutation is journaled
+        before it is applied (the table's ``wal`` hook) and the audit
+        log records through the journal with only a bounded hot window
+        in memory.  Normally called via ``SimLinkage.enable_journal``,
+        which also wires the outbox relay."""
+        self.journal = journal
+        self.credentials.wal = lambda kind, data: journal.append(kind, data)
+        self.audit.attach_journal(journal)
 
     def on_restart(self, callback: Callable[[], None]) -> None:
         """Register a hook fired after :meth:`restart` bumps the epoch.

@@ -630,6 +630,9 @@ class SettleStats:
     per_hop: list[int] = field(default_factory=list)
     rpc_calls: int = 0
     encoded_bytes: int = 0                     # wire bytes the settle put in flight
+    # journal head (WAL position) per journaled shard at settle end:
+    # the durable high-water mark replicas replay up to
+    journal_heads: dict = field(default_factory=dict)
 
 
 class ShardCoordinator:
@@ -694,12 +697,20 @@ class ShardCoordinator:
         def commit() -> dict:
             service.credentials.end_batch()
             # everything this hop's cascade published must be in flight
-            # before the next hop's windows open
+            # before the next hop's windows open — both the wire channels
+            # and, for a journaled leader, the transactional outbox
             self.linkage.flush_of(service.name)
+            drain = getattr(self.linkage, "drain_journal_of", None)
+            if drain is not None:
+                drain(service.name)
             total = service.credentials.cascade_totals.records_changed
             changed = total - self._marks.get(service.name, total)
             self._marks[service.name] = total
-            return {"service": service.name, "changed": changed}
+            reply = {"service": service.name, "changed": changed}
+            journal = getattr(service, "journal", None)
+            if journal is not None:
+                reply["journal_head"] = journal.head()
+            return reply
 
         return commit
 
@@ -729,6 +740,9 @@ class ShardCoordinator:
             self.sim.run_until(self.sim.now + hop_window)
             replies = self._phase("settle-commit", stats)
             changed = sum(reply.get("changed", 0) for reply in replies)
+            for reply in replies:
+                if "journal_head" in reply:
+                    stats.journal_heads[reply["service"]] = reply["journal_head"]
             stats.per_hop.append(changed)
             stats.records_changed += changed
             stats.encoded_bytes = self.network.stats.encoded_bytes - bytes_mark
@@ -756,5 +770,8 @@ class ShardCoordinator:
 
     def _quiescent(self) -> bool:
         if any(channel.pending for channel in self.linkage.all_channels()):
+            return False
+        journal_quiescent = getattr(self.linkage, "journal_quiescent", None)
+        if journal_quiescent is not None and not journal_quiescent():
             return False
         return self.network.in_flight == 0

@@ -258,6 +258,10 @@ class Custode:
         # *different* custode with different rights (shared ACLs are just
         # files); consumers intersect with their own alphabet
         fid = FileId(self.name, next(self._numbers))
+        self._journal_acl(
+            "create", str(fid), protecting=str(protecting_acl_id or ""),
+            container=container,
+        )
         version = self.service.credentials.create_source(state=RecordState.TRUE)
         record = FileRecord(
             fid=fid,
@@ -274,6 +278,14 @@ class Custode:
         self._index_under_acl(record)
         self.service.add_rolefile(str(fid), self._rolefile_source(fid))
         return fid
+
+    def _journal_acl(self, action: str, target: str, **detail) -> None:
+        """WAL an ACL change through the owning service's journal (when
+        one is attached) BEFORE it is applied — the paper's auditing
+        model wants every access-control change durably attributable."""
+        journal = getattr(self.service, "journal", None)
+        if journal is not None:
+            journal.append("acl", {"action": action, "target": target, **detail})
 
     def _login_params(self) -> str:
         """The login role's parameter pattern, adapted to its arity (a
@@ -312,6 +324,9 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         (section 5.5.2)."""
         record = self._acl_record(acl_id)
         self._check_meta(cert, record, "w")
+        self._journal_acl(
+            "modify", str(acl_id), old_version=record.version_ref,
+        )
         # revoke the old version; new certificates use a fresh record.
         # The cascade revokes outstanding UseAcl certificates (their entry
         # records depend on the version record), and the record-change
@@ -392,6 +407,10 @@ UseFile(f, r) <- {login}* <|* UseAcl(r2) : r <= r2
         self._require_acl_exists(acl_id)
         if record.is_acl and self.enforce_placement and acl_id.custode != self.name:
             raise PlacementError("an ACL file's protecting ACL must be local")
+        self._journal_acl(
+            "regroup", str(fid),
+            old_acl=str(record.acl_id or ""), new_acl=str(acl_id),
+        )
         self._unindex_under_acl(record)
         record.acl_id = acl_id
         self._index_under_acl(record)

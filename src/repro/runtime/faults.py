@@ -109,6 +109,23 @@ class CrashRestart:
 
 
 @dataclass(frozen=True)
+class JournalCrash:
+    """Crash ``service`` at a journal fault point instead of at a wall
+    time: ``point`` is ``"mid-append"`` (right after the next journal
+    transaction lands, before its outbox drains) or ``"mid-drain"``
+    (after the next drain marks a batch in flight, before delivery
+    resolves).  Arming happens at ``at``; the crash fires whenever the
+    service next reaches the point, and the restart follows ``downtime``
+    later.  This is the targeted attack on the apply-vs-notify window
+    the transactional outbox exists to close."""
+
+    at: float
+    service: str
+    point: str
+    downtime: float
+
+
+@dataclass(frozen=True)
 class OverloadBurst:
     """Synthetic traffic spike: ``rate`` messages per virtual second from
     ``source`` toward ``dest`` for ``duration``.
@@ -126,7 +143,7 @@ class OverloadBurst:
     kind: str = "chaos-overload"
 
 
-FaultEvent = Any  # union of the seven event dataclasses above
+FaultEvent = Any  # union of the event dataclasses above
 
 
 @dataclass
@@ -142,6 +159,7 @@ class FaultStats:
     messages_reordered: int = 0
     overload_bursts: int = 0
     overload_messages: int = 0
+    journal_crashes: int = 0
 
 
 # ----------------------------------------------------------------- fault plan
@@ -274,6 +292,7 @@ class ChaosController:
         crash: Optional[Callable[[str], None]] = None,
         restart: Optional[Callable[[str], None]] = None,
         overload: Optional[Callable[["OverloadBurst"], None]] = None,
+        arm_journal_crash: Optional[Callable[[str, str, Callable[[], None]], None]] = None,
     ):
         self.network = network
         self.sim = network.simulator
@@ -282,6 +301,7 @@ class ChaosController:
         self._crash = crash
         self._restart = restart
         self._overload = overload
+        self._arm_journal_crash = arm_journal_crash
         self._rng = random.Random(f"chaos:{plan.seed}")
         self._loss: list[tuple[float, float, LossBurst]] = []
         self._dup: list[tuple[float, float, DuplicationWindow]] = []
@@ -343,6 +363,20 @@ class ChaosController:
             self.sim.schedule(
                 event.downtime, self._revive, event.service, name="chaos-restart"
             )
+        elif isinstance(event, JournalCrash):
+            if self._arm_journal_crash is not None:
+                # the trigger schedules the crash as a zero-delay event,
+                # not synchronously: the append/drain step that tripped
+                # the point completes atomically (a real crash cannot
+                # tear a committed journal transaction), then the
+                # process dies before the next step runs
+                self._arm_journal_crash(
+                    event.service,
+                    event.point,
+                    lambda e=event: self.sim.schedule(
+                        0.0, self._journal_crash_now, e, name="chaos-journal-crash"
+                    ),
+                )
 
     def _heal(self, event: PartitionWindow) -> None:
         self.stats.heals += 1
@@ -376,6 +410,18 @@ class ChaosController:
                 )
             except NetworkError:
                 pass  # destination vanished mid-burst; keep ticking
+
+    def _journal_crash_now(self, event: JournalCrash) -> None:
+        if event.service in self.down_services:
+            return  # already down via another fault; nothing to crash
+        self.stats.journal_crashes += 1
+        self.stats.crashes += 1
+        self.down_services.add(event.service)
+        if self._crash is not None:
+            self._crash(event.service)
+        self.sim.schedule(
+            event.downtime, self._revive, event.service, name="chaos-restart"
+        )
 
     def _revive(self, service: str) -> None:
         self.stats.restarts += 1
@@ -471,6 +517,7 @@ class InvariantChecker:
         is_down: Optional[Callable[[str], bool]] = None,
         channels: "Sequence[BatchedChannel] | Callable[[], Sequence[BatchedChannel]]" = (),
         custodes: Sequence["Custode"] = (),
+        journals: Optional[Any] = None,
     ):
         if not services:
             raise ValueError("InvariantChecker needs at least one service")
@@ -479,6 +526,8 @@ class InvariantChecker:
         self.is_down = is_down or (lambda name: False)
         self._channels = channels
         self.custodes = list(custodes)
+        # a DurableStore, for the outbox conservation sweep
+        self.journals = journals
         self.violations: list[Violation] = []
         self.checks = 0
         # (issuer name, ref) -> virtual time its truth last left TRUE
@@ -617,6 +666,17 @@ class InvariantChecker:
                     f" > bound {bound}"
                 )
         return breaches
+
+    def check_outbox_conservation(self) -> list[str]:
+        """Invariant 5 (durability): every journaled notification is
+        exactly-once-applied at its destination or parked in the DLQ —
+        never vanished, never double-applied.  Delegates to the
+        :class:`~repro.core.journal.DurableStore` sweep; empty list when
+        no store was given.  Returns breach descriptions (empty = clean).
+        """
+        if self.journals is None:
+            return []
+        return self.journals.conservation_breaches()
 
     def check_degradation_bounds(self) -> list[str]:
         """Invariant 4: degraded decisions never exceed the staleness bound.

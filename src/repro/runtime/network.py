@@ -104,6 +104,8 @@ class NetworkStats:
     dropped_decode: int = 0          # undecodable frames (stale epoch, dangling ref)
     duplicated: int = 0
     spilled_overflow: int = 0        # payloads shed by a bounded wire queue
+    subscribes_batched: int = 0      # resubscribes carried by subscribe-many
+                                     # items instead of one message each
 
     def bytes_ratio(self) -> float:
         """Encoded bytes as a fraction of the repr baseline.
@@ -427,6 +429,13 @@ class Network:
         """Record payloads shed by a bounded wire queue before send."""
         self.stats.spilled_overflow += count
         self.link_stats(source, dest).spilled_overflow += count
+
+    def note_batched_subscribe(self, source: str, dest: str, count: int = 1) -> None:
+        """Record resubscribes that rode one subscribe-many item instead
+        of going out as ``count`` individual subscribe messages (the
+        restart-storm reduction: ``count`` refs, one wire item)."""
+        self.stats.subscribes_batched += count
+        self.link_stats(source, dest).subscribes_batched += count
 
     def unaccounted(self) -> int:
         """Delivery attempts with no recorded fate.

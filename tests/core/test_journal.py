@@ -1,0 +1,423 @@
+"""Event-sourced durability: WAL ordering, the transactional outbox,
+dead-letter redelivery, tail-sync recovery, and replay idempotence.
+
+The scenarios attack the exact window the journal exists to close: a
+crash between "apply" (the credential mutation lands) and "notify" (the
+cascade notification reaches the subscriber).  Without the outbox that
+window silently loses revocations (see
+``test_crash_discards_queued_wire_traffic`` in test_crash_restart.py);
+with it, every notification is exactly-once-applied or parked in the
+DLQ — checked by ``DurableStore.conservation_breaches``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HostOS, OasisService, ServiceRegistry
+from repro.core.audit import AuditKind, AuditLog
+from repro.core.credentials import CredentialRecordTable, RecordState
+from repro.core.journal import DEAD, DELIVERED, PENDING, ServiceJournal
+from repro.core.linkage import SimLinkage
+from repro.core.service import PrincipalAdmission
+from repro.core.sharding import ShardCoordinator
+from repro.core.types import ObjectType
+from repro.errors import OverloadError
+from repro.runtime.clock import SimClock
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+
+LOGIN_RDL = """
+def LoggedOn(u, h)  u: userid  h: string
+LoggedOn(u, h) <-
+"""
+
+FILES_RDL = """
+import Login.userid
+Reader(u) <- Login.LoggedOn(u, h)*
+"""
+
+
+def make_world(delay=0.05, journaled=True):
+    sim = Simulator()
+    net = Network(sim, seed=13, default_delay=delay)
+    clock = SimClock(sim)
+    registry = ServiceRegistry()
+    linkage = SimLinkage(net)
+    login = OasisService("Login", registry=registry, linkage=linkage, clock=clock)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", LOGIN_RDL)
+    files = OasisService("Files", registry=registry, linkage=linkage, clock=clock)
+    files.add_rolefile("main", FILES_RDL)
+    if journaled:
+        linkage.enable_journal(login)
+        linkage.enable_journal(files)
+    return sim, net, linkage, login, files
+
+
+def populate(login, files, count):
+    host = HostOS("journal-host")
+    pairs = []
+    for i in range(count):
+        domain = host.create_domain()
+        cert = login.enter_role(domain.client_id, "LoggedOn", (f"u{i}", "host"))
+        reader = files.enter_role(domain.client_id, "Reader", credentials=(cert,))
+        pairs.append((cert, reader))
+    return pairs
+
+
+def surrogate_states(files):
+    return {
+        record.external_ref: record.state
+        for record in files.credentials.externals_of("Login")
+    }
+
+
+# ------------------------------------------------------------- WAL discipline
+
+
+def test_wal_fires_before_the_mutation_applies():
+    table = CredentialRecordTable("T")
+    record = table.create_source(state=RecordState.TRUE)
+    seen = []
+    table.wal = lambda kind, data: seen.append(
+        (kind, data, table.state_of(record.ref))
+    )
+    table.set_states([(record.ref, RecordState.FALSE)])
+    kind, data, state_at_wal = seen[0]
+    assert kind == "state"
+    assert data["updates"] == [[record.ref, RecordState.FALSE.value]]
+    # write-AHEAD: when the journal saw the event, the record had not
+    # yet changed
+    assert state_at_wal is RecordState.TRUE
+    assert table.state_of(record.ref) is RecordState.FALSE
+
+
+def test_wal_records_only_effective_changes():
+    table = CredentialRecordTable("T")
+    live = table.create_source(state=RecordState.TRUE)
+    dead = table.create_source(state=RecordState.FALSE, permanent=True)
+    seen = []
+    table.wal = lambda kind, data: seen.append((kind, data))
+    table.set_states([(live.ref, RecordState.TRUE)])       # no-op: same state
+    table.set_states([(dead.ref, RecordState.TRUE)])       # no-op: permanent
+    table.revoke_many([dead.ref])                          # no-op: permanent
+    assert seen == []
+    table.revoke_many([live.ref])
+    assert seen == [("revoke", {"refs": [live.ref]})]
+
+
+def test_revocation_travels_through_the_outbox():
+    sim, net, linkage, login, files = make_world()
+    (cert, reader), = populate(login, files, 1)
+    sim.run_until(2.0)
+    assert surrogate_states(files)[cert.crr] is RecordState.TRUE
+    login.exit_role(cert)
+    sim.run_until(4.0)
+    assert surrogate_states(files)[cert.crr] is RecordState.FALSE
+    store = linkage.durable
+    entries = [
+        e for e in store.journal("Login").outbox.values() if e.dest == "Files"
+    ]
+    assert entries and all(e.status == DELIVERED for e in entries)
+    assert store.journal("Files").stats.applied >= 1
+    assert store.conservation_breaches() == []
+
+
+# ----------------------------------------------------- the apply/notify window
+
+
+def test_crash_mid_append_cannot_lose_the_revocation():
+    """The tentpole scenario: the process dies right after the journal
+    transaction commits (state + outbox durable) and before the drain
+    runs.  The legacy wire path loses this notification forever; the
+    outbox redrains it on recovery."""
+    sim, net, linkage, login, files = make_world()
+    (cert, reader), = populate(login, files, 1)
+    sim.run_until(2.0)
+
+    relay = linkage.relay_of("Login")
+    relay.arm_crash(
+        "mid-append",
+        lambda: sim.schedule(0.0, linkage.crash, login, name="test-crash"),
+    )
+    login.exit_role(cert)  # applied locally; the crash outruns the drain
+    sim.run_until(5.0)
+    # the crash window: state changed, notification never left
+    assert login.credentials.state_of(cert.crr) is RecordState.FALSE
+    assert surrogate_states(files)[cert.crr] is RecordState.TRUE
+    pending = [
+        e for e in linkage.durable.journal("Login").outbox.values()
+        if e.status == PENDING
+    ]
+    assert pending, "the undrained notification must survive in the outbox"
+
+    linkage.restart(login)
+    sim.run_until(10.0)
+    assert surrogate_states(files)[cert.crr] is RecordState.FALSE
+    assert linkage.durable.conservation_breaches() == []
+    assert linkage.durable.journal("Login").stats.replays == 1
+
+
+def test_crash_mid_drain_delivers_exactly_once():
+    """Die after the batch is marked in flight: the delivery may or may
+    not have departed.  Receiver-side (issuer, seq) dedup makes the
+    post-recovery redrain idempotent — applied exactly once either way."""
+    sim, net, linkage, login, files = make_world()
+    (cert, reader), = populate(login, files, 1)
+    sim.run_until(2.0)
+    files_applied_before = linkage.durable.journal("Files").stats.applied
+
+    relay = linkage.relay_of("Login")
+    relay.arm_crash(
+        "mid-drain",
+        lambda: sim.schedule(0.0, linkage.crash, login, name="test-crash"),
+    )
+    login.exit_role(cert)
+    sim.run_until(5.0)
+    linkage.restart(login)
+    sim.run_until(15.0)
+
+    assert surrogate_states(files)[cert.crr] is RecordState.FALSE
+    files_journal = linkage.durable.journal("Files")
+    login_journal = linkage.durable.journal("Login")
+    # every delivered entry applied exactly once, duplicates dropped
+    for entry in login_journal.outbox.values():
+        if entry.status == DELIVERED and entry.dest == "Files":
+            assert files_journal.applied_counts[("Login", entry.seq)] == 1
+    assert files_journal.stats.applied - files_applied_before >= 1
+    assert linkage.durable.conservation_breaches() == []
+
+
+def test_undeliverable_notifications_park_in_dlq_and_redeliver():
+    sim, net, linkage, login, files = make_world()
+    (cert, reader), = populate(login, files, 1)
+    sim.run_until(2.0)
+
+    linkage.crash(files)
+    login.exit_role(cert)  # the dest is down; the RPC retry budget fails
+    sim.run_until(20.0)
+    login_journal = linkage.durable.journal("Login")
+    assert login_journal.stats.parked >= 1
+    parked = [
+        e for e in login_journal.outbox.values()
+        if e.dest == "Files" and e.status != DELIVERED
+    ]
+    assert parked and all(
+        e.redeliveries >= 1 and e.next_attempt_at > 0 for e in parked
+    )
+    # parked is not lost: the conservation sweep is clean with entries
+    # sitting in the DLQ
+    assert linkage.durable.conservation_breaches() == []
+
+    linkage.restart(files)
+    sim.run_until(60.0)  # past the seeded backoff
+    assert not login_journal.dead_letters()
+    assert login_journal.stats.outbox_redelivered >= 1
+    assert surrogate_states(files)[cert.crr] is RecordState.FALSE
+    assert linkage.durable.conservation_breaches() == []
+
+
+def test_subscriber_recovers_by_tail_sync_not_resubscribe_storm():
+    sim, net, linkage, login, files = make_world()
+    pairs = populate(login, files, 20)
+    sim.run_until(2.0)
+
+    linkage.crash(files)
+    for cert, _reader in pairs[:7]:
+        login.exit_role(cert)  # revoked while the subscriber is down
+    sim.run_until(10.0)
+    subscribes_before = net.stats.subscribes_batched
+    linkage.restart(files)
+    sim.run_until(40.0)
+
+    files_journal = linkage.durable.journal("Files")
+    assert files_journal.stats.tail_syncs_pulled >= 1
+    assert linkage.durable.journal("Login").stats.tail_syncs_served >= 1
+    # the journaled path does not resubscribe per ref
+    assert net.stats.subscribes_batched == subscribes_before
+    states = surrogate_states(files)
+    for index, (cert, _reader) in enumerate(pairs):
+        expected = RecordState.FALSE if index < 7 else RecordState.TRUE
+        assert states[cert.crr] is expected
+    assert linkage.durable.conservation_breaches() == []
+
+
+# ------------------------------------------------------------------ replay
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 5), st.sampled_from(["true", "false", "revoke"])),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_journal_replay_is_idempotent(ops):
+    """Replay twice == replay once: re-driving the log against the live
+    table changes nothing (permanent records absorb revocations,
+    same-state updates plan as empty) and journals nothing new."""
+    journal = ServiceJournal("T")
+    table = CredentialRecordTable("T")
+    table.wal = lambda kind, data: journal.append(kind, data)
+    refs = [table.create_source(state=RecordState.TRUE).ref for _ in range(6)]
+    for index, op in ops:
+        if op == "revoke":
+            table.revoke_many([refs[index]])
+        else:
+            state = RecordState.TRUE if op == "true" else RecordState.FALSE
+            table.set_states([(refs[index], state)])
+
+    def apply(record):
+        if record.kind == "state":
+            table.set_states(
+                [(ref, RecordState(value)) for ref, value in record.data["updates"]],
+                permanent=record.data.get("permanent", False),
+            )
+        elif record.kind == "revoke":
+            table.revoke_many(record.data["refs"])
+
+    def snapshot():
+        return [(table.state_of(ref), table.get(ref).permanent) for ref in refs]
+
+    before = snapshot()
+    length = len(journal)
+    count_once = journal.replay(apply)
+    assert snapshot() == before
+    assert len(journal) == length  # replay must not re-journal
+    count_twice = journal.replay(apply)
+    assert count_twice == count_once
+    assert snapshot() == before
+    assert len(journal) == length
+
+
+# ----------------------------------------------------------- audit via journal
+
+
+def test_audit_rings_hot_window_and_spills_to_journal():
+    journal = ServiceJournal("T")
+    log = AuditLog(hot_window=4)
+    log.attach_journal(journal)
+    for i in range(10):
+        log.record(float(i), AuditKind.VALIDATION_OK, f"c{i}", "ok")
+    assert len(log.recent()) == 4                       # bounded in memory
+    assert [e.client for e in log.recent()] == ["c6", "c7", "c8", "c9"]
+    assert log.spilled == 6
+    assert len(log) == 10                               # nothing lost
+    assert len(log.entries(AuditKind.VALIDATION_OK)) == 10
+    assert log.dropped == 0
+
+
+def test_audit_standalone_capacity_still_drops_newest():
+    # the pre-journal contract, unchanged: over capacity, new entries drop
+    log = AuditLog(capacity=2)
+    for i in range(5):
+        log.record(float(i), AuditKind.VALIDATION_OK, f"c{i}", "ok")
+    assert len(log) == 2
+    assert log.dropped == 3
+
+
+def test_role_history_cdc_tracks_tenures():
+    journal = ServiceJournal("T")
+    log = AuditLog(hot_window=8)
+    log.attach_journal(journal)
+    log.record(1.0, AuditKind.ROLE_ENTERED, "alice", "", ("Reader", "x"))
+    log.record(2.0, AuditKind.ROLE_ENTERED, "bob", "", ("Reader", "x"))
+    log.record(3.0, AuditKind.ROLE_EXITED, "alice", "", ("Reader", "x"))
+    log.record(4.0, AuditKind.ROLE_REVOKED, "bob", "", ("Reader", "x"))
+    log.record(5.0, AuditKind.ROLE_ENTERED, "alice", "", ("Writer", "y"))
+    history = log.role_history()
+    assert [(t.client, t.entered_at, t.ended_at) for t in history] == [
+        ("alice", 1.0, 3.0),
+        ("bob", 2.0, 4.0),
+        ("alice", 5.0, None),
+    ]
+    assert history[1].end_kind is AuditKind.ROLE_REVOKED
+    assert history[2].open
+    assert log.holders_at(2.5) == {("Reader", ("x",)): ["alice", "bob"]}
+    assert log.holders_at(6.0) == {("Writer", ("y",)): ["alice"]}
+    assert log.current_members() == {("Writer", ("y",)): ["alice"]}
+
+
+# ------------------------------------------------------- batched resubscribe
+
+
+def test_restart_resubscribes_in_one_batch_not_a_storm():
+    count = 150
+    sim, net, linkage, login, files = make_world(journaled=False)
+    pairs = populate(login, files, count)
+    sim.run_until(5.0)
+    assert net.stats.subscribes_batched == 0
+
+    linkage.crash(files)
+    sim.run_until(10.0)
+    sent_before = net.stats.messages_sent
+    linkage.restart(files)
+    sim.run_until(30.0)
+
+    # all 150 refs resubscribed through subscribe-many items
+    assert net.stats.subscribes_batched == count
+    link = net.link_stats("oasis:Files", "oasis:Login")
+    assert link.subscribes_batched == count
+    recovery_messages = net.stats.messages_sent - sent_before
+    # one request envelope + batched replies, nowhere near one per ref
+    assert recovery_messages < count / 2
+    states = surrogate_states(files)
+    assert all(state is RecordState.TRUE for state in states.values())
+
+
+# ------------------------------------------------------ per-principal budget
+
+
+def test_principal_admission_budget_sheds_noisy_tenant():
+    admission = PrincipalAdmission(budget=2, window=1.0)
+    registry = ServiceRegistry()
+    login = OasisService("Login", registry=registry, admission=admission)
+    login.export_type(ObjectType("Login.userid"), "userid")
+    login.add_rolefile("main", LOGIN_RDL)
+    host = HostOS("adm-host")
+    noisy = host.create_domain().client_id
+    quiet = host.create_domain().client_id
+
+    login.enter_role(noisy, "LoggedOn", ("n0", "h"))
+    login.enter_role(noisy, "LoggedOn", ("n1", "h"))
+    with pytest.raises(OverloadError):
+        login.enter_role(noisy, "LoggedOn", ("n2", "h"))
+    # the budget is per principal: the quiet tenant is unaffected
+    login.enter_role(quiet, "LoggedOn", ("q0", "h"))
+    assert login.stats.entries_shed == 1
+    assert login.stats.sheds_by_principal == {str(noisy): 1}
+
+
+def test_principal_admission_window_slides():
+    admission = PrincipalAdmission(budget=2, window=1.0)
+    assert admission.admit("p", now=0.0)
+    assert admission.admit("p", now=0.1)
+    assert not admission.admit("p", now=0.2)
+    # the old admissions age out of the window
+    assert admission.admit("p", now=1.5)
+
+
+# ----------------------------------------------------- settle integration
+
+
+def test_settle_reports_journal_heads():
+    sim, net, linkage, login, files = make_world()
+    pairs = populate(login, files, 10)
+    sim.run_until(2.0)
+    coordinator = ShardCoordinator(net, linkage, [login, files])
+    for cert, _reader in pairs[:4]:
+        login.exit_role(cert)
+    stats = coordinator.settle(max_hops=8, hop_window=0.5)
+    assert stats.journal_heads.keys() == {"Login", "Files"}
+    assert stats.journal_heads["Login"] == linkage.durable.journal("Login").head()
+    assert all(head > 0 for head in stats.journal_heads.values())
+    states = surrogate_states(files)
+    for index, (cert, _reader) in enumerate(pairs):
+        expected = RecordState.FALSE if index < 4 else RecordState.TRUE
+        assert states[cert.crr] is expected
+    assert linkage.durable.conservation_breaches() == []
+    assert DEAD not in {
+        e.status for e in linkage.durable.journal("Login").outbox.values()
+    }
